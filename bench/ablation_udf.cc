@@ -1,0 +1,152 @@
+// Ablation: what do UDFs and XN's guarded operations cost? (google-benchmark)
+//
+// DESIGN.md calls out the template/UDF design as XN's central trade-off (Sec. 4.2
+// rejected per-block capabilities and declarative templates). This bench measures:
+//   - host-side interpreter throughput of the C-FFS directory owns-udf,
+//   - simulated-cycle cost of guarded Alloc/Modify vs the trusted kernel backend,
+//   - wakeup-predicate evaluation cost.
+#include <benchmark/benchmark.h>
+
+#include "fs/cffs.h"
+#include "fs/kernel_backend.h"
+#include "fs/xn_backend.h"
+#include "hw/machine.h"
+#include "udf/assembler.h"
+#include "udf/vm.h"
+#include "xn/xn.h"
+
+namespace {
+
+using namespace exo;
+
+// Host throughput of the UDF interpreter on a realistic program: a directory-block
+// scan (the hot owns-udf in C-FFS).
+void BM_UdfInterpreterDirScan(benchmark::State& state) {
+  auto prog = udf::Assemble(R"(
+      ldi r1, 0
+      ldi r2, 32
+    slot:
+      ld1 r3, r1, 0, meta
+      bz r3, next
+      ld4 r9, r1, 12, meta
+      ldi r10, 8
+      cle r11, r9, r10
+      mul r12, r9, r11
+      ldi r13, 1
+      sub r13, r13, r11
+      mul r13, r10, r13
+      add r12, r12, r13
+      addi r13, r1, 80
+      ldi r14, 1
+    dloop:
+      bz r12, next
+      ld4 r15, r13, 0, meta
+      emit r15, r14, r14
+      addi r13, r13, 4
+      addi r12, r12, -1
+      jmp dloop
+    next:
+      addi r1, r1, 128
+      addi r2, r2, -1
+      bnz r2, slot
+      ldi r1, 0
+      ret r1
+  )");
+  EXO_CHECK(prog.ok);
+  std::vector<uint8_t> block(4096, 0);
+  for (int slot = 1; slot < 32; ++slot) {
+    block[static_cast<size_t>(slot) * 128] = 1;      // kind = file
+    block[static_cast<size_t>(slot) * 128 + 12] = 4;  // nblocks = 4
+  }
+  uint64_t insns = 0;
+  for (auto _ : state) {
+    udf::RunInput in;
+    in.buffers[udf::kBufMeta] = block;
+    auto out = udf::Run(prog.program, in);
+    benchmark::DoNotOptimize(out.ret);
+    insns += out.insns;
+  }
+  state.counters["udf_insns_per_run"] =
+      static_cast<double>(insns) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_UdfInterpreterDirScan);
+
+// Simulated cycles per guarded metadata allocation (XN running owns-udf twice +
+// acl-uf) vs the trusted kernel backend (no verification) — the price of letting
+// untrusted code define metadata formats.
+void BM_GuardedAllocCycles(benchmark::State& state) {
+  const bool guarded = state.range(0) == 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    hw::Machine machine(&engine, hw::MachineConfig{
+                                     .mem_frames = 4096,
+                                     .disks = {hw::DiskGeometry{.num_blocks = 8192}}});
+    fs::Blocker blocker = [&engine](const std::function<bool()>& ready) {
+      while (!ready()) {
+        if (engine.HasPendingEvents()) {
+          engine.RunNextEvent();
+        } else {
+          engine.Advance(20'000);
+        }
+      }
+    };
+    std::unique_ptr<xn::Xn> xn;
+    std::unique_ptr<fs::FsBackend> backend;
+    if (guarded) {
+      xn = std::make_unique<xn::Xn>(&machine, &machine.disk());
+      xn->Format();
+      EXO_CHECK_EQ(xn->Attach(), Status::kOk);
+      backend = std::make_unique<fs::XnBackend>(
+          xn.get(), xn::Caps{xok::Capability::For({xok::kCapFs, 1})}, blocker, [&machine] {
+            auto f = machine.mem().Alloc();
+            return f.ok() ? *f : hw::kInvalidFrame;
+          });
+    } else {
+      backend = std::make_unique<fs::KernelBackend>(&machine, &machine.disk(), blocker);
+    }
+    fs::Cffs cffs(backend.get(), fs::CffsOptions{.fsid = 1});
+    EXO_CHECK_EQ(cffs.Mkfs(), Status::kOk);
+    sim::Cycles t0 = engine.now();
+    state.ResumeTiming();
+
+    // 64 file creates + one-block writes: each is a guarded Alloc on a dir block.
+    for (int i = 0; i < 64; ++i) {
+      auto h = cffs.Create("/f" + std::to_string(i), 7, false);
+      EXO_CHECK(h.ok());
+      std::vector<uint8_t> data(512, 1);
+      EXO_CHECK(cffs.Write(*h, 0, data, 7).ok());
+    }
+    state.PauseTiming();
+    state.counters["sim_cycles_per_create"] =
+        static_cast<double>(engine.now() - t0) / 64.0;
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_GuardedAllocCycles)->Arg(1)->ArgName("xn_guarded")->Arg(0);
+
+// Wakeup-predicate evaluation: simulated cycles per kernel evaluation of the
+// protected-pipe predicate vs a host lambda standing in for the same check.
+void BM_WakeupPredicateEval(benchmark::State& state) {
+  auto prog = udf::Assemble(R"(
+      ldi r1, 0
+      ld4 r2, r1, 0, meta
+      ld1 r3, r1, 4, meta
+      or r4, r2, r3
+      ret r4
+  )");
+  EXO_CHECK(prog.ok);
+  std::vector<uint8_t> window(8, 0);
+  window[0] = 1;
+  for (auto _ : state) {
+    udf::RunInput in;
+    in.buffers[udf::kBufMeta] = window;
+    auto out = udf::Run(prog.program, in);
+    benchmark::DoNotOptimize(out.ret);
+  }
+}
+BENCHMARK(BM_WakeupPredicateEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Shared bench harness pieces: machine construction, the Table 1 workload driver,
+// and table printing. Every bench binary regenerates one paper table/figure.
+#ifndef EXO_BENCH_COMMON_H_
+#define EXO_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/unix_apps.h"
+#include "apps/workload.h"
+#include "exos/system.h"
+
+namespace exo::bench {
+
+inline hw::MachineConfig PaperMachine(uint32_t disk_mb = 256) {
+  hw::MachineConfig cfg;
+  cfg.mem_frames = 16384;  // 64 MB
+  cfg.disks = {hw::DiskGeometry{.num_blocks = disk_mb * 256}};
+  return cfg;
+}
+
+inline double Secs(sim::Cycles c) { return static_cast<double>(c) / 200e6; }
+
+struct StepResult {
+  std::string name;
+  double seconds = 0;
+};
+
+struct WorkloadResult {
+  std::vector<StepResult> steps;
+  double total = 0;
+  uint64_t syscalls = 0;
+};
+
+// The Table 1 / Figure 2 workload: install the lcc distribution. Eleven steps, each
+// run as a separate program through fork/exec, exactly as a shell would run them.
+inline WorkloadResult RunIoWorkload(os::Flavor flavor, os::SystemOptions opts = {},
+                                    uint64_t seed = 42) {
+  sim::Engine engine;
+  hw::Machine machine(&engine, PaperMachine());
+  os::System sys(&machine, flavor, opts);
+  EXO_CHECK_EQ(sys.Boot(), Status::kOk);
+
+  WorkloadResult result;
+  sys.SpawnInit("sh", [&](os::UnixEnv& env) {
+    // Stage the distribution archive (not timed): build the tree once, archive and
+    // compress it, then delete the staging copy.
+    auto tree = apps::LccTree(seed);
+    EXO_CHECK_EQ(apps::WriteTree(env, tree, "/stage"), Status::kOk);
+    EXO_CHECK_EQ(apps::PaxWrite(env, "/stage", "/lcc.pax"), Status::kOk);
+    EXO_CHECK_EQ(apps::Gzip(env, "/lcc.pax", "/lcc.pax.gz"),
+                 Status::kOk);
+    EXO_CHECK_EQ(apps::RmTree(env, "/stage"), Status::kOk);
+    EXO_CHECK_EQ(env.Unlink("/lcc.pax"), Status::kOk);
+    EXO_CHECK_EQ(env.Sync(), Status::kOk);
+
+    auto step = [&](const std::string& name, const std::string& program,
+                    std::function<void(os::UnixEnv&)> body) {
+      sim::Cycles t0 = env.Now();
+      auto pid = env.Spawn(program, std::move(body));
+      EXO_CHECK(pid.ok());
+      EXO_CHECK(env.Wait(*pid).ok());
+      result.steps.push_back({name, Secs(env.Now() - t0)});
+    };
+
+    step("cp (small)", "cp", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::Cp(e, "/lcc.pax.gz", "/lcc2.pax.gz"), Status::kOk);
+    });
+    step("gunzip", "gunzip", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::Gunzip(e, "/lcc2.pax.gz", "/lcc.pax"), Status::kOk);
+    });
+    step("cp (large)", "cp", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::Cp(e, "/lcc.pax", "/lcc-copy.pax"), Status::kOk);
+    });
+    step("pax -r", "pax", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::PaxRead(e, "/lcc.pax", "/lcc"), Status::kOk);
+    });
+    step("cp -r", "cp", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::CpR(e, "/lcc", "/lcc-copy"), Status::kOk);
+    });
+    step("diff", "diff", [](os::UnixEnv& e) {
+      auto d = apps::DiffTree(e, "/lcc", "/lcc-copy");
+      EXO_CHECK(d.ok());
+      EXO_CHECK_EQ(*d, 0);
+    });
+    step("gcc", "gcc", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::GccBuild(e, "/lcc"), Status::kOk);
+    });
+    step("rm (.o)", "rm", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::RmByExt(e, "/lcc", ".o"), Status::kOk);
+    });
+    step("pax -w", "pax", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::PaxWrite(e, "/lcc", "/lcc-new.pax"), Status::kOk);
+    });
+    step("gzip", "gzip", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::Gzip(e, "/lcc-new.pax", "/lcc-new.pax.gz"), Status::kOk);
+    });
+    step("rm -r", "rm", [](os::UnixEnv& e) {
+      EXO_CHECK_EQ(apps::RmTree(e, "/lcc"), Status::kOk);
+    });
+  });
+  sys.Run();
+  for (const auto& s : result.steps) {
+    result.total += s.seconds;
+  }
+  result.syscalls = sys.syscall_count();
+  return result;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+}  // namespace exo::bench
+
+#endif  // EXO_BENCH_COMMON_H_

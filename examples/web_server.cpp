@@ -1,0 +1,63 @@
+// Web server example: run the Cheetah HTTP server against a plain socket server on
+// the same simulated network and watch the optimizations pay off.
+//
+//   $ ./examples/web_server
+//
+// Demonstrates the XIO pieces from Sec. 7.3: zero-copy transmission from the file
+// cache with precomputed checksums (the merged file-cache/retransmission pool) and
+// knowledge-based ACK piggybacking.
+#include <cstdio>
+
+#include "apps/http.h"
+
+using namespace exo;
+
+namespace {
+
+void RunOne(apps::ServerStyle style) {
+  sim::Engine engine;
+  sim::CostModel cost = sim::CostModel::PentiumPro200();
+
+  apps::HttpServer server(&engine, &cost, style, /*ip=*/100);
+  std::vector<uint8_t> page(8 * 1024);
+  for (size_t i = 0; i < page.size(); ++i) {
+    page[i] = static_cast<uint8_t>("<html>"[i % 6]);
+  }
+  server.AddDocument("index.html", page);
+  server.Listen(80);
+
+  hw::Nic server_nic(0);
+  hw::Nic client_nic(1);
+  hw::Link link(&engine, 100.0, 40.0, 200);
+  link.Connect(&server_nic, &client_nic);
+  server.AttachNic(&server_nic, /*peer_ip=*/1);
+
+  apps::HttpClient client(&engine, &cost, &client_nic, 1, 100, "index.html",
+                          /*concurrency=*/4);
+  const sim::Cycles duration = 40'000'000;  // 0.2 simulated seconds
+  client.Start(duration);
+  engine.RunUntil(duration);
+
+  double secs = engine.now_seconds();
+  std::printf("%-12s %7.0f req/s  %6.1f MB/s   CPU busy %4.0f%%   "
+              "%llu segments out, %llu pure ACKs, %llu piggybacked\n",
+              apps::ServerStyleName(style),
+              static_cast<double>(client.completed()) / secs,
+              static_cast<double>(client.bytes_received()) / secs / 1e6,
+              server.cpu().Utilization(0) * 100.0,
+              static_cast<unsigned long long>(server.stack().stats().segments_out),
+              static_cast<unsigned long long>(server.stack().stats().pure_acks_out),
+              static_cast<unsigned long long>(server.stack().stats().piggybacked_acks));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("serving an 8-KB page over one 100-Mbit/s link for 0.2 s:\n\n");
+  RunOne(apps::ServerStyle::kSocketBsd);
+  RunOne(apps::ServerStyle::kSocketXok);
+  RunOne(apps::ServerStyle::kCheetah);
+  std::printf("\nCheetah never copies or checksums the page (it transmits from the file\n"
+              "cache with stored checksums) and merges ACKs into responses.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Zero-copy example: XCP, the "zero-touch" copier from Sec. 7.2, side by side with
+// plain cp on a booted Xok/ExOS system.
+//
+//   $ ./examples/zero_copy
+//
+// XCP enumerates the source files' disk blocks through the exposed file-system
+// layout, reads them with one big sorted schedule, and then writes the destination
+// blocks FROM THE SAME CACHE FRAMES — the CPU never touches a byte of file data.
+#include <cstdio>
+
+#include "apps/unix_apps.h"
+#include "apps/workload.h"
+#include "apps/xcp.h"
+#include "exos/system.h"
+
+using namespace exo;
+
+int main() {
+  sim::Engine engine;
+  hw::MachineConfig cfg;
+  cfg.mem_frames = 16384;
+  cfg.disks = {hw::DiskGeometry{.num_blocks = 256 * 256}};
+  hw::Machine machine(&engine, cfg);
+  os::System sys(&machine, os::Flavor::kXokExos);
+  if (sys.Boot() != Status::kOk) {
+    return 1;
+  }
+
+  sys.SpawnInit("sh", [&](os::UnixEnv& env) {
+    std::vector<std::string> srcs;
+    env.Mkdir("/photos");
+    for (int i = 0; i < 12; ++i) {
+      apps::FileSpec spec{.path = "p", .size = 250'000,
+                          .seed = static_cast<uint64_t>(i + 1)};
+      auto content = apps::FileContent(spec);
+      std::string path = "/photos/img" + std::to_string(i);
+      auto fd = env.Open(path, true);
+      env.Write(*fd, content);
+      env.Close(*fd);
+      srcs.push_back(path);
+    }
+    env.Sync();
+    std::printf("12 files, 3 MB total, synced to disk\n\n");
+
+    sim::Cycles t0 = env.Now();
+    env.Mkdir("/backup-cp");
+    for (const auto& s : srcs) {
+      apps::Cp(env, s, "/backup-cp/" + s.substr(8));
+    }
+    double cp_ms = static_cast<double>(env.Now() - t0) / 200'000.0;
+
+    t0 = env.Now();
+    auto stats = apps::Xcp(sys, env, srcs, "/backup-xcp");
+    double xcp_ms = static_cast<double>(env.Now() - t0) / 200'000.0;
+
+    auto d = apps::DiffTree(env, "/backup-cp", "/backup-xcp");
+    std::printf("cp : %8.2f ms (reads + CPU copies + writes)\n", cp_ms);
+    std::printf("xcp: %8.2f ms (%llu blocks bound frame-to-frame, %llu read requests)\n",
+                xcp_ms, static_cast<unsigned long long>(stats->blocks_copied),
+                static_cast<unsigned long long>(stats->read_requests));
+    std::printf("speedup: %.1fx — and the copies are identical (diff: %d)\n",
+                cp_ms / xcp_ms, *d);
+  });
+  sys.Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// HTTP/1.0 servers and load generator for the Figure 3 experiment (Sec. 7.3).
+//
+// Five server configurations, matching the figure:
+//   kNcsaBsd    — NCSA 1.4.2 style: a process is forked per request; BSD sockets.
+//   kHarvestBsd — Harvest-cache style: single process, in-memory document cache,
+//                 BSD sockets (the best conventional server the paper measured).
+//   kSocketBsd  — the paper's own server over plain BSD sockets.
+//   kSocketXok  — the same server over ExOS sockets layered on XIO (PCB reuse and
+//                 packet merging on, but payloads still copied and checksummed).
+//   kCheetah    — all Cheetah optimizations: transmit directly from the file cache
+//                 with precomputed checksums (merged retransmission pool) and
+//                 knowledge-based ACK piggybacking.
+//
+// Documents live in a warm file cache (the paper measures cached documents; disk
+// placement is exercised separately). Per-request file-system work is charged per
+// style: NCSA pays a fork, Socket servers pay open/stat/read syscalls and a
+// file-cache-to-user copy, Cheetah uses its cached file pointers.
+#ifndef EXO_APPS_HTTP_H_
+#define EXO_APPS_HTTP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/tcp.h"
+#include "net/xio.h"
+#include "sim/cpu_meter.h"
+
+namespace exo::apps {
+
+enum class ServerStyle { kNcsaBsd, kHarvestBsd, kSocketBsd, kSocketXok, kCheetah };
+
+const char* ServerStyleName(ServerStyle s);
+
+class HttpServer {
+ public:
+  HttpServer(sim::Engine* engine, const sim::CostModel* cost, ServerStyle style,
+             net::IpAddr ip);
+
+  // Attaches a NIC; frames to `peer_ip` leave through it (one client per link).
+  void AttachNic(hw::Nic* nic, net::IpAddr peer_ip);
+
+  // Registers a document (contents stay stable: they are the file cache).
+  void AddDocument(const std::string& name, std::vector<uint8_t> content);
+
+  Status Listen(net::Port port = 80);
+
+  uint64_t requests_served() const { return requests_; }
+  sim::CpuMeter& cpu() { return cpu_; }
+  net::TcpStack& stack() { return *stack_; }
+
+ private:
+  void OnRequest(net::TcpConn* conn, std::span<const uint8_t> data);
+  sim::Cycles PerRequestOsCost(size_t doc_size) const;
+
+  sim::Engine* engine_;
+  const sim::CostModel* cost_;
+  ServerStyle style_;
+  sim::CpuMeter cpu_;
+  std::unique_ptr<net::TcpStack> stack_;
+  std::map<net::IpAddr, hw::Nic*> routes_;
+  std::map<std::string, std::vector<uint8_t>> docs_;
+  net::ChecksumCache checksums_;
+  std::map<std::string, uint64_t> doc_ids_;
+  uint64_t next_doc_id_ = 1;
+  uint64_t requests_ = 0;
+  std::map<net::TcpConn*, std::string> partial_;  // request bytes per connection
+};
+
+// A load generator: `concurrency` closed-loop clients fetching `doc` over new
+// connections (HTTP/1.0) until the deadline. Client CPU is free — the experiment
+// isolates the server (Sec. 7.3 methodology).
+class HttpClient {
+ public:
+  HttpClient(sim::Engine* engine, const sim::CostModel* cost, hw::Nic* nic, net::IpAddr ip,
+             net::IpAddr server_ip, std::string doc, int concurrency);
+
+  void Start(sim::Cycles deadline);
+  uint64_t completed() const { return completed_; }
+  uint64_t bytes_received() const { return bytes_; }
+
+ private:
+  void StartOne();
+
+  sim::Engine* engine_;
+  hw::Nic* nic_;
+  net::IpAddr server_ip_;
+  std::string doc_;
+  int concurrency_;
+  sim::Cycles deadline_ = 0;
+  std::unique_ptr<net::TcpStack> stack_;
+  uint64_t completed_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace exo::apps
+
+#endif  // EXO_APPS_HTTP_H_

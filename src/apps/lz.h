@@ -1,0 +1,26 @@
+// LZSS compressor/decompressor used by the gzip/gunzip workload programs.
+//
+// A real, deterministic, self-inverse byte-oriented LZ: greedy longest-match over a
+// 32-KB window, emitted as flagged tokens. Repetitive C source compresses roughly
+// 3:1, matching the paper's lcc archive (1.1 MB compressed). Blocks that do not
+// compress are stored raw, so binaries never expand.
+#ifndef EXO_APPS_LZ_H_
+#define EXO_APPS_LZ_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace exo::apps {
+
+std::vector<uint8_t> LzCompress(std::span<const uint8_t> input);
+// Returns empty on malformed input (and sets *ok=false if provided).
+std::vector<uint8_t> LzDecompress(std::span<const uint8_t> input, bool* ok = nullptr);
+
+// CPU cost of (de)compression, cycles per input byte (compression searches matches).
+constexpr double kLzCompressCyclesPerByte = 60.0;
+constexpr double kLzDecompressCyclesPerByte = 10.0;
+
+}  // namespace exo::apps
+
+#endif  // EXO_APPS_LZ_H_

@@ -1,0 +1,105 @@
+#include "apps/workload.h"
+
+#include <cstdio>
+
+#include "sim/rng.h"
+
+namespace exo::apps {
+
+namespace {
+
+const char* kIdentifiers[] = {"node",   "symbol", "type",   "emit",  "tree",
+                              "block",  "stmt",   "expr",   "token", "label",
+                              "offset", "align",  "field",  "proto", "value"};
+
+}  // namespace
+
+std::vector<uint8_t> FileContent(const FileSpec& spec) {
+  sim::Rng rng(spec.seed);
+  std::string s;
+  s.reserve(spec.size + 128);
+  s += "/* " + spec.path + " — generated source */\n";
+  s += "#include \"c.h\"\n\n";
+  while (s.size() < spec.size) {
+    const char* fn = kIdentifiers[rng.Below(15)];
+    const char* arg = kIdentifiers[rng.Below(15)];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "static int %s_%llu(struct %s *%s) {\n"
+                  "  if (%s->count > %llu) {\n"
+                  "    return %s_emit(%s, %llu);\n"
+                  "  }\n"
+                  "  %s->next = %s->prev;\n"
+                  "  return 0;\n"
+                  "}\n\n",
+                  fn, static_cast<unsigned long long>(rng.Below(1000)), arg, arg, arg,
+                  static_cast<unsigned long long>(rng.Below(64)), fn, arg,
+                  static_cast<unsigned long long>(rng.Below(16)), arg, arg);
+    s += buf;
+  }
+  s.resize(spec.size);
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TreeSpec LccTree(uint64_t seed) {
+  sim::Rng rng(seed);
+  TreeSpec t;
+  t.dirs = {"src", "src/cpp", "include", "etc", "lib", "doc"};
+  struct DirPlan {
+    const char* dir;
+    int files;
+    uint32_t min_size;
+    uint32_t max_size;
+    const char* ext;
+  };
+  const DirPlan plans[] = {
+      {"src", 45, 8000, 90000, ".c"},      // the compiler proper: bigger files
+      {"src/cpp", 18, 4000, 30000, ".c"},  // preprocessor
+      {"include", 22, 1000, 12000, ".h"},
+      {"etc", 10, 2000, 20000, ".c"},
+      {"lib", 10, 3000, 25000, ".c"},
+      {"doc", 6, 4000, 40000, ".1"},
+  };
+  for (const auto& p : plans) {
+    for (int i = 0; i < p.files; ++i) {
+      FileSpec f;
+      f.path = std::string(p.dir) + "/f" + std::to_string(i) + p.ext;
+      f.size = static_cast<uint32_t>(rng.Range(p.min_size, p.max_size));
+      f.seed = rng.Next();
+      t.total_bytes += f.size;
+      t.files.push_back(std::move(f));
+    }
+  }
+  return t;
+}
+
+Status WriteTree(os::UnixEnv& env, const TreeSpec& tree, const std::string& prefix) {
+  Status s = env.Mkdir(prefix);
+  if (s != Status::kOk && s != Status::kAlreadyExists) {
+    return s;
+  }
+  for (const auto& d : tree.dirs) {
+    s = env.Mkdir(prefix + "/" + d);
+    if (s != Status::kOk && s != Status::kAlreadyExists) {
+      return s;
+    }
+  }
+  for (const auto& f : tree.files) {
+    auto content = FileContent(f);
+    auto fd = env.Open(prefix + "/" + f.path, /*create=*/true);
+    if (!fd.ok()) {
+      return fd.status();
+    }
+    auto n = env.Write(*fd, content);
+    if (!n.ok()) {
+      return n.status();
+    }
+    s = env.Close(*fd);
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  return Status::kOk;
+}
+
+}  // namespace exo::apps

@@ -1,0 +1,41 @@
+// Workload generator: a synthetic source tree shaped like the lcc compiler
+// distribution the paper installs (Table 1: the compressed archive is 1.1 MB).
+//
+// The tree has lcc's shape — a few directories, many small-to-medium C files with
+// repetitive, compressible text — so the file-size distribution, directory
+// operations, and compressibility driving Figure 2 match the paper's workload.
+#ifndef EXO_APPS_WORKLOAD_H_
+#define EXO_APPS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "exos/unix_env.h"
+#include "sim/status.h"
+
+namespace exo::apps {
+
+struct FileSpec {
+  std::string path;   // relative, e.g. "src/alloc.c"
+  uint32_t size = 0;  // bytes
+  uint64_t seed = 0;  // content seed
+};
+
+struct TreeSpec {
+  std::vector<std::string> dirs;   // relative directory paths, parents first
+  std::vector<FileSpec> files;
+  uint64_t total_bytes = 0;
+};
+
+// The lcc-like tree: ~110 C files across 6 directories, ~3.4 MB of source.
+TreeSpec LccTree(uint64_t seed = 42);
+
+// Deterministic C-like file content for a spec.
+std::vector<uint8_t> FileContent(const FileSpec& spec);
+
+// Materializes a tree under `prefix` (creating directories), writing real content.
+Status WriteTree(os::UnixEnv& env, const TreeSpec& tree, const std::string& prefix);
+
+}  // namespace exo::apps
+
+#endif  // EXO_APPS_WORKLOAD_H_

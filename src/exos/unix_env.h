@@ -1,0 +1,71 @@
+// UnixEnv: the POSIX-ish process interface applications are written against.
+//
+// The unmodified UNIX applications of Sections 6 and 8 (cp, gzip, pax, diff, gcc,
+// ...) are coded once against this interface and run unchanged on every OS
+// configuration — Xok/ExOS (where these calls are mostly library procedure calls
+// into the libOS) and the BSD kernels (where each call is a kernel crossing).
+#ifndef EXO_EXOS_UNIX_ENV_H_
+#define EXO_EXOS_UNIX_ENV_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fs/fs_api.h"
+#include "sim/engine.h"
+#include "sim/status.h"
+
+namespace exo::os {
+
+class UnixEnv {
+ public:
+  virtual ~UnixEnv() = default;
+
+  // ---- Identity ----
+  virtual int GetPid() = 0;  // charged per flavor (Sec. 7.1's microbenchmark)
+  virtual uint16_t Uid() const = 0;
+
+  // ---- Files ----
+  virtual Result<int> Open(const std::string& path, bool create = false) = 0;
+  virtual Status Close(int fd) = 0;
+  virtual Result<uint32_t> Read(int fd, std::span<uint8_t> out) = 0;
+  virtual Result<uint32_t> Write(int fd, std::span<const uint8_t> data) = 0;
+  virtual Result<uint64_t> Seek(int fd, uint64_t off) = 0;
+  virtual Result<fs::FileStat> Stat(const std::string& path) = 0;
+  virtual Result<fs::FileStat> FStat(int fd) = 0;
+  virtual Result<std::vector<fs::DirEnt>> ReadDir(const std::string& path) = 0;
+  virtual Status Mkdir(const std::string& path) = 0;
+  virtual Status Unlink(const std::string& path) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Sync() = 0;
+
+  // ---- Pipes ----
+  // Returns {read_fd, write_fd}. The descriptor table is shared (ExOS keeps it in
+  // shared memory, Sec. 5.2.1), so a spawned child uses the same fd numbers.
+  virtual Result<std::pair<int, int>> Pipe() = 0;
+
+  // ---- Processes ----
+  // fork+exec of `program` (a /bin binary name; drives the fork/exec cost model and
+  // demand-loads the binary through the file cache). The body runs as the child.
+  virtual Result<int> Spawn(const std::string& program,
+                            std::function<void(UnixEnv&)> body) = 0;
+  // fork without exec: the child runs `body` in a copy of this address space.
+  virtual Result<int> Fork(std::function<void(UnixEnv&)> body) = 0;
+  virtual Result<int> Wait(int pid) = 0;
+  // Waits for ANY child to exit; returns its pid (kNotFound if no children).
+  virtual Result<int> WaitAny() = 0;
+
+  // ---- CPU ----
+  // Burns computation (simulated cycles).
+  virtual void Compute(sim::Cycles cycles) = 0;
+  // Charges the cost of the CPU touching `bytes` of data (scanning/word counting).
+  virtual void TouchData(uint64_t bytes) = 0;
+  virtual sim::Cycles Now() const = 0;
+
+  // Yield the CPU voluntarily.
+  virtual void Yield() = 0;
+};
+
+}  // namespace exo::os
+
+#endif  // EXO_EXOS_UNIX_ENV_H_

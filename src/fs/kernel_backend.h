@@ -1,0 +1,108 @@
+// KernelBackend: FsBackend inside a monolithic kernel (the FreeBSD/OpenBSD regime).
+//
+// The kernel trusts its file systems: metadata modifications are applied directly
+// with no UDF verification and no taint tracking (integrity comes from the file
+// system's own synchronous-write discipline, as in real FFS). The kernel owns the
+// buffer cache and its eviction policy; applications have no say. The cache size
+// policy selects the baseline flavor:
+//   - FreeBSD 2.2.2: unified buffer cache — may grow to most of free memory.
+//   - OpenBSD 2.1: small, fixed-size, non-unified buffer cache (the paper calls this
+//     out as the reason FreeBSD beats OpenBSD under load, Sec. 8).
+#ifndef EXO_FS_KERNEL_BACKEND_H_
+#define EXO_FS_KERNEL_BACKEND_H_
+
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fs/backend.h"
+#include "hw/machine.h"
+
+namespace exo::fs {
+
+struct KernelBackendOptions {
+  // Maximum cache size in blocks. 0 means unified: bounded only by free frames.
+  uint32_t max_cache_blocks = 0;
+};
+
+class KernelBackend : public FsBackend {
+ public:
+  KernelBackend(hw::Machine* machine, hw::Disk* disk, Blocker blocker,
+                const KernelBackendOptions& options = {});
+  ~KernelBackend() override;
+
+  // Initializes the free map over an empty disk.
+  void Format();
+
+  Status Alloc(hw::BlockId meta, const xn::Mods& mods,
+               std::span<const udf::Extent> to_alloc) override;
+  Status Dealloc(hw::BlockId meta, const xn::Mods& mods,
+                 std::span<const udf::Extent> to_free) override;
+  Status Modify(hw::BlockId meta, const xn::Mods& mods) override;
+
+  Result<std::span<const uint8_t>> GetBlock(hw::BlockId block, hw::BlockId parent) override;
+  Result<std::span<uint8_t>> GetDataWritable(hw::BlockId block, hw::BlockId parent) override;
+  Status InstallFresh(hw::BlockId block, hw::BlockId parent) override;
+  void Release(hw::BlockId block) override;
+
+  Status FlushAsync(std::span<const hw::BlockId> blocks,
+                    std::vector<hw::BlockId>* deferred) override;
+  Status FlushSync(std::span<const hw::BlockId> blocks) override;
+  bool IsClean(hw::BlockId block) const override;
+
+  Result<hw::BlockId> FindFreeRun(hw::BlockId hint, uint32_t count) const override;
+  uint32_t FreeBlockCount() const override;
+  hw::BlockId FirstDataBlock() const override;
+  uint32_t NumBlocks() const override;
+
+  Result<hw::BlockId> CreateRoot(const std::string& name, uint32_t tmpl) override;
+  Result<hw::BlockId> OpenRoot(const std::string& name) override;
+  Result<uint32_t> RegisterTemplate(const xn::Template& t) override;
+
+  void ChargeCpu(sim::Cycles cycles) override { machine_->Charge(cycles); }
+  const sim::CostModel& cost() const override { return machine_->cost(); }
+  sim::Cycles Now() const override { return machine_->engine().now(); }
+  bool IsCached(hw::BlockId block) const override {
+    auto it = cache_.find(block);
+    return it != cache_.end() && !it->second.in_transit;
+  }
+
+  uint64_t cache_hits() const { return hits_; }
+  uint64_t cache_misses() const { return misses_; }
+  uint32_t cached_blocks() const { return static_cast<uint32_t>(cache_.size()); }
+
+ private:
+  struct Entry {
+    hw::FrameId frame = hw::kInvalidFrame;
+    bool dirty = false;
+    bool in_transit = false;     // read outstanding: frame not yet valid
+    bool write_transit = false;  // write-back outstanding: frame valid and readable
+    uint64_t lru = 0;
+  };
+
+  Status EnsureCached(hw::BlockId block, bool read_from_disk);
+  // Evicts entries until there is room for one more block, writing back dirty
+  // victims synchronously (the kernel decides; the application just waits).
+  Status MakeRoom();
+  void MarkAllocated(hw::BlockId b, bool allocated);
+
+  hw::Machine* machine_;
+  hw::Disk* disk_;
+  Blocker blocker_;
+  KernelBackendOptions options_;
+
+  std::map<hw::BlockId, Entry> cache_;
+  uint64_t lru_clock_ = 0;
+  std::vector<uint8_t> free_map_;
+  uint32_t free_count_ = 0;
+  hw::BlockId first_data_block_ = 1;
+  std::map<std::string, hw::BlockId> roots_;
+  uint32_t next_template_ = 1;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace exo::fs
+
+#endif  // EXO_FS_KERNEL_BACKEND_H_

@@ -1,0 +1,80 @@
+// XnBackend: FsBackend over XN — the exokernel (libFS) protection regime.
+//
+// Cache pages are application-owned physical frames registered in the XN buffer-cache
+// registry; metadata mutations go through XN's UDF-verified Alloc/Dealloc/Modify;
+// write ordering is enforced by XN's taint tracking (FlushSync retries deferred
+// parents after their children land, which is the libFS's half of the ordered-writes
+// contract described in Sec. 4.3.2).
+#ifndef EXO_FS_XN_BACKEND_H_
+#define EXO_FS_XN_BACKEND_H_
+
+#include <functional>
+#include <vector>
+
+#include "fs/backend.h"
+#include "xn/xn.h"
+
+namespace exo::fs {
+
+class XnBackend : public FsBackend {
+ public:
+  // `frame_alloc` supplies application frames for cache pages (via kernel syscalls in
+  // ExOS, straight from PhysMem in tests); returns kInvalidFrame when memory is
+  // exhausted, in which case the backend recycles the LRU clean buffer.
+  XnBackend(xn::Xn* xn, xn::Caps creds, Blocker blocker,
+            std::function<hw::FrameId()> frame_alloc);
+
+  Status Alloc(hw::BlockId meta, const xn::Mods& mods,
+               std::span<const udf::Extent> to_alloc) override;
+  Status Dealloc(hw::BlockId meta, const xn::Mods& mods,
+                 std::span<const udf::Extent> to_free) override;
+  Status Modify(hw::BlockId meta, const xn::Mods& mods) override;
+
+  Result<std::span<const uint8_t>> GetBlock(hw::BlockId block, hw::BlockId parent) override;
+  Result<std::span<uint8_t>> GetDataWritable(hw::BlockId block, hw::BlockId parent) override;
+  Status InstallFresh(hw::BlockId block, hw::BlockId parent) override;
+  void Release(hw::BlockId block) override;
+
+  Status FlushAsync(std::span<const hw::BlockId> blocks,
+                    std::vector<hw::BlockId>* deferred) override;
+  Status FlushSync(std::span<const hw::BlockId> blocks) override;
+  bool IsClean(hw::BlockId block) const override;
+
+  Result<hw::BlockId> FindFreeRun(hw::BlockId hint, uint32_t count) const override;
+  uint32_t FreeBlockCount() const override;
+  hw::BlockId FirstDataBlock() const override;
+  uint32_t NumBlocks() const override;
+
+  Result<hw::BlockId> CreateRoot(const std::string& name, uint32_t tmpl) override;
+  Result<hw::BlockId> OpenRoot(const std::string& name) override;
+  Result<uint32_t> RegisterTemplate(const xn::Template& t) override;
+
+  void ChargeCpu(sim::Cycles cycles) override;
+  const sim::CostModel& cost() const override { return xn_->machine().cost(); }
+  sim::Cycles Now() const override { return xn_->machine().engine().now(); }
+  bool IsCached(hw::BlockId block) const override {
+    const xn::RegistryEntry* e = xn_->registry().Lookup(block);
+    return e != nullptr && e->state == xn::BufState::kResident;
+  }
+
+  xn::Xn& xn() { return *xn_; }
+  const xn::Caps& creds() const { return creds_; }
+  // Marks new roots as temporary XN file systems (memory file systems, Sec. 4.3.2).
+  void set_temporary(bool t) { temporary_ = t; }
+
+ private:
+  Result<hw::FrameId> TakeFrame();
+  Status EnsureCached(hw::BlockId block, hw::BlockId parent);
+  // Blocks until an in-transit registry entry settles (background flush completion).
+  void WaitResident(hw::BlockId block);
+
+  xn::Xn* xn_;
+  xn::Caps creds_;
+  Blocker blocker_;
+  std::function<hw::FrameId()> frame_alloc_;
+  bool temporary_ = false;
+};
+
+}  // namespace exo::fs
+
+#endif  // EXO_FS_XN_BACKEND_H_

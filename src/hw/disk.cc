@@ -1,0 +1,169 @@
+#include "hw/disk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace exo::hw {
+
+Disk::Disk(sim::Engine* engine, PhysMem* mem, const DiskGeometry& geometry, uint32_t cpu_mhz)
+    : engine_(engine),
+      mem_(mem),
+      geometry_(geometry),
+      cpu_mhz_(cpu_mhz),
+      store_(static_cast<size_t>(geometry.num_blocks) * kBlockSize, 0) {}
+
+std::span<uint8_t> Disk::RawBlock(BlockId b) {
+  EXO_CHECK_LT(b, geometry_.num_blocks);
+  return std::span<uint8_t>(store_.data() + static_cast<size_t>(b) * kBlockSize, kBlockSize);
+}
+
+std::span<const uint8_t> Disk::RawBlock(BlockId b) const {
+  EXO_CHECK_LT(b, geometry_.num_blocks);
+  return std::span<const uint8_t>(store_.data() + static_cast<size_t>(b) * kBlockSize,
+                                  kBlockSize);
+}
+
+void Disk::Submit(DiskRequest req) {
+  EXO_CHECK_GT(req.nblocks, 0u);
+  EXO_CHECK_LE(static_cast<uint64_t>(req.start) + req.nblocks, geometry_.num_blocks);
+  EXO_CHECK(req.frames.empty() || req.frames.size() == req.nblocks);
+
+  // Try to merge with a queued request forming one contiguous run in the same
+  // direction. Completion callbacks are chained so every submitter is notified.
+  for (auto& q : queue_) {
+    if (q.write != req.write || q.frames.empty() || req.frames.empty()) {
+      continue;
+    }
+    if (q.start + q.nblocks == req.start) {
+      q.nblocks += req.nblocks;
+      q.frames.insert(q.frames.end(), req.frames.begin(), req.frames.end());
+      if (req.done) {
+        auto prev = std::move(q.done);
+        auto next = std::move(req.done);
+        q.done = [prev = std::move(prev), next = std::move(next)](Status s) {
+          if (prev) {
+            prev(s);
+          }
+          next(s);
+        };
+      }
+      ++stats_.merged_requests;
+      return;
+    }
+  }
+
+  queue_.push_back(std::move(req));
+  if (!active_) {
+    StartNext();
+  }
+}
+
+sim::Cycles Disk::ServiceTime(BlockId start, uint32_t nblocks) {
+  const double cycles_per_ms = static_cast<double>(cpu_mhz_) * 1000.0;
+  double ms = geometry_.controller_overhead_us / 1000.0;
+
+  const uint32_t target_cyl = CylinderOf(start);
+  const bool sequential = (start == last_block_end_) && (target_cyl == head_cylinder_);
+
+  if (!sequential) {
+    // Seek: square-root curve between adjacent-cylinder and full-stroke times.
+    const uint32_t dist =
+        target_cyl > head_cylinder_ ? target_cyl - head_cylinder_ : head_cylinder_ - target_cyl;
+    if (dist > 0) {
+      const double frac = static_cast<double>(dist) /
+                          static_cast<double>(std::max(1u, geometry_.num_cylinders() - 1));
+      ms += geometry_.min_seek_ms +
+            (geometry_.max_seek_ms - geometry_.min_seek_ms) * std::sqrt(frac);
+      ++stats_.seeks;
+    }
+    // Rotational delay: platter position is a function of simulated time, so the
+    // model naturally rewards requests that land just ahead of the head.
+    const double rev_ms = 60000.0 / geometry_.rpm;
+    const double now_ms =
+        static_cast<double>(engine_->now()) / cycles_per_ms + ms;  // when the head arrives
+    const double head_angle = now_ms / rev_ms - std::floor(now_ms / rev_ms);
+    const double target_angle = static_cast<double>(start % geometry_.blocks_per_track) /
+                                static_cast<double>(geometry_.blocks_per_track);
+    double wait = target_angle - head_angle;
+    if (wait < 0) {
+      wait += 1.0;
+    }
+    ms += wait * rev_ms;
+  }
+
+  // Media transfer.
+  const double bytes = static_cast<double>(nblocks) * kBlockSize;
+  ms += bytes / (geometry_.transfer_mb_per_s * 1e6) * 1000.0;
+
+  return static_cast<sim::Cycles>(ms * cycles_per_ms);
+}
+
+void Disk::StartNext() {
+  EXO_CHECK(!active_);
+  if (queue_.empty()) {
+    return;
+  }
+
+  // C-LOOK: service the queued request with the smallest start block at or beyond the
+  // head; wrap to the lowest start when none is ahead.
+  const BlockId head_block = head_cylinder_ * geometry_.blocks_per_cylinder();
+  size_t best = queue_.size();
+  size_t best_wrap = 0;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].start >= head_block &&
+        (best == queue_.size() || queue_[i].start < queue_[best].start)) {
+      best = i;
+    }
+    if (queue_[i].start < queue_[best_wrap].start) {
+      best_wrap = i;
+    }
+  }
+  if (best == queue_.size()) {
+    best = best_wrap;
+  }
+
+  DiskRequest req = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  active_ = true;
+
+  const sim::Cycles service = ServiceTime(req.start, req.nblocks);
+  stats_.busy_cycles += service;
+  ++stats_.requests;
+
+  engine_->ScheduleAfter(service, [this, req = std::move(req)]() mutable {
+    Complete(std::move(req));
+  });
+}
+
+void Disk::Complete(DiskRequest req) {
+  // DMA between the platter store and memory frames happens at completion time.
+  for (uint32_t i = 0; i < req.nblocks; ++i) {
+    if (req.frames.empty() || req.frames[i] == kInvalidFrame) {
+      continue;
+    }
+    auto frame = mem_->Data(req.frames[i]);
+    auto block = RawBlock(req.start + i);
+    if (req.write) {
+      std::memcpy(block.data(), frame.data(), kBlockSize);
+    } else {
+      std::memcpy(frame.data(), block.data(), kBlockSize);
+    }
+  }
+  if (req.write) {
+    stats_.blocks_written += req.nblocks;
+  } else {
+    stats_.blocks_read += req.nblocks;
+  }
+
+  head_cylinder_ = CylinderOf(req.start + req.nblocks - 1);
+  last_block_end_ = req.start + req.nblocks;
+  active_ = false;
+
+  if (req.done) {
+    req.done(Status::kOk);
+  }
+  StartNext();
+}
+
+}  // namespace exo::hw

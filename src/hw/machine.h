@@ -1,0 +1,72 @@
+// Machine: one simulated host (CPU + memory + disks + NICs) sharing a global Engine.
+//
+// Multiple machines (e.g. an HTTP server and its load-generating clients) share one
+// Engine so their clocks agree; each has private memory, disks, and NICs.
+#ifndef EXO_HW_MACHINE_H_
+#define EXO_HW_MACHINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "hw/disk.h"
+#include "hw/nic.h"
+#include "hw/phys_mem.h"
+#include "sim/cost_model.h"
+#include "sim/counters.h"
+#include "sim/engine.h"
+#include "sim/rng.h"
+
+namespace exo::hw {
+
+struct MachineConfig {
+  uint32_t mem_frames = 16384;  // 64 MB, matching the paper's testbed
+  std::vector<DiskGeometry> disks = {DiskGeometry{}};
+  uint32_t num_nics = 1;
+  sim::CostModel cost = sim::CostModel::PentiumPro200();
+  uint64_t seed = 1;
+};
+
+class Machine {
+ public:
+  explicit Machine(sim::Engine* engine, const MachineConfig& config = MachineConfig{})
+      : engine_(engine), cost_(config.cost), mem_(config.mem_frames), rng_(config.seed) {
+    disks_.reserve(config.disks.size());
+    for (const auto& g : config.disks) {
+      disks_.push_back(std::make_unique<Disk>(engine_, &mem_, g, cost_.cpu_mhz));
+    }
+    nics_.reserve(config.num_nics);
+    for (uint32_t i = 0; i < config.num_nics; ++i) {
+      nics_.push_back(std::make_unique<Nic>(i));
+    }
+  }
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Engine& engine() { return *engine_; }
+  const sim::CostModel& cost() const { return cost_; }
+  PhysMem& mem() { return mem_; }
+  Disk& disk(size_t i = 0) { return *disks_.at(i); }
+  size_t num_disks() const { return disks_.size(); }
+  Nic& nic(size_t i = 0) { return *nics_.at(i); }
+  size_t num_nics() const { return nics_.size(); }
+  sim::Counters& counters() { return counters_; }
+  sim::Rng& rng() { return rng_; }
+
+  // Charges CPU computation: advances the shared clock, firing any due device events
+  // along the way.
+  void Charge(sim::Cycles cycles) { engine_->Advance(cycles); }
+
+ private:
+  sim::Engine* engine_;
+  sim::CostModel cost_;
+  PhysMem mem_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  sim::Counters counters_;
+  sim::Rng rng_;
+};
+
+}  // namespace exo::hw
+
+#endif  // EXO_HW_MACHINE_H_

@@ -1,0 +1,32 @@
+#include "hw/nic.h"
+
+#include <algorithm>
+
+namespace exo::hw {
+
+void Nic::Transmit(Packet p) {
+  EXO_CHECK(link_ != nullptr);
+  EXO_CHECK_LE(p.bytes.size(), kMaxFrameBytes);
+  ++stats_.tx_packets;
+  stats_.tx_bytes += p.bytes.size();
+  link_->Send(this, std::move(p));
+}
+
+void Link::Send(Nic* from, Packet p) {
+  EXO_CHECK(from == a_ || from == b_);
+  Nic* to = from == a_ ? b_ : a_;
+  Direction& dir = from == a_ ? dir_ab_ : dir_ba_;
+
+  const uint64_t wire_bytes =
+      std::max<uint64_t>(p.bytes.size(), kMinFrameBytes) + kFrameWireOverhead;
+  const sim::Cycles serialize =
+      static_cast<sim::Cycles>(static_cast<double>(wire_bytes) * cycles_per_byte_);
+
+  const sim::Cycles start = std::max(engine_->now(), dir.busy_until);
+  dir.busy_until = start + serialize;
+  const sim::Cycles arrival = dir.busy_until + latency_cycles_;
+
+  engine_->ScheduleAt(arrival, [to, p = std::move(p)]() mutable { to->Deliver(std::move(p)); });
+}
+
+}  // namespace exo::hw

@@ -1,0 +1,115 @@
+// Network interface and point-to-point link with a bandwidth/latency wire model.
+//
+// Modeled after the paper's testbed of 100-Mbit/s Ethernets (the Cheetah experiment
+// uses three of them, Sec. 7.3). Each direction of a link serializes frames at the wire
+// rate, so per-packet overheads and total bytes on the wire are both first-class: the
+// two quantities Cheetah's packet-merging and zero-copy optimizations attack.
+#ifndef EXO_HW_NIC_H_
+#define EXO_HW_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/counters.h"
+#include "sim/engine.h"
+
+namespace exo::hw {
+
+struct Packet {
+  std::vector<uint8_t> bytes;
+};
+
+// Ethernet-ish frame bounds; the wire model charges at least min_frame_bytes.
+constexpr uint32_t kMaxFrameBytes = 1514;
+constexpr uint32_t kMinFrameBytes = 64;
+constexpr uint32_t kFrameWireOverhead = 24;  // preamble + FCS + inter-frame gap
+
+struct NicStats {
+  uint64_t tx_packets = 0;
+  uint64_t rx_packets = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t rx_bytes = 0;
+  uint64_t dropped = 0;
+};
+
+class Link;
+
+class Nic {
+ public:
+  explicit Nic(uint32_t id) : id_(id) {}
+
+  uint32_t id() const { return id_; }
+
+  // The kernel installs the receive handler; it runs at packet arrival time and
+  // performs demultiplexing (packet filters on Xok, in-kernel protocol input on BSD).
+  void SetReceiveHandler(std::function<void(Packet)> handler) {
+    rx_handler_ = std::move(handler);
+  }
+
+  // Queues a frame for transmission on the attached link.
+  void Transmit(Packet p);
+
+  void AttachLink(Link* link) { link_ = link; }
+  Link* link() const { return link_; }
+
+  const NicStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NicStats{}; }
+
+ private:
+  friend class Link;
+  void Deliver(Packet p) {
+    ++stats_.rx_packets;
+    stats_.rx_bytes += p.bytes.size();
+    if (rx_handler_) {
+      rx_handler_(std::move(p));
+    } else {
+      ++stats_.dropped;
+    }
+  }
+
+  uint32_t id_;
+  Link* link_ = nullptr;
+  std::function<void(Packet)> rx_handler_;
+  NicStats stats_;
+};
+
+// Full-duplex point-to-point wire. Each direction is an independent serialization
+// queue: a frame occupies the wire for (bytes + overhead) * 8 / bandwidth and arrives
+// at the far side after an additional propagation latency.
+class Link {
+ public:
+  Link(sim::Engine* engine, double mbit_per_s, double latency_us, uint32_t cpu_mhz)
+      : engine_(engine),
+        cycles_per_byte_(static_cast<double>(cpu_mhz) * 8.0 / mbit_per_s),
+        latency_cycles_(static_cast<sim::Cycles>(latency_us * cpu_mhz)) {}
+
+  void Connect(Nic* a, Nic* b) {
+    a_ = a;
+    b_ = b;
+    a->AttachLink(this);
+    b->AttachLink(this);
+  }
+
+  void Send(Nic* from, Packet p);
+
+  double utilization_tx_a() const { return 0; }  // reserved for future instrumentation
+
+ private:
+  struct Direction {
+    sim::Cycles busy_until = 0;
+  };
+
+  sim::Engine* engine_;
+  double cycles_per_byte_;
+  sim::Cycles latency_cycles_;
+  Nic* a_ = nullptr;
+  Nic* b_ = nullptr;
+  Direction dir_ab_;
+  Direction dir_ba_;
+};
+
+}  // namespace exo::hw
+
+#endif  // EXO_HW_NIC_H_

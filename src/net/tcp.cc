@@ -1,0 +1,408 @@
+#include "net/tcp.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace exo::net {
+
+namespace {
+constexpr uint32_t kInitialSeq = 1000;
+}  // namespace
+
+TcpStack::TcpStack(const Hooks& hooks, IpAddr ip, const TcpProfile& profile)
+    : hooks_(hooks), ip_(ip), profile_(profile) {
+  EXO_CHECK(hooks_.engine != nullptr);
+  EXO_CHECK(hooks_.cost != nullptr);
+  EXO_CHECK(hooks_.transmit != nullptr);
+}
+
+TcpStack::~TcpStack() = default;
+
+Status TcpStack::Listen(Port port, std::function<void(TcpConn*)> on_accept) {
+  if (listeners_.count(port) != 0) {
+    return Status::kAlreadyExists;
+  }
+  listeners_[port] = std::move(on_accept);
+  return Status::kOk;
+}
+
+TcpConn* TcpStack::NewConn() {
+  ++stats_.conns_opened;
+  if (profile_.pcb_reuse && !pcb_pool_.empty()) {
+    auto conn = std::move(pcb_pool_.back());
+    pcb_pool_.pop_back();
+    ++stats_.pcb_reused;
+    Occupy(profile_.pcb_reuse_cost);
+    *conn = TcpConn{};
+    conn->stack_ = this;
+    TcpConn* raw = conn.get();
+    // Re-keyed by the caller.
+    tmp_ = std::move(conn);
+    return raw;
+  }
+  Occupy(profile_.pcb_alloc);
+  auto conn = std::make_unique<TcpConn>();
+  conn->stack_ = this;
+  TcpConn* raw = conn.get();
+  tmp_ = std::move(conn);
+  return raw;
+}
+
+TcpConn* TcpStack::Connect(IpAddr dst_ip, Port dst_port,
+                           std::function<void(TcpConn*)> on_established) {
+  TcpConn* c = NewConn();
+  c->peer_ip_ = dst_ip;
+  c->peer_port_ = dst_port;
+  c->local_port_ = next_ephemeral_++;
+  c->state_ = TcpConn::State::kSynSent;
+  c->snd_next_ = kInitialSeq;
+  c->snd_una_ = kInitialSeq;
+  c->on_established_ = std::move(on_established);
+  conns_[Key(dst_ip, dst_port, c->local_port_)] = std::move(tmp_);
+  Emit(c, kFlagSyn, c->snd_next_, {}, 0, false, false);
+  c->snd_next_ += 1;
+  ArmRto(c);
+  return c;
+}
+
+void TcpStack::Emit(TcpConn* c, uint8_t flags, uint32_t seq, std::span<const uint8_t> payload,
+                    uint32_t checksum, bool charge_checksum, bool charge_copy) {
+  sim::Cycles cost = profile_.tx_fixed;
+  if (!payload.empty()) {
+    if (charge_copy) {
+      cost += static_cast<sim::Cycles>(static_cast<double>(hooks_.cost->CopyCost(payload.size())) *
+                                       profile_.tx_copies);
+    }
+    if (charge_checksum) {
+      cost += hooks_.cost->ChecksumCost(payload.size());
+    }
+  }
+  sim::Cycles when = Occupy(cost);
+
+  TcpSegment seg;
+  seg.src_ip = ip_;
+  seg.dst_ip = c->peer_ip_;
+  seg.src_port = c->local_port_;
+  seg.dst_port = c->peer_port_;
+  seg.seq = seq;
+  seg.flags = flags;
+  seg.window = 0xffff;
+  seg.checksum = checksum;
+  seg.payload.assign(payload.begin(), payload.end());
+  if (c->state_ != TcpConn::State::kSynSent || (flags & kFlagAck) != 0) {
+    seg.flags |= kFlagAck;
+    seg.ack = c->rcv_next_;
+  }
+  if ((seg.flags & kFlagAck) != 0 && !payload.empty() && c->ack_pending_) {
+    c->ack_pending_ = false;
+    if (c->ack_timer_ != 0) {
+      hooks_.engine->Cancel(c->ack_timer_);
+      c->ack_timer_ = 0;
+    }
+    ++stats_.piggybacked_acks;
+  }
+
+  ++stats_.segments_out;
+  stats_.bytes_out += payload.size();
+  hooks_.transmit(EncodeTcp(seg), when);
+}
+
+void TcpStack::SendPureAck(TcpConn* c) {
+  c->ack_pending_ = false;
+  if (c->ack_timer_ != 0) {
+    hooks_.engine->Cancel(c->ack_timer_);
+    c->ack_timer_ = 0;
+  }
+  ++stats_.pure_acks_out;
+  Emit(c, kFlagAck, c->snd_next_, {}, 0, false, false);
+}
+
+void TcpStack::ScheduleDelayedAck(TcpConn* c) {
+  if (!profile_.piggyback_ack) {
+    SendPureAck(c);
+    return;
+  }
+  // Knowledge-based packet merging: hold the ACK; the response will carry it.
+  c->ack_pending_ = true;
+  if (c->ack_timer_ != 0) {
+    return;
+  }
+  ConnKey key = Key(c->peer_ip_, c->peer_port_, c->local_port_);
+  c->ack_timer_ = hooks_.engine->ScheduleAfter(
+      profile_.delayed_ack_timeout_us * hooks_.cost->cpu_mhz, [this, key] {
+        auto it = conns_.find(key);
+        if (it != conns_.end() && it->second->ack_pending_) {
+          it->second->ack_timer_ = 0;
+          SendPureAck(it->second.get());
+        }
+      });
+}
+
+void TcpStack::PumpSendQueue(TcpConn* c) {
+  while (!c->send_queue_.empty()) {
+    uint32_t in_flight = c->snd_next_ - c->snd_una_;
+    const auto& head = c->send_queue_.front();
+    if (in_flight + head.bytes().size() > profile_.window_bytes) {
+      break;
+    }
+    TcpConn::PendingSegment seg = std::move(c->send_queue_.front());
+    c->send_queue_.pop_front();
+    seg.seq = c->snd_next_;
+    if (seg.fin) {
+      Emit(c, kFlagFin, seg.seq, {}, 0, false, false);
+      c->snd_next_ += 1;
+      c->fin_sent_ = true;
+      c->state_ = c->state_ == TcpConn::State::kCloseWait ? TcpConn::State::kLastAck
+                                                          : TcpConn::State::kFinWait;
+    } else {
+      const bool precomputed = seg.checksum != 0;
+      Emit(c, kFlagPsh, seg.seq, seg.bytes(),
+           precomputed ? seg.checksum : Checksum(seg.bytes()),
+           /*charge_checksum=*/profile_.checksum_tx && !precomputed,
+           /*charge_copy=*/!profile_.zero_copy_tx);
+      c->snd_next_ += static_cast<uint32_t>(seg.bytes().size());
+    }
+    c->unacked_.push_back(std::move(seg));
+  }
+  if (!c->unacked_.empty()) {
+    ArmRto(c);
+  }
+}
+
+void TcpConn::Send(std::span<const uint8_t> data, std::span<const uint32_t> checksums) {
+  EXO_CHECK(stack_ != nullptr);
+  size_t seg_index = 0;
+  for (size_t off = 0; off < data.size(); off += kMss, ++seg_index) {
+    size_t n = std::min<size_t>(kMss, data.size() - off);
+    PendingSegment seg;
+    if (stack_->profile_.zero_copy_tx) {
+      // Merged file cache and retransmission pool: reference, don't copy.
+      seg.stable = data.subspan(off, n);
+    } else {
+      seg.owned.assign(data.begin() + static_cast<long>(off),
+                       data.begin() + static_cast<long>(off + n));
+    }
+    if (seg_index < checksums.size()) {
+      seg.checksum = checksums[seg_index];
+    }
+    send_queue_.push_back(std::move(seg));
+  }
+  stack_->PumpSendQueue(this);
+}
+
+void TcpConn::Close() {
+  if (fin_queued_ || state_ == State::kClosed) {
+    return;
+  }
+  fin_queued_ = true;
+  PendingSegment fin;
+  fin.fin = true;
+  send_queue_.push_back(std::move(fin));
+  stack_->PumpSendQueue(this);
+}
+
+void TcpStack::ArmRto(TcpConn* c) {
+  if (c->rto_timer_ != 0) {
+    return;
+  }
+  ConnKey key = Key(c->peer_ip_, c->peer_port_, c->local_port_);
+  c->rto_timer_ = hooks_.engine->ScheduleAfter(
+      profile_.rto_us * hooks_.cost->cpu_mhz, [this, key] {
+        auto it = conns_.find(key);
+        if (it != conns_.end()) {
+          it->second->rto_timer_ = 0;
+          OnRto(it->second.get());
+        }
+      });
+}
+
+void TcpStack::OnRto(TcpConn* c) {
+  if (c->unacked_.empty()) {
+    return;
+  }
+  ++stats_.retransmits;
+  const TcpConn::PendingSegment& seg = c->unacked_.front();
+  if (seg.fin) {
+    Emit(c, kFlagFin, seg.seq, {}, 0, false, false);
+  } else {
+    // Retransmission reads the (still pinned) data; zero-copy pays no copy here
+    // either — the file cache is the retransmission pool.
+    const bool precomputed = seg.checksum != 0;
+    Emit(c, kFlagPsh, seg.seq, seg.bytes(),
+         precomputed ? seg.checksum : Checksum(seg.bytes()),
+         profile_.checksum_tx && !precomputed, !profile_.zero_copy_tx);
+  }
+  ArmRto(c);
+}
+
+void TcpStack::Input(const hw::Packet& p) {
+  auto seg = DecodeTcp(p);
+  if (!seg.has_value()) {
+    return;
+  }
+  // Receive-path CPU: fixed per-segment cost + payload copy/verify, then process.
+  sim::Cycles cost = profile_.rx_fixed;
+  if (!seg->payload.empty()) {
+    cost += static_cast<sim::Cycles>(
+        static_cast<double>(hooks_.cost->CopyCost(seg->payload.size())) * profile_.rx_copies);
+    if (profile_.checksum_rx) {
+      cost += hooks_.cost->ChecksumCost(seg->payload.size());
+    }
+  }
+  sim::Cycles when = Occupy(cost);
+  hooks_.engine->ScheduleAt(when, [this, s = std::move(*seg)]() mutable {
+    ProcessSegment(std::move(s));
+  });
+}
+
+void TcpStack::ProcessSegment(TcpSegment seg) {
+  ++stats_.segments_in;
+  stats_.bytes_in += seg.payload.size();
+
+  ConnKey key = Key(seg.src_ip, seg.src_port, seg.dst_port);
+  auto it = conns_.find(key);
+  TcpConn* c = it != conns_.end() ? it->second.get() : nullptr;
+
+  if (c == nullptr) {
+    // New connection? Must be a SYN to a listener.
+    auto lit = listeners_.find(seg.dst_port);
+    if (lit == listeners_.end() || (seg.flags & kFlagSyn) == 0) {
+      return;  // no RST machinery; silence is fine on a closed simulated network
+    }
+    c = NewConn();
+    c->peer_ip_ = seg.src_ip;
+    c->peer_port_ = seg.src_port;
+    c->local_port_ = seg.dst_port;
+    c->state_ = TcpConn::State::kSynRcvd;
+    c->rcv_next_ = seg.seq + 1;
+    c->snd_next_ = kInitialSeq;
+    c->snd_una_ = kInitialSeq;
+    conns_[key] = std::move(tmp_);
+    Emit(c, kFlagSyn | kFlagAck, c->snd_next_, {}, 0, false, false);
+    c->snd_next_ += 1;
+    return;
+  }
+
+  // Active open: SYN|ACK completes the client side of the handshake.
+  if ((seg.flags & kFlagSyn) != 0 && c->state_ == TcpConn::State::kSynSent) {
+    c->rcv_next_ = seg.seq + 1;
+    c->snd_una_ = seg.ack;
+    c->unacked_.clear();
+    if (c->rto_timer_ != 0) {
+      hooks_.engine->Cancel(c->rto_timer_);
+      c->rto_timer_ = 0;
+    }
+    c->state_ = TcpConn::State::kEstablished;
+    SendPureAck(c);
+    if (c->on_established_) {
+      auto cb = std::move(c->on_established_);
+      cb(c);
+    }
+    return;
+  }
+
+  // ACK processing.
+  if ((seg.flags & kFlagAck) != 0) {
+    if (c->state_ == TcpConn::State::kSynSent) {
+      return;  // stray ACK before the SYN|ACK; ignore
+    }
+    while (!c->unacked_.empty()) {
+      const auto& head = c->unacked_.front();
+      uint32_t head_end = head.seq + (head.fin ? 1 : static_cast<uint32_t>(head.bytes().size()));
+      if (static_cast<int32_t>(seg.ack - head_end) >= 0) {
+        c->snd_una_ = head_end;
+        c->unacked_.pop_front();
+      } else {
+        break;
+      }
+    }
+    if (c->unacked_.empty() && c->rto_timer_ != 0) {
+      hooks_.engine->Cancel(c->rto_timer_);
+      c->rto_timer_ = 0;
+    }
+    if (c->state_ == TcpConn::State::kSynRcvd) {
+      c->state_ = TcpConn::State::kEstablished;
+      auto lit = listeners_.find(c->local_port_);
+      if (lit != listeners_.end()) {
+        lit->second(c);
+      }
+    }
+    if (c->unacked_.empty() && c->send_queue_.empty() && !c->fin_queued_ &&
+        c->on_send_complete_) {
+      auto cb = c->on_send_complete_;
+      cb(c);
+    }
+    if (c->state_ == TcpConn::State::kLastAck && c->fin_sent_ && c->unacked_.empty()) {
+      c->state_ = TcpConn::State::kClosed;
+      DeliverClose(c);
+      AutoRelease(c);
+      return;
+    }
+    PumpSendQueue(c);
+  }
+
+  // In-order data.
+  if (!seg.payload.empty()) {
+    if (seg.seq == c->rcv_next_) {
+      c->rcv_next_ += static_cast<uint32_t>(seg.payload.size());
+      ScheduleDelayedAck(c);
+      if (c->on_data_) {
+        c->on_data_(c, seg.payload);
+      }
+    } else {
+      SendPureAck(c);  // duplicate ack triggers the peer's eventual retransmit
+    }
+  }
+
+  if ((seg.flags & kFlagFin) != 0 && seg.seq == c->rcv_next_) {
+    c->rcv_next_ += 1;
+    SendPureAck(c);
+    if (c->state_ == TcpConn::State::kEstablished) {
+      c->state_ = TcpConn::State::kCloseWait;
+      DeliverClose(c);
+    } else if (c->state_ == TcpConn::State::kFinWait) {
+      c->state_ = TcpConn::State::kClosed;
+      DeliverClose(c);
+      AutoRelease(c);
+    }
+  }
+}
+
+void TcpStack::DeliverClose(TcpConn* c) {
+  if (c->on_close_ && !c->close_delivered_) {
+    c->close_delivered_ = true;
+    c->on_close_(c);
+  }
+}
+
+void TcpStack::AutoRelease(TcpConn* c) {
+  // Fully closed: return the PCB once the current processing step finishes.
+  ConnKey key = Key(c->peer_ip_, c->peer_port_, c->local_port_);
+  hooks_.engine->ScheduleAfter(0, [this, key] {
+    auto it = conns_.find(key);
+    if (it != conns_.end() && it->second->state_ == TcpConn::State::kClosed) {
+      Release(it->second.get());
+    }
+  });
+}
+
+void TcpStack::Release(TcpConn* conn) {
+  ConnKey key = Key(conn->peer_ip_, conn->peer_port_, conn->local_port_);
+  auto it = conns_.find(key);
+  if (it == conns_.end()) {
+    return;
+  }
+  if (conn->ack_timer_ != 0) {
+    hooks_.engine->Cancel(conn->ack_timer_);
+  }
+  if (conn->rto_timer_ != 0) {
+    hooks_.engine->Cancel(conn->rto_timer_);
+  }
+  if (profile_.pcb_reuse) {
+    pcb_pool_.push_back(std::move(it->second));
+  }
+  conns_.erase(it);
+}
+
+}  // namespace exo::net

@@ -1,0 +1,204 @@
+// A TCP implementation designed to run in any protection regime (Sec. 5.2.1, 7.3).
+//
+// The same engine serves four configurations, differing only in their cost profile
+// and option flags:
+//   - ExOS user-level sockets on Xok (per-segment syscall to transmit, one payload
+//     copy, packet-ring receive),
+//   - in-kernel BSD sockets (per-operation syscall + user/kernel copies),
+//   - the XIO-based server path (PCB reuse, application-cached file pointers),
+//   - Cheetah's extended path: transmit directly from the file cache with
+//     precomputed checksums (merged file cache and retransmission pool — data is
+//     never copied and never touched by the CPU), and knowledge-based packet
+//     merging (delay the ACK on a request because the response will piggy-back it).
+//
+// Protocol scope: 3-way handshake, cumulative ACKs, fixed window, timeout
+// retransmission (go-back-N), FIN teardown. Links neither lose nor reorder, so loss
+// handling exists for correctness (ring overflow) rather than congestion control.
+#ifndef EXO_NET_TCP_H_
+#define EXO_NET_TCP_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/cost_model.h"
+#include "sim/status.h"
+#include "sim/cpu_meter.h"
+#include "sim/engine.h"
+
+namespace exo::net {
+
+// Per-configuration cost profile: what one segment costs on this stack.
+struct TcpProfile {
+  sim::Cycles tx_fixed = 300;   // per-segment send-path overhead (syscalls, driver)
+  sim::Cycles rx_fixed = 300;   // per-segment receive-path overhead
+  double tx_copies = 1.0;       // CPU copies of the payload on the send path
+  double rx_copies = 1.0;       // CPU copies on the receive path
+  bool checksum_tx = true;      // compute checksum on send (off when precomputed)
+  bool checksum_rx = true;      // verify checksum on receive
+  bool piggyback_ack = false;   // Cheetah: delay ACKs to merge them into responses
+  bool zero_copy_tx = false;    // retransmit pool IS the file cache (no tx copy)
+  bool pcb_reuse = false;       // recycle protocol control blocks
+  sim::Cycles pcb_alloc = 700;  // fresh control-block setup
+  sim::Cycles pcb_reuse_cost = 90;
+  sim::Cycles delayed_ack_timeout_us = 2000;
+  sim::Cycles rto_us = 50'000;
+  uint32_t window_bytes = 48 * 1024;
+};
+
+struct TcpStats {
+  uint64_t segments_out = 0;
+  uint64_t segments_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t retransmits = 0;
+  uint64_t pure_acks_out = 0;
+  uint64_t piggybacked_acks = 0;
+  uint64_t conns_opened = 0;
+  uint64_t pcb_reused = 0;
+};
+
+class TcpStack;
+
+class TcpConn {
+ public:
+  enum class State : uint8_t {
+    kSynSent,
+    kSynRcvd,
+    kEstablished,
+    kFinWait,
+    kCloseWait,
+    kLastAck,
+    kClosed,
+  };
+
+  // Queues payload; segments drain as window opens. With `precomputed_checksums`
+  // (one per MSS segment) the stack skips checksum computation (Cheetah). With the
+  // zero-copy profile the data must stay stable until acked (it lives in the file
+  // cache, which doubles as the retransmission pool).
+  void Send(std::span<const uint8_t> data,
+            std::span<const uint32_t> precomputed_checksums = {});
+  // Half-close after all queued data is acknowledged.
+  void Close();
+
+  void set_on_data(std::function<void(TcpConn*, std::span<const uint8_t>)> cb) {
+    on_data_ = std::move(cb);
+  }
+  void set_on_close(std::function<void(TcpConn*)> cb) { on_close_ = std::move(cb); }
+  void set_on_send_complete(std::function<void(TcpConn*)> cb) {
+    on_send_complete_ = std::move(cb);
+  }
+
+  State state() const { return state_; }
+  IpAddr peer_ip() const { return peer_ip_; }
+  Port peer_port() const { return peer_port_; }
+  uint64_t user_data = 0;  // application scratch (request state machines)
+
+ private:
+  friend class TcpStack;
+  struct PendingSegment {
+    std::vector<uint8_t> owned;          // copy (normal path)
+    std::span<const uint8_t> stable;     // zero-copy path
+    uint32_t checksum = 0;
+    uint32_t seq = 0;
+    bool fin = false;
+    std::span<const uint8_t> bytes() const {
+      return owned.empty() ? stable : std::span<const uint8_t>(owned);
+    }
+  };
+
+  TcpStack* stack_ = nullptr;
+  IpAddr peer_ip_ = 0;
+  Port peer_port_ = 0;
+  Port local_port_ = 0;
+  State state_ = State::kClosed;
+
+  uint32_t snd_next_ = 0;  // next seq to assign
+  uint32_t snd_una_ = 0;   // oldest unacked
+  uint32_t rcv_next_ = 0;
+  std::deque<PendingSegment> unacked_;   // sent, awaiting ack
+  std::deque<PendingSegment> send_queue_;  // not yet sent (window closed)
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+  bool close_delivered_ = false;
+  bool ack_pending_ = false;
+  sim::Engine::EventId ack_timer_ = 0;
+  sim::Engine::EventId rto_timer_ = 0;
+
+  std::function<void(TcpConn*, std::span<const uint8_t>)> on_data_;
+  std::function<void(TcpConn*)> on_close_;
+  std::function<void(TcpConn*)> on_send_complete_;
+  std::function<void(TcpConn*)> on_established_;
+};
+
+class TcpStack {
+ public:
+  struct Hooks {
+    sim::Engine* engine = nullptr;
+    const sim::CostModel* cost = nullptr;
+    sim::CpuMeter* cpu = nullptr;  // nullptr => infinitely fast (load generators)
+    // Hands a frame to the NIC path at simulated time `when`.
+    std::function<void(hw::Packet, sim::Cycles when)> transmit;
+  };
+
+  TcpStack(const Hooks& hooks, IpAddr ip, const TcpProfile& profile);
+  ~TcpStack();
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  // Accept callback fires when a connection completes the handshake.
+  Status Listen(Port port, std::function<void(TcpConn*)> on_accept);
+  TcpConn* Connect(IpAddr dst_ip, Port dst_port,
+                   std::function<void(TcpConn*)> on_established);
+
+  // Feed a received frame (from the NIC receive handler or a packet ring drain).
+  void Input(const hw::Packet& p);
+
+  // Releases a fully closed connection (returns its PCB to the pool).
+  void Release(TcpConn* conn);
+
+  const TcpStats& stats() const { return stats_; }
+  IpAddr ip() const { return ip_; }
+  const TcpProfile& profile() const { return profile_; }
+
+ private:
+  friend class TcpConn;
+  using ConnKey = uint64_t;
+  static ConnKey Key(IpAddr ip, Port remote, Port local) {
+    return (static_cast<uint64_t>(ip) << 32) | (static_cast<uint64_t>(remote) << 16) | local;
+  }
+
+  sim::Cycles Occupy(sim::Cycles cost) {
+    return hooks_.cpu != nullptr ? hooks_.cpu->Occupy(cost) : hooks_.engine->now();
+  }
+
+  TcpConn* NewConn();
+  void Emit(TcpConn* c, uint8_t flags, uint32_t seq, std::span<const uint8_t> payload,
+            uint32_t checksum, bool charge_checksum, bool charge_copy);
+  void SendPureAck(TcpConn* c);
+  void ScheduleDelayedAck(TcpConn* c);
+  void PumpSendQueue(TcpConn* c);
+  void ArmRto(TcpConn* c);
+  void OnRto(TcpConn* c);
+  void ProcessSegment(TcpSegment seg);
+  void DeliverClose(TcpConn* c);
+  void AutoRelease(TcpConn* c);
+
+  Hooks hooks_;
+  IpAddr ip_;
+  TcpProfile profile_;
+  std::map<Port, std::function<void(TcpConn*)>> listeners_;
+  std::map<ConnKey, std::unique_ptr<TcpConn>> conns_;
+  std::vector<std::unique_ptr<TcpConn>> pcb_pool_;
+  std::unique_ptr<TcpConn> tmp_;  // freshly built PCB awaiting keying into conns_
+  Port next_ephemeral_ = 20000;
+  TcpStats stats_;
+};
+
+}  // namespace exo::net
+
+#endif  // EXO_NET_TCP_H_

@@ -1,0 +1,123 @@
+// XIO: the extensible I/O library for fast servers (Sec. 7.3).
+//
+// XIO exists so application writers can "exploit domain-specific knowledge" without
+// tricking the OS. The pieces Cheetah uses:
+//   - ChecksumCache: per-file precomputed TCP checksums, stored with the file and
+//     computed once; transmission then never touches the data with the CPU.
+//   - The merged file-cache/retransmission-pool convention: callers pass stable
+//     cache spans to TcpConn::Send under a zero-copy profile.
+//   - Ready-made TcpProfiles for each server configuration measured in Figure 3.
+#ifndef EXO_NET_XIO_H_
+#define EXO_NET_XIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/tcp.h"
+
+namespace exo::net {
+
+// Computes and caches per-MSS-segment checksums for stable buffers keyed by an
+// application-chosen id (Cheetah keys by file). The first request charges the
+// checksum cost; later requests are free — the point of storing checksums with the
+// file (Sec. 7.3, "Merged File Cache and Retransmission Pool").
+class ChecksumCache {
+ public:
+  using ChargeFn = std::function<void(sim::Cycles)>;
+
+  ChecksumCache(const sim::CostModel* cost, ChargeFn charge)
+      : cost_(cost), charge_(std::move(charge)) {}
+
+  const std::vector<uint32_t>& For(uint64_t key, std::span<const uint8_t> data) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    if (charge_) {
+      charge_(cost_->ChecksumCost(data.size()));
+    }
+    std::vector<uint32_t> sums;
+    for (size_t off = 0; off < data.size(); off += kMss) {
+      size_t n = std::min<size_t>(kMss, data.size() - off);
+      sums.push_back(Checksum(data.subspan(off, n)));
+    }
+    ++misses_;
+    return cache_.emplace(key, std::move(sums)).first->second;
+  }
+
+  void Invalidate(uint64_t key) { cache_.erase(key); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  const sim::CostModel* cost_;
+  ChargeFn charge_;
+  std::map<uint64_t, std::vector<uint32_t>> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+// Cost/option profiles for the four server stacks in Figure 3.
+//
+// Fixed per-segment costs decompose as protocol work + kernel crossings + driver
+// work; copy counts are the number of times the CPU moves the payload.
+inline TcpProfile BsdSocketProfile() {
+  TcpProfile p;
+  p.tx_fixed = 3200;  // syscall + socket layer + in-kernel TCP + mbufs + driver
+  p.rx_fixed = 3200;
+  p.tx_copies = 2.0;  // user->kernel, kernel->driver
+  p.rx_copies = 2.0;
+  p.checksum_tx = true;
+  p.checksum_rx = true;
+  p.piggyback_ack = false;
+  p.zero_copy_tx = false;
+  p.pcb_reuse = false;
+  return p;
+}
+
+// ExOS sockets over XIO on Xok: user-level TCP, one copy each way (application
+// buffer <-> pinned packet buffer), PCB reuse and simple packet merging already on
+// (the "default socket implementation built on top of XIO", Sec. 7.3).
+inline TcpProfile XokSocketProfile() {
+  TcpProfile p;
+  p.tx_fixed = 1500;  // transmit syscall + user-level protocol work
+  p.rx_fixed = 1200;  // packet-ring consume + user-level protocol work
+  p.tx_copies = 1.0;
+  p.rx_copies = 1.0;
+  p.checksum_tx = true;
+  p.checksum_rx = true;
+  p.piggyback_ack = true;
+  p.zero_copy_tx = false;
+  p.pcb_reuse = true;
+  return p;
+}
+
+// Cheetah: everything XokSocket does, plus transmission directly from the file
+// cache with precomputed checksums — the CPU never touches response payloads.
+inline TcpProfile CheetahProfile() {
+  TcpProfile p = XokSocketProfile();
+  p.tx_fixed = 700;
+  p.zero_copy_tx = true;   // file cache doubles as the retransmission pool
+  p.checksum_tx = false;   // precomputed, stored with the file
+  return p;
+}
+
+// A load-generating client: cost-free CPU (the experiment isolates the server).
+inline TcpProfile ClientProfile() {
+  TcpProfile p;
+  p.tx_fixed = 0;
+  p.rx_fixed = 0;
+  p.tx_copies = 0;
+  p.rx_copies = 0;
+  p.checksum_tx = false;
+  p.checksum_rx = false;
+  p.pcb_reuse = true;
+  return p;
+}
+
+}  // namespace exo::net
+
+#endif  // EXO_NET_XIO_H_

@@ -1,0 +1,57 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+namespace exo::sim {
+
+bool Engine::IsCancelled(EventId id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) {
+    return false;
+  }
+  cancelled_.erase(it);
+  return true;
+}
+
+void Engine::DropCancelledHead() {
+  while (!heap_.empty() && IsCancelled(heap_.top().id)) {
+    heap_.pop();
+    --live_events_;
+  }
+}
+
+Cycles Engine::NextEventTime() {
+  DropCancelledHead();
+  EXO_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+bool Engine::RunNextEvent() {
+  DropCancelledHead();
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const ref; move the callback out via const_cast is
+  // avoided by copying the small struct pieces we need.
+  Event ev{heap_.top().time, heap_.top().id, std::move(const_cast<Event&>(heap_.top()).fn)};
+  heap_.pop();
+  --live_events_;
+  EXO_CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void Engine::RunUntil(Cycles t) {
+  EXO_CHECK_GE(t, now_);
+  for (;;) {
+    DropCancelledHead();
+    if (heap_.empty() || heap_.top().time > t) {
+      break;
+    }
+    RunNextEvent();
+  }
+  now_ = t;
+}
+
+}  // namespace exo::sim

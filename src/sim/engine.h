@@ -1,0 +1,96 @@
+// Discrete-event simulation engine: a cycle-granularity clock plus an event queue.
+//
+// All simulated time in the system is expressed in CPU cycles of the modeled machine
+// (a 200-MHz Pentium Pro by default, matching the paper's testbed). Hardware devices
+// (disk, NIC, timers) schedule completion events here; the CPU side advances the clock
+// by charging computation costs (see CostModel).
+#ifndef EXO_SIM_ENGINE_H_
+#define EXO_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/check.h"
+
+namespace exo::sim {
+
+using Cycles = uint64_t;
+
+constexpr Cycles kCyclesPerMicrosecondAt200MHz = 200;
+
+class Engine {
+ public:
+  using EventFn = std::function<void()>;
+  using EventId = uint64_t;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Cycles now() const { return now_; }
+  double now_seconds(uint32_t cpu_mhz = 200) const {
+    return static_cast<double>(now_) / (static_cast<double>(cpu_mhz) * 1e6);
+  }
+
+  // Schedules fn to run at absolute time t (>= now). Returns an id usable with Cancel.
+  EventId ScheduleAt(Cycles t, EventFn fn) {
+    EXO_CHECK_GE(t, now_);
+    EventId id = next_id_++;
+    heap_.push(Event{t, id, std::move(fn)});
+    ++live_events_;
+    return id;
+  }
+
+  EventId ScheduleAfter(Cycles delta, EventFn fn) { return ScheduleAt(now_ + delta, std::move(fn)); }
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+  void Cancel(EventId id) { cancelled_.push_back(id); }
+
+  bool HasPendingEvents() const { return live_events_ > 0; }
+
+  // Time of the earliest pending event; only valid when HasPendingEvents().
+  Cycles NextEventTime();
+
+  // Pops and runs the earliest event, advancing the clock to its timestamp.
+  // Returns false if no events remain.
+  bool RunNextEvent();
+
+  // Runs events until the queue is empty.
+  void RunUntilIdle() {
+    while (RunNextEvent()) {
+    }
+  }
+
+  // Runs all events with timestamp <= t, then sets the clock to exactly t.
+  void RunUntil(Cycles t);
+
+  // Advances the clock by delta cycles, firing any events that become due along the
+  // way. This is how CPU computation is charged: devices can complete "during" a
+  // computation and their completion handlers observe a consistent clock.
+  void Advance(Cycles delta) { RunUntil(now_ + delta); }
+
+ private:
+  struct Event {
+    Cycles time;
+    EventId id;
+    EventFn fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : id > o.id;
+    }
+  };
+
+  bool IsCancelled(EventId id);
+  void DropCancelledHead();
+
+  Cycles now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  std::vector<EventId> cancelled_;
+  uint64_t live_events_ = 0;
+};
+
+}  // namespace exo::sim
+
+#endif  // EXO_SIM_ENGINE_H_

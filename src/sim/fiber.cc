@@ -1,0 +1,55 @@
+#include "sim/fiber.h"
+
+#include "sim/check.h"
+
+namespace exo::sim {
+
+namespace {
+thread_local Fiber* g_current = nullptr;
+}  // namespace
+
+Fiber::Fiber(Body body, size_t stack_bytes)
+    : stack_(new char[stack_bytes]), body_(std::move(body)) {
+  EXO_CHECK(body_ != nullptr);
+  EXO_CHECK_EQ(getcontext(&ctx_), 0);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = &return_ctx_;
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 0);
+}
+
+Fiber::~Fiber() {
+  // A fiber must not be destroyed while it is the running fiber.
+  EXO_CHECK(g_current != this);
+}
+
+void Fiber::Resume() {
+  EXO_CHECK(g_current == nullptr);  // no nested fibers: scheduler -> fiber only
+  EXO_CHECK(!done_);
+  g_current = this;
+  started_ = true;
+  EXO_CHECK_EQ(swapcontext(&return_ctx_, &ctx_), 0);
+  g_current = nullptr;
+}
+
+void Fiber::Suspend() {
+  Fiber* self = g_current;
+  EXO_CHECK(self != nullptr);
+  g_current = nullptr;
+  EXO_CHECK_EQ(swapcontext(&self->ctx_, &self->return_ctx_), 0);
+  g_current = self;
+}
+
+Fiber* Fiber::Current() { return g_current; }
+
+void Fiber::Trampoline() {
+  Fiber* self = g_current;
+  EXO_CHECK(self != nullptr);
+  self->body_();
+  self->done_ = true;
+  // Returning lets ucontext switch to uc_link (return_ctx_); clear current first
+  // because control re-enters Resume() past the swapcontext call.
+  // Note: Resume() resets g_current after swapcontext returns, so nothing to do here.
+}
+
+}  // namespace exo::sim

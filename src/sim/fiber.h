@@ -1,0 +1,56 @@
+// Cooperative fibers for simulated processes.
+//
+// Each simulated process body runs on its own ucontext fiber. Exactly one fiber runs at
+// a time and control only transfers at explicit Resume/Suspend points driven by the
+// simulated scheduler, so whole-system runs are deterministic.
+#ifndef EXO_SIM_FIBER_H_
+#define EXO_SIM_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace exo::sim {
+
+class Fiber {
+ public:
+  using Body = std::function<void()>;
+
+  explicit Fiber(Body body, size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Switches from the scheduler context into this fiber. Returns when the fiber
+  // suspends or finishes. Must not be called from inside a fiber.
+  void Resume();
+
+  // Switches from the currently running fiber back to the scheduler context.
+  // Must be called from inside a fiber.
+  static void Suspend();
+
+  // True when the fiber body has returned.
+  bool done() const { return done_; }
+
+  // The fiber currently executing, or nullptr when in the scheduler context.
+  static Fiber* Current();
+
+  static constexpr size_t kDefaultStackBytes = 1024 * 1024;
+
+ private:
+  static void Trampoline();
+
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+  std::unique_ptr<char[]> stack_;
+  Body body_;
+  bool started_ = false;
+  bool done_ = false;
+};
+
+}  // namespace exo::sim
+
+#endif  // EXO_SIM_FIBER_H_

@@ -1,0 +1,277 @@
+#include "udf/assembler.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace exo::udf {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ';') {
+      break;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::optional<uint8_t> ParseReg(const std::string& t) {
+  if (t.size() < 2 || t.size() > 3 || (t[0] != 'r' && t[0] != 'R')) {
+    return std::nullopt;
+  }
+  int v = 0;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) {
+      return std::nullopt;
+    }
+    v = v * 10 + (t[i] - '0');
+  }
+  if (v >= kNumRegs) {
+    return std::nullopt;
+  }
+  return static_cast<uint8_t>(v);
+}
+
+std::optional<int64_t> ParseImm(const std::string& t) {
+  if (t.empty()) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(t.c_str(), &end, 0);
+  if (end != t.c_str() + t.size() || errno != 0) {
+    return std::nullopt;
+  }
+  if (v < INT32_MIN || v > INT32_MAX) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<uint8_t> ParseBuf(const std::string& t) {
+  if (t == "meta") {
+    return kBufMeta;
+  }
+  if (t == "aux") {
+    return kBufAux;
+  }
+  if (t == "cred") {
+    return kBufCred;
+  }
+  return std::nullopt;
+}
+
+struct PendingBranch {
+  size_t insn_index;
+  std::string label;
+  int line;
+};
+
+}  // namespace
+
+AssembleResult Assemble(std::string_view source) {
+  AssembleResult res;
+  std::map<std::string, size_t> labels;
+  std::vector<PendingBranch> fixups;
+
+  auto fail = [&](int line, const std::string& msg) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "line %d: %s", line, msg.c_str());
+    res.ok = false;
+    res.error = buf;
+    return res;
+  };
+
+  static const std::map<std::string, Op> kThreeReg = {
+      {"add", Op::kAdd}, {"sub", Op::kSub}, {"mul", Op::kMul},   {"divu", Op::kDivu},
+      {"remu", Op::kRemu}, {"and", Op::kAnd}, {"or", Op::kOr},   {"xor", Op::kXor},
+      {"shl", Op::kShl}, {"shr", Op::kShr}, {"ceq", Op::kCeq},   {"clt", Op::kClt},
+      {"cle", Op::kCle}};
+  static const std::map<std::string, Op> kLoads = {
+      {"ld1", Op::kLd1}, {"ld2", Op::kLd2}, {"ld4", Op::kLd4}, {"ld8", Op::kLd8}};
+
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= source.size()) {
+    size_t nl = source.find('\n', pos);
+    std::string_view line =
+        source.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+    ++line_no;
+
+    auto toks = Tokenize(line);
+    if (toks.empty()) {
+      continue;
+    }
+
+    // Label definition(s) may prefix an instruction on the same line.
+    while (!toks.empty() && toks[0].back() == ':') {
+      std::string name = toks[0].substr(0, toks[0].size() - 1);
+      if (name.empty() || labels.count(name) != 0) {
+        return fail(line_no, "bad or duplicate label '" + toks[0] + "'");
+      }
+      labels[name] = res.program.size();
+      toks.erase(toks.begin());
+    }
+    if (toks.empty()) {
+      continue;
+    }
+
+    const std::string& mn = toks[0];
+    Insn in{};
+
+    auto need = [&](size_t n) { return toks.size() == n + 1; };
+    auto reg = [&](size_t i) { return ParseReg(toks[i]); };
+
+    if (auto it = kThreeReg.find(mn); it != kThreeReg.end()) {
+      if (!need(3)) {
+        return fail(line_no, mn + " needs rd, rs, rt");
+      }
+      auto rd = reg(1);
+      auto rs = reg(2);
+      auto rt = reg(3);
+      if (!rd || !rs || !rt) {
+        return fail(line_no, "bad register");
+      }
+      in = {it->second, *rd, *rs, *rt, 0};
+    } else if (auto lit = kLoads.find(mn); lit != kLoads.end()) {
+      if (!need(4)) {
+        return fail(line_no, mn + " needs rd, rs, imm, buffer");
+      }
+      auto rd = reg(1);
+      auto rs = reg(2);
+      auto imm = ParseImm(toks[3]);
+      auto buf = ParseBuf(toks[4]);
+      if (!rd || !rs || !imm || !buf) {
+        return fail(line_no, "bad load operands");
+      }
+      in = {lit->second, *rd, *rs, *buf, static_cast<int32_t>(*imm)};
+    } else if (mn == "ldi") {
+      if (!need(2)) {
+        return fail(line_no, "ldi needs rd, imm");
+      }
+      auto rd = reg(1);
+      auto imm = ParseImm(toks[2]);
+      if (!rd || !imm) {
+        return fail(line_no, "bad ldi operands");
+      }
+      in = {Op::kLdi, *rd, 0, 0, static_cast<int32_t>(*imm)};
+    } else if (mn == "addi") {
+      if (!need(3)) {
+        return fail(line_no, "addi needs rd, rs, imm");
+      }
+      auto rd = reg(1);
+      auto rs = reg(2);
+      auto imm = ParseImm(toks[3]);
+      if (!rd || !rs || !imm) {
+        return fail(line_no, "bad addi operands");
+      }
+      in = {Op::kAddi, *rd, *rs, 0, static_cast<int32_t>(*imm)};
+    } else if (mn == "mov") {
+      if (!need(2)) {
+        return fail(line_no, "mov needs rd, rs");
+      }
+      auto rd = reg(1);
+      auto rs = reg(2);
+      if (!rd || !rs) {
+        return fail(line_no, "bad mov operands");
+      }
+      in = {Op::kMov, *rd, *rs, 0, 0};
+    } else if (mn == "len") {
+      if (!need(2)) {
+        return fail(line_no, "len needs rd, buffer");
+      }
+      auto rd = reg(1);
+      auto buf = ParseBuf(toks[2]);
+      if (!rd || !buf) {
+        return fail(line_no, "bad len operands");
+      }
+      in = {Op::kLen, *rd, 0, 0, *buf};
+    } else if (mn == "bz" || mn == "bnz") {
+      if (!need(2)) {
+        return fail(line_no, mn + " needs rs, label");
+      }
+      auto rs = reg(1);
+      if (!rs) {
+        return fail(line_no, "bad register");
+      }
+      in = {mn == "bz" ? Op::kBz : Op::kBnz, 0, *rs, 0, 0};
+      fixups.push_back({res.program.size(), toks[2], line_no});
+    } else if (mn == "jmp") {
+      if (!need(1)) {
+        return fail(line_no, "jmp needs label");
+      }
+      in = {Op::kJmp, 0, 0, 0, 0};
+      fixups.push_back({res.program.size(), toks[1], line_no});
+    } else if (mn == "emit") {
+      if (!need(3)) {
+        return fail(line_no, "emit needs rstart, rcount, rtype");
+      }
+      auto rs = reg(1);
+      auto rt = reg(2);
+      auto rd = reg(3);
+      if (!rs || !rt || !rd) {
+        return fail(line_no, "bad emit operands");
+      }
+      in = {Op::kEmit, *rd, *rs, *rt, 0};
+    } else if (mn == "ret") {
+      if (!need(1)) {
+        return fail(line_no, "ret needs rs");
+      }
+      auto rs = reg(1);
+      if (!rs) {
+        return fail(line_no, "bad register");
+      }
+      in = {Op::kRet, 0, *rs, 0, 0};
+    } else if (mn == "time") {
+      if (!need(1)) {
+        return fail(line_no, "time needs rd");
+      }
+      auto rd = reg(1);
+      if (!rd) {
+        return fail(line_no, "bad register");
+      }
+      in = {Op::kTime, *rd, 0, 0, 0};
+    } else {
+      return fail(line_no, "unknown mnemonic '" + mn + "'");
+    }
+
+    res.program.push_back(in);
+  }
+
+  for (const auto& fx : fixups) {
+    auto it = labels.find(fx.label);
+    if (it == labels.end()) {
+      return fail(fx.line, "undefined label '" + fx.label + "'");
+    }
+    res.program[fx.insn_index].imm =
+        static_cast<int32_t>(static_cast<int64_t>(it->second) -
+                             static_cast<int64_t>(fx.insn_index) - 1);
+  }
+
+  res.ok = true;
+  return res;
+}
+
+}  // namespace exo::udf

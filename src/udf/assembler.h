@@ -1,0 +1,34 @@
+// Tiny two-pass assembler for the UDF language.
+//
+// LibFS authors (and tests) write templates in a readable text form; the kernel only
+// ever sees the assembled Program, which it independently verifies. Syntax, one
+// instruction per line, ';' starts a comment, 'name:' defines a label:
+//
+//   ldi   rd, imm          mov  rd, rs          len  rd, meta|aux|cred
+//   add|sub|mul|divu|remu|and|or|xor|shl|shr|ceq|clt|cle  rd, rs, rt
+//   addi  rd, rs, imm
+//   ld1|ld2|ld4|ld8  rd, rs, imm, meta|aux|cred     ; rd = buf[rs + imm]
+//   bz|bnz  rs, label      jmp  label
+//   emit  rstart, rcount, rtype
+//   ret   rs               time rd
+#ifndef EXO_UDF_ASSEMBLER_H_
+#define EXO_UDF_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "udf/insn.h"
+
+namespace exo::udf {
+
+struct AssembleResult {
+  bool ok = false;
+  std::string error;  // "line N: message" when !ok
+  Program program;
+};
+
+AssembleResult Assemble(std::string_view source);
+
+}  // namespace exo::udf
+
+#endif  // EXO_UDF_ASSEMBLER_H_

@@ -1,0 +1,90 @@
+// The UDF instruction set: a pseudo-RISC register machine for downloaded code.
+//
+// Section 4.1: "The limited language used to write these functions is a pseudo-RISC
+// assembly language, checked by the kernel to ensure determinacy." One VM serves all
+// three kinds of downloaded code in the system:
+//   - XN metadata functions (owns-udf must be deterministic; acl-uf and size-uf may
+//     read the clock),
+//   - wakeup predicates (Sec. 5.1: no backward branches, so no loops),
+//   - dynamic packet filters (read packet bytes, deterministic).
+// Differences between the kinds are expressed as verifier policies (see verifier.h),
+// not separate languages.
+#ifndef EXO_UDF_INSN_H_
+#define EXO_UDF_INSN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace exo::udf {
+
+enum class Op : uint8_t {
+  kLdi,   // rd = imm (sign-extended 32-bit)
+  kMov,   // rd = rs
+  kAdd,   // rd = rs + rt
+  kSub,   // rd = rs - rt
+  kMul,   // rd = rs * rt
+  kDivu,  // rd = rs / rt (rt == 0 faults)
+  kRemu,  // rd = rs % rt (rt == 0 faults)
+  kAnd,
+  kOr,
+  kXor,
+  kShl,   // rd = rs << (rt & 63)
+  kShr,   // rd = rs >> (rt & 63)
+  kAddi,  // rd = rs + imm
+  kLd1,   // rd = buffer[rt][rs + imm], zero-extended byte (rt field = buffer index)
+  kLd2,   // 16-bit little-endian load
+  kLd4,   // 32-bit
+  kLd8,   // 64-bit
+  kLen,   // rd = byte length of buffer[imm]
+  kCeq,   // rd = (rs == rt)
+  kClt,   // rd = (rs < rt), unsigned
+  kCle,   // rd = (rs <= rt), unsigned
+  kBz,    // if (rs == 0) pc += imm   (imm relative to next insn; may be negative)
+  kBnz,   // if (rs != 0) pc += imm
+  kJmp,   // pc += imm
+  kEmit,  // append ownership tuple (start=rs, count=rt, type=rd) to the result set
+  kRet,   // return rs and halt
+  kTime,  // rd = current cycle count (nondeterministic; verifier may forbid)
+};
+
+// Buffer indices for load instructions. Which buffers are populated depends on the
+// caller: XN passes metadata/modification/credentials; packet filters pass the packet.
+constexpr uint8_t kBufMeta = 0;    // metadata bytes / packet bytes / predicate window
+constexpr uint8_t kBufAux = 1;     // proposed modification (acl-uf)
+constexpr uint8_t kBufCred = 2;    // credential bytes
+constexpr uint8_t kNumBuffers = 3;
+
+constexpr uint8_t kNumRegs = 16;
+
+struct Insn {
+  Op op;
+  uint8_t rd = 0;
+  uint8_t rs = 0;
+  uint8_t rt = 0;
+  int32_t imm = 0;
+};
+
+using Program = std::vector<Insn>;
+
+// Ownership tuple emitted by owns-udf: a contiguous range of disk blocks and the
+// template type that governs them (Sec. 4.1).
+struct Extent {
+  uint32_t start = 0;
+  uint32_t count = 0;
+  uint32_t type = 0;
+
+  bool operator==(const Extent&) const = default;
+  bool operator<(const Extent& o) const {
+    if (start != o.start) {
+      return start < o.start;
+    }
+    if (count != o.count) {
+      return count < o.count;
+    }
+    return type < o.type;
+  }
+};
+
+}  // namespace exo::udf
+
+#endif  // EXO_UDF_INSN_H_

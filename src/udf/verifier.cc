@@ -1,0 +1,65 @@
+#include "udf/verifier.h"
+
+#include <cstdio>
+
+namespace exo::udf {
+
+namespace {
+
+bool IsLoad(Op op) { return op == Op::kLd1 || op == Op::kLd2 || op == Op::kLd4 || op == Op::kLd8; }
+bool IsBranch(Op op) { return op == Op::kBz || op == Op::kBnz || op == Op::kJmp; }
+
+std::string Err(size_t pc, const char* what) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "insn %zu: %s", pc, what);
+  return buf;
+}
+
+}  // namespace
+
+VerifyResult Verify(const Program& program, Policy policy) {
+  if (program.empty()) {
+    return {false, "empty program"};
+  }
+  if (program.size() > kMaxProgramLength) {
+    return {false, "program too long"};
+  }
+
+  bool has_ret = false;
+  for (size_t pc = 0; pc < program.size(); ++pc) {
+    const Insn& in = program[pc];
+    if (static_cast<uint8_t>(in.op) > static_cast<uint8_t>(Op::kTime)) {
+      return {false, Err(pc, "invalid opcode")};
+    }
+    if (in.rd >= kNumRegs || in.rs >= kNumRegs || in.rt >= kNumRegs) {
+      return {false, Err(pc, "register index out of range")};
+    }
+    if (IsLoad(in.op) && in.rt >= kNumBuffers) {
+      return {false, Err(pc, "buffer index out of range")};
+    }
+    if (in.op == Op::kLen && (in.imm < 0 || in.imm >= kNumBuffers)) {
+      return {false, Err(pc, "buffer index out of range")};
+    }
+    if (IsBranch(in.op)) {
+      // Target is relative to the instruction after the branch.
+      const int64_t target = static_cast<int64_t>(pc) + 1 + in.imm;
+      if (target < 0 || target > static_cast<int64_t>(program.size())) {
+        return {false, Err(pc, "branch target out of bounds")};
+      }
+      if (policy == Policy::kNoLoops && in.imm < 0) {
+        return {false, Err(pc, "backward branch forbidden by policy")};
+      }
+    }
+    if (in.op == Op::kTime && policy != Policy::kAny) {
+      return {false, Err(pc, "nondeterministic instruction forbidden by policy")};
+    }
+    has_ret |= in.op == Op::kRet;
+  }
+
+  if (!has_ret) {
+    return {false, "program has no ret"};
+  }
+  return {true, {}};
+}
+
+}  // namespace exo::udf

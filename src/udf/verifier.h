@@ -1,0 +1,39 @@
+// Static verifier for downloaded code.
+//
+// The kernel refuses to install code that fails verification. The policy differs by
+// use (Sec. 4.1, Sec. 5.1):
+//   - kDeterministic (owns-udf, packet filters): kTime is forbidden, so output depends
+//     only on the input buffers. XN relies on this: "UDF determinism guarantees that
+//     owns-udf will always compute the same output for a given input."
+//   - kNoLoops (wakeup predicates): additionally, all control transfers must move
+//     forward, so execution is bounded by program length with no runtime fuel needed.
+//   - kAny (acl-uf, size-uf): may read the clock.
+// All policies check structural well-formedness: valid opcodes, register indices,
+// buffer indices, and in-bounds branch targets.
+#ifndef EXO_UDF_VERIFIER_H_
+#define EXO_UDF_VERIFIER_H_
+
+#include <string>
+
+#include "udf/insn.h"
+
+namespace exo::udf {
+
+enum class Policy {
+  kAny,
+  kDeterministic,
+  kNoLoops,  // implies kDeterministic
+};
+
+struct VerifyResult {
+  bool ok = false;
+  std::string error;  // empty when ok
+};
+
+constexpr size_t kMaxProgramLength = 4096;
+
+VerifyResult Verify(const Program& program, Policy policy);
+
+}  // namespace exo::udf
+
+#endif  // EXO_UDF_VERIFIER_H_

@@ -1,0 +1,145 @@
+#include "udf/vm.h"
+
+#include <cstring>
+
+namespace exo::udf {
+
+namespace {
+
+bool LoadLE(std::span<const uint8_t> buf, uint64_t addr, unsigned width, uint64_t* out) {
+  if (addr + width > buf.size() || addr + width < addr) {
+    return false;
+  }
+  uint64_t v = 0;
+  std::memcpy(&v, buf.data() + addr, width);  // little-endian host assumed (x86/ARM64)
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+RunOutput Run(const Program& program, const RunInput& input) {
+  RunOutput out;
+  uint64_t r[kNumRegs] = {};
+  size_t pc = 0;
+
+  auto fault = [&](const char* why) {
+    out.ok = false;
+    out.fault = why;
+    return out;
+  };
+
+  while (out.insns < input.fuel) {
+    if (pc >= program.size()) {
+      return fault("fell off end of program");
+    }
+    const Insn& in = program[pc];
+    ++out.insns;
+    ++pc;
+
+    switch (in.op) {
+      case Op::kLdi:
+        r[in.rd] = static_cast<uint64_t>(static_cast<int64_t>(in.imm));
+        break;
+      case Op::kMov:
+        r[in.rd] = r[in.rs];
+        break;
+      case Op::kAdd:
+        r[in.rd] = r[in.rs] + r[in.rt];
+        break;
+      case Op::kSub:
+        r[in.rd] = r[in.rs] - r[in.rt];
+        break;
+      case Op::kMul:
+        r[in.rd] = r[in.rs] * r[in.rt];
+        break;
+      case Op::kDivu:
+        if (r[in.rt] == 0) {
+          return fault("division by zero");
+        }
+        r[in.rd] = r[in.rs] / r[in.rt];
+        break;
+      case Op::kRemu:
+        if (r[in.rt] == 0) {
+          return fault("division by zero");
+        }
+        r[in.rd] = r[in.rs] % r[in.rt];
+        break;
+      case Op::kAnd:
+        r[in.rd] = r[in.rs] & r[in.rt];
+        break;
+      case Op::kOr:
+        r[in.rd] = r[in.rs] | r[in.rt];
+        break;
+      case Op::kXor:
+        r[in.rd] = r[in.rs] ^ r[in.rt];
+        break;
+      case Op::kShl:
+        r[in.rd] = r[in.rs] << (r[in.rt] & 63);
+        break;
+      case Op::kShr:
+        r[in.rd] = r[in.rs] >> (r[in.rt] & 63);
+        break;
+      case Op::kAddi:
+        r[in.rd] = r[in.rs] + static_cast<uint64_t>(static_cast<int64_t>(in.imm));
+        break;
+      case Op::kLd1:
+      case Op::kLd2:
+      case Op::kLd4:
+      case Op::kLd8: {
+        const unsigned width = in.op == Op::kLd1   ? 1
+                               : in.op == Op::kLd2 ? 2
+                               : in.op == Op::kLd4 ? 4
+                                                   : 8;
+        const uint64_t addr = r[in.rs] + static_cast<uint64_t>(static_cast<int64_t>(in.imm));
+        if (!LoadLE(input.buffers[in.rt], addr, width, &r[in.rd])) {
+          return fault("load out of bounds");
+        }
+        break;
+      }
+      case Op::kLen:
+        r[in.rd] = input.buffers[in.imm].size();
+        break;
+      case Op::kCeq:
+        r[in.rd] = r[in.rs] == r[in.rt] ? 1 : 0;
+        break;
+      case Op::kClt:
+        r[in.rd] = r[in.rs] < r[in.rt] ? 1 : 0;
+        break;
+      case Op::kCle:
+        r[in.rd] = r[in.rs] <= r[in.rt] ? 1 : 0;
+        break;
+      case Op::kBz:
+        if (r[in.rs] == 0) {
+          pc = static_cast<size_t>(static_cast<int64_t>(pc) + in.imm);
+        }
+        break;
+      case Op::kBnz:
+        if (r[in.rs] != 0) {
+          pc = static_cast<size_t>(static_cast<int64_t>(pc) + in.imm);
+        }
+        break;
+      case Op::kJmp:
+        pc = static_cast<size_t>(static_cast<int64_t>(pc) + in.imm);
+        break;
+      case Op::kEmit:
+        out.emitted.push_back(Extent{static_cast<uint32_t>(r[in.rs]),
+                                     static_cast<uint32_t>(r[in.rt]),
+                                     static_cast<uint32_t>(r[in.rd])});
+        break;
+      case Op::kRet:
+        out.ok = true;
+        out.ret = r[in.rs];
+        return out;
+      case Op::kTime:
+        if (!input.time) {
+          return fault("time source unavailable");
+        }
+        r[in.rd] = input.time();
+        break;
+    }
+  }
+  return fault("fuel exhausted");
+}
+
+}  // namespace exo::udf

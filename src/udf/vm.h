@@ -1,0 +1,40 @@
+// Interpreter for verified downloaded code.
+//
+// Runtime faults (out-of-bounds loads, division by zero, fuel exhaustion, running off
+// the end) are reported to the caller, which treats them as rejection: XN refuses the
+// metadata operation, a wakeup predicate evaluates to "keep sleeping", a packet filter
+// declines the packet. Faulting code can therefore never corrupt kernel state.
+#ifndef EXO_UDF_VM_H_
+#define EXO_UDF_VM_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "udf/insn.h"
+
+namespace exo::udf {
+
+struct RunInput {
+  std::span<const uint8_t> buffers[kNumBuffers];
+  // Clock source for kTime (only wired up for Policy::kAny code).
+  std::function<uint64_t()> time;
+  // Instruction budget; exceeding it is a fault. Bounds kernel time spent in
+  // downloaded code even when the verifier permits loops.
+  uint64_t fuel = 1 << 20;
+};
+
+struct RunOutput {
+  bool ok = false;
+  std::string fault;           // non-empty when !ok
+  uint64_t ret = 0;            // value passed to kRet
+  std::vector<Extent> emitted; // ownership tuples from kEmit, in emission order
+  uint64_t insns = 0;          // instructions executed (callers charge CPU with this)
+};
+
+RunOutput Run(const Program& program, const RunInput& input);
+
+}  // namespace exo::udf
+
+#endif  // EXO_UDF_VM_H_

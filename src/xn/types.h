@@ -1,0 +1,65 @@
+// Common XN types: template/metadata identifiers, byte-level modification lists, and
+// the serialization conventions shared between XN and the UDFs it runs.
+//
+// A proposed metadata change is a list of (offset, bytes) writes. XN never interprets
+// metadata itself; it hands the bytes to the template's UDFs:
+//   - owns-udf   reads the metadata (buffer kBufMeta) and emits ownership extents.
+//   - acl-uf     reads metadata (kBufMeta), the serialized modification or access
+//                intent (kBufAux), and serialized credentials (kBufCred), returning
+//                nonzero to approve.
+//   - size-uf    returns the metadata size in bytes.
+//
+// kBufAux serialization (little-endian):
+//   byte 0: intent — 0 = read child, 1 = write child, 2 = modify metadata
+//   intent 0/1: u32 child block id
+//   intent 2:   u16 mod count; per mod: u32 offset, u16 length, raw bytes
+//
+// kBufCred serialization:
+//   u16 cap count; per cap: u8 write flag, u16 part count, parts as u16s
+#ifndef EXO_XN_TYPES_H_
+#define EXO_XN_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/disk.h"
+#include "udf/insn.h"
+#include "xok/capability.h"
+
+namespace exo::xn {
+
+using TemplateId = uint32_t;
+constexpr TemplateId kDataTemplate = 0;  // raw data blocks: no UDFs, never metadata
+constexpr TemplateId kInvalidTemplate = 0xffffffff;
+
+using Caps = std::vector<xok::Capability>;
+
+struct ByteMod {
+  uint32_t offset = 0;
+  std::vector<uint8_t> bytes;
+};
+using Mods = std::vector<ByteMod>;
+
+enum class AccessIntent : uint8_t { kReadChild = 0, kWriteChild = 1, kModify = 2 };
+
+// Applies mods to a metadata image. Returns false if any mod is out of bounds.
+bool ApplyMods(std::vector<uint8_t>& image, const Mods& mods);
+
+std::vector<uint8_t> SerializeMods(const Mods& mods);
+std::vector<uint8_t> SerializeAccess(AccessIntent intent, hw::BlockId child);
+std::vector<uint8_t> SerializeCaps(const Caps& caps);
+
+// A metadata template (Sec. 4.1): one per on-disk data-structure type.
+struct Template {
+  TemplateId id = kInvalidTemplate;
+  std::string name;          // unique, e.g. "cffs-inode-block"
+  bool is_metadata = false;  // metadata blocks are taint-tracked; data blocks are not
+  udf::Program owns_udf;     // deterministic; emits owned extents
+  udf::Program acl_uf;       // may read the clock; approves modifications/accesses
+  udf::Program size_uf;      // returns structure size in bytes
+};
+
+}  // namespace exo::xn
+
+#endif  // EXO_XN_TYPES_H_

@@ -1,0 +1,1206 @@
+#include "xn/xn.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "udf/verifier.h"
+#include "udf/vm.h"
+
+namespace exo::xn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x584e2197;  // "XN"
+constexpr uint32_t kTemplBlocks = 8;
+constexpr uint32_t kRootBlocks = 2;
+
+// Simple append/read cursor over a byte buffer for catalogue serialization.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<uint8_t>* out) : out_(out) {}
+  explicit Cursor(std::span<const uint8_t> in) : in_(in) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+  void PutProgram(const udf::Program& p) {
+    PutU32(static_cast<uint32_t>(p.size()));
+    for (const udf::Insn& in : p) {
+      PutU8(static_cast<uint8_t>(in.op));
+      PutU8(in.rd);
+      PutU8(in.rs);
+      PutU8(in.rt);
+      PutI32(in.imm);
+    }
+  }
+
+  bool ok() const { return ok_; }
+  uint8_t GetU8() { return ok_ && pos_ < in_.size() ? in_[pos_++] : (ok_ = false, 0); }
+  uint32_t GetU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(GetU8()) << (8 * i);
+    }
+    return v;
+  }
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+  std::string GetString() {
+    uint32_t n = GetU32();
+    if (!ok_ || pos_ + n > in_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(in_.begin() + static_cast<long>(pos_), in_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+  udf::Program GetProgram() {
+    udf::Program p;
+    uint32_t n = GetU32();
+    if (n > udf::kMaxProgramLength) {
+      ok_ = false;
+      return p;
+    }
+    for (uint32_t i = 0; i < n && ok_; ++i) {
+      udf::Insn in;
+      in.op = static_cast<udf::Op>(GetU8());
+      in.rd = GetU8();
+      in.rs = GetU8();
+      in.rt = GetU8();
+      in.imm = GetI32();
+      p.push_back(in);
+    }
+    return p;
+  }
+
+ private:
+  std::vector<uint8_t>* out_ = nullptr;
+  std::span<const uint8_t> in_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Xn::Xn(hw::Machine* machine, hw::Disk* disk) : machine_(machine), disk_(disk) {
+  syscall_counter_ = machine_->counters().Handle("xok.syscalls");
+}
+
+void Xn::ChargeOp(const char* name) {
+  const auto& c = machine_->cost();
+  machine_->Charge(c.trap_round_trip + c.xok_syscall_check);
+  ++*syscall_counter_;
+  ++stats_.ops;
+}
+
+std::span<const uint8_t> Xn::FrameBytes(hw::FrameId f) const {
+  return machine_->mem().Data(f);
+}
+std::span<uint8_t> Xn::FrameBytesMutable(hw::FrameId f) { return machine_->mem().Data(f); }
+
+// ---- UDF invocation ----
+
+Result<Xn::OwnsSet> Xn::RunOwns(const Template& t, std::span<const uint8_t> image) {
+  udf::RunInput in;
+  in.buffers[udf::kBufMeta] = image;
+  udf::RunOutput out = udf::Run(t.owns_udf, in);
+  machine_->Charge(machine_->cost().udf_setup +
+                   out.insns * machine_->cost().downloaded_insn);
+  ++stats_.udf_runs;
+  if (!out.ok) {
+    return Status::kBadMetadata;
+  }
+  OwnsSet set;
+  for (const udf::Extent& e : out.emitted) {
+    for (uint32_t i = 0; i < e.count; ++i) {
+      hw::BlockId b = e.start + i;
+      auto [it, inserted] = set.emplace(b, e.type);
+      if (!inserted) {
+        return Status::kBadMetadata;  // a block claimed twice is malformed metadata
+      }
+    }
+  }
+  return set;
+}
+
+bool Xn::RunAcl(const Template& t, std::span<const uint8_t> image,
+                const std::vector<uint8_t>& aux, const Caps& creds) {
+  if (t.acl_uf.empty()) {
+    return true;  // template imposes no extra access control
+  }
+  auto cred_bytes = SerializeCaps(creds);
+  udf::RunInput in;
+  in.buffers[udf::kBufMeta] = image;
+  in.buffers[udf::kBufAux] = aux;
+  in.buffers[udf::kBufCred] = cred_bytes;
+  in.time = [this] { return machine_->engine().now(); };
+  udf::RunOutput out = udf::Run(t.acl_uf, in);
+  machine_->Charge(machine_->cost().udf_setup +
+                   out.insns * machine_->cost().downloaded_insn);
+  ++stats_.udf_runs;
+  return out.ok && out.ret != 0;
+}
+
+// ---- Lifecycle ----
+
+void Xn::Format() {
+  const uint32_t nblocks = disk_->geometry().num_blocks;
+  const uint32_t fm_blocks = (nblocks / 8 + hw::kBlockSize - 1) / hw::kBlockSize;
+  first_data_block_ = 1 + kTemplBlocks + kRootBlocks + fm_blocks;
+  EXO_CHECK_LT(first_data_block_, nblocks);
+
+  templates_.clear();
+  roots_.clear();
+  free_map_.assign(nblocks, 1);
+  free_count_ = 0;
+  for (hw::BlockId b = 0; b < nblocks; ++b) {
+    if (b < first_data_block_) {
+      free_map_[b] = 0;
+    } else {
+      ++free_count_;
+    }
+  }
+  uninit_.clear();
+  parent_of_.clear();
+  on_disk_owns_.clear();
+  will_free_.clear();
+
+  PersistCatalogues();
+  WriteSuperblock(/*clean=*/true);
+  attached_ = false;
+  recovered_ = false;
+}
+
+void Xn::WriteSuperblock(bool clean) {
+  std::vector<uint8_t> sb;
+  Cursor c(&sb);
+  c.PutU32(kMagic);
+  c.PutU32(clean ? 1 : 0);
+  c.PutU32(disk_->geometry().num_blocks);
+  c.PutU32(first_data_block_);
+  // Persist the free map alongside the clean flag (only trusted on clean detach).
+  auto block = disk_->RawBlock(0);
+  std::memset(block.data(), 0, block.size());
+  EXO_CHECK_LE(sb.size(), block.size());
+  std::memcpy(block.data(), sb.data(), sb.size());
+
+  const uint32_t fm_start = 1 + kTemplBlocks + kRootBlocks;
+  const uint32_t nblocks = disk_->geometry().num_blocks;
+  for (uint32_t i = 0; i * hw::kBlockSize * 8 < nblocks; ++i) {
+    auto fm = disk_->RawBlock(fm_start + i);
+    std::memset(fm.data(), 0, fm.size());
+    for (uint32_t j = 0; j < hw::kBlockSize * 8; ++j) {
+      uint32_t b = i * hw::kBlockSize * 8 + j;
+      if (b >= nblocks) {
+        break;
+      }
+      if (!free_map_.empty() && free_map_[b]) {
+        fm[j / 8] = static_cast<uint8_t>(fm[j / 8] | (1u << (j % 8)));
+      }
+    }
+  }
+}
+
+void Xn::PersistCatalogues() {
+  // Catalogue updates are rare setup operations (template installation, root
+  // registration); they are written through synchronously and charged a flat cost.
+  machine_->Charge(machine_->cost().FromMicros(500));
+
+  std::vector<uint8_t> tbuf;
+  Cursor tc(&tbuf);
+  tc.PutU32(static_cast<uint32_t>(templates_.size()));
+  for (const auto& [id, t] : templates_) {
+    tc.PutU32(id);
+    tc.PutString(t.name);
+    tc.PutU8(t.is_metadata ? 1 : 0);
+    tc.PutProgram(t.owns_udf);
+    tc.PutProgram(t.acl_uf);
+    tc.PutProgram(t.size_uf);
+  }
+  EXO_CHECK_LE(tbuf.size(), static_cast<size_t>(kTemplBlocks) * hw::kBlockSize);
+  for (uint32_t i = 0; i < kTemplBlocks; ++i) {
+    auto block = disk_->RawBlock(1 + i);
+    std::memset(block.data(), 0, block.size());
+    size_t off = static_cast<size_t>(i) * hw::kBlockSize;
+    if (off < tbuf.size()) {
+      std::memcpy(block.data(), tbuf.data() + off, std::min<size_t>(hw::kBlockSize, tbuf.size() - off));
+    }
+  }
+
+  std::vector<uint8_t> rbuf;
+  Cursor rc(&rbuf);
+  uint32_t persistent = 0;
+  for (const auto& [name, r] : roots_) {
+    persistent += r.temporary ? 0 : 1;
+  }
+  rc.PutU32(persistent);
+  for (const auto& [name, r] : roots_) {
+    if (r.temporary) {
+      continue;  // temporary file systems do not survive reboots (Sec. 4.3.2)
+    }
+    rc.PutString(r.name);
+    rc.PutU32(r.block);
+    rc.PutU32(r.tmpl);
+  }
+  EXO_CHECK_LE(rbuf.size(), static_cast<size_t>(kRootBlocks) * hw::kBlockSize);
+  for (uint32_t i = 0; i < kRootBlocks; ++i) {
+    auto block = disk_->RawBlock(1 + kTemplBlocks + i);
+    std::memset(block.data(), 0, block.size());
+    size_t off = static_cast<size_t>(i) * hw::kBlockSize;
+    if (off < rbuf.size()) {
+      std::memcpy(block.data(), rbuf.data() + off, std::min<size_t>(hw::kBlockSize, rbuf.size() - off));
+    }
+  }
+}
+
+void Xn::LoadCatalogues() {
+  std::vector<uint8_t> tbuf(static_cast<size_t>(kTemplBlocks) * hw::kBlockSize);
+  for (uint32_t i = 0; i < kTemplBlocks; ++i) {
+    auto block = disk_->RawBlock(1 + i);
+    std::memcpy(tbuf.data() + static_cast<size_t>(i) * hw::kBlockSize, block.data(),
+                hw::kBlockSize);
+  }
+  Cursor tc{std::span<const uint8_t>(tbuf)};
+  templates_.clear();
+  next_template_ = 1;
+  uint32_t tn = tc.GetU32();
+  for (uint32_t i = 0; i < tn && tc.ok(); ++i) {
+    Template t;
+    t.id = tc.GetU32();
+    t.name = tc.GetString();
+    t.is_metadata = tc.GetU8() != 0;
+    t.owns_udf = tc.GetProgram();
+    t.acl_uf = tc.GetProgram();
+    t.size_uf = tc.GetProgram();
+    if (tc.ok()) {
+      next_template_ = std::max(next_template_, t.id + 1);
+      templates_[t.id] = std::move(t);
+    }
+  }
+
+  std::vector<uint8_t> rbuf(static_cast<size_t>(kRootBlocks) * hw::kBlockSize);
+  for (uint32_t i = 0; i < kRootBlocks; ++i) {
+    auto block = disk_->RawBlock(1 + kTemplBlocks + i);
+    std::memcpy(rbuf.data() + static_cast<size_t>(i) * hw::kBlockSize, block.data(),
+                hw::kBlockSize);
+  }
+  Cursor rc{std::span<const uint8_t>(rbuf)};
+  roots_.clear();
+  uint32_t rn = rc.GetU32();
+  for (uint32_t i = 0; i < rn && rc.ok(); ++i) {
+    RootInfo r;
+    r.name = rc.GetString();
+    r.block = rc.GetU32();
+    r.tmpl = rc.GetU32();
+    r.temporary = false;
+    if (rc.ok()) {
+      roots_[r.name] = std::move(r);
+    }
+  }
+}
+
+Status Xn::Attach() {
+  auto sb = disk_->RawBlock(0);
+  Cursor c{std::span<const uint8_t>(sb)};
+  if (c.GetU32() != kMagic) {
+    return Status::kBadMetadata;
+  }
+  const bool clean = c.GetU32() == 1;
+  const uint32_t nblocks = c.GetU32();
+  first_data_block_ = c.GetU32();
+  if (nblocks != disk_->geometry().num_blocks) {
+    return Status::kBadMetadata;
+  }
+
+  LoadCatalogues();
+  uninit_.clear();
+  parent_of_.clear();
+  on_disk_owns_.clear();
+  will_free_.clear();
+
+  if (clean) {
+    // Trust the persisted free map.
+    free_map_.assign(nblocks, 0);
+    free_count_ = 0;
+    const uint32_t fm_start = 1 + kTemplBlocks + kRootBlocks;
+    for (uint32_t b = 0; b < nblocks; ++b) {
+      auto fm = disk_->RawBlock(fm_start + b / (hw::kBlockSize * 8));
+      uint32_t j = b % (hw::kBlockSize * 8);
+      if ((fm[j / 8] >> (j % 8)) & 1) {
+        free_map_[b] = 1;
+        ++free_count_;
+      }
+    }
+    recovered_ = false;
+  } else {
+    RecoverFreeMap();
+    recovered_ = true;
+  }
+
+  WriteSuperblock(/*clean=*/false);  // mark mounted-dirty until Detach
+  attached_ = true;
+  return Status::kOk;
+}
+
+void Xn::Detach() {
+  WriteSuperblock(/*clean=*/true);
+  attached_ = false;
+}
+
+void Xn::Crash() {
+  // Outstanding queued disk requests are lost with power; requests already "in the
+  // platters" (submitted DMA) are modeled as lost too — the registry that would
+  // receive the completions is gone.
+  registry_ = Registry{};
+  uninit_.clear();
+  parent_of_.clear();
+  on_disk_owns_.clear();
+  will_free_.clear();
+  free_map_.clear();
+  free_count_ = 0;
+  attached_ = false;
+}
+
+void Xn::RecoverFreeMap() {
+  const uint32_t nblocks = disk_->geometry().num_blocks;
+  free_map_.assign(nblocks, 1);
+  for (hw::BlockId b = 0; b < first_data_block_; ++b) {
+    free_map_[b] = 0;
+  }
+  std::set<hw::BlockId> seen;
+  for (const auto& [name, r] : roots_) {
+    TraverseForRecovery(r.block, r.tmpl, &seen);
+  }
+  free_count_ = 0;
+  for (hw::BlockId b = first_data_block_; b < nblocks; ++b) {
+    free_count_ += free_map_[b];
+  }
+  machine_->counters().Add("xn.recovery_blocks_scanned", seen.size());
+}
+
+void Xn::TraverseForRecovery(hw::BlockId block, TemplateId tmpl,
+                             std::set<hw::BlockId>* seen) {
+  if (block >= disk_->geometry().num_blocks || !seen->insert(block).second) {
+    return;
+  }
+  free_map_[block] = 0;
+  const Template* t = FindTemplate(tmpl);
+  if (t == nullptr || !t->is_metadata) {
+    return;
+  }
+  // Recovery reads disk images directly; charge a media read per metadata block.
+  machine_->Charge(machine_->cost().FromMicros(512));
+  auto owns = RunOwns(*t, disk_->RawBlock(block));
+  if (!owns.ok()) {
+    return;  // malformed on-disk metadata: its subtree stays unreferenced (freed)
+  }
+  on_disk_owns_[block] = *owns;
+  for (const auto& [child, child_tmpl] : *owns) {
+    parent_of_[child] = block;
+    TraverseForRecovery(child, child_tmpl, seen);
+  }
+}
+
+// ---- Templates ----
+
+Result<TemplateId> Xn::InstallTemplate(const Template& t) {
+  ChargeOp("xn_install_template");
+  if (t.name.empty()) {
+    return Status::kInvalidArgument;
+  }
+  for (const auto& [id, existing] : templates_) {
+    if (existing.name == t.name) {
+      return Status::kAlreadyExists;  // templates are immutable once specified
+    }
+  }
+  // owns-udf must be deterministic; acl-uf and size-uf may read the clock (Sec. 4.1).
+  if (!udf::Verify(t.owns_udf, udf::Policy::kDeterministic).ok) {
+    return Status::kVerifierReject;
+  }
+  if (!t.acl_uf.empty() && !udf::Verify(t.acl_uf, udf::Policy::kAny).ok) {
+    return Status::kVerifierReject;
+  }
+  if (!t.size_uf.empty() && !udf::Verify(t.size_uf, udf::Policy::kAny).ok) {
+    return Status::kVerifierReject;
+  }
+  Template stored = t;
+  stored.id = next_template_++;
+  templates_[stored.id] = std::move(stored);
+  PersistCatalogues();
+  return next_template_ - 1;
+}
+
+const Template* Xn::FindTemplate(TemplateId id) const {
+  auto it = templates_.find(id);
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+Result<TemplateId> Xn::LookupTemplate(const std::string& name) const {
+  for (const auto& [id, t] : templates_) {
+    if (t.name == name) {
+      return id;
+    }
+  }
+  return Status::kNotFound;
+}
+
+// ---- Roots ----
+
+Result<RootInfo> Xn::RegisterRoot(const std::string& name, TemplateId tmpl, bool temporary) {
+  ChargeOp("xn_register_root");
+  if (roots_.count(name) != 0) {
+    return Status::kAlreadyExists;
+  }
+  const Template* t = FindTemplate(tmpl);
+  if (t == nullptr) {
+    return Status::kNotFound;
+  }
+  auto block = FindFreeRun(first_data_block_, 1);
+  if (!block.ok()) {
+    return Status::kOutOfResources;
+  }
+  MarkAllocated(*block, true);
+  RootInfo r{name, *block, tmpl, temporary};
+  roots_[name] = r;
+  if (t->is_metadata && !temporary) {
+    uninit_.insert(*block);
+  }
+  PersistCatalogues();
+  return r;
+}
+
+Result<RootInfo> Xn::LookupRoot(const std::string& name) const {
+  auto it = roots_.find(name);
+  if (it == roots_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second;
+}
+
+Status Xn::UnregisterRoot(const std::string& name) {
+  ChargeOp("xn_unregister_root");
+  auto it = roots_.find(name);
+  if (it == roots_.end()) {
+    return Status::kNotFound;
+  }
+  roots_.erase(it);
+  PersistCatalogues();
+  return Status::kOk;
+}
+
+// ---- Registry operations ----
+
+Status Xn::LoadRoot(const std::string& name, hw::FrameId frame, const Caps& creds,
+                    std::function<void(Status)> done) {
+  ChargeOp("xn_load_root");
+  auto it = roots_.find(name);
+  if (it == roots_.end()) {
+    return Status::kNotFound;
+  }
+  const RootInfo& r = it->second;
+  if (const RegistryEntry* e = registry_.Lookup(r.block)) {
+    if (e->state == BufState::kInTransit) {
+      return Status::kBusy;
+    }
+    if (done) {
+      done(Status::kOk);
+    }
+    return Status::kOk;
+  }
+
+  RegistryEntry e;
+  e.block = r.block;
+  e.parent = hw::kInvalidBlock;
+  e.tmpl = r.tmpl;
+  e.frame = frame;
+  e.lru_stamp = ++lru_clock_;
+
+  if (uninit_.count(r.block) != 0) {
+    // Freshly created root: nothing on disk yet; hand the libFS a zeroed buffer.
+    machine_->mem().Ref(frame);
+    e.state = BufState::kResident;
+    e.dirty = true;
+    std::memset(FrameBytesMutable(frame).data(), 0, hw::kBlockSize);
+    machine_->Charge(machine_->cost().ZeroCost(hw::kBlockSize));
+    registry_.Install(e);
+    if (done) {
+      done(Status::kOk);
+    }
+    return Status::kOk;
+  }
+
+  machine_->mem().Ref(frame);
+  e.state = BufState::kInTransit;
+  registry_.Install(e);
+  hw::BlockId block = r.block;
+  TemplateId tmpl = r.tmpl;
+  disk_->Submit({.write = false,
+                 .start = block,
+                 .nblocks = 1,
+                 .frames = {frame},
+                 .done = [this, block, tmpl, done = std::move(done)](Status s) {
+                   if (RegistryEntry* e = registry_.LookupMutable(block)) {
+                     e->state = BufState::kResident;
+                     if (const Template* t = FindTemplate(tmpl); t != nullptr && t->is_metadata) {
+                       auto owns = RunOwns(*t, FrameBytes(e->frame));
+                       if (owns.ok()) {
+                         on_disk_owns_[block] = *owns;
+                         for (const auto& [child, ct] : *owns) {
+                           parent_of_[child] = block;
+                         }
+                       }
+                     }
+                   }
+                   if (done) {
+                     done(s);
+                   }
+                 }});
+  return Status::kOk;
+}
+
+Status Xn::ReadAndInsert(hw::BlockId parent, std::span<const hw::BlockId> blocks,
+                         std::span<const hw::FrameId> frames, const Caps& creds,
+                         std::function<void(Status)> done) {
+  ChargeOp("xn_read_insert");
+  if (blocks.size() != frames.size() || blocks.empty()) {
+    return Status::kInvalidArgument;
+  }
+  const RegistryEntry* pe = registry_.Lookup(parent);
+  if (pe == nullptr) {
+    return Status::kNotFound;  // libFSes are responsible for loading parents first
+  }
+  if (pe->state != BufState::kResident) {
+    return Status::kBusy;
+  }
+  const Template* pt = FindTemplate(pe->tmpl);
+  if (pt == nullptr || !pt->is_metadata) {
+    return Status::kBadMetadata;
+  }
+  auto owns = RunOwns(*pt, FrameBytes(pe->frame));
+  if (!owns.ok()) {
+    return owns.status();
+  }
+
+  // Validate every block before touching the registry.
+  for (hw::BlockId b : blocks) {
+    auto it = owns->find(b);
+    if (it == owns->end()) {
+      return Status::kPermissionDenied;  // parent does not own the block
+    }
+    if (!RunAcl(*pt, FrameBytes(pe->frame), SerializeAccess(AccessIntent::kReadChild, b),
+                creds)) {
+      return Status::kPermissionDenied;
+    }
+    if (const RegistryEntry* e = registry_.Lookup(b);
+        e != nullptr && e->state == BufState::kInTransit) {
+      return Status::kBusy;
+    }
+  }
+
+  // Install entries and build one read request per contiguous run.
+  auto remaining = std::make_shared<int>(0);
+  auto first_err = std::make_shared<Status>(Status::kOk);
+  std::vector<hw::BlockId> to_read;
+  std::vector<hw::FrameId> read_frames;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    hw::BlockId b = blocks[i];
+    if (const RegistryEntry* e = registry_.Lookup(b); e != nullptr) {
+      registry_.TouchLru(b, ++lru_clock_);
+      parent_of_[b] = parent;
+      continue;  // already cached; no disk traffic
+    }
+    RegistryEntry e;
+    e.block = b;
+    e.parent = parent;
+    e.tmpl = owns->at(b);
+    e.frame = frames[i];
+    e.state = BufState::kInTransit;
+    e.lru_stamp = ++lru_clock_;
+    machine_->mem().Ref(frames[i]);
+    registry_.Install(e);
+    parent_of_[b] = parent;
+    to_read.push_back(b);
+    read_frames.push_back(frames[i]);
+  }
+
+  if (to_read.empty()) {
+    if (done) {
+      done(Status::kOk);
+    }
+    return Status::kOk;
+  }
+
+  // Issue contiguous runs as single requests; the disk merges further.
+  size_t start = 0;
+  std::vector<std::pair<size_t, size_t>> runs;
+  for (size_t i = 1; i <= to_read.size(); ++i) {
+    if (i == to_read.size() || to_read[i] != to_read[i - 1] + 1) {
+      runs.emplace_back(start, i);
+      start = i;
+    }
+  }
+  *remaining = static_cast<int>(runs.size());
+  for (auto [lo, hi] : runs) {
+    std::vector<hw::FrameId> run_frames(read_frames.begin() + static_cast<long>(lo),
+                                        read_frames.begin() + static_cast<long>(hi));
+    std::vector<hw::BlockId> run_blocks(to_read.begin() + static_cast<long>(lo),
+                                        to_read.begin() + static_cast<long>(hi));
+    disk_->Submit(
+        {.write = false,
+         .start = to_read[lo],
+         .nblocks = static_cast<uint32_t>(hi - lo),
+         .frames = run_frames,
+         .done = [this, run_blocks, remaining, first_err, done](Status s) {
+           for (hw::BlockId b : run_blocks) {
+             if (RegistryEntry* e = registry_.LookupMutable(b)) {
+               e->state = BufState::kResident;
+               const Template* t = FindTemplate(e->tmpl);
+               if (t != nullptr && t->is_metadata) {
+                 auto owns = RunOwns(*t, FrameBytes(e->frame));
+                 if (owns.ok()) {
+                   on_disk_owns_[b] = *owns;
+                 }
+               }
+             }
+           }
+           if (s != Status::kOk) {
+             *first_err = s;
+           }
+           if (--*remaining == 0 && done) {
+             done(*first_err);
+           }
+         }});
+  }
+  return Status::kOk;
+}
+
+Status Xn::InsertMapping(hw::BlockId block, hw::BlockId parent, hw::FrameId frame,
+                         bool dirty, const Caps& creds) {
+  ChargeOp("xn_insert_mapping");
+  const RegistryEntry* pe = registry_.Lookup(parent);
+  if (pe == nullptr) {
+    return Status::kNotFound;
+  }
+  if (pe->state != BufState::kResident) {
+    return Status::kBusy;
+  }
+  const Template* pt = FindTemplate(pe->tmpl);
+  if (pt == nullptr || !pt->is_metadata) {
+    return Status::kBadMetadata;
+  }
+  auto owns = RunOwns(*pt, FrameBytes(pe->frame));
+  if (!owns.ok()) {
+    return owns.status();
+  }
+  auto it = owns->find(block);
+  if (it == owns->end()) {
+    return Status::kPermissionDenied;
+  }
+  // Direct installs require write access: otherwise a reader could install a bogus
+  // in-core copy of a block it cannot write (Sec. 4.3.3).
+  if (!RunAcl(*pt, FrameBytes(pe->frame), SerializeAccess(AccessIntent::kWriteChild, block),
+              creds)) {
+    return Status::kPermissionDenied;
+  }
+  if (registry_.Lookup(block) != nullptr) {
+    return Status::kAlreadyExists;
+  }
+  RegistryEntry e;
+  e.block = block;
+  e.parent = parent;
+  e.tmpl = it->second;
+  e.frame = frame;
+  e.state = BufState::kResident;
+  e.dirty = dirty;
+  e.lru_stamp = ++lru_clock_;
+  machine_->mem().Ref(frame);
+  registry_.Install(e);
+  parent_of_[block] = parent;
+  return Status::kOk;
+}
+
+Status Xn::RawRead(hw::BlockId block, hw::FrameId frame, std::function<void(Status)> done) {
+  ChargeOp("xn_raw_read");
+  if (block >= disk_->geometry().num_blocks) {
+    return Status::kInvalidArgument;
+  }
+  if (registry_.Lookup(block) != nullptr) {
+    if (done) {
+      done(Status::kOk);
+    }
+    return Status::kOk;
+  }
+  RegistryEntry e;
+  e.block = block;
+  e.parent = hw::kInvalidBlock;
+  e.tmpl = kInvalidTemplate;  // "unknown type": unusable until bound to a parent
+  e.frame = frame;
+  e.state = BufState::kInTransit;
+  e.lru_stamp = ++lru_clock_;
+  machine_->mem().Ref(frame);
+  registry_.Install(e);
+  disk_->Submit({.write = false,
+                 .start = block,
+                 .nblocks = 1,
+                 .frames = {frame},
+                 .done = [this, block, done = std::move(done)](Status s) {
+                   if (RegistryEntry* e = registry_.LookupMutable(block)) {
+                     e->state = BufState::kResident;
+                   }
+                   if (done) {
+                     done(s);
+                   }
+                 }});
+  return Status::kOk;
+}
+
+Status Xn::BindToParent(hw::BlockId parent, hw::BlockId block, const Caps& creds) {
+  ChargeOp("xn_bind");
+  RegistryEntry* e = registry_.LookupMutable(block);
+  if (e == nullptr || e->state != BufState::kResident) {
+    return Status::kNotFound;
+  }
+  if (e->tmpl != kInvalidTemplate) {
+    return Status::kAlreadyExists;
+  }
+  const RegistryEntry* pe = registry_.Lookup(parent);
+  if (pe == nullptr || pe->state != BufState::kResident) {
+    return Status::kNotFound;
+  }
+  const Template* pt = FindTemplate(pe->tmpl);
+  if (pt == nullptr || !pt->is_metadata) {
+    return Status::kBadMetadata;
+  }
+  auto owns = RunOwns(*pt, FrameBytes(pe->frame));
+  if (!owns.ok()) {
+    return owns.status();
+  }
+  auto it = owns->find(block);
+  if (it == owns->end()) {
+    return Status::kPermissionDenied;
+  }
+  if (!RunAcl(*pt, FrameBytes(pe->frame), SerializeAccess(AccessIntent::kReadChild, block),
+              creds)) {
+    return Status::kPermissionDenied;
+  }
+  e->tmpl = it->second;
+  e->parent = parent;
+  parent_of_[block] = parent;
+  const Template* t = FindTemplate(e->tmpl);
+  if (t != nullptr && t->is_metadata) {
+    auto child_owns = RunOwns(*t, FrameBytes(e->frame));
+    if (child_owns.ok()) {
+      on_disk_owns_[block] = *child_owns;
+    }
+  }
+  return Status::kOk;
+}
+
+Status Xn::Lock(hw::BlockId block, xok::EnvId owner) {
+  ChargeOp("xn_lock");
+  RegistryEntry* e = registry_.LookupMutable(block);
+  if (e == nullptr) {
+    return Status::kNotFound;
+  }
+  if (e->locked_by != xok::kInvalidEnv && e->locked_by != owner) {
+    return Status::kBusy;
+  }
+  e->locked_by = owner;
+  return Status::kOk;
+}
+
+Status Xn::Unlock(hw::BlockId block, xok::EnvId owner) {
+  ChargeOp("xn_unlock");
+  RegistryEntry* e = registry_.LookupMutable(block);
+  if (e == nullptr) {
+    return Status::kNotFound;
+  }
+  if (e->locked_by != owner) {
+    return Status::kPermissionDenied;
+  }
+  e->locked_by = xok::kInvalidEnv;
+  return Status::kOk;
+}
+
+Status Xn::Pin(hw::BlockId block) {
+  RegistryEntry* e = registry_.LookupMutable(block);
+  if (e == nullptr) {
+    return Status::kNotFound;
+  }
+  ++e->pins;
+  return Status::kOk;
+}
+
+Status Xn::Unpin(hw::BlockId block) {
+  RegistryEntry* e = registry_.LookupMutable(block);
+  if (e == nullptr || e->pins == 0) {
+    return Status::kNotFound;
+  }
+  --e->pins;
+  registry_.TouchLru(block, ++lru_clock_);
+  return Status::kOk;
+}
+
+Status Xn::RemoveMapping(hw::BlockId block) {
+  ChargeOp("xn_remove_mapping");
+  const RegistryEntry* e = registry_.Lookup(block);
+  if (e == nullptr) {
+    return Status::kNotFound;
+  }
+  if (e->dirty || e->state == BufState::kInTransit || e->pins > 0 ||
+      e->locked_by != xok::kInvalidEnv) {
+    return Status::kBusy;
+  }
+  machine_->mem().Unref(e->frame);
+  registry_.Remove(block);
+  return Status::kOk;
+}
+
+Result<hw::FrameId> Xn::RecycleOldest() {
+  ChargeOp("xn_recycle");
+  hw::BlockId victim = registry_.OldestRecyclable();
+  if (victim == hw::kInvalidBlock) {
+    return Status::kOutOfResources;
+  }
+  hw::FrameId f = registry_.Lookup(victim)->frame;
+  registry_.Remove(victim);
+  // The caller inherits the registry's reference to the frame.
+  return f;
+}
+
+// ---- Guarded metadata operations ----
+
+Status Xn::GuardedModify(hw::BlockId meta, const Mods& mods, const Caps& creds,
+                         const OwnsSet& require_added, const OwnsSet& require_removed) {
+  RegistryEntry* e = registry_.LookupMutable(meta);
+  if (e == nullptr) {
+    return Status::kNotFound;
+  }
+  if (e->state == BufState::kInTransit || e->state == BufState::kWriteTransit) {
+    return Status::kBusy;  // a read or flush is in flight; callers wait and retry
+  }
+  const Template* t = FindTemplate(e->tmpl);
+  if (t == nullptr || !t->is_metadata) {
+    return Status::kBadMetadata;
+  }
+  auto image = FrameBytes(e->frame);
+  auto before = RunOwns(*t, image);
+  if (!before.ok()) {
+    return before.status();
+  }
+  std::vector<uint8_t> after_image(image.begin(), image.end());
+  if (!ApplyMods(after_image, mods)) {
+    return Status::kInvalidArgument;
+  }
+  auto after = RunOwns(*t, after_image);
+  if (!after.ok()) {
+    return after.status();
+  }
+
+  // The ownership delta must be exactly what the caller claimed (Sec. 4.1: "verifies
+  // that the new result is equal to the old result plus b").
+  OwnsSet added;
+  OwnsSet removed;
+  for (const auto& [b, tmpl] : *after) {
+    auto it = before->find(b);
+    if (it == before->end()) {
+      added[b] = tmpl;
+    } else if (it->second != tmpl) {
+      return Status::kBadMetadata;  // retyping a block in place is not allowed
+    }
+  }
+  for (const auto& [b, tmpl] : *before) {
+    if (after->find(b) == after->end()) {
+      removed[b] = tmpl;
+    }
+  }
+  if (added != require_added || removed != require_removed) {
+    return Status::kBadMetadata;
+  }
+
+  if (!RunAcl(*t, image, SerializeMods(mods), creds)) {
+    return Status::kPermissionDenied;
+  }
+
+  // All checks passed: XN itself applies the modification to the cached metadata.
+  auto frame = FrameBytesMutable(e->frame);
+  for (const ByteMod& m : mods) {
+    std::memcpy(frame.data() + m.offset, m.bytes.data(), m.bytes.size());
+    machine_->Charge(machine_->cost().CopyCost(m.bytes.size()));
+  }
+  e->dirty = true;
+  return Status::kOk;
+}
+
+Status Xn::Alloc(hw::BlockId meta, const Mods& mods, std::span<const udf::Extent> to_alloc,
+                 const Caps& creds) {
+  ChargeOp("xn_alloc");
+  // Pre-validate the request against the free map.
+  OwnsSet requested;
+  for (const udf::Extent& ext : to_alloc) {
+    for (uint32_t i = 0; i < ext.count; ++i) {
+      hw::BlockId b = ext.start + i;
+      if (b < first_data_block_ || b >= disk_->geometry().num_blocks || !free_map_[b]) {
+        return Status::kOutOfResources;  // not free (possibly on the will-free list)
+      }
+      if (!requested.emplace(b, ext.type).second) {
+        return Status::kInvalidArgument;
+      }
+    }
+  }
+
+  Status s = GuardedModify(meta, mods, creds, requested, /*require_removed=*/{});
+  if (s != Status::kOk) {
+    return s;
+  }
+
+  for (const auto& [b, tmpl] : requested) {
+    MarkAllocated(b, true);
+    parent_of_[b] = meta;
+    const Template* ct = FindTemplate(tmpl);
+    if (ct != nullptr && ct->is_metadata) {
+      uninit_.insert(b);  // tainted until first written (Sec. 4.3.2)
+    }
+  }
+  return Status::kOk;
+}
+
+Status Xn::Dealloc(hw::BlockId meta, const Mods& mods, std::span<const udf::Extent> to_free,
+                   const Caps& creds) {
+  ChargeOp("xn_dealloc");
+  OwnsSet requested;
+  for (const udf::Extent& ext : to_free) {
+    for (uint32_t i = 0; i < ext.count; ++i) {
+      if (!requested.emplace(ext.start + i, ext.type).second) {
+        return Status::kInvalidArgument;
+      }
+    }
+  }
+  Status s = GuardedModify(meta, mods, creds, /*require_added=*/{}, requested);
+  if (s != Status::kOk) {
+    return s;
+  }
+
+  const OwnsSet* disk_owns = nullptr;
+  if (auto it = on_disk_owns_.find(meta); it != on_disk_owns_.end()) {
+    disk_owns = &it->second;
+  }
+  for (const auto& [b, tmpl] : requested) {
+    uninit_.erase(b);
+    parent_of_.erase(b);
+    if (const RegistryEntry* e = registry_.Lookup(b)) {
+      machine_->mem().Unref(e->frame);
+      registry_.Remove(b);
+    }
+    if (disk_owns != nullptr && disk_owns->count(b) != 0) {
+      // The parent's on-disk image still points at the block: defer reuse until
+      // that pointer is overwritten by a write of the parent (Sec. 4.4).
+      ++will_free_[b];
+      ++stats_.will_free_deferrals;
+    } else {
+      MarkAllocated(b, false);
+    }
+  }
+  return Status::kOk;
+}
+
+Status Xn::Modify(hw::BlockId meta, const Mods& mods, const Caps& creds) {
+  ChargeOp("xn_modify");
+  // Modify must be ownership-preserving: both required deltas are empty.
+  return GuardedModify(meta, mods, creds, /*require_added=*/{}, /*require_removed=*/{});
+}
+
+bool Xn::ReachesPersistentRoot(hw::BlockId b) const {
+  std::set<hw::BlockId> seen;
+  hw::BlockId cur = b;
+  for (;;) {
+    if (!seen.insert(cur).second) {
+      return false;  // cycle in parent chain: treat as unattached
+    }
+    for (const auto& [name, r] : roots_) {
+      if (r.block == cur) {
+        return !r.temporary;
+      }
+    }
+    auto it = parent_of_.find(cur);
+    if (it == parent_of_.end()) {
+      return false;  // unattached subtree: exempt from ordering rules (Sec. 4.3.2)
+    }
+    cur = it->second;
+  }
+}
+
+bool Xn::IsTaintedForWrite(hw::BlockId b, std::set<hw::BlockId>* visiting) {
+  const RegistryEntry* e = registry_.Lookup(b);
+  if (e == nullptr) {
+    return false;
+  }
+  const Template* t = FindTemplate(e->tmpl);
+  if (t == nullptr || !t->is_metadata) {
+    return false;
+  }
+  if (!visiting->insert(b).second) {
+    return false;
+  }
+  auto owns = RunOwns(*t, FrameBytes(e->frame));
+  if (!owns.ok()) {
+    return true;  // unparseable metadata must not reach disk
+  }
+  for (const auto& [child, tmpl] : *owns) {
+    const Template* ct = FindTemplate(tmpl);
+    if (ct == nullptr || !ct->is_metadata) {
+      continue;
+    }
+    if (uninit_.count(child) != 0) {
+      return true;  // points at uninitialized metadata
+    }
+    const RegistryEntry* ce = registry_.Lookup(child);
+    if (ce != nullptr && ce->dirty && IsTaintedForWrite(child, visiting)) {
+      return true;  // points at (cached, dirty) tainted metadata
+    }
+  }
+  return false;
+}
+
+Status Xn::Write(std::span<const hw::BlockId> blocks, std::function<void(Status)> done) {
+  ChargeOp("xn_write");
+  if (blocks.empty()) {
+    return Status::kInvalidArgument;
+  }
+  // Validate all blocks before submitting anything.
+  for (hw::BlockId b : blocks) {
+    const RegistryEntry* e = registry_.Lookup(b);
+    if (e == nullptr || e->state == BufState::kInTransit ||
+        e->state == BufState::kWriteTransit) {
+      return e == nullptr ? Status::kNotFound : Status::kBusy;
+    }
+    if (e->locked_by != xok::kInvalidEnv) {
+      return Status::kBusy;
+    }
+    std::set<hw::BlockId> visiting;
+    if (uninit_.count(b) == 0 && !ReachesPersistentRoot(b)) {
+      continue;  // unattached or temporary tree: no ordering constraints
+    }
+    if (ReachesPersistentRoot(b) && IsTaintedForWrite(b, &visiting)) {
+      ++stats_.taint_rejections;
+      return Status::kTainted;
+    }
+  }
+
+  auto remaining = std::make_shared<int>(static_cast<int>(blocks.size()));
+  auto first_err = std::make_shared<Status>(Status::kOk);
+  for (hw::BlockId b : blocks) {
+    RegistryEntry* e = registry_.LookupMutable(b);
+    e->state = BufState::kWriteTransit;  // frame stays readable while the DMA runs
+    disk_->Submit({.write = true,
+                   .start = b,
+                   .nblocks = 1,
+                   .frames = {e->frame},
+                   .done = [this, b, remaining, first_err, done](Status s) {
+                     if (s != Status::kOk) {
+                       *first_err = s;
+                     }
+                     OnWriteComplete(b);
+                     if (--*remaining == 0 && done) {
+                       done(*first_err);
+                     }
+                   }});
+  }
+  return Status::kOk;
+}
+
+void Xn::OnWriteComplete(hw::BlockId b) {
+  RegistryEntry* e = registry_.LookupMutable(b);
+  if (e == nullptr) {
+    return;  // crashed between submit and completion
+  }
+  e->state = BufState::kResident;
+  e->dirty = false;
+  uninit_.erase(b);
+
+  const Template* t = FindTemplate(e->tmpl);
+  if (t == nullptr || !t->is_metadata) {
+    return;
+  }
+  auto owns = RunOwns(*t, disk_->RawBlock(b));
+  if (!owns.ok()) {
+    return;
+  }
+  // Pointers the old disk image held but the new one does not: release will-free
+  // references; blocks with no remaining on-disk pointers become reusable.
+  if (auto it = on_disk_owns_.find(b); it != on_disk_owns_.end()) {
+    for (const auto& [child, tmpl] : it->second) {
+      if (owns->count(child) != 0) {
+        continue;
+      }
+      auto wf = will_free_.find(child);
+      if (wf != will_free_.end() && --wf->second == 0) {
+        will_free_.erase(wf);
+        MarkAllocated(child, false);
+      }
+    }
+  }
+  on_disk_owns_[b] = *owns;
+}
+
+Result<std::vector<uint8_t>> Xn::ReadCached(hw::BlockId block, const Caps& creds) {
+  const RegistryEntry* e = registry_.Lookup(block);
+  if (e == nullptr || e->state != BufState::kResident) {
+    return Status::kNotFound;
+  }
+  auto bytes = FrameBytes(e->frame);
+  machine_->Charge(machine_->cost().CopyCost(bytes.size()));
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+// ---- Free map ----
+
+void Xn::MarkAllocated(hw::BlockId b, bool allocated) {
+  EXO_CHECK_LT(b, free_map_.size());
+  if (allocated) {
+    EXO_CHECK(free_map_[b]);
+    free_map_[b] = 0;
+    --free_count_;
+  } else {
+    EXO_CHECK(!free_map_[b]);
+    free_map_[b] = 1;
+    ++free_count_;
+  }
+}
+
+bool Xn::IsAllocated(hw::BlockId b) const {
+  return b < free_map_.size() && free_map_[b] == 0;
+}
+
+uint32_t Xn::FreeBlockCount() const { return free_count_; }
+
+uint32_t Xn::NumBlocks() const { return disk_->geometry().num_blocks; }
+
+Result<hw::BlockId> Xn::FindFreeRun(hw::BlockId hint, uint32_t count) const {
+  if (count == 0) {
+    return Status::kInvalidArgument;
+  }
+  const uint32_t n = static_cast<uint32_t>(free_map_.size());
+  hw::BlockId start = std::max(hint, first_data_block_);
+  for (int pass = 0; pass < 2; ++pass) {
+    uint32_t run = 0;
+    for (hw::BlockId b = start; b < n; ++b) {
+      run = free_map_[b] ? run + 1 : 0;
+      if (run == count) {
+        return b - count + 1;
+      }
+    }
+    start = first_data_block_;  // wrap once
+  }
+  return Status::kOutOfResources;
+}
+
+}  // namespace exo::xn

@@ -1,0 +1,219 @@
+// XN: the in-kernel stable-storage protection system (Sec. 4).
+//
+// XN determines, as efficiently as possible, the access rights of a principal to a
+// disk block — without understanding any file system's metadata layout. LibFSes
+// install *templates* (one per on-disk structure type) whose UDFs translate metadata
+// into a form the kernel can check:
+//
+//   Alloc:  XN runs owns-udf on the metadata before and after the proposed byte-level
+//           modification and requires the ownership delta to equal exactly the
+//           requested blocks, which must be free (Sec. 4.1). acl-uf must approve.
+//   Dealloc: symmetric; blocks whose pointers are still on disk go to a will-free
+//           list until the parent's disk image drops them (Sec. 4.4).
+//   Write:  refused for tainted blocks reachable from a persistent root — a block is
+//           tainted while it points (directly or transitively) to uninitialized
+//           metadata (rule 2 of Ganger & Patt, Sec. 4.3.2). Temporary file systems
+//           and unattached subtrees are exempt. Any process may flush dirty blocks
+//           (daemon support, Sec. 4.3.3) — flushing needs no write permission.
+//   Read:   two-stage "read and insert": the parent's owns-udf proves ownership, the
+//           acl-uf authorizes, entries enter the buffer-cache registry, the disk
+//           request is issued (Sec. 4.4).
+//
+// Crash recovery rebuilds the free map by logically traversing all persistent roots
+// with owns-udfs; unreachable blocks become free (Sec. 4.4).
+//
+// Metadata blocks can never be mapped read/write by applications; every metadata
+// mutation flows through Alloc/Dealloc/Modify so XN's checks cannot be bypassed.
+#ifndef EXO_XN_XN_H_
+#define EXO_XN_XN_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/status.h"
+#include "xn/registry.h"
+#include "xn/types.h"
+
+namespace exo::xn {
+
+struct RootInfo {
+  std::string name;
+  hw::BlockId block = hw::kInvalidBlock;
+  TemplateId tmpl = kInvalidTemplate;
+  bool temporary = false;  // temporary file systems skip all ordering rules
+};
+
+struct XnStats {
+  uint64_t udf_runs = 0;
+  uint64_t ops = 0;
+  uint64_t taint_rejections = 0;
+  uint64_t will_free_deferrals = 0;
+};
+
+class Xn {
+ public:
+  Xn(hw::Machine* machine, hw::Disk* disk);
+
+  Xn(const Xn&) = delete;
+  Xn& operator=(const Xn&) = delete;
+
+  // ---- Lifecycle ----
+
+  // Initializes an empty XN disk: superblock, empty catalogues, free map.
+  void Format();
+  // Loads catalogues. If the disk was not cleanly detached, reconstructs the free
+  // map by traversing all persistent roots (recovery GC, Sec. 4.4).
+  Status Attach();
+  // Flushes the free map and catalogues; marks the disk clean.
+  void Detach();
+  // Simulated power loss: outstanding disk I/O is abandoned, all volatile state
+  // (registry, taint tracking, will-free list, free map) is dropped.
+  void Crash();
+
+  bool attached() const { return attached_; }
+  bool recovered_after_crash() const { return recovered_; }
+
+  // ---- Templates (type catalogue) ----
+
+  // Verifies the UDFs (owns-udf must pass the deterministic policy) and persists the
+  // template. Once installed a template is immutable (Sec. 4.1).
+  Result<TemplateId> InstallTemplate(const Template& t);
+  const Template* FindTemplate(TemplateId id) const;
+  Result<TemplateId> LookupTemplate(const std::string& name) const;
+
+  // ---- Roots (root catalogue) ----
+
+  // Allocates a free block as the root of a new tree and persists the entry.
+  Result<RootInfo> RegisterRoot(const std::string& name, TemplateId tmpl, bool temporary);
+  Result<RootInfo> LookupRoot(const std::string& name) const;
+  Status UnregisterRoot(const std::string& name);
+
+  // ---- Buffer cache registry ----
+
+  const Registry& registry() const { return registry_; }
+
+  // Loads a root block into the registry (reads from disk unless newly created).
+  Status LoadRoot(const std::string& name, hw::FrameId frame, const Caps& creds,
+                  std::function<void(Status)> done);
+
+  // Stage 1+2 combined read: prove ownership via the parent's owns-udf, authorize via
+  // acl-uf, install registry entries, and issue the disk read into `frames`.
+  // Blocks already resident complete immediately (no disk traffic).
+  Status ReadAndInsert(hw::BlockId parent, std::span<const hw::BlockId> blocks,
+                       std::span<const hw::FrameId> frames, const Caps& creds,
+                       std::function<void(Status)> done);
+
+  // Direct install of an in-core copy; requires write access via the parent's acl-uf
+  // (prevents installing bogus copies of blocks one cannot write, Sec. 4.3.3).
+  Status InsertMapping(hw::BlockId block, hw::BlockId parent, hw::FrameId frame,
+                       bool dirty, const Caps& creds);
+
+  // Speculative read before the parent is known; the entry is typed "unknown" and
+  // unusable until BindToParent succeeds (Sec. 4.4, raw read).
+  Status RawRead(hw::BlockId block, hw::FrameId frame, std::function<void(Status)> done);
+  Status BindToParent(hw::BlockId parent, hw::BlockId block, const Caps& creds);
+
+  // Registry-entry locking for atomic multi-step metadata updates (Sec. 4.3.1).
+  Status Lock(hw::BlockId block, xok::EnvId owner);
+  Status Unlock(hw::BlockId block, xok::EnvId owner);
+  Status Pin(hw::BlockId block);
+  Status Unpin(hw::BlockId block);
+
+  // Drops a clean mapping (the application reclaims its frame).
+  Status RemoveMapping(hw::BlockId block);
+  // Default recycling policy: drop the LRU unused buffer and return its frame.
+  Result<hw::FrameId> RecycleOldest();
+
+  // ---- Guarded metadata operations ----
+
+  Status Alloc(hw::BlockId meta, const Mods& mods, std::span<const udf::Extent> to_alloc,
+               const Caps& creds);
+  Status Dealloc(hw::BlockId meta, const Mods& mods, std::span<const udf::Extent> to_free,
+                 const Caps& creds);
+  // Ownership-preserving metadata update (mtimes, sizes, names, ...).
+  Status Modify(hw::BlockId meta, const Mods& mods, const Caps& creds);
+
+  // Flushes dirty blocks. Validates every block first (tainted-and-reachable fails
+  // the whole call with kTainted); then submits one merged-friendly request batch.
+  // Needs no write permission: daemons may flush anything (Sec. 4.3.3).
+  Status Write(std::span<const hw::BlockId> blocks, std::function<void(Status)> done);
+
+  // Reads the current bytes of a cached block (metadata inspection path for libFSes;
+  // metadata frames must not be written directly, but reading is harmless).
+  Result<std::vector<uint8_t>> ReadCached(hw::BlockId block, const Caps& creds);
+
+  // ---- Exposed state (no syscall cost to read) ----
+
+  bool IsAllocated(hw::BlockId b) const;
+  uint32_t FreeBlockCount() const;
+  hw::BlockId FirstDataBlock() const { return first_data_block_; }
+  uint32_t NumBlocks() const;
+  // Scans for a run of `count` free blocks at or after `hint` (libFSes control
+  // layout by choosing where to look, Sec. 4.4 "Allocate").
+  Result<hw::BlockId> FindFreeRun(hw::BlockId hint, uint32_t count) const;
+  bool IsTaintedBlock(hw::BlockId b) const { return uninit_.count(b) != 0; }
+
+  const XnStats& stats() const { return stats_; }
+  hw::Machine& machine() { return *machine_; }
+
+ private:
+  using OwnsSet = std::map<hw::BlockId, TemplateId>;  // block -> template
+
+  void ChargeOp(const char* name);
+  Result<OwnsSet> RunOwns(const Template& t, std::span<const uint8_t> image);
+  bool RunAcl(const Template& t, std::span<const uint8_t> image,
+              const std::vector<uint8_t>& aux, const Caps& creds);
+  std::span<const uint8_t> FrameBytes(hw::FrameId f) const;
+  std::span<uint8_t> FrameBytesMutable(hw::FrameId f);
+
+  // Shared validation for Alloc/Dealloc/Modify: runs owns-udf before and after the
+  // proposed modification on a scratch copy, requires the ownership delta to equal
+  // exactly (require_added, require_removed), runs acl-uf, and only then applies the
+  // mods to the cached frame and marks it dirty. Nothing is mutated on failure.
+  Status GuardedModify(hw::BlockId meta, const Mods& mods, const Caps& creds,
+                       const OwnsSet& require_added, const OwnsSet& require_removed);
+
+  bool ReachesPersistentRoot(hw::BlockId b) const;
+  bool IsTaintedForWrite(hw::BlockId b, std::set<hw::BlockId>* visiting);
+  void OnWriteComplete(hw::BlockId b);
+  void MarkAllocated(hw::BlockId b, bool allocated);
+
+  void WriteSuperblock(bool clean);
+  void PersistCatalogues();
+  void LoadCatalogues();
+  void RecoverFreeMap();
+  void TraverseForRecovery(hw::BlockId block, TemplateId tmpl, std::set<hw::BlockId>* seen);
+
+  hw::Machine* machine_;
+  hw::Disk* disk_;
+  Registry registry_;
+
+  std::map<TemplateId, Template> templates_;
+  TemplateId next_template_ = 1;  // 0 is the raw-data pseudo template
+  std::map<std::string, RootInfo> roots_;
+
+  std::vector<uint8_t> free_map_;  // 1 = free
+  uint32_t free_count_ = 0;
+  hw::BlockId first_data_block_ = 0;
+
+  // Ordering state (volatile; rebuilt on recovery).
+  std::set<hw::BlockId> uninit_;                       // allocated metadata, never written
+  std::map<hw::BlockId, hw::BlockId> parent_of_;       // child -> allocating metadata
+  std::map<hw::BlockId, OwnsSet> on_disk_owns_;        // metadata -> owns set on disk
+  std::map<hw::BlockId, uint32_t> will_free_;          // block -> on-disk pointer count
+
+  bool attached_ = false;
+  bool recovered_ = false;
+  uint64_t lru_clock_ = 0;
+  XnStats stats_;
+  uint64_t* syscall_counter_ = nullptr;
+};
+
+}  // namespace exo::xn
+
+#endif  // EXO_XN_XN_H_

@@ -1,0 +1,101 @@
+// Environment: the kernel-visible state of one running program (Sec. 5.1).
+//
+// An environment holds exactly what the hardware needs to run a process and respond to
+// events: a page table, capability list, scheduling state, and upcall entry points.
+// Everything else (UNIX process semantics, file descriptors, signals) lives in the
+// libOS. A small application-reserved area in the environment structure is readable by
+// everyone and writable by the owner; ExOS keeps its process-table entry there.
+#ifndef EXO_XOK_ENV_H_
+#define EXO_XOK_ENV_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/fiber.h"
+#include "udf/insn.h"
+#include "xok/capability.h"
+#include "xok/page_table.h"
+
+namespace exo::xok {
+
+using EnvId = uint32_t;
+constexpr EnvId kInvalidEnv = 0xffffffff;
+
+// A downloaded wakeup predicate (Sec. 5.1): a loop-free program the kernel evaluates
+// when the environment is about to be scheduled; the environment runs only if it
+// returns nonzero. The program reads a pinned memory window (pre-translated physical
+// addresses in real Xok) and may compare against the system clock.
+//
+// LibOS code may alternatively install a host-lambda predicate with an explicit cycle
+// cost; this stands in for an equivalent downloaded program where writing assembly
+// text would add nothing, while keeping the charged cost honest.
+struct WakeupPredicate {
+  udf::Program program;                       // empty => use `host`
+  std::vector<uint8_t> window;                // snapshot source is re-read each eval
+  const std::vector<uint8_t>* live_window = nullptr;  // pinned live memory (preferred)
+  std::function<bool()> host;
+  sim::Cycles host_cost = 60;
+  // Re-evaluation deadline hint for time-based predicates; the scheduler advances an
+  // idle clock no further than this before re-checking.
+  sim::Cycles deadline = UINT64_MAX;
+};
+
+enum class EnvState : uint8_t {
+  kRunnable,
+  kBlocked,   // waiting on a wakeup predicate
+  kZombie,    // exited; waiting to be reaped by the spawner
+};
+
+struct IpcMessage {
+  EnvId from = kInvalidEnv;
+  std::array<uint64_t, 4> words{};
+};
+
+struct Env {
+  EnvId id = kInvalidEnv;
+  EnvId parent = kInvalidEnv;
+  bool alive = false;
+
+  std::vector<Capability> caps;
+  PageTable pt;
+
+  EnvState state = EnvState::kRunnable;
+  WakeupPredicate predicate;  // valid when state == kBlocked
+
+  // Scheduling.
+  sim::Cycles slice_used = 0;
+  uint32_t critical_depth = 0;        // robust critical sections: software interrupts off
+  bool end_of_slice_pending = false;  // slice expired inside a critical section
+  EnvId yield_to = kInvalidEnv;       // directed yield hint
+
+  // Upcalls. Installed by the libOS; invoked by the kernel in env context.
+  // Page-fault handler returns true if it resolved the fault (e.g. COW copy).
+  std::function<bool(VPage, bool write)> on_page_fault;
+  std::function<void()> on_slice_begin;
+  std::function<void()> on_slice_end;
+  std::function<void(const IpcMessage&)> on_ipc;
+
+  std::deque<IpcMessage> ipc_queue;
+
+  // Application-reserved space in the kernel environment structure, mapped readable
+  // for all processes and writable only for the owner (Sec. 9.3).
+  std::array<uint8_t, 256> app_data{};
+
+  int exit_code = 0;
+
+  // Host-side execution context (the simulated program counter + stack).
+  std::unique_ptr<sim::Fiber> fiber;
+
+  // Accounting surfaced to Figure 4/5 benches: per-process run time.
+  sim::Cycles spawned_at = 0;
+  sim::Cycles exited_at = 0;
+};
+
+}  // namespace exo::xok
+
+#endif  // EXO_XOK_ENV_H_

@@ -1,0 +1,758 @@
+#include "xok/kernel.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "udf/verifier.h"
+#include "udf/vm.h"
+
+namespace exo::xok {
+
+namespace {
+
+CapName EnvGuardName(EnvId id) {
+  return CapName{kCapEnvs, static_cast<uint16_t>(id >> 16), static_cast<uint16_t>(id & 0xffff)};
+}
+
+// Idle-clock tick when every environment is blocked and no device events are pending.
+constexpr sim::Cycles kIdleTick = 20'000;  // 100 us at 200 MHz
+// Simulated-time bound on a fully idle system before we declare deadlock.
+constexpr sim::Cycles kDeadlockBound = 24'000'000'000ULL;  // 120 s at 200 MHz
+
+}  // namespace
+
+XokKernel::XokKernel(hw::Machine* machine) : machine_(machine) {
+  syscall_counter_ = machine_->counters().Handle("xok.syscalls");
+  ctx_switch_counter_ = machine_->counters().Handle("xok.context_switches");
+  fault_counter_ = machine_->counters().Handle("xok.page_faults");
+  for (uint32_t i = 0; i < machine_->num_nics(); ++i) {
+    machine_->nic(i).SetReceiveHandler([this, i](hw::Packet p) { OnPacket(i, std::move(p)); });
+  }
+}
+
+XokKernel::~XokKernel() = default;
+
+void XokKernel::ChargeSyscall(const char* name) {
+  const auto& c = machine_->cost();
+  machine_->Charge(c.trap_round_trip + c.xok_syscall_check + interrupt_debt_);
+  interrupt_debt_ = 0;
+  ++*syscall_counter_;
+}
+
+Status XokKernel::CheckCred(const Env& e, CredIndex cred, const CapName& guard,
+                            bool need_write) {
+  const auto& c = machine_->cost();
+  if (cred == kCredAny) {
+    for (const Capability& cap : e.caps) {
+      machine_->Charge(c.cap_check);
+      if (Dominates(cap, guard, need_write)) {
+        return Status::kOk;
+      }
+    }
+    return Status::kPermissionDenied;
+  }
+  if (cred < 0 || static_cast<size_t>(cred) >= e.caps.size()) {
+    return Status::kInvalidArgument;
+  }
+  machine_->Charge(c.cap_check);
+  return Dominates(e.caps[static_cast<size_t>(cred)], guard, need_write)
+             ? Status::kOk
+             : Status::kPermissionDenied;
+}
+
+// ---- Environments ----
+
+EnvId XokKernel::CreateEnv(EnvId parent, std::vector<Capability> caps,
+                           std::function<void()> body) {
+  ChargeSyscall("env_alloc");
+  EnvId id = next_env_id_++;
+  auto e = std::make_unique<Env>();
+  e->id = id;
+  e->parent = parent;
+  e->alive = true;
+  e->caps = std::move(caps);
+  // The environment implicitly holds the capability for itself; its creator is
+  // granted one too, enabling parent-managed setup (fork) under unidirectional trust.
+  e->caps.push_back(Capability{EnvGuardName(id), true});
+  if (parent != kInvalidEnv && EnvExists(parent)) {
+    env(parent).caps.push_back(Capability{EnvGuardName(id), true});
+  }
+  e->spawned_at = machine_->engine().now();
+  Env* raw = e.get();
+  e->fiber = std::make_unique<sim::Fiber>([this, raw, body = std::move(body)] {
+    body();
+    // Body returned without SysExit; treat as exit(0) from host context after the
+    // fiber completes (see Run()).
+  });
+  envs_[id] = std::move(e);
+  run_queue_.push_back(id);
+  ++alive_count_;
+  return id;
+}
+
+Env& XokKernel::env(EnvId id) {
+  auto it = envs_.find(id);
+  EXO_CHECK(it != envs_.end());
+  return *it->second;
+}
+
+const Env& XokKernel::env(EnvId id) const {
+  auto it = envs_.find(id);
+  EXO_CHECK(it != envs_.end());
+  return *it->second;
+}
+
+bool XokKernel::EnvExists(EnvId id) const { return envs_.count(id) != 0; }
+
+Status XokKernel::ReapEnv(EnvId id) {
+  auto it = envs_.find(id);
+  if (it == envs_.end()) {
+    return Status::kNotFound;
+  }
+  Env& e = *it->second;
+  if (e.state != EnvState::kZombie) {
+    return Status::kBusy;
+  }
+  // Drop the mapping references; frames shared with the buffer-cache registry (or
+  // other environments) survive, which is how cache contents outlive processes.
+  for (const auto& [vp, pte] : e.pt.entries()) {
+    machine_->mem().Unref(pte.frame);
+  }
+  envs_.erase(it);
+  return Status::kOk;
+}
+
+void XokKernel::FinishExit(Env* e, int code) {
+  EXO_CHECK(e->alive);
+  e->alive = false;
+  e->state = EnvState::kZombie;
+  e->exit_code = code;
+  e->exited_at = machine_->engine().now();
+  --alive_count_;
+}
+
+// ---- Scheduler ----
+
+bool XokKernel::EvalPredicate(Env* e) {
+  WakeupPredicate& p = e->predicate;
+  if (!p.program.empty()) {
+    udf::RunInput in;
+    if (p.live_window != nullptr) {
+      in.buffers[udf::kBufMeta] = *p.live_window;
+    } else {
+      in.buffers[udf::kBufMeta] = p.window;
+    }
+    in.time = [this] { return machine_->engine().now(); };
+    in.fuel = 4096;
+    udf::RunOutput out = udf::Run(p.program, in);
+    machine_->Charge(out.insns * machine_->cost().downloaded_insn);
+    return out.ok && out.ret != 0;
+  }
+  if (p.host) {
+    machine_->Charge(p.host_cost);
+    return p.host();
+  }
+  return true;  // empty predicate: plain yield-style sleep, immediately runnable
+}
+
+Env* XokKernel::PickNext() {
+  // Directed-yield hint takes priority (Sec. 9.1: the CPU interface's directed yields
+  // let communicating processes hand the slice to each other).
+  auto consider = [this](EnvId id) -> Env* {
+    auto it = envs_.find(id);
+    if (it == envs_.end() || !it->second->alive) {
+      return nullptr;
+    }
+    Env* e = it->second.get();
+    if (e->state == EnvState::kRunnable) {
+      return e;
+    }
+    if (e->state == EnvState::kBlocked && EvalPredicate(e)) {
+      e->state = EnvState::kRunnable;
+      return e;
+    }
+    return nullptr;
+  };
+
+  if (last_scheduled_ != kInvalidEnv && EnvExists(last_scheduled_)) {
+    EnvId hint = env(last_scheduled_).yield_to;
+    if (hint != kInvalidEnv) {
+      env(last_scheduled_).yield_to = kInvalidEnv;
+      if (Env* e = consider(hint)) {
+        return e;
+      }
+    }
+  }
+
+  for (size_t n = run_queue_.size(); n > 0; --n) {
+    EnvId id = run_queue_.front();
+    run_queue_.pop_front();
+    auto it = envs_.find(id);
+    if (it == envs_.end() || it->second->state == EnvState::kZombie) {
+      continue;  // reaped or dead: drop from the queue
+    }
+    run_queue_.push_back(id);
+    if (Env* e = consider(id)) {
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+void XokKernel::Run() {
+  EXO_CHECK(current_ == nullptr);
+  sim::Cycles idle_since = machine_->engine().now();
+  bool was_idle = false;
+
+  while (alive_count_ > 0) {
+    Env* next = PickNext();
+    if (next == nullptr) {
+      if (machine_->engine().HasPendingEvents()) {
+        machine_->engine().RunNextEvent();
+        was_idle = false;
+        continue;
+      }
+      // Everything is blocked and no device events are pending: advance the clock so
+      // time-based predicates can fire. Bounded to catch true deadlock.
+      if (!was_idle) {
+        was_idle = true;
+        idle_since = machine_->engine().now();
+      }
+      sim::Cycles step = kIdleTick;
+      for (const auto& [id, e] : envs_) {
+        if (e->state == EnvState::kBlocked && e->predicate.deadline != UINT64_MAX &&
+            e->predicate.deadline > machine_->engine().now()) {
+          step = std::min(step, e->predicate.deadline - machine_->engine().now());
+        }
+      }
+      if (machine_->engine().now() - idle_since >= kDeadlockBound) {
+        std::fprintf(stderr, "deadlock: %u alive envs, states:", alive_count_);
+        for (const auto& [id, e] : envs_) {
+          std::fprintf(stderr, " env%u=%d", id, static_cast<int>(e->state));
+        }
+        std::fprintf(stderr, "\n");
+        EXO_CHECK(false);
+      }
+      machine_->engine().Advance(step);
+      continue;
+    }
+    was_idle = false;
+
+    if (next->id != last_scheduled_) {
+      machine_->Charge(machine_->cost().context_switch);
+      ++*ctx_switch_counter_;
+    }
+    last_scheduled_ = next->id;
+    next->slice_used = 0;
+
+    if (next->on_slice_begin) {
+      machine_->Charge(machine_->cost().upcall);
+      next->on_slice_begin();
+    }
+
+    current_ = next;
+    next->fiber->Resume();
+    current_ = nullptr;
+
+    if (next->fiber->done() && next->alive) {
+      FinishExit(next, 0);
+    }
+  }
+}
+
+void XokKernel::ChargeCpu(sim::Cycles cycles) {
+  cycles += interrupt_debt_;
+  interrupt_debt_ = 0;
+  if (current_ == nullptr) {
+    // Host/boot context: no slicing.
+    machine_->Charge(cycles);
+    return;
+  }
+  Env* e = current_;
+  const sim::Cycles quantum = machine_->cost().quantum;
+  for (;;) {
+    if (e->slice_used >= quantum) {
+      // Timer fires the moment the quantum is consumed.
+      if (e->critical_depth > 0) {
+        // Software interrupts disabled: defer slice end, run on (Sec. 3.3).
+        e->end_of_slice_pending = true;
+        e->slice_used = 0;
+      } else {
+        DeliverEndOfSlice(e);
+        sim::Fiber::Suspend();  // back of the round-robin queue; resumed later
+        e->slice_used = 0;
+      }
+      continue;
+    }
+    if (cycles == 0) {
+      break;
+    }
+    sim::Cycles step = std::min(cycles, quantum - e->slice_used);
+    machine_->Charge(step);
+    e->slice_used += step;
+    cycles -= step;
+  }
+}
+
+void XokKernel::DeliverEndOfSlice(Env* e) {
+  if (e->on_slice_end) {
+    machine_->Charge(machine_->cost().upcall);
+    e->on_slice_end();
+  }
+}
+
+void XokKernel::SysYield(EnvId directed) {
+  EXO_CHECK(current_ != nullptr);
+  ChargeSyscall("yield");
+  current_->yield_to = directed;
+  sim::Fiber::Suspend();
+}
+
+void XokKernel::SysSleep(WakeupPredicate predicate) {
+  EXO_CHECK(current_ != nullptr);
+  ChargeSyscall("sleep");
+  current_->predicate = std::move(predicate);
+  current_->state = EnvState::kBlocked;
+  sim::Fiber::Suspend();
+}
+
+void XokKernel::SysExit(int code) {
+  EXO_CHECK(current_ != nullptr);
+  ChargeSyscall("exit");
+  FinishExit(current_, code);
+  for (;;) {
+    sim::Fiber::Suspend();  // zombies are never scheduled again
+    EXO_CHECK(false);
+  }
+}
+
+Result<int> XokKernel::SysWait(EnvId child) {
+  EXO_CHECK(current_ != nullptr);
+  ChargeSyscall("wait");
+  if (!EnvExists(child)) {
+    return Status::kNotFound;
+  }
+  if (env(child).parent != current_->id) {
+    return Status::kPermissionDenied;
+  }
+  if (env(child).state != EnvState::kZombie) {
+    WakeupPredicate p;
+    p.host = [this, child] {
+      return EnvExists(child) && env(child).state == EnvState::kZombie;
+    };
+    SysSleep(std::move(p));
+  }
+  int code = env(child).exit_code;
+  EXO_CHECK_EQ(ReapEnv(child), Status::kOk);
+  return code;
+}
+
+void XokKernel::EnterCritical() {
+  EXO_CHECK(current_ != nullptr);
+  machine_->Charge(5);  // a flag write in exposed memory; no kernel crossing
+  ++current_->critical_depth;
+}
+
+void XokKernel::ExitCritical() {
+  EXO_CHECK(current_ != nullptr);
+  Env* e = current_;
+  EXO_CHECK_GT(e->critical_depth, 0u);
+  machine_->Charge(5);
+  if (--e->critical_depth == 0 && e->end_of_slice_pending) {
+    e->end_of_slice_pending = false;
+    DeliverEndOfSlice(e);
+    sim::Fiber::Suspend();
+    e->slice_used = 0;
+  }
+}
+
+// ---- Physical memory ----
+
+Result<hw::FrameId> XokKernel::SysFrameAlloc(CredIndex cred, CapName guard) {
+  ChargeSyscall("frame_alloc");
+  auto f = machine_->mem().Alloc();
+  if (!f.ok()) {
+    return f.status();
+  }
+  frame_guards_[*f] = std::move(guard);
+  return *f;
+}
+
+Status XokKernel::SysFrameFree(hw::FrameId frame, CredIndex cred) {
+  ChargeSyscall("frame_free");
+  auto it = frame_guards_.find(frame);
+  if (it == frame_guards_.end()) {
+    return Status::kNotFound;
+  }
+  if (current_ != nullptr) {
+    Status s = CheckCred(*current_, cred, it->second, /*need_write=*/true);
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  machine_->mem().Unref(frame);
+  if (!machine_->mem().allocated(frame)) {
+    frame_guards_.erase(it);
+  }
+  return Status::kOk;
+}
+
+Status XokKernel::SysFrameRef(hw::FrameId frame, CredIndex cred) {
+  ChargeSyscall("frame_ref");
+  auto it = frame_guards_.find(frame);
+  if (it == frame_guards_.end()) {
+    return Status::kNotFound;
+  }
+  if (current_ != nullptr) {
+    Status s = CheckCred(*current_, cred, it->second, /*need_write=*/false);
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  machine_->mem().Ref(frame);
+  return Status::kOk;
+}
+
+const CapName& XokKernel::FrameGuard(hw::FrameId frame) const {
+  auto it = frame_guards_.find(frame);
+  EXO_CHECK(it != frame_guards_.end());
+  return it->second;
+}
+
+uint32_t XokKernel::FreeFrameCount() const { return machine_->mem().free_frames(); }
+
+Status XokKernel::PtApply(Env& target, const PtOp& op, CredIndex cred) {
+  const Env* caller = current_ != nullptr ? current_ : &target;
+  // Updating another environment's page table requires its environment capability.
+  if (caller->id != target.id) {
+    Status s = CheckCred(*caller, cred, EnvGuardName(target.id), /*need_write=*/true);
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  switch (op.kind) {
+    case PtOp::Kind::kInsert: {
+      auto git = frame_guards_.find(op.pte.frame);
+      if (git == frame_guards_.end()) {
+        return Status::kNotFound;
+      }
+      Status s = CheckCred(*caller, cred, git->second, /*need_write=*/op.pte.writable);
+      if (s != Status::kOk) {
+        return s;
+      }
+      if (const Pte* old = target.pt.Lookup(op.vpage)) {
+        machine_->mem().Unref(old->frame);
+      }
+      machine_->mem().Ref(op.pte.frame);
+      target.pt.Insert(op.vpage, op.pte);
+      return Status::kOk;
+    }
+    case PtOp::Kind::kProtect: {
+      Pte* pte = target.pt.LookupMutable(op.vpage);
+      if (pte == nullptr) {
+        return Status::kNotFound;
+      }
+      if (op.pte.writable && !pte->writable) {
+        // Upgrading to writable requires write access to the frame.
+        Status s = CheckCred(*caller, cred, frame_guards_.at(pte->frame),
+                             /*need_write=*/true);
+        if (s != Status::kOk) {
+          return s;
+        }
+      }
+      pte->readable = op.pte.readable;
+      pte->writable = op.pte.writable;
+      pte->software_bits = op.pte.software_bits;
+      return Status::kOk;
+    }
+    case PtOp::Kind::kRemove: {
+      const Pte* pte = target.pt.Lookup(op.vpage);
+      if (pte == nullptr) {
+        return Status::kNotFound;
+      }
+      machine_->mem().Unref(pte->frame);
+      target.pt.Remove(op.vpage);
+      return Status::kOk;
+    }
+  }
+  return Status::kInvalidArgument;
+}
+
+Status XokKernel::SysPtUpdate(EnvId target, const PtOp& op, CredIndex cred) {
+  ChargeSyscall("pt_update");
+  if (!EnvExists(target)) {
+    return Status::kNotFound;
+  }
+  machine_->Charge(machine_->cost().pte_update_kernel);
+  return PtApply(env(target), op, cred);
+}
+
+Status XokKernel::SysPtBatch(EnvId target, std::span<const PtOp> ops, CredIndex cred) {
+  ChargeSyscall("pt_batch");
+  if (!EnvExists(target)) {
+    return Status::kNotFound;
+  }
+  Env& t = env(target);
+  for (const PtOp& op : ops) {
+    machine_->Charge(machine_->cost().pte_update_batched);
+    Status s = PtApply(t, op, cred);
+    if (s != Status::kOk) {
+      return s;  // batch stops at first failure; prior updates remain applied
+    }
+  }
+  return Status::kOk;
+}
+
+Status XokKernel::AccessUserMemory(EnvId id, uint64_t vaddr, std::span<uint8_t> buf,
+                                   bool write, bool charge_copy) {
+  Env& e = env(id);
+  size_t done = 0;
+  while (done < buf.size()) {
+    const VPage vp = static_cast<VPage>((vaddr + done) >> kPageShift);
+    const uint32_t off = static_cast<uint32_t>((vaddr + done) & (hw::kPageSize - 1));
+    const uint32_t chunk =
+        static_cast<uint32_t>(std::min<uint64_t>(buf.size() - done, hw::kPageSize - off));
+
+    const Pte* pte = e.pt.Lookup(vp);
+    int tries = 0;
+    while (pte == nullptr || !pte->readable || (write && !pte->writable)) {
+      machine_->Charge(machine_->cost().page_fault_trap);
+      ++*fault_counter_;
+      if (!e.on_page_fault || !e.on_page_fault(vp, write)) {
+        return Status::kPermissionDenied;
+      }
+      pte = e.pt.Lookup(vp);
+      if (++tries > 4) {
+        return Status::kPermissionDenied;
+      }
+    }
+
+    auto frame = machine_->mem().Data(pte->frame);
+    if (charge_copy) {
+      machine_->Charge(machine_->cost().CopyCost(chunk));
+    }
+    if (write) {
+      std::memcpy(frame.data() + off, buf.data() + done, chunk);
+    } else {
+      std::memcpy(buf.data() + done, frame.data() + off, chunk);
+    }
+    done += chunk;
+  }
+  return Status::kOk;
+}
+
+// ---- Software regions ----
+
+Result<RegionId> XokKernel::SysRegionCreate(uint32_t size, CapName guard, CredIndex cred) {
+  ChargeSyscall("region_create");
+  if (size == 0 || size > (1u << 20)) {
+    return Status::kInvalidArgument;
+  }
+  RegionId id = next_region_id_++;
+  regions_[id] = {std::move(guard), std::vector<uint8_t>(size, 0)};
+  return id;
+}
+
+Status XokKernel::SysRegionWrite(RegionId rid, uint32_t off, std::span<const uint8_t> data,
+                                 CredIndex cred) {
+  ChargeSyscall("region_write");
+  auto it = regions_.find(rid);
+  if (it == regions_.end()) {
+    return Status::kNotFound;
+  }
+  if (current_ != nullptr) {
+    Status s = CheckCred(*current_, cred, it->second.first, /*need_write=*/true);
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  auto& bytes = it->second.second;
+  if (static_cast<uint64_t>(off) + data.size() > bytes.size()) {
+    return Status::kInvalidArgument;
+  }
+  machine_->Charge(machine_->cost().CopyCost(data.size()));
+  std::memcpy(bytes.data() + off, data.data(), data.size());
+  return Status::kOk;
+}
+
+Status XokKernel::SysRegionRead(RegionId rid, uint32_t off, std::span<uint8_t> out,
+                                CredIndex cred) {
+  ChargeSyscall("region_read");
+  auto it = regions_.find(rid);
+  if (it == regions_.end()) {
+    return Status::kNotFound;
+  }
+  if (current_ != nullptr) {
+    Status s = CheckCred(*current_, cred, it->second.first, /*need_write=*/false);
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  const auto& bytes = it->second.second;
+  if (static_cast<uint64_t>(off) + out.size() > bytes.size()) {
+    return Status::kInvalidArgument;
+  }
+  machine_->Charge(machine_->cost().CopyCost(out.size()));
+  std::memcpy(out.data(), bytes.data() + off, out.size());
+  return Status::kOk;
+}
+
+Status XokKernel::SysRegionDestroy(RegionId rid, CredIndex cred) {
+  ChargeSyscall("region_destroy");
+  auto it = regions_.find(rid);
+  if (it == regions_.end()) {
+    return Status::kNotFound;
+  }
+  if (current_ != nullptr) {
+    Status s = CheckCred(*current_, cred, it->second.first, /*need_write=*/true);
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  regions_.erase(it);
+  return Status::kOk;
+}
+
+const std::vector<uint8_t>* XokKernel::RegionBytes(RegionId rid) const {
+  auto it = regions_.find(rid);
+  return it == regions_.end() ? nullptr : &it->second.second;
+}
+
+// ---- IPC ----
+
+Status XokKernel::SysIpcSend(EnvId to, const IpcMessage& msg, CredIndex cred) {
+  ChargeSyscall("ipc_send");
+  if (!EnvExists(to) || !env(to).alive) {
+    return Status::kNotFound;
+  }
+  Env& dest = env(to);
+  IpcMessage m = msg;
+  m.from = current_ != nullptr ? current_->id : kInvalidEnv;
+  dest.ipc_queue.push_back(m);
+  if (dest.on_ipc) {
+    machine_->Charge(machine_->cost().upcall);
+    dest.on_ipc(m);
+  }
+  return Status::kOk;
+}
+
+Result<IpcMessage> XokKernel::SysIpcRecv() {
+  EXO_CHECK(current_ != nullptr);
+  ChargeSyscall("ipc_recv");
+  if (current_->ipc_queue.empty()) {
+    return Status::kWouldBlock;
+  }
+  IpcMessage m = current_->ipc_queue.front();
+  current_->ipc_queue.pop_front();
+  return m;
+}
+
+// ---- Network ----
+
+Result<FilterId> XokKernel::SysFilterInstall(udf::Program program, CredIndex cred) {
+  ChargeSyscall("filter_install");
+  auto v = udf::Verify(program, udf::Policy::kDeterministic);
+  if (!v.ok) {
+    return Status::kVerifierReject;
+  }
+  PacketFilter f;
+  f.id = next_filter_id_++;
+  f.owner = current_ != nullptr ? current_->id : kInvalidEnv;
+  f.program = std::move(program);
+  filters_.push_back(std::move(f));
+  return filters_.back().id;
+}
+
+Status XokKernel::SysFilterRemove(FilterId id, CredIndex cred) {
+  ChargeSyscall("filter_remove");
+  for (auto it = filters_.begin(); it != filters_.end(); ++it) {
+    if (it->id == id) {
+      if (current_ != nullptr && it->owner != current_->id) {
+        return Status::kPermissionDenied;
+      }
+      filters_.erase(it);
+      return Status::kOk;
+    }
+  }
+  return Status::kNotFound;
+}
+
+Result<hw::Packet> XokKernel::SysRingConsume(FilterId id, CredIndex cred) {
+  // Packet rings live in application memory; consuming advances a head pointer the
+  // application owns, so no kernel crossing is needed (Sec. 5.1).
+  machine_->Charge(30);
+  for (auto& f : filters_) {
+    if (f.id == id) {
+      if (current_ != nullptr && f.owner != current_->id) {
+        return Status::kPermissionDenied;
+      }
+      if (f.ring.empty()) {
+        return Status::kWouldBlock;
+      }
+      hw::Packet p = std::move(f.ring.front());
+      f.ring.pop_front();
+      return p;
+    }
+  }
+  return Status::kNotFound;
+}
+
+const PacketFilter* XokKernel::Filter(FilterId id) const {
+  for (const auto& f : filters_) {
+    if (f.id == id) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+Status XokKernel::SysNicTransmit(uint32_t nic, hw::Packet packet) {
+  ChargeSyscall("nic_tx");
+  if (nic >= machine_->num_nics()) {
+    return Status::kInvalidArgument;
+  }
+  machine_->Charge(150);  // DMA descriptor setup; the CPU does not touch the payload
+  machine_->nic(nic).Transmit(std::move(packet));
+  return Status::kOk;
+}
+
+void XokKernel::OnPacket(uint32_t nic, hw::Packet p) {
+  // Interrupt context: account the demultiplexing work but do not advance the clock
+  // re-entrantly (we are inside an event callback). The cost is charged as a lump on
+  // the next clock advance via a zero-length event.
+  sim::Cycles cost = machine_->cost().interrupt_overhead;
+  for (auto& f : filters_) {
+    udf::RunInput in;
+    in.buffers[udf::kBufMeta] = p.bytes;
+    in.fuel = 4096;
+    udf::RunOutput out = udf::Run(f.program, in);
+    cost += out.insns * machine_->cost().downloaded_insn;
+    if (out.ok && out.ret != 0) {
+      if (f.ring.size() >= f.ring_capacity) {
+        ++f.dropped;
+        machine_->counters().Add("xok.ring_drops");
+      } else {
+        f.ring.push_back(std::move(p));
+        ++f.delivered;
+      }
+      machine_->counters().Add("xok.packets_demuxed");
+      interrupt_debt_ += cost;
+      return;
+    }
+  }
+  machine_->counters().Add("xok.packets_unclaimed");
+  interrupt_debt_ += cost;
+}
+
+void XokKernel::SysNull(int count) {
+  const auto& c = machine_->cost();
+  for (int i = 0; i < count; ++i) {
+    machine_->Charge(c.trap_round_trip + c.xok_syscall_check);
+    ++*syscall_counter_;
+  }
+}
+
+sim::Cycles XokKernel::Now() const { return machine_->engine().now(); }
+
+}  // namespace exo::xok

@@ -1,0 +1,220 @@
+// XokKernel: the exokernel proper (Sec. 3, Sec. 5.1).
+//
+// Xok multiplexes the physical resources of one simulated machine: CPU time (round-
+// robin slices with begin/end-of-slice upcalls and directed yield), physical memory
+// (explicit frame allocation guarded by capabilities; page tables updated only through
+// system calls), the network (dynamic packet filters demultiplex frames into per-
+// filter packet rings), plus the protected-sharing primitives of Sec. 3.3: software
+// regions, hierarchically-named capabilities with explicit credentials on every call,
+// wakeup predicates, and robust critical sections.
+//
+// Everything here follows the exokernel principles: the kernel tracks ownership and
+// performs access control, but management (what to map where, when to yield, how to
+// lay out data) belongs to the applications. Kernel data structures (environment
+// table, page tables, frame guards, packet rings) are exposed read-only to
+// applications, which is why many accessors below are free reads rather than
+// syscalls.
+//
+// Simulation note: "user code" runs on fibers; a system call is a method on this class
+// that charges the trap cost, validates explicit credentials, and bumps the
+// "xok.syscalls" counter. User code never touches kernel state except through these
+// methods.
+#ifndef EXO_XOK_KERNEL_H_
+#define EXO_XOK_KERNEL_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/status.h"
+#include "udf/insn.h"
+#include "xok/env.h"
+
+namespace exo::xok {
+
+using RegionId = uint32_t;
+using FilterId = uint32_t;
+
+struct PtOp {
+  enum class Kind : uint8_t { kInsert, kProtect, kRemove } kind = Kind::kInsert;
+  VPage vpage = 0;
+  Pte pte;  // for insert/protect
+};
+
+// One installed dynamic packet filter and its packet ring (Sec. 5.1).
+struct PacketFilter {
+  FilterId id = 0;
+  EnvId owner = kInvalidEnv;
+  udf::Program program;
+  std::deque<hw::Packet> ring;  // NIC DMAs packets here; app consumes
+  uint32_t ring_capacity = 64;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+};
+
+class XokKernel {
+ public:
+  explicit XokKernel(hw::Machine* machine);
+  ~XokKernel();
+
+  XokKernel(const XokKernel&) = delete;
+  XokKernel& operator=(const XokKernel&) = delete;
+
+  // ---- Environment lifecycle (sys_env_alloc and friends) ----
+
+  // Creates an environment holding the given capabilities. The body runs on its own
+  // fiber once Run() schedules it.
+  EnvId CreateEnv(EnvId parent, std::vector<Capability> caps, std::function<void()> body);
+
+  Env& env(EnvId id);
+  const Env& env(EnvId id) const;
+  bool EnvExists(EnvId id) const;
+  uint32_t alive_count() const { return alive_count_; }
+
+  // Reaps a zombie environment: frees its frames and kernel state. Called by the
+  // parent libOS (wait) or the host driver for top-level environments.
+  Status ReapEnv(EnvId id);
+
+  // ---- Host driver ----
+
+  // Schedules environments until none are alive. The host test/bench driver calls
+  // this once after creating the initial environment(s).
+  void Run();
+
+  // The environment whose fiber is currently executing (nullptr in host context).
+  Env* current() { return current_; }
+  EnvId current_id() const { return current_ == nullptr ? kInvalidEnv : current_->id; }
+
+  // ---- CPU multiplexing (called from env fibers) ----
+
+  // Charges user-mode computation, delivering end-of-slice upcalls and yielding at
+  // quantum boundaries (deferred while in a critical section).
+  void ChargeCpu(sim::Cycles cycles);
+
+  // Gives up the rest of the slice; optionally a directed yield to a specific
+  // environment (used by ExOS pipes, Sec. 5.2.1).
+  void SysYield(EnvId directed = kInvalidEnv);
+
+  // Blocks the calling environment until its wakeup predicate evaluates true.
+  void SysSleep(WakeupPredicate predicate);
+
+  // Terminates the calling environment; its fiber never resumes.
+  [[noreturn]] void SysExit(int code);
+
+  // Blocks until the child is a zombie, then reaps it and returns its exit code.
+  Result<int> SysWait(EnvId child);
+
+  // Robust critical sections: disable/enable software interrupts (Sec. 3.3). These
+  // are env-local flag flips visible to the kernel, not syscalls.
+  void EnterCritical();
+  void ExitCritical();
+
+  // ---- Physical memory ----
+
+  Result<hw::FrameId> SysFrameAlloc(CredIndex cred, CapName guard);
+  Status SysFrameFree(hw::FrameId frame, CredIndex cred);
+  // Extra reference for sharing (e.g. COW); freeing decrements.
+  Status SysFrameRef(hw::FrameId frame, CredIndex cred);
+  const CapName& FrameGuard(hw::FrameId frame) const;
+  uint32_t FreeFrameCount() const;  // exposed free list (no syscall)
+
+  Status SysPtUpdate(EnvId target, const PtOp& op, CredIndex cred);
+  // Batched page-table updates amortize the trap over many entries (Sec. 5.2.1).
+  Status SysPtBatch(EnvId target, std::span<const PtOp> ops, CredIndex cred);
+
+  // Walks `env`'s page table to move bytes between a host buffer and mapped frames,
+  // taking (and charging) page faults through the environment's handler exactly as
+  // hardware would. Used by libOS data paths.
+  Status AccessUserMemory(EnvId id, uint64_t vaddr, std::span<uint8_t> buf, bool write,
+                          bool charge_copy = true);
+
+  // ---- Software regions (sub-page protection, Sec. 3.3) ----
+
+  Result<RegionId> SysRegionCreate(uint32_t size, CapName guard, CredIndex cred);
+  Status SysRegionWrite(RegionId rid, uint32_t off, std::span<const uint8_t> data,
+                        CredIndex cred);
+  Status SysRegionRead(RegionId rid, uint32_t off, std::span<uint8_t> out, CredIndex cred);
+  Status SysRegionDestroy(RegionId rid, CredIndex cred);
+  // Exposed state: regions are readable data structures for predicate windows.
+  const std::vector<uint8_t>* RegionBytes(RegionId rid) const;
+
+  // ---- IPC ----
+
+  Status SysIpcSend(EnvId to, const IpcMessage& msg, CredIndex cred);
+  // Non-blocking receive from own queue.
+  Result<IpcMessage> SysIpcRecv();
+
+  // ---- Network ----
+
+  // Installs a packet filter; the program must pass the deterministic-policy
+  // verifier. Filters are dispatched in installation order; the kernel inspects
+  // programs at install time, which is why it can trust their claims (Sec. 9.3).
+  Result<FilterId> SysFilterInstall(udf::Program program, CredIndex cred);
+  Status SysFilterRemove(FilterId id, CredIndex cred);
+  // Consumes the next packet from the filter's ring (kWouldBlock if empty).
+  Result<hw::Packet> SysRingConsume(FilterId id, CredIndex cred);
+  const PacketFilter* Filter(FilterId id) const;  // exposed (predicate windows)
+
+  // Transmits a frame. Data is gathered by DMA; the CPU does not touch the bytes
+  // (copies, if any, are charged by the protocol library that built the frame).
+  Status SysNicTransmit(uint32_t nic, hw::Packet packet);
+
+  // ---- Misc ----
+
+  // Null syscall: trap + credential check only. Sections 6.1/6.3 use bursts of these
+  // to model the cost of protecting writes to shared abstractions.
+  void SysNull(int count = 1);
+
+  // Exposed clock (reading the cycle counter needs no syscall).
+  sim::Cycles Now() const;
+
+  hw::Machine& machine() { return *machine_; }
+  sim::Counters& counters() { return machine_->counters(); }
+
+  // Charges syscall entry/exit + credential check and counts it. Public so that
+  // sibling kernel subsystems (XN) charge through the same path.
+  void ChargeSyscall(const char* name);
+
+  // Validates that `cred` (an index into env's capability list, or kCredAny) grants
+  // `need_write` access to `guard`, charging per capability comparison.
+  Status CheckCred(const Env& e, CredIndex cred, const CapName& guard, bool need_write);
+
+ private:
+  void FinishExit(Env* e, int code);
+  Env* PickNext();
+  bool EvalPredicate(Env* e);
+  void DeliverEndOfSlice(Env* e);
+  void OnPacket(uint32_t nic, hw::Packet p);
+  Status PtApply(Env& target, const PtOp& op, CredIndex cred);
+
+  hw::Machine* machine_;
+  std::map<EnvId, std::unique_ptr<Env>> envs_;
+  std::deque<EnvId> run_queue_;  // round-robin order over alive envs
+  Env* current_ = nullptr;
+  EnvId last_scheduled_ = kInvalidEnv;
+  EnvId next_env_id_ = 1;
+  uint32_t alive_count_ = 0;
+
+  std::map<hw::FrameId, CapName> frame_guards_;
+  std::map<RegionId, std::pair<CapName, std::vector<uint8_t>>> regions_;
+  RegionId next_region_id_ = 1;
+  std::vector<PacketFilter> filters_;
+  FilterId next_filter_id_ = 1;
+
+  // CPU time consumed by interrupt-context demultiplexing, folded into the next
+  // synchronous charge (we cannot advance the clock from inside an event callback).
+  sim::Cycles interrupt_debt_ = 0;
+
+  uint64_t* syscall_counter_ = nullptr;
+  uint64_t* ctx_switch_counter_ = nullptr;
+  uint64_t* fault_counter_ = nullptr;
+};
+
+}  // namespace exo::xok
+
+#endif  // EXO_XOK_KERNEL_H_

@@ -1,0 +1,54 @@
+// Per-environment page table.
+//
+// On the x86 the page-table structure is architecturally defined and refills are done
+// in hardware, so Xok cannot let applications write page tables directly; all updates
+// go through system calls (Sec. 5.1). Entries carry hardware protection bits plus two
+// software-only bits that the kernel ignores but libOSes may use freely — ExOS uses
+// one as its copy-on-write mark (Sec. 9.3, "Provide space for application data in
+// kernel structures").
+#ifndef EXO_XOK_PAGE_TABLE_H_
+#define EXO_XOK_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "hw/phys_mem.h"
+
+namespace exo::xok {
+
+using VPage = uint32_t;
+constexpr uint32_t kPageShift = 12;
+
+struct Pte {
+  hw::FrameId frame = hw::kInvalidFrame;
+  bool readable = false;
+  bool writable = false;
+  uint8_t software_bits = 0;  // libOS-defined; bit 0 is conventionally "copy-on-write"
+};
+
+constexpr uint8_t kSwBitCow = 1;
+
+class PageTable {
+ public:
+  const Pte* Lookup(VPage vp) const {
+    auto it = entries_.find(vp);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  Pte* LookupMutable(VPage vp) {
+    auto it = entries_.find(vp);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  void Insert(VPage vp, const Pte& pte) { entries_[vp] = pte; }
+  void Remove(VPage vp) { entries_.erase(vp); }
+  size_t size() const { return entries_.size(); }
+
+  // Exposed read-only to the owning libOS (Xok exposes kernel data structures).
+  const std::map<VPage, Pte>& entries() const { return entries_; }
+
+ private:
+  std::map<VPage, Pte> entries_;
+};
+
+}  // namespace exo::xok
+
+#endif  // EXO_XOK_PAGE_TABLE_H_

@@ -1,0 +1,226 @@
+// Unit tests for the hardware substrate: physical memory, disk model, NIC/link model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "hw/disk.h"
+#include "hw/machine.h"
+#include "hw/nic.h"
+#include "hw/phys_mem.h"
+
+namespace exo::hw {
+namespace {
+
+TEST(PhysMemTest, AllocatesDistinctFrames) {
+  PhysMem mem(8);
+  auto a = mem.Alloc();
+  auto b = mem.Alloc();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(mem.free_frames(), 6u);
+}
+
+TEST(PhysMemTest, ExhaustionReturnsOutOfResources) {
+  PhysMem mem(2);
+  EXPECT_TRUE(mem.Alloc().ok());
+  EXPECT_TRUE(mem.Alloc().ok());
+  EXPECT_EQ(mem.Alloc().status(), Status::kOutOfResources);
+}
+
+TEST(PhysMemTest, RefcountKeepsFrameAlive) {
+  PhysMem mem(4);
+  FrameId f = *mem.Alloc();
+  mem.Ref(f);
+  mem.Unref(f);
+  EXPECT_TRUE(mem.allocated(f));
+  mem.Unref(f);
+  EXPECT_FALSE(mem.allocated(f));
+  EXPECT_EQ(mem.free_frames(), 4u);
+}
+
+TEST(PhysMemTest, DataPersistsAndCopies) {
+  PhysMem mem(4);
+  FrameId a = *mem.Alloc();
+  FrameId b = *mem.Alloc();
+  std::memset(mem.Data(a).data(), 0xab, kPageSize);
+  mem.CopyFrame(b, a);
+  EXPECT_EQ(mem.Data(b)[0], 0xab);
+  EXPECT_EQ(mem.Data(b)[kPageSize - 1], 0xab);
+  mem.ZeroFrame(b);
+  EXPECT_EQ(mem.Data(b)[0], 0);
+}
+
+class DiskTest : public ::testing::Test {
+ protected:
+  DiskTest() : mem_(64), disk_(&engine_, &mem_, DiskGeometry{}, 200) {}
+
+  sim::Engine engine_;
+  PhysMem mem_;
+  Disk disk_;
+};
+
+TEST_F(DiskTest, WriteThenReadRoundTrips) {
+  FrameId src = *mem_.Alloc();
+  FrameId dst = *mem_.Alloc();
+  std::memset(mem_.Data(src).data(), 0x5a, kPageSize);
+
+  bool wrote = false;
+  disk_.Submit({.write = true, .start = 100, .nblocks = 1, .frames = {src},
+                .done = [&](Status s) { wrote = s == Status::kOk; }});
+  engine_.RunUntilIdle();
+  ASSERT_TRUE(wrote);
+
+  bool read = false;
+  disk_.Submit({.write = false, .start = 100, .nblocks = 1, .frames = {dst},
+                .done = [&](Status s) { read = s == Status::kOk; }});
+  engine_.RunUntilIdle();
+  ASSERT_TRUE(read);
+  EXPECT_EQ(mem_.Data(dst)[123], 0x5a);
+}
+
+TEST_F(DiskTest, SequentialIsFasterThanScattered) {
+  // Charge time for 64 sequential blocks vs 64 blocks scattered across the disk.
+  auto run = [&](bool sequential) {
+    sim::Engine engine;
+    PhysMem mem(64);
+    Disk disk(&engine, &mem, DiskGeometry{}, 200);
+    FrameId f = *mem.Alloc();
+    int done = 0;
+    for (uint32_t i = 0; i < 64; ++i) {
+      BlockId b = sequential ? 1000 + i : (i * 251) % disk.geometry().num_blocks;
+      disk.Submit({.write = false, .start = b, .nblocks = 1, .frames = {f},
+                   .done = [&](Status) { ++done; }});
+    }
+    engine.RunUntilIdle();
+    EXPECT_EQ(done, 64);
+    return engine.now();
+  };
+  EXPECT_LT(run(true) * 4, run(false));
+}
+
+TEST_F(DiskTest, ContiguousRequestsMerge) {
+  FrameId f1 = *mem_.Alloc();
+  FrameId f2 = *mem_.Alloc();
+  int completions = 0;
+  disk_.Submit({.write = true, .start = 10, .nblocks = 1, .frames = {f1},
+                .done = [&](Status) { ++completions; }});
+  // Queue a second contiguous write while the first may still be pending.
+  disk_.Submit({.write = true, .start = 500, .nblocks = 1, .frames = {f2},
+                .done = [&](Status) { ++completions; }});
+  disk_.Submit({.write = true, .start = 501, .nblocks = 1, .frames = {f1},
+                .done = [&](Status) { ++completions; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(completions, 3);
+  EXPECT_GE(disk_.stats().merged_requests, 1u);
+}
+
+TEST_F(DiskTest, MultiBlockTransfer) {
+  std::vector<FrameId> frames;
+  for (int i = 0; i < 4; ++i) {
+    FrameId f = *mem_.Alloc();
+    std::memset(mem_.Data(f).data(), 0x10 + i, kPageSize);
+    frames.push_back(f);
+  }
+  disk_.Submit({.write = true, .start = 20, .nblocks = 4, .frames = frames, .done = {}});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(disk_.RawBlock(20)[0], 0x10);
+  EXPECT_EQ(disk_.RawBlock(23)[0], 0x13);
+  EXPECT_EQ(disk_.stats().blocks_written, 4u);
+}
+
+TEST_F(DiskTest, StatsCountSeeks) {
+  FrameId f = *mem_.Alloc();
+  disk_.Submit({.write = false, .start = 0, .nblocks = 1, .frames = {f}, .done = {}});
+  engine_.RunUntilIdle();
+  disk_.Submit({.write = false, .start = 15000, .nblocks = 1, .frames = {f}, .done = {}});
+  engine_.RunUntilIdle();
+  EXPECT_GE(disk_.stats().seeks, 1u);
+  EXPECT_EQ(disk_.stats().requests, 2u);
+}
+
+TEST(NicTest, PacketDeliveredWithWireDelay) {
+  sim::Engine engine;
+  Nic a(0);
+  Nic b(1);
+  Link link(&engine, 100.0, 50.0, 200);  // 100 Mbit/s, 50 us latency
+  link.Connect(&a, &b);
+
+  std::vector<uint8_t> got;
+  b.SetReceiveHandler([&](Packet p) { got = std::move(p.bytes); });
+
+  a.Transmit({.bytes = {1, 2, 3, 4}});
+  EXPECT_TRUE(got.empty());  // not delivered synchronously
+  engine.RunUntilIdle();
+  EXPECT_EQ(got, (std::vector<uint8_t>{1, 2, 3, 4}));
+  // 64B min frame + 24B overhead at 100 Mbit/s = 7.04 us + 50 us latency.
+  EXPECT_NEAR(static_cast<double>(engine.now()) / 200.0, 57.0, 1.0);
+}
+
+TEST(NicTest, LinkSerializesBackToBackFrames) {
+  sim::Engine engine;
+  Nic a(0);
+  Nic b(1);
+  Link link(&engine, 100.0, 0.0, 200);
+  link.Connect(&a, &b);
+
+  int received = 0;
+  b.SetReceiveHandler([&](Packet) { ++received; });
+  for (int i = 0; i < 10; ++i) {
+    a.Transmit({.bytes = std::vector<uint8_t>(1000, 0)});
+  }
+  engine.RunUntilIdle();
+  EXPECT_EQ(received, 10);
+  // 10 frames of (1000+24)B at 100 Mbit/s: 10 * 81.92 us serialized end to end.
+  EXPECT_NEAR(static_cast<double>(engine.now()) / 200.0, 819.2, 1.0);
+}
+
+TEST(NicTest, FullDuplexDirectionsIndependent) {
+  sim::Engine engine;
+  Nic a(0);
+  Nic b(1);
+  Link link(&engine, 100.0, 0.0, 200);
+  link.Connect(&a, &b);
+  sim::Cycles a_arrival = 0;
+  sim::Cycles b_arrival = 0;
+  a.SetReceiveHandler([&](Packet) { a_arrival = engine.now(); });
+  b.SetReceiveHandler([&](Packet) { b_arrival = engine.now(); });
+  a.Transmit({.bytes = std::vector<uint8_t>(1400, 0)});
+  b.Transmit({.bytes = std::vector<uint8_t>(1400, 0)});
+  engine.RunUntilIdle();
+  EXPECT_EQ(a_arrival, b_arrival);  // no shared-medium contention on full duplex
+}
+
+TEST(NicTest, NoHandlerCountsDrop) {
+  sim::Engine engine;
+  Nic a(0);
+  Nic b(1);
+  Link link(&engine, 100.0, 0.0, 200);
+  link.Connect(&a, &b);
+  a.Transmit({.bytes = {9}});
+  engine.RunUntilIdle();
+  EXPECT_EQ(b.stats().dropped, 1u);
+}
+
+TEST(MachineTest, ChargeAdvancesSharedClock) {
+  sim::Engine engine;
+  Machine m(&engine, MachineConfig{.mem_frames = 32});
+  m.Charge(1000);
+  EXPECT_EQ(engine.now(), 1000u);
+}
+
+TEST(MachineTest, ConfigShapesHardware) {
+  sim::Engine engine;
+  MachineConfig cfg;
+  cfg.mem_frames = 100;
+  cfg.disks = {DiskGeometry{}, DiskGeometry{}};
+  cfg.num_nics = 3;
+  Machine m(&engine, cfg);
+  EXPECT_EQ(m.mem().num_frames(), 100u);
+  EXPECT_EQ(m.num_disks(), 2u);
+  EXPECT_EQ(m.num_nics(), 3u);
+}
+
+}  // namespace
+}  // namespace exo::hw

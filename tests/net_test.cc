@@ -1,0 +1,382 @@
+// Tests for the network stack: packet codecs, TCP handshake/data/close/retransmit,
+// Cheetah's zero-copy + precomputed-checksum + ACK-piggybacking options, and UDP.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/packet.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+#include "net/xio.h"
+#include "sim/cpu_meter.h"
+#include "sim/engine.h"
+
+namespace exo::net {
+namespace {
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest()
+      : link_(&engine_, 100.0, 30.0, 200),
+        nic_a_(0),
+        nic_b_(1),
+        cpu_a_(&engine_),
+        cpu_b_(&engine_) {
+    link_.Connect(&nic_a_, &nic_b_);
+    cost_ = sim::CostModel::PentiumPro200();
+  }
+
+  std::unique_ptr<TcpStack> MakeStack(hw::Nic* nic, sim::CpuMeter* cpu, IpAddr ip,
+                                      TcpProfile profile) {
+    TcpStack::Hooks hooks;
+    hooks.engine = &engine_;
+    hooks.cost = &cost_;
+    hooks.cpu = cpu;
+    hooks.transmit = [this, nic](hw::Packet p, sim::Cycles when) {
+      sim::Cycles at = std::max(when, engine_.now());
+      engine_.ScheduleAt(at, [nic, p = std::move(p)]() mutable {
+        if (drop_next_ > 0 && p.bytes.size() > kIpHeaderBytes + kTcpHeaderBytes) {
+          --drop_next_;
+          return;  // simulated loss of a data segment
+        }
+        nic->Transmit(std::move(p));
+      });
+    };
+    auto stack = std::make_unique<TcpStack>(hooks, ip, profile);
+    TcpStack* raw = stack.get();
+    nic->SetReceiveHandler([raw](hw::Packet p) { raw->Input(p); });
+    return stack;
+  }
+
+  void Run() { engine_.RunUntilIdle(); }
+
+  sim::Engine engine_;
+  hw::Link link_;
+  hw::Nic nic_a_;
+  hw::Nic nic_b_;
+  sim::CpuMeter cpu_a_;
+  sim::CpuMeter cpu_b_;
+  sim::CostModel cost_;
+  static int drop_next_;
+};
+
+int NetTest::drop_next_ = 0;
+
+TEST(PacketTest, TcpCodecRoundTrips) {
+  TcpSegment s;
+  s.src_ip = 0x0a000001;
+  s.dst_ip = 0x0a000002;
+  s.src_port = 1234;
+  s.dst_port = 80;
+  s.seq = 777;
+  s.ack = 888;
+  s.flags = kFlagPsh | kFlagAck;
+  s.window = 4096;
+  s.payload = {1, 2, 3, 4, 5};
+  s.checksum = Checksum(s.payload);
+  auto p = EncodeTcp(s);
+  auto d = DecodeTcp(p);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src_ip, s.src_ip);
+  EXPECT_EQ(d->dst_port, s.dst_port);
+  EXPECT_EQ(d->seq, s.seq);
+  EXPECT_EQ(d->ack, s.ack);
+  EXPECT_EQ(d->flags, s.flags);
+  EXPECT_EQ(d->payload, s.payload);
+  EXPECT_EQ(d->checksum, Checksum(d->payload));
+}
+
+TEST(PacketTest, UdpCodecRoundTrips) {
+  UdpDatagram d;
+  d.src_ip = 1;
+  d.dst_ip = 2;
+  d.src_port = 53;
+  d.dst_port = 5353;
+  d.payload = {9, 8, 7};
+  auto p = EncodeUdp(d);
+  auto back = DecodeUdp(p);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload, d.payload);
+  EXPECT_EQ(back->dst_port, d.dst_port);
+}
+
+TEST(PacketTest, DecodeRejectsWrongProtoAndShortFrames) {
+  EXPECT_FALSE(DecodeTcp(hw::Packet{.bytes = {1, 2, 3}}).has_value());
+  auto udp = EncodeUdp(UdpDatagram{});
+  EXPECT_FALSE(DecodeTcp(udp).has_value());
+}
+
+TEST(PacketTest, ChecksumDetectsCorruption) {
+  std::vector<uint8_t> data(1000, 7);
+  uint32_t sum = Checksum(data);
+  data[500] ^= 0xff;
+  EXPECT_NE(Checksum(data), sum);
+}
+
+TEST_F(NetTest, HandshakeAndEcho) {
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
+  auto client = MakeStack(&nic_a_, nullptr, 1, ClientProfile());
+
+  std::vector<uint8_t> server_got;
+  std::vector<uint8_t> client_got;
+  ASSERT_EQ(server->Listen(80, [&](TcpConn* c) {
+    c->set_on_data([&](TcpConn* conn, std::span<const uint8_t> data) {
+      server_got.assign(data.begin(), data.end());
+      conn->Send(std::vector<uint8_t>{'p', 'o', 'n', 'g'});
+    });
+  }), Status::kOk);
+
+  client->Connect(2, 80, [&](TcpConn* c) {
+    c->set_on_data([&](TcpConn*, std::span<const uint8_t> data) {
+      client_got.assign(data.begin(), data.end());
+    });
+    c->Send(std::vector<uint8_t>{'p', 'i', 'n', 'g'});
+  });
+  Run();
+  EXPECT_EQ(server_got, (std::vector<uint8_t>{'p', 'i', 'n', 'g'}));
+  EXPECT_EQ(client_got, (std::vector<uint8_t>{'p', 'o', 'n', 'g'}));
+}
+
+TEST_F(NetTest, LargeTransferSegmentsAndWindowing) {
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
+  auto client = MakeStack(&nic_a_, nullptr, 1, ClientProfile());
+
+  std::vector<uint8_t> blob(300 * 1024);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<uint8_t>(i * 13);
+  }
+  std::vector<uint8_t> got;
+  bool done = false;
+  ASSERT_EQ(server->Listen(80, [&](TcpConn* c) {
+    c->set_on_send_complete([&](TcpConn*) { done = true; });
+    c->Send(blob);
+  }), Status::kOk);
+  client->Connect(2, 80, [&](TcpConn* c) {
+    c->set_on_data([&](TcpConn*, std::span<const uint8_t> data) {
+      got.insert(got.end(), data.begin(), data.end());
+    });
+  });
+  Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got, blob);
+  EXPECT_GE(server->stats().segments_out, blob.size() / kMss);
+  // Wire time floor: 300 KB at 100 Mbit/s is ~24.6 ms.
+  EXPECT_GE(engine_.now(), cost_.FromMicros(24'000));
+}
+
+TEST_F(NetTest, RetransmitRecoversFromLoss) {
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
+  auto client = MakeStack(&nic_a_, nullptr, 1, ClientProfile());
+
+  std::vector<uint8_t> got;
+  ASSERT_EQ(server->Listen(80, [&](TcpConn* c) {
+    c->set_on_data([&](TcpConn*, std::span<const uint8_t> d) {
+      got.insert(got.end(), d.begin(), d.end());
+    });
+  }), Status::kOk);
+  client->Connect(2, 80, [&](TcpConn* c) {
+    drop_next_ = 1;  // the first data segment vanishes on the wire
+    c->Send(std::vector<uint8_t>(100, 0x42));
+  });
+  Run();
+  ASSERT_EQ(got.size(), 100u);
+  EXPECT_EQ(got[0], 0x42);
+  EXPECT_GE(client->stats().retransmits, 1u);
+}
+
+TEST_F(NetTest, CloseHandshakeReachesBothSides) {
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
+  auto client = MakeStack(&nic_a_, nullptr, 1, ClientProfile());
+  bool server_closed = false;
+  bool client_closed = false;
+  ASSERT_EQ(server->Listen(80, [&](TcpConn* c) {
+    c->set_on_close([&](TcpConn* conn) {
+      server_closed = true;
+      conn->Close();  // passive close
+    });
+  }), Status::kOk);
+  client->Connect(2, 80, [&](TcpConn* c) {
+    c->set_on_close([&](TcpConn*) { client_closed = true; });
+    c->Send(std::vector<uint8_t>(10, 1));
+    c->Close();
+  });
+  Run();
+  EXPECT_TRUE(server_closed);
+  EXPECT_TRUE(client_closed);
+}
+
+TEST_F(NetTest, PiggybackedAcksReducePurePackets) {
+  // Request/response workload: the piggyback profile should emit fewer pure ACKs.
+  auto run = [&](TcpProfile profile) {
+    sim::Engine engine;
+    hw::Link link(&engine, 100.0, 30.0, 200);
+    hw::Nic na(0);
+    hw::Nic nb(1);
+    link.Connect(&na, &nb);
+    sim::CpuMeter cpu(&engine);
+    sim::CostModel cost = sim::CostModel::PentiumPro200();
+
+    auto mk = [&](hw::Nic* nic, sim::CpuMeter* meter, IpAddr ip, TcpProfile prof) {
+      TcpStack::Hooks hooks;
+      hooks.engine = &engine;
+      hooks.cost = &cost;
+      hooks.cpu = meter;
+      hooks.transmit = [&engine, nic](hw::Packet p, sim::Cycles when) {
+        engine.ScheduleAt(std::max(when, engine.now()),
+                          [nic, p = std::move(p)]() mutable { nic->Transmit(std::move(p)); });
+      };
+      return std::make_unique<TcpStack>(hooks, ip, prof);
+    };
+    auto server = mk(&nb, &cpu, 2, profile);
+    auto client = mk(&na, nullptr, 1, ClientProfile());
+    nb.SetReceiveHandler([&](hw::Packet p) { server->Input(p); });
+    na.SetReceiveHandler([&](hw::Packet p) { client->Input(p); });
+
+    int responses = 0;
+    EXPECT_EQ(server->Listen(80, [&](TcpConn* c) {
+      c->set_on_data([&](TcpConn* conn, std::span<const uint8_t>) {
+        conn->Send(std::vector<uint8_t>(200, 0));  // response piggybacks the ACK
+      });
+    }), Status::kOk);
+    client->Connect(2, 80, [&](TcpConn* c) {
+      c->set_on_data([&, n = 0](TcpConn* conn, std::span<const uint8_t>) mutable {
+        ++responses;
+        if (++n < 20) {
+          conn->Send(std::vector<uint8_t>(100, 0));
+        }
+      });
+      c->Send(std::vector<uint8_t>(100, 0));
+    });
+    engine.RunUntilIdle();
+    EXPECT_EQ(responses, 20);
+    return server->stats();
+  };
+
+  TcpStats merged = run(CheetahProfile());
+  TcpStats plain = run(BsdSocketProfile());
+  EXPECT_LT(merged.pure_acks_out, plain.pure_acks_out);
+  EXPECT_GT(merged.piggybacked_acks, 10u);
+}
+
+TEST_F(NetTest, ZeroCopyProfileUsesLessCpu) {
+  std::vector<uint8_t> blob(200 * 1024, 0x77);
+  auto run = [&](TcpProfile profile, std::span<const uint32_t> sums) {
+    sim::Engine engine;
+    hw::Link link(&engine, 100.0, 30.0, 200);
+    hw::Nic na(0);
+    hw::Nic nb(1);
+    link.Connect(&na, &nb);
+    sim::CpuMeter cpu(&engine);
+    sim::CostModel cost = sim::CostModel::PentiumPro200();
+    auto mk = [&](hw::Nic* nic, sim::CpuMeter* meter, IpAddr ip, TcpProfile prof) {
+      TcpStack::Hooks hooks;
+      hooks.engine = &engine;
+      hooks.cost = &cost;
+      hooks.cpu = meter;
+      hooks.transmit = [&engine, nic](hw::Packet p, sim::Cycles when) {
+        engine.ScheduleAt(std::max(when, engine.now()),
+                          [nic, p = std::move(p)]() mutable { nic->Transmit(std::move(p)); });
+      };
+      return std::make_unique<TcpStack>(hooks, ip, prof);
+    };
+    auto server = mk(&nb, &cpu, 2, profile);
+    auto client = mk(&na, nullptr, 1, ClientProfile());
+    nb.SetReceiveHandler([&](hw::Packet p) { server->Input(p); });
+    na.SetReceiveHandler([&](hw::Packet p) { client->Input(p); });
+    size_t received = 0;
+    EXPECT_EQ(server->Listen(80, [&](TcpConn* c) { c->Send(blob, sums); }), Status::kOk);
+    client->Connect(2, 80, [&](TcpConn* c) {
+      c->set_on_data([&](TcpConn*, std::span<const uint8_t> d) { received += d.size(); });
+    });
+    engine.RunUntilIdle();
+    EXPECT_EQ(received, blob.size());
+    return cpu.total_busy();
+  };
+
+  // Precompute checksums as Cheetah stores them with the file.
+  std::vector<uint32_t> sums;
+  for (size_t off = 0; off < blob.size(); off += kMss) {
+    sums.push_back(Checksum(std::span<const uint8_t>(blob).subspan(
+        off, std::min<size_t>(kMss, blob.size() - off))));
+  }
+  sim::Cycles cheetah = run(CheetahProfile(), sums);
+  sim::Cycles socket = run(XokSocketProfile(), {});
+  sim::Cycles bsd = run(BsdSocketProfile(), {});
+  EXPECT_LT(cheetah * 2, socket);  // no copy, no checksum
+  EXPECT_LT(socket, bsd);          // fewer copies, cheaper crossings
+}
+
+TEST_F(NetTest, PcbReuseCountsAndCharges) {
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
+  auto client = MakeStack(&nic_a_, nullptr, 1, ClientProfile());
+  int closed = 0;
+  ASSERT_EQ(server->Listen(80, [&](TcpConn* c) {
+    c->set_on_close([&, s = server.get()](TcpConn* conn) {
+      conn->Close();
+      ++closed;
+    });
+  }), Status::kOk);
+
+  for (int i = 0; i < 5; ++i) {
+    client->Connect(2, 80, [&](TcpConn* c) {
+      c->Send(std::vector<uint8_t>(10, 1));
+      c->Close();
+    });
+    Run();
+    // Release server-side conns that reached Closed.
+  }
+  EXPECT_EQ(closed, 5);
+}
+
+TEST_F(NetTest, UdpRoundTrip) {
+  UdpStack::Hooks hooks_a;
+  hooks_a.engine = &engine_;
+  hooks_a.cost = &cost_;
+  hooks_a.transmit = [this](hw::Packet p, sim::Cycles when) {
+    engine_.ScheduleAt(std::max(when, engine_.now()),
+                       [this, p = std::move(p)]() mutable { nic_a_.Transmit(std::move(p)); });
+  };
+  UdpStack a(hooks_a, 1);
+  UdpStack::Hooks hooks_b = hooks_a;
+  hooks_b.cpu = &cpu_b_;
+  hooks_b.transmit = [this](hw::Packet p, sim::Cycles when) {
+    engine_.ScheduleAt(std::max(when, engine_.now()),
+                       [this, p = std::move(p)]() mutable { nic_b_.Transmit(std::move(p)); });
+  };
+  UdpStack b(hooks_b, 2);
+  nic_a_.SetReceiveHandler([&](hw::Packet p) { a.Input(p); });
+  nic_b_.SetReceiveHandler([&](hw::Packet p) { b.Input(p); });
+
+  std::vector<uint8_t> got;
+  ASSERT_EQ(b.Bind(5000, [&](const UdpDatagram& d) {
+    got = d.payload;
+    b.SendTo(5000, d.src_ip, d.src_port, std::vector<uint8_t>{4, 5, 6});
+  }), Status::kOk);
+  std::vector<uint8_t> reply;
+  ASSERT_EQ(a.Bind(6000, [&](const UdpDatagram& d) { reply = d.payload; }), Status::kOk);
+  ASSERT_EQ(a.SendTo(6000, 2, 5000, std::vector<uint8_t>{1, 2, 3}), Status::kOk);
+  Run();
+  EXPECT_EQ(got, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(reply, (std::vector<uint8_t>{4, 5, 6}));
+}
+
+TEST(ChecksumCacheTest, ComputesOnceThenHits) {
+  sim::CostModel cost = sim::CostModel::PentiumPro200();
+  sim::Cycles charged = 0;
+  ChecksumCache cache(&cost, [&](sim::Cycles c) { charged += c; });
+  std::vector<uint8_t> data(10000, 3);
+  const auto& s1 = cache.For(42, data);
+  EXPECT_EQ(s1.size(), (data.size() + kMss - 1) / kMss);
+  sim::Cycles after_first = charged;
+  EXPECT_GT(after_first, 0u);
+  const auto& s2 = cache.For(42, data);
+  EXPECT_EQ(charged, after_first);  // no recharge
+  EXPECT_EQ(&s1, &s2);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.Invalidate(42);
+  cache.For(42, data);
+  EXPECT_GT(charged, after_first);
+}
+
+}  // namespace
+}  // namespace exo::net

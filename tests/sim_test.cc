@@ -1,0 +1,239 @@
+// Unit tests for the simulation core: event engine, fibers, RNG, counters, cost model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/counters.h"
+#include "sim/engine.h"
+#include "sim/fiber.h"
+#include "sim/rng.h"
+#include "sim/status.h"
+
+namespace exo::sim {
+namespace {
+
+TEST(EngineTest, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_FALSE(e.HasPendingEvents());
+}
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(30, [&] { order.push_back(3); });
+  e.ScheduleAt(10, [&] { order.push_back(1); });
+  e.ScheduleAt(20, [&] { order.push_back(2); });
+  e.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(EngineTest, TiesBreakInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(5, [&] { order.push_back(1); });
+  e.ScheduleAt(5, [&] { order.push_back(2); });
+  e.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EngineTest, AdvanceFiresDueEvents) {
+  Engine e;
+  bool fired = false;
+  e.ScheduleAt(100, [&] { fired = true; });
+  e.Advance(50);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), 50u);
+  e.Advance(50);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(EngineTest, AdvancePastEventStillEndsAtTarget) {
+  Engine e;
+  Cycles when_fired = 0;
+  e.ScheduleAt(10, [&] { when_fired = e.now(); });
+  e.Advance(100);
+  EXPECT_EQ(when_fired, 10u);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  auto id = e.ScheduleAt(10, [&] { fired = true; });
+  e.Cancel(id);
+  e.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, EventsCanScheduleEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      e.ScheduleAfter(10, chain);
+    }
+  };
+  e.ScheduleAfter(10, chain);
+  e.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 50u);
+}
+
+TEST(EngineTest, NextEventTimeSkipsCancelled) {
+  Engine e;
+  auto id = e.ScheduleAt(5, [] {});
+  e.ScheduleAt(9, [] {});
+  e.Cancel(id);
+  EXPECT_EQ(e.NextEventTime(), 9u);
+}
+
+TEST(FiberTest, RunsBodyToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 42; });
+  EXPECT_FALSE(f.done());
+  f.Resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(FiberTest, SuspendAndResumeRoundTrips) {
+  std::vector<int> order;
+  Fiber f([&] {
+    order.push_back(1);
+    Fiber::Suspend();
+    order.push_back(3);
+    Fiber::Suspend();
+    order.push_back(5);
+  });
+  f.Resume();
+  order.push_back(2);
+  f.Resume();
+  order.push_back(4);
+  f.Resume();
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(FiberTest, CurrentTracksRunningFiber) {
+  EXPECT_EQ(Fiber::Current(), nullptr);
+  Fiber* seen = nullptr;
+  Fiber f([&] { seen = Fiber::Current(); });
+  f.Resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(Fiber::Current(), nullptr);
+}
+
+TEST(FiberTest, ManyFibersInterleave) {
+  std::vector<int> order;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  for (int i = 0; i < 4; ++i) {
+    fibers.push_back(std::make_unique<Fiber>([&order, i] {
+      order.push_back(i);
+      Fiber::Suspend();
+      order.push_back(i + 10);
+    }));
+  }
+  for (auto& f : fibers) {
+    f->Resume();
+  }
+  for (auto& f : fibers) {
+    f->Resume();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 10, 11, 12, 13}));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = r.Range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(CountersTest, HandleIsStableAndShared) {
+  Counters c;
+  auto* h1 = c.Handle("syscalls");
+  auto* h2 = c.Handle("syscalls");
+  EXPECT_EQ(h1, h2);
+  *h1 += 5;
+  EXPECT_EQ(c.Get("syscalls"), 5u);
+}
+
+TEST(CountersTest, ResetZeroesAll) {
+  Counters c;
+  c.Add("a", 3);
+  c.Add("b", 4);
+  c.Reset();
+  EXPECT_EQ(c.Get("a"), 0u);
+  EXPECT_EQ(c.Get("b"), 0u);
+}
+
+TEST(CostModelTest, MicrosecondRoundTrip) {
+  CostModel m = CostModel::PentiumPro200();
+  EXPECT_EQ(m.FromMicros(1.0), 200u);
+  EXPECT_DOUBLE_EQ(m.ToMicros(200), 1.0);
+  EXPECT_DOUBLE_EQ(m.ToSeconds(200'000'000), 1.0);
+}
+
+TEST(CostModelTest, GetpidCalibration) {
+  // Sec. 7.1: getpid is 270 cycles on OpenBSD, 100 as a rerouted procedure call.
+  CostModel m = CostModel::PentiumPro200();
+  EXPECT_EQ(m.trap_round_trip + m.unix_syscall_dispatch + m.getpid_body, 270u);
+  EXPECT_EQ(m.libos_procedure_call + m.getpid_body, 100u);
+}
+
+TEST(StatusTest, ResultHoldsValueOrStatus) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(ok.status(), Status::kOk);
+
+  Result<int> err(Status::kNotFound);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status(), Status::kNotFound);
+}
+
+TEST(StatusTest, NamesAreDistinct) {
+  EXPECT_STREQ(StatusName(Status::kOk), "OK");
+  EXPECT_STREQ(StatusName(Status::kTainted), "TAINTED");
+  EXPECT_STRNE(StatusName(Status::kBusy), StatusName(Status::kWouldBlock));
+}
+
+}  // namespace
+}  // namespace exo::sim

@@ -1,0 +1,564 @@
+// Tests for XN: templates, the buffer-cache registry, the UDF-verified alloc/dealloc
+// protocol, ordered writes (taint tracking, will-free), and crash-recovery GC.
+//
+// The tests define a miniature libFS metadata format, "tnode": a block holding a u32
+// child count at offset 0 followed by u32 child block pointers at offset 4. One
+// template types children as raw data; a second types them as tnodes (for trees).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "hw/machine.h"
+#include "sim/engine.h"
+#include "udf/assembler.h"
+#include "xn/registry.h"
+#include "xn/types.h"
+#include "xn/xn.h"
+
+namespace exo::xn {
+namespace {
+
+using hw::BlockId;
+using hw::FrameId;
+
+udf::Program TnodeOwns(uint32_t child_type) {
+  char src[512];
+  std::snprintf(src, sizeof(src), R"(
+      ldi r1, 0
+      ld4 r2, r1, 0, meta     ; count
+      ldi r3, 4               ; pointer offset
+      ldi r4, 1               ; extent length
+      ldi r5, %u              ; child template type
+      bz r2, done
+    loop:
+      ld4 r6, r3, 0, meta
+      emit r6, r4, r5
+      addi r3, r3, 4
+      addi r2, r2, -1
+      bnz r2, loop
+    done:
+      ret r0
+  )", child_type);
+  auto r = udf::Assemble(src);
+  EXO_CHECK(r.ok);
+  return r.program;
+}
+
+// Approves callers whose first credential is writable and rooted at name part 7.
+udf::Program RequireCap7Acl() {
+  auto r = udf::Assemble(R"(
+      ldi r1, 0
+      ld2 r2, r1, 0, cred     ; cap count
+      bz r2, deny
+      ldi r3, 2
+      ld1 r4, r3, 0, cred     ; write flag of cap 0
+      ld2 r5, r3, 3, cred     ; first name part of cap 0
+      ldi r6, 7
+      ceq r7, r5, r6
+      and r8, r7, r4
+      ret r8
+    deny:
+      ldi r0, 0
+      ret r0
+  )");
+  EXO_CHECK(r.ok);
+  return r.program;
+}
+
+udf::Program SizeUf() {
+  auto r = udf::Assemble("ldi r1, 4096\nret r1\n");
+  EXO_CHECK(r.ok);
+  return r.program;
+}
+
+Mods SetCount(uint32_t count) {
+  ByteMod m;
+  m.offset = 0;
+  m.bytes = {static_cast<uint8_t>(count), static_cast<uint8_t>(count >> 8),
+             static_cast<uint8_t>(count >> 16), static_cast<uint8_t>(count >> 24)};
+  return {m};
+}
+
+ByteMod SetPtr(uint32_t index, BlockId b) {
+  ByteMod m;
+  m.offset = 4 + index * 4;
+  m.bytes = {static_cast<uint8_t>(b), static_cast<uint8_t>(b >> 8),
+             static_cast<uint8_t>(b >> 16), static_cast<uint8_t>(b >> 24)};
+  return m;
+}
+
+class XnTest : public ::testing::Test {
+ protected:
+  XnTest()
+      : machine_(&engine_, hw::MachineConfig{.mem_frames = 512,
+                                             .disks = {hw::DiskGeometry{.num_blocks = 2048}}}),
+        xn_(&machine_, &machine_.disk()) {
+    xn_.Format();
+    EXPECT_EQ(xn_.Attach(), Status::kOk);
+
+    Template leaf;  // tnode whose children are raw data blocks
+    leaf.name = "tnode-leaf";
+    leaf.is_metadata = true;
+    leaf.owns_udf = TnodeOwns(kDataTemplate);
+    leaf.acl_uf = RequireCap7Acl();
+    leaf.size_uf = SizeUf();
+    auto lt = xn_.InstallTemplate(leaf);
+    EXPECT_TRUE(lt.ok());
+    leaf_tmpl_ = *lt;
+
+    Template inner;  // tnode whose children are leaf tnodes
+    inner.name = "tnode-inner";
+    inner.is_metadata = true;
+    inner.owns_udf = TnodeOwns(leaf_tmpl_);
+    inner.acl_uf = RequireCap7Acl();
+    inner.size_uf = SizeUf();
+    auto it = xn_.InstallTemplate(inner);
+    EXPECT_TRUE(it.ok());
+    inner_tmpl_ = *it;
+
+    good_creds_ = {xok::Capability::For({7, 1})};
+    bad_creds_ = {xok::Capability::For({8, 1})};
+  }
+
+  FrameId NewFrame() {
+    auto f = machine_.mem().Alloc();
+    EXO_CHECK(f.ok());
+    return *f;
+  }
+
+  // Creates a root, loads it, and returns its block.
+  BlockId MakeRoot(const std::string& name, TemplateId tmpl, bool temporary = false) {
+    auto r = xn_.RegisterRoot(name, tmpl, temporary);
+    EXO_CHECK(r.ok());
+    Status s = Status::kNotFound;
+    EXO_CHECK_EQ(xn_.LoadRoot(name, NewFrame(), good_creds_, [&](Status st) { s = st; }),
+                 Status::kOk);
+    engine_.RunUntilIdle();
+    EXO_CHECK_EQ(s, Status::kOk);
+    return r->block;
+  }
+
+  // Allocates `n` data children under `meta` (a leaf tnode with `existing` children).
+  std::vector<BlockId> AllocChildren(BlockId meta, uint32_t existing, uint32_t n,
+                                     TemplateId type = kDataTemplate) {
+    std::vector<BlockId> out;
+    Mods mods = SetCount(existing + n);
+    std::vector<udf::Extent> extents;
+    BlockId hint = xn_.FirstDataBlock();
+    for (uint32_t i = 0; i < n; ++i) {
+      auto b = xn_.FindFreeRun(hint, 1);
+      EXO_CHECK(b.ok());
+      hint = *b + 1;
+      mods.push_back(SetPtr(existing + i, *b));
+      extents.push_back({*b, 1, type});
+      out.push_back(*b);
+    }
+    EXO_CHECK_EQ(xn_.Alloc(meta, mods, extents, good_creds_), Status::kOk);
+    return out;
+  }
+
+  Status FlushAll(std::vector<BlockId> blocks) {
+    Status s = Status::kNotFound;
+    Status submit = xn_.Write(blocks, [&](Status st) { s = st; });
+    if (submit != Status::kOk) {
+      return submit;
+    }
+    engine_.RunUntilIdle();
+    return s;
+  }
+
+  sim::Engine engine_;
+  hw::Machine machine_;
+  Xn xn_;
+  TemplateId leaf_tmpl_ = kInvalidTemplate;
+  TemplateId inner_tmpl_ = kInvalidTemplate;
+  Caps good_creds_;
+  Caps bad_creds_;
+};
+
+TEST_F(XnTest, TemplatesPersistAcrossAttach) {
+  xn_.Detach();
+  Xn other(&machine_, &machine_.disk());
+  EXPECT_EQ(other.Attach(), Status::kOk);
+  EXPECT_FALSE(other.recovered_after_crash());
+  auto t = other.LookupTemplate("tnode-leaf");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, leaf_tmpl_);
+  const Template* tp = other.FindTemplate(*t);
+  ASSERT_NE(tp, nullptr);
+  EXPECT_TRUE(tp->is_metadata);
+  EXPECT_EQ(tp->owns_udf.size(), TnodeOwns(kDataTemplate).size());
+}
+
+TEST_F(XnTest, TemplatesAreImmutableOnceInstalled) {
+  Template again;
+  again.name = "tnode-leaf";
+  again.is_metadata = true;
+  again.owns_udf = TnodeOwns(kDataTemplate);
+  EXPECT_EQ(xn_.InstallTemplate(again).status(), Status::kAlreadyExists);
+}
+
+TEST_F(XnTest, NondeterministicOwnsUdfRejected) {
+  auto bad = udf::Assemble("time r1\nemit r1, r1, r1\nret r0\n");
+  ASSERT_TRUE(bad.ok);
+  Template t;
+  t.name = "evil";
+  t.is_metadata = true;
+  t.owns_udf = bad.program;
+  EXPECT_EQ(xn_.InstallTemplate(t).status(), Status::kVerifierReject);
+  // acl-uf, by contrast, may read the clock.
+  Template ok;
+  ok.name = "timed-acl";
+  ok.is_metadata = true;
+  ok.owns_udf = TnodeOwns(kDataTemplate);
+  ok.acl_uf = bad.program;
+  EXPECT_TRUE(xn_.InstallTemplate(ok).ok());
+}
+
+TEST_F(XnTest, RootRegistrationAllocatesAndPersists) {
+  auto r = xn_.RegisterRoot("myfs", leaf_tmpl_, /*temporary=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(xn_.IsAllocated(r->block));
+  EXPECT_EQ(xn_.RegisterRoot("myfs", leaf_tmpl_, false).status(), Status::kAlreadyExists);
+
+  auto tmp = xn_.RegisterRoot("scratch", leaf_tmpl_, /*temporary=*/true);
+  ASSERT_TRUE(tmp.ok());
+
+  xn_.Detach();
+  Xn other(&machine_, &machine_.disk());
+  EXPECT_EQ(other.Attach(), Status::kOk);
+  EXPECT_TRUE(other.LookupRoot("myfs").ok());
+  // Temporary file systems do not survive (Sec. 4.3.2).
+  EXPECT_EQ(other.LookupRoot("scratch").status(), Status::kNotFound);
+}
+
+TEST_F(XnTest, AllocatesExactlyClaimedBlocks) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  uint32_t free_before = xn_.FreeBlockCount();
+  auto kids = AllocChildren(root, 0, 3);
+  EXPECT_EQ(xn_.FreeBlockCount(), free_before - 3);
+  for (BlockId b : kids) {
+    EXPECT_TRUE(xn_.IsAllocated(b));
+  }
+  // The registry entry for the root is now dirty with count=3.
+  auto bytes = xn_.ReadCached(root, good_creds_);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ((*bytes)[0], 3);
+}
+
+TEST_F(XnTest, AllocRejectsDeltaMismatch) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto b1 = xn_.FindFreeRun(xn_.FirstDataBlock(), 1);
+  auto b2 = xn_.FindFreeRun(*b1 + 1, 1);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  // Claim we are allocating b2 but actually write a pointer to b1.
+  Mods mods = SetCount(1);
+  mods.push_back(SetPtr(0, *b1));
+  std::vector<udf::Extent> claim = {{*b2, 1, kDataTemplate}};
+  EXPECT_EQ(xn_.Alloc(root, mods, claim, good_creds_), Status::kBadMetadata);
+  // Nothing was mutated by the failed attempt.
+  EXPECT_FALSE(xn_.IsAllocated(*b1));
+  EXPECT_FALSE(xn_.IsAllocated(*b2));
+  auto bytes = xn_.ReadCached(root, good_creds_);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ((*bytes)[0], 0);
+}
+
+TEST_F(XnTest, AllocRejectsAlreadyAllocatedBlock) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 1);
+  // A second tree trying to claim the same block is refused by the free-map check.
+  BlockId root2 = MakeRoot("fs2", leaf_tmpl_);
+  Mods mods = SetCount(1);
+  mods.push_back(SetPtr(0, kids[0]));
+  std::vector<udf::Extent> claim = {{kids[0], 1, kDataTemplate}};
+  EXPECT_EQ(xn_.Alloc(root2, mods, claim, good_creds_), Status::kOutOfResources);
+}
+
+TEST_F(XnTest, AclUfDeniesWrongCredentials) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto b = xn_.FindFreeRun(xn_.FirstDataBlock(), 1);
+  Mods mods = SetCount(1);
+  mods.push_back(SetPtr(0, *b));
+  std::vector<udf::Extent> claim = {{*b, 1, kDataTemplate}};
+  EXPECT_EQ(xn_.Alloc(root, mods, claim, bad_creds_), Status::kPermissionDenied);
+  EXPECT_EQ(xn_.Alloc(root, mods, claim, good_creds_), Status::kOk);
+}
+
+TEST_F(XnTest, ModifyMustPreserveOwnership) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  AllocChildren(root, 0, 1);
+  // Rewriting unused tail bytes is fine.
+  ByteMod scribble;
+  scribble.offset = 2000;
+  scribble.bytes = {1, 2, 3};
+  EXPECT_EQ(xn_.Modify(root, {scribble}, good_creds_), Status::kOk);
+  // Bumping the count (which would claim another pointer) is not a Modify.
+  EXPECT_EQ(xn_.Modify(root, SetCount(2), good_creds_), Status::kBadMetadata);
+}
+
+TEST_F(XnTest, WriteRefusedWhileChildUninitialized) {
+  BlockId root = MakeRoot("fs", inner_tmpl_);
+  auto kids = AllocChildren(root, 0, 1, leaf_tmpl_);  // metadata child: uninitialized
+
+  EXPECT_EQ(FlushAll({root}), Status::kTainted);
+
+  // Give the child a mapping and initialize it, then flush child before parent.
+  EXPECT_EQ(xn_.InsertMapping(kids[0], root, NewFrame(), /*dirty=*/true, good_creds_),
+            Status::kOk);
+  std::memset(machine_.mem().Data(xn_.registry().Lookup(kids[0])->frame).data(), 0, 4096);
+  EXPECT_EQ(FlushAll({kids[0]}), Status::kOk);
+  EXPECT_EQ(FlushAll({root}), Status::kOk);
+  EXPECT_GE(xn_.stats().taint_rejections, 1u);
+}
+
+TEST_F(XnTest, TemporaryTreeSkipsOrderingRules) {
+  BlockId root = MakeRoot("tmpfs", inner_tmpl_, /*temporary=*/true);
+  AllocChildren(root, 0, 1, leaf_tmpl_);
+  // Parent write with an uninitialized child is fine on a temporary file system.
+  EXPECT_EQ(FlushAll({root}), Status::kOk);
+}
+
+TEST_F(XnTest, DataRoundTripsThroughDisk) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 2);
+
+  // Write data into the children via direct installs.
+  for (size_t i = 0; i < kids.size(); ++i) {
+    FrameId f = NewFrame();
+    std::memset(machine_.mem().Data(f).data(), 0x30 + static_cast<int>(i), 4096);
+    ASSERT_EQ(xn_.InsertMapping(kids[i], root, f, /*dirty=*/true, good_creds_), Status::kOk);
+  }
+  ASSERT_EQ(FlushAll({kids[0], kids[1]}), Status::kOk);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+
+  // Drop the cached children and read them back through the parent.
+  ASSERT_EQ(xn_.RemoveMapping(kids[0]), Status::kOk);
+  ASSERT_EQ(xn_.RemoveMapping(kids[1]), Status::kOk);
+  std::vector<FrameId> frames = {NewFrame(), NewFrame()};
+  Status done = Status::kNotFound;
+  ASSERT_EQ(xn_.ReadAndInsert(root, kids, frames, good_creds_,
+                              [&](Status s) { done = s; }),
+            Status::kOk);
+  engine_.RunUntilIdle();
+  ASSERT_EQ(done, Status::kOk);
+  EXPECT_EQ(machine_.mem().Data(frames[0])[10], 0x30);
+  EXPECT_EQ(machine_.mem().Data(frames[1])[10], 0x31);
+}
+
+TEST_F(XnTest, ReadAndInsertDeniedForForeignBlocks) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  AllocChildren(root, 0, 1);
+  BlockId root2 = MakeRoot("fs2", leaf_tmpl_);
+  auto kids2 = AllocChildren(root2, 0, 1);
+
+  std::vector<FrameId> frames = {NewFrame()};
+  // root does not own root2's child.
+  EXPECT_EQ(xn_.ReadAndInsert(root, kids2, frames, good_creds_, {}),
+            Status::kPermissionDenied);
+  // And good blocks with bad credentials fail the acl-uf.
+  auto kids = AllocChildren(root, 1, 1);
+  EXPECT_EQ(xn_.ReadAndInsert(root, kids, frames, bad_creds_, {}),
+            Status::kPermissionDenied);
+}
+
+TEST_F(XnTest, InsertMappingRequiresWriteAccess) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 1);
+  EXPECT_EQ(xn_.InsertMapping(kids[0], root, NewFrame(), true, bad_creds_),
+            Status::kPermissionDenied);
+}
+
+TEST_F(XnTest, DeallocDefersReuseUntilParentWritten) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 1);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);  // pointer to kid now on disk
+
+  // Dealloc: remove pointer, count back to 0.
+  Mods mods = SetCount(0);
+  std::vector<udf::Extent> extents = {{kids[0], 1, kDataTemplate}};
+  ASSERT_EQ(xn_.Dealloc(root, mods, extents, good_creds_), Status::kOk);
+
+  // The block must NOT be reusable yet: its pointer is still on disk (rule 1).
+  EXPECT_TRUE(xn_.IsAllocated(kids[0]));
+  EXPECT_GE(xn_.stats().will_free_deferrals, 1u);
+
+  // After the parent's new image (without the pointer) reaches disk, it frees.
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+  EXPECT_FALSE(xn_.IsAllocated(kids[0]));
+}
+
+TEST_F(XnTest, DeallocOfNeverWrittenPointerFreesImmediately) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 1);  // parent never flushed
+  Mods mods = SetCount(0);
+  std::vector<udf::Extent> extents = {{kids[0], 1, kDataTemplate}};
+  ASSERT_EQ(xn_.Dealloc(root, mods, extents, good_creds_), Status::kOk);
+  EXPECT_FALSE(xn_.IsAllocated(kids[0]));
+}
+
+TEST_F(XnTest, LockedEntriesCannotBeWritten) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  AllocChildren(root, 0, 1);
+  ASSERT_EQ(xn_.Lock(root, /*owner=*/5), Status::kOk);
+  EXPECT_EQ(xn_.Lock(root, /*owner=*/6), Status::kBusy);
+  EXPECT_EQ(xn_.Write(std::vector<BlockId>{root}, {}), Status::kBusy);
+  EXPECT_EQ(xn_.Unlock(root, 6), Status::kPermissionDenied);
+  ASSERT_EQ(xn_.Unlock(root, 5), Status::kOk);
+  EXPECT_EQ(FlushAll({root}), Status::kOk);
+}
+
+TEST_F(XnTest, RawReadThenBindToParent) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 1);
+  FrameId f = NewFrame();
+  std::memset(machine_.mem().Data(f).data(), 0x5c, 4096);
+  ASSERT_EQ(xn_.InsertMapping(kids[0], root, f, true, good_creds_), Status::kOk);
+  ASSERT_EQ(FlushAll({kids[0]}), Status::kOk);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+  ASSERT_EQ(xn_.RemoveMapping(kids[0]), Status::kOk);
+
+  // Speculatively read the block before naming its parent.
+  Status s = Status::kNotFound;
+  ASSERT_EQ(xn_.RawRead(kids[0], NewFrame(), [&](Status st) { s = st; }), Status::kOk);
+  engine_.RunUntilIdle();
+  ASSERT_EQ(s, Status::kOk);
+  EXPECT_EQ(xn_.registry().Lookup(kids[0])->tmpl, kInvalidTemplate);
+
+  ASSERT_EQ(xn_.BindToParent(root, kids[0], good_creds_), Status::kOk);
+  EXPECT_EQ(xn_.registry().Lookup(kids[0])->tmpl, kDataTemplate);
+}
+
+TEST_F(XnTest, RecycleOldestReturnsLruCleanBuffer) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 3);
+  for (BlockId b : kids) {
+    ASSERT_EQ(xn_.InsertMapping(b, root, NewFrame(), true, good_creds_), Status::kOk);
+  }
+  ASSERT_EQ(FlushAll({kids[0], kids[1], kids[2]}), Status::kOk);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+  // kids[0] has the oldest stamp among clean entries... but root was installed first.
+  // Pin the root so the recycler must pick the oldest child.
+  ASSERT_EQ(xn_.Pin(root), Status::kOk);
+  auto f = xn_.RecycleOldest();
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(xn_.registry().Lookup(kids[0]), nullptr);
+}
+
+TEST_F(XnTest, CrashRecoveryRebuildsFreeMap) {
+  BlockId root = MakeRoot("fs", inner_tmpl_);
+  auto leaves = AllocChildren(root, 0, 2, leaf_tmpl_);
+  // Initialize both leaves; give leaf 0 one data child.
+  for (BlockId l : leaves) {
+    FrameId f = NewFrame();
+    std::memset(machine_.mem().Data(f).data(), 0, 4096);
+    ASSERT_EQ(xn_.InsertMapping(l, root, f, true, good_creds_), Status::kOk);
+  }
+  auto data = AllocChildren(leaves[0], 0, 1);
+  FrameId df = NewFrame();
+  std::memset(machine_.mem().Data(df).data(), 0xd7, 4096);
+  ASSERT_EQ(xn_.InsertMapping(data[0], leaves[0], df, true, good_creds_), Status::kOk);
+
+  // Flush bottom-up so everything is on disk.
+  ASSERT_EQ(FlushAll({data[0]}), Status::kOk);
+  ASSERT_EQ(FlushAll({leaves[0], leaves[1]}), Status::kOk);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+
+  // Allocate one more data block but crash before ANY of it reaches disk.
+  auto lost = AllocChildren(leaves[1], 0, 1);
+  EXPECT_TRUE(xn_.IsAllocated(lost[0]));
+
+  xn_.Crash();
+  Xn reborn(&machine_, &machine_.disk());
+  ASSERT_EQ(reborn.Attach(), Status::kOk);
+  EXPECT_TRUE(reborn.recovered_after_crash());
+
+  // Reachable blocks stay allocated; the lost allocation was garbage-collected.
+  EXPECT_TRUE(reborn.IsAllocated(root));
+  EXPECT_TRUE(reborn.IsAllocated(leaves[0]));
+  EXPECT_TRUE(reborn.IsAllocated(leaves[1]));
+  EXPECT_TRUE(reborn.IsAllocated(data[0]));
+  EXPECT_FALSE(reborn.IsAllocated(lost[0]));
+  // And the data content survived.
+  EXPECT_EQ(machine_.disk().RawBlock(data[0])[100], 0xd7);
+}
+
+TEST_F(XnTest, CleanDetachSkipsRecovery) {
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 1);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+  xn_.Detach();
+
+  Xn other(&machine_, &machine_.disk());
+  ASSERT_EQ(other.Attach(), Status::kOk);
+  EXPECT_FALSE(other.recovered_after_crash());
+  EXPECT_TRUE(other.IsAllocated(kids[0]));  // free map loaded, not rebuilt
+}
+
+TEST_F(XnTest, FreeMapExposedWithoutSyscalls) {
+  uint64_t before = machine_.counters().Get("xok.syscalls");
+  (void)xn_.FreeBlockCount();
+  (void)xn_.IsAllocated(100);
+  (void)xn_.FindFreeRun(xn_.FirstDataBlock(), 4);
+  EXPECT_EQ(machine_.counters().Get("xok.syscalls"), before);
+}
+
+TEST_F(XnTest, FindFreeRunHonorsHintForPlacement) {
+  auto near = xn_.FindFreeRun(xn_.FirstDataBlock() + 100, 4);
+  ASSERT_TRUE(near.ok());
+  EXPECT_GE(*near, xn_.FirstDataBlock() + 100);
+  auto wrap = xn_.FindFreeRun(xn_.NumBlocks() - 1, 8);  // must wrap to find 8
+  ASSERT_TRUE(wrap.ok());
+  EXPECT_LT(*wrap, xn_.NumBlocks() - 1);
+}
+
+// Property sweep: allocate-and-free of N blocks always restores the free count.
+class AllocFreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocFreeProperty, FreeCountRestored) {
+  sim::Engine engine;
+  hw::Machine machine(&engine,
+                      hw::MachineConfig{.mem_frames = 512,
+                                        .disks = {hw::DiskGeometry{.num_blocks = 2048}}});
+  Xn xn(&machine, &machine.disk());
+  xn.Format();
+  ASSERT_EQ(xn.Attach(), Status::kOk);
+  Template leaf;
+  leaf.name = "t";
+  leaf.is_metadata = true;
+  leaf.owns_udf = TnodeOwns(kDataTemplate);
+  ASSERT_TRUE(xn.InstallTemplate(leaf).ok());
+  auto root = xn.RegisterRoot("fs", 1, false);
+  ASSERT_TRUE(root.ok());
+  auto f = machine.mem().Alloc();
+  Status ls = Status::kNotFound;
+  ASSERT_EQ(xn.LoadRoot("fs", *f, {}, [&](Status s) { ls = s; }), Status::kOk);
+  engine.RunUntilIdle();
+  ASSERT_EQ(ls, Status::kOk);
+
+  const uint32_t n = static_cast<uint32_t>(GetParam());
+  const uint32_t before = xn.FreeBlockCount();
+
+  Mods mods = SetCount(n);
+  std::vector<udf::Extent> extents;
+  BlockId hint = xn.FirstDataBlock();
+  for (uint32_t i = 0; i < n; ++i) {
+    auto b = xn.FindFreeRun(hint, 1);
+    ASSERT_TRUE(b.ok());
+    hint = *b + 1;
+    mods.push_back(SetPtr(i, *b));
+    extents.push_back({*b, 1, kDataTemplate});
+  }
+  ASSERT_EQ(xn.Alloc(root->block, mods, extents, {}), Status::kOk);
+  EXPECT_EQ(xn.FreeBlockCount(), before - n);
+
+  ASSERT_EQ(xn.Dealloc(root->block, SetCount(0), extents, {}), Status::kOk);
+  EXPECT_EQ(xn.FreeBlockCount(), before);  // never flushed: immediate reuse
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllocFreeProperty, ::testing::Values(1, 2, 7, 64, 500));
+
+}  // namespace
+}  // namespace exo::xn

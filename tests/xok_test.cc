@@ -1,0 +1,467 @@
+// Tests for the Xok exokernel: capabilities, environments, scheduling, memory
+// protection, software regions, IPC, wakeup predicates, and packet filters.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/engine.h"
+#include "udf/assembler.h"
+#include "xok/capability.h"
+#include "xok/kernel.h"
+
+namespace exo::xok {
+namespace {
+
+class XokTest : public ::testing::Test {
+ protected:
+  XokTest() : machine_(&engine_, hw::MachineConfig{.mem_frames = 256}), kernel_(&machine_) {}
+
+  sim::Engine engine_;
+  hw::Machine machine_;
+  XokKernel kernel_;
+};
+
+TEST(CapabilityTest, RootDominatesEverything) {
+  Capability root = Capability::Root();
+  EXPECT_TRUE(Dominates(root, {1, 2, 3}, true));
+  EXPECT_TRUE(Dominates(root, {}, true));
+}
+
+TEST(CapabilityTest, PrefixDominance) {
+  Capability user = Capability::For({kCapUsers, 100});
+  EXPECT_TRUE(Dominates(user, {kCapUsers, 100}, true));
+  EXPECT_TRUE(Dominates(user, {kCapUsers, 100, 7}, true));
+  EXPECT_FALSE(Dominates(user, {kCapUsers, 101}, true));
+  EXPECT_FALSE(Dominates(user, {kCapUsers}, true));  // shorter guard: no dominance
+}
+
+TEST(CapabilityTest, ReadOnlyCannotWrite) {
+  Capability ro = Capability::For({kCapUsers, 5}, /*w=*/false);
+  EXPECT_TRUE(Dominates(ro, {kCapUsers, 5, 1}, false));
+  EXPECT_FALSE(Dominates(ro, {kCapUsers, 5, 1}, true));
+}
+
+TEST_F(XokTest, EnvRunsToCompletion) {
+  int ran = 0;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    kernel_.ChargeCpu(1000);
+    ++ran;
+  });
+  kernel_.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(kernel_.alive_count(), 0u);
+  EXPECT_GE(engine_.now(), 1000u);
+}
+
+TEST_F(XokTest, SysExitSetsCode) {
+  EnvId id = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()},
+                               [&] { kernel_.SysExit(42); });
+  kernel_.Run();
+  EXPECT_EQ(kernel_.env(id).state, EnvState::kZombie);
+  EXPECT_EQ(kernel_.env(id).exit_code, 42);
+  EXPECT_EQ(kernel_.ReapEnv(id), Status::kOk);
+  EXPECT_FALSE(kernel_.EnvExists(id));
+}
+
+TEST_F(XokTest, WaitReapsChild) {
+  int child_code = -1;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    EnvId child = kernel_.CreateEnv(kernel_.current_id(), {Capability::Root()}, [&] {
+      kernel_.ChargeCpu(5000);
+      kernel_.SysExit(7);
+    });
+    auto r = kernel_.SysWait(child);
+    ASSERT_TRUE(r.ok());
+    child_code = *r;
+    EXPECT_FALSE(kernel_.EnvExists(child));
+  });
+  kernel_.Run();
+  EXPECT_EQ(child_code, 7);
+}
+
+TEST_F(XokTest, WaitOnNonChildDenied) {
+  EnvId other = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {});
+  Status got = Status::kOk;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()},
+                    [&] { got = kernel_.SysWait(other).status(); });
+  kernel_.Run();
+  EXPECT_EQ(got, Status::kPermissionDenied);
+}
+
+TEST_F(XokTest, RoundRobinInterleavesAtQuantum) {
+  // Two CPU-bound envs; each records the order of its slices.
+  std::vector<int> order;
+  const sim::Cycles q = machine_.cost().quantum;
+  for (int i = 0; i < 2; ++i) {
+    kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&, i] {
+      for (int s = 0; s < 3; ++s) {
+        order.push_back(i);
+        kernel_.ChargeCpu(q);  // exactly one slice of work
+      }
+    });
+  }
+  kernel_.Run();
+  // Strict alternation: 0,1,0,1,0,1.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST_F(XokTest, CriticalSectionDefersSliceEnd) {
+  std::vector<int> order;
+  const sim::Cycles q = machine_.cost().quantum;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    kernel_.EnterCritical();
+    order.push_back(0);
+    kernel_.ChargeCpu(3 * q);  // would normally be preempted twice
+    order.push_back(0);
+    kernel_.ExitCritical();
+  });
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    order.push_back(1);
+    kernel_.ChargeCpu(q / 2);
+  });
+  kernel_.Run();
+  // Env 0 runs its whole critical section before env 1 ever runs.
+  EXPECT_EQ(order, (std::vector<int>{0, 0, 1}));
+}
+
+TEST_F(XokTest, DirectedYieldHandsOffSlice) {
+  std::vector<int> order;
+  EnvId a = kInvalidEnv;
+  EnvId b = kInvalidEnv;
+  a = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    order.push_back(0);
+    kernel_.SysYield(b);  // hand the CPU to b specifically
+    order.push_back(0);
+  });
+  // A decoy env between a and b in round-robin order.
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] { order.push_back(9); });
+  b = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    order.push_back(1);
+    kernel_.SysYield();
+  });
+  kernel_.Run();
+  ASSERT_GE(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);  // b ran before the decoy despite queue order
+}
+
+TEST_F(XokTest, HostPredicateBlocksUntilTrue) {
+  bool flag = false;
+  std::vector<int> order;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    WakeupPredicate p;
+    p.host = [&] { return flag; };
+    kernel_.SysSleep(std::move(p));
+    order.push_back(1);
+  });
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    kernel_.ChargeCpu(10'000);
+    order.push_back(0);
+    flag = true;
+  });
+  kernel_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST_F(XokTest, UdfPredicateWatchesMemoryWindow) {
+  // The predicate wakes the sleeper when the first word of a shared window becomes
+  // nonzero — the real wakeup-predicate mechanism (Sec. 5.1).
+  std::vector<uint8_t> window(8, 0);
+  auto prog = udf::Assemble(R"(
+    ldi r1, 0
+    ld4 r2, r1, 0, meta
+    ret r2
+  )");
+  ASSERT_TRUE(prog.ok);
+
+  std::vector<int> order;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    WakeupPredicate p;
+    p.program = prog.program;
+    p.live_window = &window;
+    kernel_.SysSleep(std::move(p));
+    order.push_back(1);
+  });
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    kernel_.ChargeCpu(50'000);
+    order.push_back(0);
+    window[0] = 1;
+  });
+  kernel_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST_F(XokTest, TimeBasedPredicateFiresOnIdleClock) {
+  const sim::Cycles wake_at = 1'000'000;
+  sim::Cycles woke = 0;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    WakeupPredicate p;
+    p.host = [&] { return engine_.now() >= wake_at; };
+    p.deadline = wake_at;
+    kernel_.SysSleep(std::move(p));
+    woke = engine_.now();
+  });
+  kernel_.Run();
+  EXPECT_GE(woke, wake_at);
+  EXPECT_LT(woke, wake_at + 100'000);  // deadline hint avoids gross overshoot
+}
+
+TEST_F(XokTest, FrameAllocationGuardsEnforced) {
+  Status steal = Status::kOk;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::For({kCapUsers, 1})}, [&] {
+    // Allocate a frame guarded by user 1's namespace.
+    auto f = kernel_.SysFrameAlloc(0, {kCapUsers, 1, 99});
+    ASSERT_TRUE(f.ok());
+    // A second env owned by user 2 must not be able to free or map it.
+    EnvId thief = kernel_.CreateEnv(kernel_.current_id(),
+                                    {Capability::For({kCapUsers, 2})}, [&, f] {
+      steal = kernel_.SysFrameFree(*f, 0);
+    });
+    EXPECT_TRUE(kernel_.SysWait(thief).ok());
+    EXPECT_EQ(kernel_.SysFrameFree(*f, 0), Status::kOk);
+  });
+  kernel_.Run();
+  EXPECT_EQ(steal, Status::kPermissionDenied);
+}
+
+TEST_F(XokTest, PageTableMappingAndAccess) {
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    EnvId self = kernel_.current_id();
+    auto f = kernel_.SysFrameAlloc(0, {});
+    ASSERT_TRUE(f.ok());
+    PtOp op;
+    op.kind = PtOp::Kind::kInsert;
+    op.vpage = 16;
+    op.pte = {.frame = *f, .readable = true, .writable = true, .software_bits = 0};
+    ASSERT_EQ(kernel_.SysPtUpdate(self, op, 0), Status::kOk);
+
+    std::vector<uint8_t> data = {1, 2, 3, 4};
+    ASSERT_EQ(kernel_.AccessUserMemory(self, 16 * 4096 + 100, data, /*write=*/true),
+              Status::kOk);
+    std::vector<uint8_t> back(4);
+    ASSERT_EQ(kernel_.AccessUserMemory(self, 16 * 4096 + 100, back, /*write=*/false),
+              Status::kOk);
+    EXPECT_EQ(back, data);
+  });
+  kernel_.Run();
+}
+
+TEST_F(XokTest, ReadOnlyMappingFaultsOnWriteAndCowResolves) {
+  int faults = 0;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    EnvId self = kernel_.current_id();
+    Env& e = kernel_.env(self);
+    auto f = kernel_.SysFrameAlloc(0, {});
+    ASSERT_TRUE(f.ok());
+    std::memset(machine_.mem().Data(*f).data(), 0x77, hw::kPageSize);
+
+    PtOp op;
+    op.kind = PtOp::Kind::kInsert;
+    op.vpage = 3;
+    op.pte = {.frame = *f, .readable = true, .writable = false,
+              .software_bits = kSwBitCow};
+    ASSERT_EQ(kernel_.SysPtUpdate(self, op, 0), Status::kOk);
+
+    // Install a libOS-style COW fault handler: copy to a fresh frame, remap writable.
+    e.on_page_fault = [&, self](VPage vp, bool write) {
+      if (!write) {
+        return false;
+      }
+      const Pte* old = kernel_.env(self).pt.Lookup(vp);
+      if (old == nullptr || (old->software_bits & kSwBitCow) == 0) {
+        return false;
+      }
+      ++faults;
+      auto nf = kernel_.SysFrameAlloc(0, {});
+      if (!nf.ok()) {
+        return false;
+      }
+      machine_.mem().CopyFrame(*nf, old->frame);
+      machine_.Charge(machine_.cost().CopyCost(hw::kPageSize));
+      PtOp fix;
+      fix.kind = PtOp::Kind::kInsert;
+      fix.vpage = vp;
+      fix.pte = {.frame = *nf, .readable = true, .writable = true, .software_bits = 0};
+      return kernel_.SysPtUpdate(self, fix, 0) == Status::kOk;
+    };
+
+    std::vector<uint8_t> data = {0xaa};
+    ASSERT_EQ(kernel_.AccessUserMemory(self, 3 * 4096, data, /*write=*/true), Status::kOk);
+    // Original frame is untouched; new mapping has the write.
+    EXPECT_EQ(machine_.mem().Data(*f)[0], 0x77);
+    std::vector<uint8_t> back(1);
+    ASSERT_EQ(kernel_.AccessUserMemory(self, 3 * 4096, back, /*write=*/false), Status::kOk);
+    EXPECT_EQ(back[0], 0xaa);
+  });
+  kernel_.Run();
+  EXPECT_EQ(faults, 1);
+}
+
+TEST_F(XokTest, BatchedPtUpdatesCostLessThanSingles) {
+  auto run = [&](bool batched) {
+    sim::Engine engine;
+    hw::Machine m(&engine, hw::MachineConfig{.mem_frames = 256});
+    XokKernel k(&m);
+    k.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+      EnvId self = k.current_id();
+      std::vector<PtOp> ops;
+      for (uint32_t i = 0; i < 64; ++i) {
+        auto f = k.SysFrameAlloc(0, {});
+        ASSERT_TRUE(f.ok());
+        PtOp op;
+        op.kind = PtOp::Kind::kInsert;
+        op.vpage = i;
+        op.pte = {.frame = *f, .readable = true, .writable = true, .software_bits = 0};
+        ops.push_back(op);
+      }
+      sim::Cycles before = engine.now();
+      if (batched) {
+        ASSERT_EQ(k.SysPtBatch(self, ops, 0), Status::kOk);
+      } else {
+        for (const auto& op : ops) {
+          ASSERT_EQ(k.SysPtUpdate(self, op, 0), Status::kOk);
+        }
+      }
+      m.counters().Add(batched ? "t.batched" : "t.single", engine.now() - before);
+    });
+    k.Run();
+    return m.counters().Get(batched ? "t.batched" : "t.single");
+  };
+  EXPECT_LT(run(true) * 2, run(false));
+}
+
+TEST_F(XokTest, SoftwareRegionProtectsSubPageState) {
+  Status intruder = Status::kOk;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::For({kCapUsers, 1})}, [&] {
+    auto rid = kernel_.SysRegionCreate(128, {kCapUsers, 1, 5}, 0);
+    ASSERT_TRUE(rid.ok());
+    std::vector<uint8_t> msg = {'h', 'i'};
+    ASSERT_EQ(kernel_.SysRegionWrite(*rid, 10, msg, 0), Status::kOk);
+
+    std::vector<uint8_t> out(2);
+    ASSERT_EQ(kernel_.SysRegionRead(*rid, 10, out, 0), Status::kOk);
+    EXPECT_EQ(out, msg);
+
+    EnvId other = kernel_.CreateEnv(kernel_.current_id(),
+                                    {Capability::For({kCapUsers, 2})}, [&, rid] {
+      std::vector<uint8_t> evil = {0, 0};
+      intruder = kernel_.SysRegionWrite(*rid, 10, evil, 0);
+    });
+    EXPECT_TRUE(kernel_.SysWait(other).ok());
+    // Out-of-bounds write rejected too.
+    EXPECT_EQ(kernel_.SysRegionWrite(*rid, 127, msg, 0), Status::kInvalidArgument);
+  });
+  kernel_.Run();
+  EXPECT_EQ(intruder, Status::kPermissionDenied);
+}
+
+TEST_F(XokTest, IpcDeliversInOrder) {
+  std::vector<uint64_t> got;
+  EnvId receiver = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    for (int i = 0; i < 3;) {
+      auto m = kernel_.SysIpcRecv();
+      if (m.ok()) {
+        got.push_back(m->words[0]);
+        ++i;
+      } else {
+        kernel_.SysYield();
+      }
+    }
+  });
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    for (uint64_t i = 1; i <= 3; ++i) {
+      IpcMessage m;
+      m.words[0] = i * 10;
+      EXPECT_EQ(kernel_.SysIpcSend(receiver, m, 0), Status::kOk);
+    }
+  });
+  kernel_.Run();
+  EXPECT_EQ(got, (std::vector<uint64_t>{10, 20, 30}));
+}
+
+TEST_F(XokTest, PacketFilterClaimsMatchingPackets) {
+  // Filter: claim packets whose first byte equals 0x42.
+  auto prog = udf::Assemble(R"(
+    ldi r1, 0
+    ld1 r2, r1, 0, meta
+    ldi r3, 0x42
+    ceq r4, r2, r3
+    ret r4
+  )");
+  ASSERT_TRUE(prog.ok);
+
+  // Wire a peer NIC into the machine's NIC 0.
+  hw::Nic peer(99);
+  hw::Link link(&engine_, 100.0, 10.0, 200);
+  link.Connect(&peer, &machine_.nic(0));
+
+  std::vector<uint8_t> first;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    auto fid = kernel_.SysFilterInstall(prog.program, 0);
+    ASSERT_TRUE(fid.ok());
+    peer.Transmit({.bytes = {0x41, 1}});  // not ours
+    peer.Transmit({.bytes = {0x42, 2}});  // ours
+    WakeupPredicate p;
+    p.host = [&, fid] { return kernel_.Filter(*fid)->delivered > 0; };
+    kernel_.SysSleep(std::move(p));
+    auto pkt = kernel_.SysRingConsume(*fid, 0);
+    ASSERT_TRUE(pkt.ok());
+    first = pkt->bytes;
+    EXPECT_EQ(kernel_.SysRingConsume(*fid, 0).status(), Status::kWouldBlock);
+  });
+  kernel_.Run();
+  EXPECT_EQ(first, (std::vector<uint8_t>{0x42, 2}));
+  EXPECT_EQ(machine_.counters().Get("xok.packets_unclaimed"), 1u);
+}
+
+TEST_F(XokTest, FilterInstallRejectsNondeterministicProgram) {
+  auto prog = udf::Assemble("time r1\nret r1\n");
+  ASSERT_TRUE(prog.ok);
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    EXPECT_EQ(kernel_.SysFilterInstall(prog.program, 0).status(), Status::kVerifierReject);
+  });
+  kernel_.Run();
+}
+
+TEST_F(XokTest, SysNullCountsSyscalls) {
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] { kernel_.SysNull(3); });
+  uint64_t before = machine_.counters().Get("xok.syscalls");  // env_alloc already counted
+  kernel_.Run();
+  EXPECT_EQ(machine_.counters().Get("xok.syscalls") - before, 3u);
+}
+
+TEST_F(XokTest, ExposedStructuresReadableWithoutSyscalls) {
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    uint64_t before = machine_.counters().Get("xok.syscalls");
+    (void)kernel_.FreeFrameCount();
+    (void)kernel_.Now();
+    (void)kernel_.env(kernel_.current_id()).pt.entries();
+    EXPECT_EQ(machine_.counters().Get("xok.syscalls"), before);
+  });
+  kernel_.Run();
+}
+
+TEST_F(XokTest, FramesSurviveEnvExitWhenShared) {
+  hw::FrameId shared = hw::kInvalidFrame;
+  EnvId child = kInvalidEnv;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    child = kernel_.CreateEnv(kernel_.current_id(), {Capability::Root()}, [&] {
+      auto f = kernel_.SysFrameAlloc(0, {});
+      ASSERT_TRUE(f.ok());
+      shared = *f;
+      machine_.mem().Data(shared)[0] = 0x99;
+      // A second reference, as the buffer-cache registry would take.
+      ASSERT_EQ(kernel_.SysFrameRef(shared, 0), Status::kOk);
+    });
+    EXPECT_TRUE(kernel_.SysWait(child).ok());
+    // Child is gone but the frame (refcount 1 via the registry-style ref) survives.
+    EXPECT_TRUE(machine_.mem().allocated(shared));
+    EXPECT_EQ(machine_.mem().Data(shared)[0], 0x99);
+  });
+  kernel_.Run();
+}
+
+}  // namespace
+}  // namespace exo::xok
