@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_udf.dir/ablation_udf.cc.o"
+  "CMakeFiles/ablation_udf.dir/ablation_udf.cc.o.d"
+  "ablation_udf"
+  "ablation_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wakeup.dir/ablation_wakeup.cc.o"
+  "CMakeFiles/ablation_wakeup.dir/ablation_wakeup.cc.o.d"
+  "ablation_wakeup"
+  "ablation_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_io_workload.dir/fig2_io_workload.cc.o"
+  "CMakeFiles/fig2_io_workload.dir/fig2_io_workload.cc.o.d"
+  "fig2_io_workload"
+  "fig2_io_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_io_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_http.dir/fig3_http.cc.o"
+  "CMakeFiles/fig3_http.dir/fig3_http.cc.o.d"
+  "fig3_http"
+  "fig3_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_global1.dir/fig4_global1.cc.o"
+  "CMakeFiles/fig4_global1.dir/fig4_global1.cc.o.d"
+  "fig4_global1"
+  "fig4_global1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_global1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_global2.dir/fig5_global2.cc.o"
+  "CMakeFiles/fig5_global2.dir/fig5_global2.cc.o.d"
+  "fig5_global2"
+  "fig5_global2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_global2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_cost.dir/fork_cost.cc.o"
+  "CMakeFiles/fork_cost.dir/fork_cost.cc.o.d"
+  "fork_cost"
+  "fork_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

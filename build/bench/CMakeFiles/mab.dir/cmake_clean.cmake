@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mab.dir/mab.cc.o"
+  "CMakeFiles/mab.dir/mab.cc.o.d"
+  "mab"
+  "mab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protection_cost.dir/protection_cost.cc.o"
+  "CMakeFiles/protection_cost.dir/protection_cost.cc.o.d"
+  "protection_cost"
+  "protection_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protection_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

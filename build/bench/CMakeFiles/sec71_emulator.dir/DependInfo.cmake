@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec71_emulator.cc" "bench/CMakeFiles/sec71_emulator.dir/sec71_emulator.cc.o" "gcc" "bench/CMakeFiles/sec71_emulator.dir/sec71_emulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/exo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/exos/CMakeFiles/exo_exos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/exo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/exo_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xn/CMakeFiles/exo_xn.dir/DependInfo.cmake"
+  "/root/repo/build/src/xok/CMakeFiles/exo_xok.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/exo_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/exo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

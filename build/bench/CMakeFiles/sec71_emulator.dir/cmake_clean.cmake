@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec71_emulator.dir/sec71_emulator.cc.o"
+  "CMakeFiles/sec71_emulator.dir/sec71_emulator.cc.o.d"
+  "sec71_emulator"
+  "sec71_emulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec71_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

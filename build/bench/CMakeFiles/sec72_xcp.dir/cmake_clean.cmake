@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec72_xcp.dir/sec72_xcp.cc.o"
+  "CMakeFiles/sec72_xcp.dir/sec72_xcp.cc.o.d"
+  "sec72_xcp"
+  "sec72_xcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec72_xcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pipes.dir/table2_pipes.cc.o"
+  "CMakeFiles/table2_pipes.dir/table2_pipes.cc.o.d"
+  "table2_pipes"
+  "table2_pipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_filesystem.dir/custom_filesystem.cpp.o"
+  "CMakeFiles/custom_filesystem.dir/custom_filesystem.cpp.o.d"
+  "custom_filesystem"
+  "custom_filesystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_filesystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

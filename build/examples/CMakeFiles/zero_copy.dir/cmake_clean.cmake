@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_copy.dir/zero_copy.cpp.o"
+  "CMakeFiles/zero_copy.dir/zero_copy.cpp.o.d"
+  "zero_copy"
+  "zero_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_apps.dir/http.cc.o"
+  "CMakeFiles/exo_apps.dir/http.cc.o.d"
+  "CMakeFiles/exo_apps.dir/lz.cc.o"
+  "CMakeFiles/exo_apps.dir/lz.cc.o.d"
+  "CMakeFiles/exo_apps.dir/unix_apps.cc.o"
+  "CMakeFiles/exo_apps.dir/unix_apps.cc.o.d"
+  "CMakeFiles/exo_apps.dir/workload.cc.o"
+  "CMakeFiles/exo_apps.dir/workload.cc.o.d"
+  "CMakeFiles/exo_apps.dir/xcp.cc.o"
+  "CMakeFiles/exo_apps.dir/xcp.cc.o.d"
+  "libexo_apps.a"
+  "libexo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_exos.dir/system.cc.o"
+  "CMakeFiles/exo_exos.dir/system.cc.o.d"
+  "libexo_exos.a"
+  "libexo_exos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_exos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/cffs.cc" "src/fs/CMakeFiles/exo_fs.dir/cffs.cc.o" "gcc" "src/fs/CMakeFiles/exo_fs.dir/cffs.cc.o.d"
+  "/root/repo/src/fs/ffs.cc" "src/fs/CMakeFiles/exo_fs.dir/ffs.cc.o" "gcc" "src/fs/CMakeFiles/exo_fs.dir/ffs.cc.o.d"
+  "/root/repo/src/fs/kernel_backend.cc" "src/fs/CMakeFiles/exo_fs.dir/kernel_backend.cc.o" "gcc" "src/fs/CMakeFiles/exo_fs.dir/kernel_backend.cc.o.d"
+  "/root/repo/src/fs/xn_backend.cc" "src/fs/CMakeFiles/exo_fs.dir/xn_backend.cc.o" "gcc" "src/fs/CMakeFiles/exo_fs.dir/xn_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/exo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/exo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/exo_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xn/CMakeFiles/exo_xn.dir/DependInfo.cmake"
+  "/root/repo/build/src/xok/CMakeFiles/exo_xok.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

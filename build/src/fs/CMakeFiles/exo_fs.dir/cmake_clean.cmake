@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_fs.dir/cffs.cc.o"
+  "CMakeFiles/exo_fs.dir/cffs.cc.o.d"
+  "CMakeFiles/exo_fs.dir/ffs.cc.o"
+  "CMakeFiles/exo_fs.dir/ffs.cc.o.d"
+  "CMakeFiles/exo_fs.dir/kernel_backend.cc.o"
+  "CMakeFiles/exo_fs.dir/kernel_backend.cc.o.d"
+  "CMakeFiles/exo_fs.dir/xn_backend.cc.o"
+  "CMakeFiles/exo_fs.dir/xn_backend.cc.o.d"
+  "libexo_fs.a"
+  "libexo_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

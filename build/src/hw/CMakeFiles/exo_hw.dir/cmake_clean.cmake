@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_hw.dir/disk.cc.o"
+  "CMakeFiles/exo_hw.dir/disk.cc.o.d"
+  "CMakeFiles/exo_hw.dir/nic.cc.o"
+  "CMakeFiles/exo_hw.dir/nic.cc.o.d"
+  "libexo_hw.a"
+  "libexo_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_net.dir/packet.cc.o"
+  "CMakeFiles/exo_net.dir/packet.cc.o.d"
+  "CMakeFiles/exo_net.dir/tcp.cc.o"
+  "CMakeFiles/exo_net.dir/tcp.cc.o.d"
+  "libexo_net.a"
+  "libexo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_sim.dir/engine.cc.o"
+  "CMakeFiles/exo_sim.dir/engine.cc.o.d"
+  "CMakeFiles/exo_sim.dir/fiber.cc.o"
+  "CMakeFiles/exo_sim.dir/fiber.cc.o.d"
+  "CMakeFiles/exo_sim.dir/status.cc.o"
+  "CMakeFiles/exo_sim.dir/status.cc.o.d"
+  "libexo_sim.a"
+  "libexo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

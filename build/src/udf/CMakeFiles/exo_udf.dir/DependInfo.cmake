@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udf/assembler.cc" "src/udf/CMakeFiles/exo_udf.dir/assembler.cc.o" "gcc" "src/udf/CMakeFiles/exo_udf.dir/assembler.cc.o.d"
+  "/root/repo/src/udf/verifier.cc" "src/udf/CMakeFiles/exo_udf.dir/verifier.cc.o" "gcc" "src/udf/CMakeFiles/exo_udf.dir/verifier.cc.o.d"
+  "/root/repo/src/udf/vm.cc" "src/udf/CMakeFiles/exo_udf.dir/vm.cc.o" "gcc" "src/udf/CMakeFiles/exo_udf.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/exo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

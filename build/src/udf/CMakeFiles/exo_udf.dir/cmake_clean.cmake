@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_udf.dir/assembler.cc.o"
+  "CMakeFiles/exo_udf.dir/assembler.cc.o.d"
+  "CMakeFiles/exo_udf.dir/verifier.cc.o"
+  "CMakeFiles/exo_udf.dir/verifier.cc.o.d"
+  "CMakeFiles/exo_udf.dir/vm.cc.o"
+  "CMakeFiles/exo_udf.dir/vm.cc.o.d"
+  "libexo_udf.a"
+  "libexo_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

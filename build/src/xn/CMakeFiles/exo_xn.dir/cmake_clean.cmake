@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_xn.dir/types.cc.o"
+  "CMakeFiles/exo_xn.dir/types.cc.o.d"
+  "CMakeFiles/exo_xn.dir/xn.cc.o"
+  "CMakeFiles/exo_xn.dir/xn.cc.o.d"
+  "libexo_xn.a"
+  "libexo_xn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_xn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_xok.dir/kernel.cc.o"
+  "CMakeFiles/exo_xok.dir/kernel.cc.o.d"
+  "libexo_xok.a"
+  "libexo_xok.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_xok.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xn_test.dir/xn_test.cc.o"
+  "CMakeFiles/xn_test.dir/xn_test.cc.o.d"
+  "xn_test"
+  "xn_test.pdb"
+  "xn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

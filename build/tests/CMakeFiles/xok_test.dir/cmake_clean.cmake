@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xok_test.dir/xok_test.cc.o"
+  "CMakeFiles/xok_test.dir/xok_test.cc.o.d"
+  "xok_test"
+  "xok_test.pdb"
+  "xok_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xok_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
