@@ -25,7 +25,7 @@ int main() {
 
   xn::Xn xn(&machine, &machine.disk());
   xn.Format();
-  xn.Attach();
+  EXO_CHECK(xn.Attach() == Status::kOk);
 
   auto pump = [&](const std::function<bool()>& ready) {
     while (!ready()) {
@@ -81,7 +81,7 @@ int main() {
 
   auto frame = machine.mem().Alloc();
   Status loaded = Status::kWouldBlock;
-  xn.LoadRoot("loglist", *frame, {}, [&](Status s) { loaded = s; });
+  EXO_CHECK(xn.LoadRoot("loglist", *frame, {}, [&](Status s) { loaded = s; }) == Status::kOk);
   pump([&] { return loaded != Status::kWouldBlock; });
 
   // Append three entries: allocate a data block via a verified metadata update.
@@ -101,13 +101,16 @@ int main() {
     auto df = machine.mem().Alloc();
     std::snprintf(reinterpret_cast<char*>(machine.mem().Data(*df).data()), 64,
                   "log entry %u", i);
-    xn.InsertMapping(*b, root->block, *df, /*dirty=*/true, creds);
+    EXO_CHECK(xn.InsertMapping(*b, root->block, *df, /*dirty=*/true, creds) == Status::kOk);
     bool done = false;
-    xn.Write(std::vector<hw::BlockId>{*b}, [&](Status) { done = true; });
+    EXO_CHECK(xn.Write(std::vector<hw::BlockId>{*b}, [&](Status) { done = true; }) ==
+              Status::kOk);
     pump([&] { return done; });
   }
   bool root_done = false;
-  xn.Write(std::vector<hw::BlockId>{root->block}, [&](Status) { root_done = true; });
+  EXO_CHECK(xn.Write(std::vector<hw::BlockId>{root->block}, [&](Status) {
+              root_done = true;
+            }) == Status::kOk);
   pump([&] { return root_done; });
 
   // A delta mismatch is caught: claim block X, point at block Y.
@@ -123,7 +126,7 @@ int main() {
   // Crash and recover: the reachability GC keeps exactly our blocks (and C-FFS's).
   xn.Crash();
   xn::Xn reborn(&machine, &machine.disk());
-  reborn.Attach();
+  EXO_CHECK(reborn.Attach() == Status::kOk);
   std::printf("after crash: recovered=%s, loglist root still registered=%s\n",
               reborn.recovered_after_crash() ? "yes" : "no",
               reborn.LookupRoot("loglist").ok() ? "yes" : "no");

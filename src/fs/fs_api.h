@@ -20,26 +20,26 @@ class FileSys {
   virtual ~FileSys() = default;
 
   // Opens (optionally creating) a file; returns an opaque handle.
-  virtual Result<uint64_t> Open(const std::string& path, bool create, uint16_t uid) = 0;
-  virtual Result<uint32_t> Read(uint64_t h, uint64_t off, std::span<uint8_t> out) = 0;
-  virtual Result<uint32_t> Write(uint64_t h, uint64_t off, std::span<const uint8_t> data,
+  [[nodiscard]] virtual Result<uint64_t> Open(const std::string& path, bool create, uint16_t uid) = 0;
+  [[nodiscard]] virtual Result<uint32_t> Read(uint64_t h, uint64_t off, std::span<uint8_t> out) = 0;
+  [[nodiscard]] virtual Result<uint32_t> Write(uint64_t h, uint64_t off, std::span<const uint8_t> data,
                                  uint16_t uid) = 0;
-  virtual Result<FileStat> StatHandle(uint64_t h) = 0;
-  virtual Result<FileStat> StatPath(const std::string& path) = 0;
-  virtual Status Mkdir(const std::string& path, uint16_t uid) = 0;
-  virtual Status Unlink(const std::string& path, uint16_t uid) = 0;
-  virtual Status Rename(const std::string& from, const std::string& to, uint16_t uid) = 0;
-  virtual Result<std::vector<DirEnt>> ReadDir(const std::string& path) = 0;
-  virtual Status Sync() = 0;
+  [[nodiscard]] virtual Result<FileStat> StatHandle(uint64_t h) = 0;
+  [[nodiscard]] virtual Result<FileStat> StatPath(const std::string& path) = 0;
+  [[nodiscard]] virtual Status Mkdir(const std::string& path, uint16_t uid) = 0;
+  [[nodiscard]] virtual Status Unlink(const std::string& path, uint16_t uid) = 0;
+  [[nodiscard]] virtual Status Rename(const std::string& from, const std::string& to, uint16_t uid) = 0;
+  [[nodiscard]] virtual Result<std::vector<DirEnt>> ReadDir(const std::string& path) = 0;
+  [[nodiscard]] virtual Status Sync() = 0;
   virtual void WriteBehind() {}
 
   // Low-level extensions used by specialized applications (XCP, Cheetah). File
   // systems that hide their layout return kNotSupported — which is the point: only
   // the exokernel configuration exposes them.
-  virtual Result<std::vector<hw::BlockId>> FileBlocks(uint64_t h) {
+  [[nodiscard]] virtual Result<std::vector<hw::BlockId>> FileBlocks(uint64_t h) {
     return Status::kNotSupported;
   }
-  virtual Result<uint64_t> CreateSized(const std::string& path, uint16_t uid, uint64_t size,
+  [[nodiscard]] virtual Result<uint64_t> CreateSized(const std::string& path, uint16_t uid, uint64_t size,
                                        hw::BlockId hint) {
     return Status::kNotSupported;
   }
@@ -53,7 +53,7 @@ class CffsFileSys : public FileSys {
   explicit CffsFileSys(Cffs* fs, bool expose_layout = true)
       : fs_(fs), expose_layout_(expose_layout) {}
 
-  Result<uint64_t> Open(const std::string& path, bool create, uint16_t uid) override {
+  [[nodiscard]] Result<uint64_t> Open(const std::string& path, bool create, uint16_t uid) override {
     auto h = fs_->Lookup(path);
     if (!h.ok() && create) {
       h = fs_->Create(path, uid, /*is_dir=*/false);
@@ -63,38 +63,38 @@ class CffsFileSys : public FileSys {
     }
     return Pack(*h);
   }
-  Result<uint32_t> Read(uint64_t h, uint64_t off, std::span<uint8_t> out) override {
+  [[nodiscard]] Result<uint32_t> Read(uint64_t h, uint64_t off, std::span<uint8_t> out) override {
     return fs_->Read(Unpack(h), off, out);
   }
-  Result<uint32_t> Write(uint64_t h, uint64_t off, std::span<const uint8_t> data,
+  [[nodiscard]] Result<uint32_t> Write(uint64_t h, uint64_t off, std::span<const uint8_t> data,
                          uint16_t uid) override {
     return fs_->Write(Unpack(h), off, data, uid);
   }
-  Result<FileStat> StatHandle(uint64_t h) override { return fs_->Stat(Unpack(h)); }
-  Result<FileStat> StatPath(const std::string& path) override { return fs_->StatPath(path); }
-  Status Mkdir(const std::string& path, uint16_t uid) override {
+  [[nodiscard]] Result<FileStat> StatHandle(uint64_t h) override { return fs_->Stat(Unpack(h)); }
+  [[nodiscard]] Result<FileStat> StatPath(const std::string& path) override { return fs_->StatPath(path); }
+  [[nodiscard]] Status Mkdir(const std::string& path, uint16_t uid) override {
     auto h = fs_->Create(path, uid, /*is_dir=*/true);
     return h.ok() ? Status::kOk : h.status();
   }
-  Status Unlink(const std::string& path, uint16_t uid) override {
+  [[nodiscard]] Status Unlink(const std::string& path, uint16_t uid) override {
     return fs_->Unlink(path, uid);
   }
-  Status Rename(const std::string& from, const std::string& to, uint16_t uid) override {
+  [[nodiscard]] Status Rename(const std::string& from, const std::string& to, uint16_t uid) override {
     return fs_->Rename(from, to, uid);
   }
-  Result<std::vector<DirEnt>> ReadDir(const std::string& path) override {
+  [[nodiscard]] Result<std::vector<DirEnt>> ReadDir(const std::string& path) override {
     return fs_->ReadDir(path);
   }
-  Status Sync() override { return fs_->Sync(); }
+  [[nodiscard]] Status Sync() override { return fs_->Sync(); }
   void WriteBehind() override { fs_->WriteBehind(); }
 
-  Result<std::vector<hw::BlockId>> FileBlocks(uint64_t h) override {
+  [[nodiscard]] Result<std::vector<hw::BlockId>> FileBlocks(uint64_t h) override {
     if (!expose_layout_) {
       return Status::kNotSupported;  // kernel-resident C-FFS hides its layout
     }
     return fs_->FileBlocks(Unpack(h));
   }
-  Result<uint64_t> CreateSized(const std::string& path, uint16_t uid, uint64_t size,
+  [[nodiscard]] Result<uint64_t> CreateSized(const std::string& path, uint16_t uid, uint64_t size,
                                hw::BlockId hint) override {
     if (!expose_layout_) {
       return Status::kNotSupported;

@@ -4,6 +4,15 @@
 
 namespace exo::fs {
 
+namespace {
+// Transient I/O errors (injected or real) are retried a few times with exponential
+// backoff before surfacing; each wait is charged as CPU-visible delay.
+constexpr int kIoRetries = 4;
+sim::Cycles BackoffCycles(const sim::CostModel& cost, int attempt) {
+  return static_cast<sim::Cycles>(100u << attempt) * cost.cpu_mhz;  // 100us, 200us, ...
+}
+}  // namespace
+
 KernelBackend::KernelBackend(hw::Machine* machine, hw::Disk* disk, Blocker blocker,
                              const KernelBackendOptions& options)
     : machine_(machine), disk_(disk), blocker_(std::move(blocker)), options_(options) {
@@ -63,15 +72,30 @@ Status KernelBackend::MakeRoom() {
     }
     Entry& e = cache_[victim];
     if (e.dirty) {
-      e.in_transit = true;
-      bool done = false;
-      disk_->Submit({.write = true,
-                     .start = victim,
-                     .nblocks = 1,
-                     .frames = {e.frame},
-                     .done = [&done](Status) { done = true; }});
-      blocker_([&done] { return done; });
-      e.in_transit = false;
+      Status ws = Status::kOk;
+      for (int attempt = 0; attempt < kIoRetries; ++attempt) {
+        e.in_transit = true;
+        bool done = false;
+        Status result = Status::kOk;
+        disk_->Submit({.write = true,
+                       .start = victim,
+                       .nblocks = 1,
+                       .frames = {e.frame},
+                       .done = [&done, &result](Status s) {
+                         result = s;
+                         done = true;
+                       }});
+        blocker_([&done] { return done; });
+        e.in_transit = false;
+        ws = result;
+        if (ws == Status::kOk) {
+          break;
+        }
+        machine_->Charge(BackoffCycles(machine_->cost(), attempt));
+      }
+      if (ws != Status::kOk) {
+        return Status::kIoError;  // cannot evict without losing the only good copy
+      }
       e.dirty = false;
     }
     machine_->mem().Unref(e.frame);
@@ -112,14 +136,32 @@ Status KernelBackend::EnsureCached(hw::BlockId block, bool read_from_disk) {
   if (read_from_disk) {
     e.in_transit = true;
     cache_[block] = e;
-    bool done = false;
-    disk_->Submit({.write = false,
-                   .start = block,
-                   .nblocks = 1,
-                   .frames = {*f},
-                   .done = [&done](Status) { done = true; }});
-    blocker_([&done] { return done; });
+    Status rs = Status::kOk;
+    for (int attempt = 0; attempt < kIoRetries; ++attempt) {
+      bool done = false;
+      Status result = Status::kOk;
+      disk_->Submit({.write = false,
+                     .start = block,
+                     .nblocks = 1,
+                     .frames = {*f},
+                     .done = [&done, &result](Status s) {
+                       result = s;
+                       done = true;
+                     }});
+      blocker_([&done] { return done; });
+      rs = result;
+      if (rs == Status::kOk) {
+        break;
+      }
+      machine_->Charge(BackoffCycles(machine_->cost(), attempt));
+    }
     cache_[block].in_transit = false;
+    if (rs != Status::kOk) {
+      // The frame holds garbage; unwind the mapping so later calls retry cleanly.
+      machine_->mem().Unref(*f);
+      cache_.erase(block);
+      return rs;
+    }
   } else {
     machine_->mem().ZeroFrame(*f);
     machine_->Charge(machine_->cost().ZeroCost(hw::kPageSize));
@@ -239,10 +281,15 @@ Status KernelBackend::FlushAsync(std::span<const hw::BlockId> blocks,
                    .start = b,
                    .nblocks = 1,
                    .frames = {e.frame},
-                   .done = [this, b](Status) {
+                   .done = [this, b](Status s) {
                      auto it2 = cache_.find(b);
                      if (it2 != cache_.end()) {
                        it2->second.write_transit = false;
+                       if (s != Status::kOk) {
+                         // Never reached the platter: re-dirty so FlushSync's next
+                         // round (or a later flush) retries the write.
+                         it2->second.dirty = true;
+                       }
                      }
                    }});
   }

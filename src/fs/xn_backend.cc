@@ -4,6 +4,12 @@
 
 namespace exo::fs {
 
+namespace {
+// Transient I/O errors are retried with exponential backoff before surfacing.
+constexpr int kIoRetries = 4;
+constexpr sim::Cycles BackoffUs(int attempt) { return 100u << attempt; }
+}  // namespace
+
 XnBackend::XnBackend(xn::Xn* xn, xn::Caps creds, Blocker blocker,
                      std::function<hw::FrameId()> frame_alloc)
     : xn_(xn),
@@ -67,9 +73,13 @@ Status XnBackend::Modify(hw::BlockId meta, const xn::Mods& mods) {
 
 Status XnBackend::EnsureCached(hw::BlockId block, hw::BlockId parent) {
   // Loop because a buffer another process is bringing in (or that we are waiting on)
-  // can be recycled under memory pressure before we get to run; treat "entry gone"
-  // as a wake-up and retry the read.
+  // can be recycled under memory pressure before we get to run — or because the read
+  // failed, in which case XN unwinds the mapping entirely. Both look identical from
+  // here ("entry gone"): treat them as a wake-up and re-issue the read.
   for (int tries = 0; tries < 64; ++tries) {
+    if (tries > 0 && tries <= kIoRetries) {
+      ChargeCpu(BackoffUs(tries - 1) * cost().cpu_mhz);
+    }
     const xn::RegistryEntry* e = xn_->registry().Lookup(block);
     if (e != nullptr && (e->state == xn::BufState::kResident ||
                          e->state == xn::BufState::kWriteTransit)) {
@@ -236,21 +246,27 @@ Result<hw::BlockId> XnBackend::CreateRoot(const std::string& name, uint32_t tmpl
   if (!r.ok()) {
     return r.status();
   }
-  auto f = TakeFrame();
-  if (!f.ok()) {
-    return f.status();
+  for (int attempt = 0; attempt < kIoRetries; ++attempt) {
+    auto f = TakeFrame();
+    if (!f.ok()) {
+      return f.status();
+    }
+    Status done = Status::kWouldBlock;
+    Status s = xn_->LoadRoot(name, *f, creds_, [&done](Status st) { done = st; });
+    xn_->machine().mem().Unref(*f);
+    if (s != Status::kOk) {
+      return s;
+    }
+    blocker_([&done] { return done != Status::kWouldBlock; });
+    if (done == Status::kOk) {
+      return r->block;
+    }
+    if (done != Status::kIoError) {
+      return done;
+    }
+    ChargeCpu(BackoffUs(attempt) * cost().cpu_mhz);  // transient: retry the load
   }
-  Status done = Status::kWouldBlock;
-  Status s = xn_->LoadRoot(name, *f, creds_, [&done](Status st) { done = st; });
-  xn_->machine().mem().Unref(*f);
-  if (s != Status::kOk) {
-    return s;
-  }
-  blocker_([&done] { return done != Status::kWouldBlock; });
-  if (done != Status::kOk) {
-    return done;
-  }
-  return r->block;
+  return Status::kIoError;
 }
 
 Result<hw::BlockId> XnBackend::OpenRoot(const std::string& name) {
@@ -262,30 +278,40 @@ Result<hw::BlockId> XnBackend::OpenRoot(const std::string& name) {
       e != nullptr && e->state == xn::BufState::kResident) {
     return r->block;  // already cached (typically by another process)
   }
-  auto f = TakeFrame();
-  if (!f.ok()) {
-    return f.status();
+  for (int attempt = 0; attempt < kIoRetries; ++attempt) {
+    auto f = TakeFrame();
+    if (!f.ok()) {
+      return f.status();
+    }
+    Status done = Status::kWouldBlock;
+    Status s = xn_->LoadRoot(name, *f, creds_, [&done](Status st) { done = st; });
+    xn_->machine().mem().Unref(*f);
+    if (s == Status::kBusy) {
+      // Another process's read is in flight; wait on the exposed registry state.
+      hw::BlockId block = r->block;
+      blocker_([this, block] {
+        const xn::RegistryEntry* e = xn_->registry().Lookup(block);
+        return e == nullptr || e->state == xn::BufState::kResident;
+      });
+      if (const xn::RegistryEntry* e = xn_->registry().Lookup(block);
+          e != nullptr && e->state == xn::BufState::kResident) {
+        return block;
+      }
+      continue;  // the other process's read failed and unwound; try ourselves
+    }
+    if (s != Status::kOk) {
+      return s;
+    }
+    blocker_([&done] { return done != Status::kWouldBlock; });
+    if (done == Status::kOk) {
+      return r->block;
+    }
+    if (done != Status::kIoError) {
+      return done;
+    }
+    ChargeCpu(BackoffUs(attempt) * cost().cpu_mhz);  // transient: retry the load
   }
-  Status done = Status::kWouldBlock;
-  Status s = xn_->LoadRoot(name, *f, creds_, [&done](Status st) { done = st; });
-  xn_->machine().mem().Unref(*f);
-  if (s == Status::kBusy) {
-    // Another process's read is in flight; wait on the exposed registry state.
-    hw::BlockId block = r->block;
-    blocker_([this, block] {
-      const xn::RegistryEntry* e = xn_->registry().Lookup(block);
-      return e != nullptr && e->state == xn::BufState::kResident;
-    });
-    return block;
-  }
-  if (s != Status::kOk) {
-    return s;
-  }
-  blocker_([&done] { return done != Status::kWouldBlock; });
-  if (done != Status::kOk) {
-    return done;
-  }
-  return r->block;
+  return Status::kIoError;
 }
 
 Result<uint32_t> XnBackend::RegisterTemplate(const xn::Template& t) {

@@ -25,9 +25,24 @@ std::span<const uint8_t> Disk::RawBlock(BlockId b) const {
 }
 
 void Disk::Submit(DiskRequest req) {
-  EXO_CHECK_GT(req.nblocks, 0u);
-  EXO_CHECK_LE(static_cast<uint64_t>(req.start) + req.nblocks, geometry_.num_blocks);
-  EXO_CHECK(req.frames.empty() || req.frames.size() == req.nblocks);
+  if (powered_off_) {
+    return;  // dead controller: no transfer, no completion interrupt
+  }
+  const bool malformed =
+      req.nblocks == 0 ||
+      static_cast<uint64_t>(req.start) + req.nblocks > geometry_.num_blocks ||
+      (!req.frames.empty() && req.frames.size() != req.nblocks);
+  if (malformed) {
+    ++stats_.rejected_requests;
+    if (req.done) {
+      // Complete asynchronously like any other request so callers never see a
+      // callback re-enter them from inside Submit.
+      engine_->ScheduleAfter(0, [done = std::move(req.done)]() {
+        done(Status::kInvalidArgument);
+      });
+    }
+    return;
+  }
 
   // Try to merge with a queued request forming one contiguous run in the same
   // direction. Completion callbacks are chained so every submitter is notified.
@@ -131,13 +146,37 @@ void Disk::StartNext() {
   stats_.busy_cycles += service;
   ++stats_.requests;
 
-  engine_->ScheduleAfter(service, [this, req = std::move(req)]() mutable {
+  engine_->ScheduleAfter(service,
+                         [this, epoch = power_epoch_, req = std::move(req)]() mutable {
+    if (epoch != power_epoch_) {
+      return;  // completion belongs to a pre-power-cut lifetime
+    }
     Complete(std::move(req));
   });
 }
 
 void Disk::Complete(DiskRequest req) {
+  if (powered_off_) {
+    return;
+  }
+
+  // Injected transient failure: the head sought but the transfer never happened.
+  if (faults_ != nullptr && faults_->NextDiskRequestFails(req.start, req.nblocks)) {
+    ++stats_.io_errors;
+    head_cylinder_ = CylinderOf(req.start);
+    last_block_end_ = req.start;
+    active_ = false;
+    if (req.done) {
+      req.done(Status::kIoError);
+    }
+    if (!powered_off_) {
+      StartNext();
+    }
+    return;
+  }
+
   // DMA between the platter store and memory frames happens at completion time.
+  // Writes become durable one block at a time; a power cut mid-request tears it.
   for (uint32_t i = 0; i < req.nblocks; ++i) {
     if (req.frames.empty() || req.frames[i] == kInvalidFrame) {
       continue;
@@ -146,6 +185,14 @@ void Disk::Complete(DiskRequest req) {
     auto block = RawBlock(req.start + i);
     if (req.write) {
       std::memcpy(block.data(), frame.data(), kBlockSize);
+      if (faults_ != nullptr && faults_->OnBlockWritten(req.start + i)) {
+        // Power dies with this block on the platter and the rest of the request
+        // torn away. No completion interrupt ever fires.
+        stats_.blocks_written += i + 1;
+        stats_.torn_blocks += req.nblocks - (i + 1);
+        PowerCut();
+        return;
+      }
     } else {
       std::memcpy(frame.data(), block.data(), kBlockSize);
     }
@@ -164,6 +211,21 @@ void Disk::Complete(DiskRequest req) {
     req.done(Status::kOk);
   }
   StartNext();
+}
+
+void Disk::PowerCut() {
+  powered_off_ = true;
+  ++power_epoch_;  // orphan any completion already scheduled
+  queue_.clear();
+  active_ = false;
+}
+
+void Disk::PowerRestore() {
+  powered_off_ = false;
+  queue_.clear();
+  active_ = false;
+  head_cylinder_ = 0;
+  last_block_end_ = 0;
 }
 
 }  // namespace exo::hw

@@ -21,6 +21,7 @@
 #include "hw/phys_mem.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/status.h"
 
 namespace exo::hw {
@@ -61,6 +62,9 @@ struct DiskStats {
   uint64_t seeks = 0;              // requests that required head movement
   uint64_t blocks_read = 0;
   uint64_t blocks_written = 0;
+  uint64_t io_errors = 0;          // injected request failures surfaced to callers
+  uint64_t rejected_requests = 0;  // malformed submissions completed with an error
+  uint64_t torn_blocks = 0;        // blocks of the in-flight write lost to power cuts
   sim::Cycles busy_cycles = 0;
 };
 
@@ -70,7 +74,26 @@ class Disk {
 
   // Queues a request. Contiguous same-direction requests already in the queue are
   // merged (the paper notes the driver merges concurrent XCP schedules, Sec. 7.2).
+  // Malformed requests (zero length, out of range, frame-count mismatch) complete
+  // asynchronously with kInvalidArgument instead of aborting the simulation. While
+  // power is off, requests are silently swallowed: a dead controller raises no
+  // completion interrupts.
   void Submit(DiskRequest req);
+
+  // Attaches (or detaches, with nullptr) a fault injector. The injector is consulted
+  // once per request for I/O errors and once per durable block write for power-cut
+  // scheduling; unarmed disks skip all of it behind one pointer test.
+  void SetFaultInjector(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* fault_injector() const { return faults_; }
+
+  // Simulated power loss: the block store freezes exactly as the in-flight request
+  // left it. Queued requests are lost, the active request never completes (its DMA
+  // happens at completion time, so nothing of it landed), and no callbacks run.
+  void PowerCut();
+  // Restores power after a crash: the store contents survive, queue and head state
+  // reset. Models the machine rebooting against the same platters.
+  void PowerRestore();
+  bool powered_off() const { return powered_off_; }
 
   // Convenience for tests and kernel-internal metadata I/O.
   std::span<uint8_t> RawBlock(BlockId b);
@@ -97,6 +120,9 @@ class Disk {
   std::vector<uint8_t> store_;
 
   std::deque<DiskRequest> queue_;
+  sim::FaultInjector* faults_ = nullptr;
+  bool powered_off_ = false;
+  uint64_t power_epoch_ = 0;  // completions scheduled before a cut are invalidated
   bool active_ = false;
   uint32_t head_cylinder_ = 0;
   BlockId last_block_end_ = 0;  // block just past the previous transfer (detect sequential)

@@ -26,6 +26,29 @@ void Link::Send(Nic* from, Packet p) {
   dir.busy_until = start + serialize;
   const sim::Cycles arrival = dir.busy_until + latency_cycles_;
 
+  if (faults_ != nullptr) {
+    switch (faults_->NextWireFate(p.bytes.size())) {
+      case sim::FaultInjector::WireFate::kDrop:
+        return;  // wire time was consumed, but the frame never arrives
+      case sim::FaultInjector::WireFate::kCorrupt:
+        p.bytes[faults_->CorruptionOffset()] ^= 0xff;
+        break;
+      case sim::FaultInjector::WireFate::kDuplicate: {
+        // The duplicate trails the original by one serialization slot, as if the
+        // sender's retransmit logic fired spuriously.
+        Packet copy = p;
+        dir.busy_until += serialize;
+        engine_->ScheduleAt(dir.busy_until + latency_cycles_,
+                            [to, copy = std::move(copy)]() mutable {
+          to->Deliver(std::move(copy));
+        });
+        break;
+      }
+      case sim::FaultInjector::WireFate::kDeliver:
+        break;
+    }
+  }
+
   engine_->ScheduleAt(arrival, [to, p = std::move(p)]() mutable { to->Deliver(std::move(p)); });
 }
 

@@ -14,6 +14,7 @@
 
 #include "sim/counters.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 
 namespace exo::hw {
 
@@ -94,6 +95,11 @@ class Link {
 
   void Send(Nic* from, Packet p);
 
+  // Attaches (or detaches, with nullptr) a fault injector consulted once per frame
+  // for drop/corrupt/duplicate; unarmed links skip it behind one pointer test.
+  void SetFaultInjector(sim::FaultInjector* faults) { faults_ = faults; }
+  sim::FaultInjector* fault_injector() const { return faults_; }
+
   double utilization_tx_a() const { return 0; }  // reserved for future instrumentation
 
  private:
@@ -104,6 +110,7 @@ class Link {
   sim::Engine* engine_;
   double cycles_per_byte_;
   sim::Cycles latency_cycles_;
+  sim::FaultInjector* faults_ = nullptr;
   Nic* a_ = nullptr;
   Nic* b_ = nullptr;
   Direction dir_ab_;

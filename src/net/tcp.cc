@@ -61,6 +61,10 @@ TcpConn* TcpStack::Connect(IpAddr dst_ip, Port dst_port,
   c->on_established_ = std::move(on_established);
   conns_[Key(dst_ip, dst_port, c->local_port_)] = std::move(tmp_);
   Emit(c, kFlagSyn, c->snd_next_, {}, 0, false, false);
+  TcpConn::PendingSegment syn;
+  syn.syn = true;
+  syn.seq = c->snd_next_;
+  c->unacked_.push_back(std::move(syn));
   c->snd_next_ += 1;
   ArmRto(c);
   return c;
@@ -223,7 +227,11 @@ void TcpStack::OnRto(TcpConn* c) {
   }
   ++stats_.retransmits;
   const TcpConn::PendingSegment& seg = c->unacked_.front();
-  if (seg.fin) {
+  if (seg.syn) {
+    // Emit adds the ACK flag itself outside kSynSent, so this re-sends the client's
+    // SYN or the server's SYN|ACK as appropriate.
+    Emit(c, kFlagSyn, seg.seq, {}, 0, false, false);
+  } else if (seg.fin) {
     Emit(c, kFlagFin, seg.seq, {}, 0, false, false);
   } else {
     // Retransmission reads the (still pinned) data; zero-copy pays no copy here
@@ -243,14 +251,22 @@ void TcpStack::Input(const hw::Packet& p) {
   }
   // Receive-path CPU: fixed per-segment cost + payload copy/verify, then process.
   sim::Cycles cost = profile_.rx_fixed;
+  bool checksum_ok = true;
   if (!seg->payload.empty()) {
     cost += static_cast<sim::Cycles>(
         static_cast<double>(hooks_.cost->CopyCost(seg->payload.size())) * profile_.rx_copies);
     if (profile_.checksum_rx) {
       cost += hooks_.cost->ChecksumCost(seg->payload.size());
+      checksum_ok = Checksum(seg->payload) == seg->checksum;
     }
   }
   sim::Cycles when = Occupy(cost);
+  if (!checksum_ok) {
+    // Damaged in transit: discard after paying the verify cost; the sender's RTO
+    // recovers. Indistinguishable from a drop, which is the point of the checksum.
+    ++stats_.checksum_drops;
+    return;
+  }
   hooks_.engine->ScheduleAt(when, [this, s = std::move(*seg)]() mutable {
     ProcessSegment(std::move(s));
   });
@@ -280,7 +296,12 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     c->snd_una_ = kInitialSeq;
     conns_[key] = std::move(tmp_);
     Emit(c, kFlagSyn | kFlagAck, c->snd_next_, {}, 0, false, false);
+    TcpConn::PendingSegment syn;
+    syn.syn = true;
+    syn.seq = c->snd_next_;
+    c->unacked_.push_back(std::move(syn));
     c->snd_next_ += 1;
+    ArmRto(c);
     return;
   }
 
@@ -302,6 +323,16 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     return;
   }
 
+  // Duplicate SYN|ACK: our handshake-completing ACK was lost, so the peer is still
+  // retransmitting. Re-ack so it can leave SynRcvd. (In kSynRcvd ourselves, our own
+  // RTO re-sends the SYN|ACK; a duplicate SYN needs no reply.)
+  if ((seg.flags & kFlagSyn) != 0) {
+    if (c->state_ != TcpConn::State::kSynRcvd) {
+      SendPureAck(c);
+    }
+    return;
+  }
+
   // ACK processing.
   if ((seg.flags & kFlagAck) != 0) {
     if (c->state_ == TcpConn::State::kSynSent) {
@@ -309,7 +340,9 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     }
     while (!c->unacked_.empty()) {
       const auto& head = c->unacked_.front();
-      uint32_t head_end = head.seq + (head.fin ? 1 : static_cast<uint32_t>(head.bytes().size()));
+      uint32_t head_end =
+          head.seq +
+          ((head.fin || head.syn) ? 1 : static_cast<uint32_t>(head.bytes().size()));
       if (static_cast<int32_t>(seg.ack - head_end) >= 0) {
         c->snd_una_ = head_end;
         c->unacked_.pop_front();

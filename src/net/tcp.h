@@ -55,6 +55,7 @@ struct TcpStats {
   uint64_t bytes_out = 0;
   uint64_t bytes_in = 0;
   uint64_t retransmits = 0;
+  uint64_t checksum_drops = 0;  // received segments discarded for bad payload checksum
   uint64_t pure_acks_out = 0;
   uint64_t piggybacked_acks = 0;
   uint64_t conns_opened = 0;
@@ -105,6 +106,7 @@ class TcpConn {
     uint32_t checksum = 0;
     uint32_t seq = 0;
     bool fin = false;
+    bool syn = false;  // handshake segments occupy sequence space and retransmit too
     std::span<const uint8_t> bytes() const {
       return owned.empty() ? stable : std::span<const uint8_t>(owned);
     }

@@ -1,0 +1,77 @@
+#include "sim/fault.h"
+
+#include <cstdio>
+
+namespace exo::sim {
+
+namespace {
+std::string Format(const char* fmt, uint64_t a, uint64_t b) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return buf;
+}
+}  // namespace
+
+bool FaultInjector::NextDiskRequestFails(uint64_t start_block, uint32_t nblocks) {
+  ++stats_.disk_requests_seen;
+  if (plan_.disk_error_rate <= 0.0) {
+    return false;
+  }
+  if (rng_.NextDouble() >= plan_.disk_error_rate) {
+    return false;
+  }
+  ++stats_.disk_io_errors;
+  Log(Format("disk-error block=%llu n=%llu", start_block, nblocks));
+  return true;
+}
+
+bool FaultInjector::OnBlockWritten(uint64_t block) {
+  ++stats_.disk_blocks_written;
+  if (plan_.power_cut_after_blocks == 0 ||
+      stats_.disk_blocks_written != plan_.power_cut_after_blocks) {
+    return false;
+  }
+  ++stats_.power_cuts;
+  Log(Format("power-cut after-block=%llu writes=%llu", block, stats_.disk_blocks_written));
+  return true;
+}
+
+FaultInjector::WireFate FaultInjector::NextWireFate(uint64_t frame_bytes) {
+  ++stats_.frames_seen;
+  const bool any = plan_.net_drop_rate > 0.0 || plan_.net_corrupt_rate > 0.0 ||
+                   plan_.net_duplicate_rate > 0.0;
+  if (!any) {
+    return WireFate::kDeliver;
+  }
+  // One draw decides the fate; the rates partition [0, 1).
+  const double roll = rng_.NextDouble();
+  if (roll < plan_.net_drop_rate) {
+    ++stats_.net_drops;
+    Log(Format("net-drop bytes=%llu seq=%llu", frame_bytes, stats_.frames_seen));
+    return WireFate::kDrop;
+  }
+  if (roll < plan_.net_drop_rate + plan_.net_corrupt_rate) {
+    if (frame_bytes <= plan_.net_corrupt_min_offset) {
+      // Nothing detectably corruptible: model the damaged frame as lost instead.
+      ++stats_.net_drops;
+      Log(Format("net-drop(short-corrupt) bytes=%llu seq=%llu", frame_bytes,
+                 stats_.frames_seen));
+      return WireFate::kDrop;
+    }
+    corrupt_offset_ =
+        plan_.net_corrupt_min_offset +
+        rng_.Below(frame_bytes - plan_.net_corrupt_min_offset);
+    ++stats_.net_corruptions;
+    Log(Format("net-corrupt bytes=%llu off=%llu", frame_bytes, corrupt_offset_));
+    return WireFate::kCorrupt;
+  }
+  if (roll < plan_.net_drop_rate + plan_.net_corrupt_rate + plan_.net_duplicate_rate) {
+    ++stats_.net_duplicates;
+    Log(Format("net-dup bytes=%llu seq=%llu", frame_bytes, stats_.frames_seen));
+    return WireFate::kDuplicate;
+  }
+  return WireFate::kDeliver;
+}
+
+}  // namespace exo::sim

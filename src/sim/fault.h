@@ -1,0 +1,120 @@
+// FaultInjector: a seed-deterministic fault plan consulted by every hardware model.
+//
+// The paper's central storage claim is that XN keeps on-disk metadata recoverable
+// after a crash at any instant without synchronous writes (Sec. 4.4), and its TCP
+// carries retransmission machinery (Sec. 7.3). Neither path is trustworthy unless it
+// can be *driven*: this module injects disk I/O errors, power cuts that tear
+// multi-block writes, and packet drop/corruption/duplication — all drawn from one
+// explicitly seeded Rng so a failing schedule is reproducible from its seed alone.
+//
+// Determinism contract:
+//   - All decisions are drawn from a private Rng in consultation order. The
+//     simulation is single-threaded and event-ordering is deterministic, so the same
+//     seed plus the same workload yields byte-for-byte the same fault schedule.
+//   - Every decision that injects a fault is appended to an event log; two runs may
+//     be compared with FaultInjector::log() to prove schedule equality.
+//   - An unarmed device (no injector attached) draws nothing and charges nothing:
+//     fault support is a single null-pointer test on the hot path, so benchmark
+//     outputs are bit-identical with and without the subsystem compiled in.
+#ifndef EXO_SIM_FAULT_H_
+#define EXO_SIM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace exo::sim {
+
+// Declarative description of the faults to inject. Rates are per-consultation
+// probabilities in [0, 1]; 0 disables the corresponding fault class.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  // ---- Disk ----
+  // Probability that a disk request fails wholesale with Status::kIoError (no DMA
+  // is performed; the media is untouched). Transient: a retry redraws.
+  double disk_error_rate = 0.0;
+  // Power-cut point: after the k-th *block* write lands on the platter, power is
+  // lost. A multi-block request in flight is torn: blocks before the cut are
+  // durable, the rest never happen. 0 disables.
+  uint64_t power_cut_after_blocks = 0;
+
+  // ---- Wire ----
+  double net_drop_rate = 0.0;       // frame vanishes
+  double net_corrupt_rate = 0.0;    // one byte of the frame is flipped
+  double net_duplicate_rate = 0.0;  // frame is delivered twice
+  // Corruption is confined to bytes at or beyond this offset (protocol payload;
+  // headers in this simulation carry no checksum, so flipping them would model a
+  // fault the receiver cannot detect). Frames too short to corrupt are dropped
+  // instead, which the receiver treats identically (a timeout).
+  uint32_t net_corrupt_min_offset = 0;
+};
+
+struct FaultStats {
+  uint64_t disk_requests_seen = 0;
+  uint64_t disk_io_errors = 0;
+  uint64_t disk_blocks_written = 0;  // durable block writes counted toward the cut
+  uint64_t power_cuts = 0;
+  uint64_t frames_seen = 0;
+  uint64_t net_drops = 0;
+  uint64_t net_corruptions = 0;
+  uint64_t net_duplicates = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  // The schedule actually executed, one line per injected fault, in order. Two runs
+  // with the same seed and workload must produce identical logs.
+  const std::vector<std::string>& log() const { return log_; }
+
+  // ---- Disk consultation ----
+
+  // Drawn once per disk request as it begins service. True => the request fails
+  // with kIoError and performs no transfer.
+  bool NextDiskRequestFails(uint64_t start_block, uint32_t nblocks);
+
+  // Called for each block write the instant it becomes durable. Returns true when
+  // this write is the k-th and power is lost *after* it (the caller must freeze:
+  // later blocks of the same request are torn away).
+  bool OnBlockWritten(uint64_t block);
+
+  bool power_cut_pending() const {
+    return plan_.power_cut_after_blocks != 0 &&
+           stats_.disk_blocks_written < plan_.power_cut_after_blocks;
+  }
+
+  // ---- Wire consultation ----
+
+  enum class WireFate { kDeliver, kDrop, kCorrupt, kDuplicate };
+
+  // Drawn once per frame entering a link. For kCorrupt the caller flips the byte at
+  // CorruptionOffset(); for kDuplicate it delivers the frame twice.
+  WireFate NextWireFate(uint64_t frame_bytes);
+
+  // Byte index to flip in a frame of `frame_bytes` bytes; only valid immediately
+  // after NextWireFate returned kCorrupt for that frame.
+  uint64_t CorruptionOffset() const { return corrupt_offset_; }
+
+ private:
+  void Log(std::string line) { log_.push_back(std::move(line)); }
+
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  uint64_t corrupt_offset_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace exo::sim
+
+#endif  // EXO_SIM_FAULT_H_

@@ -1,0 +1,35 @@
+#include "sim/sweep.h"
+
+#include <cstdio>
+
+namespace exo::sim {
+
+std::string SweepOutcome::Summary() const {
+  char head[128];
+  std::snprintf(head, sizeof(head), "%llu/%llu cut points passed",
+                static_cast<unsigned long long>(trials - failures.size()),
+                static_cast<unsigned long long>(trials));
+  std::string s = head;
+  for (const auto& [k, why] : failures) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "\n  k=%llu: ", static_cast<unsigned long long>(k));
+    s += line;
+    s += why;
+  }
+  return s;
+}
+
+SweepOutcome SweepCutPoints(uint64_t num_cuts,
+                            const std::function<std::string(uint64_t)>& trial) {
+  SweepOutcome out;
+  for (uint64_t k = 1; k <= num_cuts; ++k) {
+    ++out.trials;
+    std::string err = trial(k);
+    if (!err.empty()) {
+      out.failures.emplace_back(k, std::move(err));
+    }
+  }
+  return out;
+}
+
+}  // namespace exo::sim

@@ -1,0 +1,36 @@
+// Crash-consistency sweep driver: run a trial once per power-cut point.
+//
+// The harness pattern (Sec. 4.4's recoverable-at-any-instant claim, turned into a
+// checkable property): first run the workload fault-free and count its durable
+// block writes K; then for every k in [1, K], re-run with power cut after the k-th
+// write, recover, and check invariants. This module is workload-agnostic — the trial
+// callback owns machine construction, the workload, recovery, and invariant checks,
+// and reports failures as human-readable strings.
+#ifndef EXO_SIM_SWEEP_H_
+#define EXO_SIM_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace exo::sim {
+
+struct SweepOutcome {
+  uint64_t trials = 0;
+  // (cut point k, what went wrong) for every failed trial.
+  std::vector<std::pair<uint64_t, std::string>> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+// Runs trial(k) for k = 1..num_cuts. The trial returns an empty string on success
+// or a description of the violated invariant. Every cut point is always visited
+// (no early exit) so one report covers the whole schedule space.
+SweepOutcome SweepCutPoints(uint64_t num_cuts,
+                            const std::function<std::string(uint64_t)>& trial);
+
+}  // namespace exo::sim
+
+#endif  // EXO_SIM_SWEEP_H_

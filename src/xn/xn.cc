@@ -548,6 +548,16 @@ Status Xn::LoadRoot(const std::string& name, hw::FrameId frame, const Caps& cred
                  .frames = {frame},
                  .done = [this, block, tmpl, done = std::move(done)](Status s) {
                    if (RegistryEntry* e = registry_.LookupMutable(block)) {
+                     if (s != Status::kOk) {
+                       // The frame holds garbage, not the root: drop the mapping so a
+                       // retry re-issues the read instead of trusting it.
+                       machine_->mem().Unref(e->frame);
+                       registry_.Remove(block);
+                       if (done) {
+                         done(s);
+                       }
+                       return;
+                     }
                      e->state = BufState::kResident;
                      if (const Template* t = FindTemplate(tmpl); t != nullptr && t->is_metadata) {
                        auto owns = RunOwns(*t, FrameBytes(e->frame));
@@ -661,6 +671,14 @@ Status Xn::ReadAndInsert(hw::BlockId parent, std::span<const hw::BlockId> blocks
          .done = [this, run_blocks, remaining, first_err, done](Status s) {
            for (hw::BlockId b : run_blocks) {
              if (RegistryEntry* e = registry_.LookupMutable(b)) {
+               if (s != Status::kOk) {
+                 // Failed read: unwind the in-transit mapping entirely so the libFS
+                 // can retry the same blocks.
+                 machine_->mem().Unref(e->frame);
+                 registry_.Remove(b);
+                 parent_of_.erase(b);
+                 continue;
+               }
                e->state = BufState::kResident;
                const Template* t = FindTemplate(e->tmpl);
                if (t != nullptr && t->is_metadata) {
@@ -753,7 +771,12 @@ Status Xn::RawRead(hw::BlockId block, hw::FrameId frame, std::function<void(Stat
                  .frames = {frame},
                  .done = [this, block, done = std::move(done)](Status s) {
                    if (RegistryEntry* e = registry_.LookupMutable(block)) {
-                     e->state = BufState::kResident;
+                     if (s != Status::kOk) {
+                       machine_->mem().Unref(e->frame);
+                       registry_.Remove(block);
+                     } else {
+                       e->state = BufState::kResident;
+                     }
                    }
                    if (done) {
                      done(s);
@@ -1108,7 +1131,7 @@ Status Xn::Write(std::span<const hw::BlockId> blocks, std::function<void(Status)
                      if (s != Status::kOk) {
                        *first_err = s;
                      }
-                     OnWriteComplete(b);
+                     OnWriteComplete(b, s);
                      if (--*remaining == 0 && done) {
                        done(*first_err);
                      }
@@ -1117,12 +1140,18 @@ Status Xn::Write(std::span<const hw::BlockId> blocks, std::function<void(Status)
   return Status::kOk;
 }
 
-void Xn::OnWriteComplete(hw::BlockId b) {
+void Xn::OnWriteComplete(hw::BlockId b, Status s) {
   RegistryEntry* e = registry_.LookupMutable(b);
   if (e == nullptr) {
     return;  // crashed between submit and completion
   }
   e->state = BufState::kResident;
+  if (s != Status::kOk) {
+    // The block never reached the platter: it stays dirty (and, if freshly
+    // allocated, uninitialized) so taint tracking keeps treating the on-disk copy
+    // as the garbage it still is. The caller sees the error and may retry.
+    return;
+  }
   e->dirty = false;
   uninit_.erase(b);
 

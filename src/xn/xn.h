@@ -68,7 +68,7 @@ class Xn {
   void Format();
   // Loads catalogues. If the disk was not cleanly detached, reconstructs the free
   // map by traversing all persistent roots (recovery GC, Sec. 4.4).
-  Status Attach();
+  [[nodiscard]] Status Attach();
   // Flushes the free map and catalogues; marks the disk clean.
   void Detach();
   // Simulated power loss: outstanding disk I/O is abandoned, all volatile state
@@ -82,70 +82,70 @@ class Xn {
 
   // Verifies the UDFs (owns-udf must pass the deterministic policy) and persists the
   // template. Once installed a template is immutable (Sec. 4.1).
-  Result<TemplateId> InstallTemplate(const Template& t);
+  [[nodiscard]] Result<TemplateId> InstallTemplate(const Template& t);
   const Template* FindTemplate(TemplateId id) const;
-  Result<TemplateId> LookupTemplate(const std::string& name) const;
+  [[nodiscard]] Result<TemplateId> LookupTemplate(const std::string& name) const;
 
   // ---- Roots (root catalogue) ----
 
   // Allocates a free block as the root of a new tree and persists the entry.
-  Result<RootInfo> RegisterRoot(const std::string& name, TemplateId tmpl, bool temporary);
-  Result<RootInfo> LookupRoot(const std::string& name) const;
-  Status UnregisterRoot(const std::string& name);
+  [[nodiscard]] Result<RootInfo> RegisterRoot(const std::string& name, TemplateId tmpl, bool temporary);
+  [[nodiscard]] Result<RootInfo> LookupRoot(const std::string& name) const;
+  [[nodiscard]] Status UnregisterRoot(const std::string& name);
 
   // ---- Buffer cache registry ----
 
   const Registry& registry() const { return registry_; }
 
   // Loads a root block into the registry (reads from disk unless newly created).
-  Status LoadRoot(const std::string& name, hw::FrameId frame, const Caps& creds,
+  [[nodiscard]] Status LoadRoot(const std::string& name, hw::FrameId frame, const Caps& creds,
                   std::function<void(Status)> done);
 
   // Stage 1+2 combined read: prove ownership via the parent's owns-udf, authorize via
   // acl-uf, install registry entries, and issue the disk read into `frames`.
   // Blocks already resident complete immediately (no disk traffic).
-  Status ReadAndInsert(hw::BlockId parent, std::span<const hw::BlockId> blocks,
+  [[nodiscard]] Status ReadAndInsert(hw::BlockId parent, std::span<const hw::BlockId> blocks,
                        std::span<const hw::FrameId> frames, const Caps& creds,
                        std::function<void(Status)> done);
 
   // Direct install of an in-core copy; requires write access via the parent's acl-uf
   // (prevents installing bogus copies of blocks one cannot write, Sec. 4.3.3).
-  Status InsertMapping(hw::BlockId block, hw::BlockId parent, hw::FrameId frame,
+  [[nodiscard]] Status InsertMapping(hw::BlockId block, hw::BlockId parent, hw::FrameId frame,
                        bool dirty, const Caps& creds);
 
   // Speculative read before the parent is known; the entry is typed "unknown" and
   // unusable until BindToParent succeeds (Sec. 4.4, raw read).
-  Status RawRead(hw::BlockId block, hw::FrameId frame, std::function<void(Status)> done);
-  Status BindToParent(hw::BlockId parent, hw::BlockId block, const Caps& creds);
+  [[nodiscard]] Status RawRead(hw::BlockId block, hw::FrameId frame, std::function<void(Status)> done);
+  [[nodiscard]] Status BindToParent(hw::BlockId parent, hw::BlockId block, const Caps& creds);
 
   // Registry-entry locking for atomic multi-step metadata updates (Sec. 4.3.1).
-  Status Lock(hw::BlockId block, xok::EnvId owner);
-  Status Unlock(hw::BlockId block, xok::EnvId owner);
-  Status Pin(hw::BlockId block);
-  Status Unpin(hw::BlockId block);
+  [[nodiscard]] Status Lock(hw::BlockId block, xok::EnvId owner);
+  [[nodiscard]] Status Unlock(hw::BlockId block, xok::EnvId owner);
+  [[nodiscard]] Status Pin(hw::BlockId block);
+  [[nodiscard]] Status Unpin(hw::BlockId block);
 
   // Drops a clean mapping (the application reclaims its frame).
-  Status RemoveMapping(hw::BlockId block);
+  [[nodiscard]] Status RemoveMapping(hw::BlockId block);
   // Default recycling policy: drop the LRU unused buffer and return its frame.
-  Result<hw::FrameId> RecycleOldest();
+  [[nodiscard]] Result<hw::FrameId> RecycleOldest();
 
   // ---- Guarded metadata operations ----
 
-  Status Alloc(hw::BlockId meta, const Mods& mods, std::span<const udf::Extent> to_alloc,
+  [[nodiscard]] Status Alloc(hw::BlockId meta, const Mods& mods, std::span<const udf::Extent> to_alloc,
                const Caps& creds);
-  Status Dealloc(hw::BlockId meta, const Mods& mods, std::span<const udf::Extent> to_free,
+  [[nodiscard]] Status Dealloc(hw::BlockId meta, const Mods& mods, std::span<const udf::Extent> to_free,
                  const Caps& creds);
   // Ownership-preserving metadata update (mtimes, sizes, names, ...).
-  Status Modify(hw::BlockId meta, const Mods& mods, const Caps& creds);
+  [[nodiscard]] Status Modify(hw::BlockId meta, const Mods& mods, const Caps& creds);
 
   // Flushes dirty blocks. Validates every block first (tainted-and-reachable fails
   // the whole call with kTainted); then submits one merged-friendly request batch.
   // Needs no write permission: daemons may flush anything (Sec. 4.3.3).
-  Status Write(std::span<const hw::BlockId> blocks, std::function<void(Status)> done);
+  [[nodiscard]] Status Write(std::span<const hw::BlockId> blocks, std::function<void(Status)> done);
 
   // Reads the current bytes of a cached block (metadata inspection path for libFSes;
   // metadata frames must not be written directly, but reading is harmless).
-  Result<std::vector<uint8_t>> ReadCached(hw::BlockId block, const Caps& creds);
+  [[nodiscard]] Result<std::vector<uint8_t>> ReadCached(hw::BlockId block, const Caps& creds);
 
   // ---- Exposed state (no syscall cost to read) ----
 
@@ -155,7 +155,7 @@ class Xn {
   uint32_t NumBlocks() const;
   // Scans for a run of `count` free blocks at or after `hint` (libFSes control
   // layout by choosing where to look, Sec. 4.4 "Allocate").
-  Result<hw::BlockId> FindFreeRun(hw::BlockId hint, uint32_t count) const;
+  [[nodiscard]] Result<hw::BlockId> FindFreeRun(hw::BlockId hint, uint32_t count) const;
   bool IsTaintedBlock(hw::BlockId b) const { return uninit_.count(b) != 0; }
 
   const XnStats& stats() const { return stats_; }
@@ -165,7 +165,7 @@ class Xn {
   using OwnsSet = std::map<hw::BlockId, TemplateId>;  // block -> template
 
   void ChargeOp(const char* name);
-  Result<OwnsSet> RunOwns(const Template& t, std::span<const uint8_t> image);
+  [[nodiscard]] Result<OwnsSet> RunOwns(const Template& t, std::span<const uint8_t> image);
   bool RunAcl(const Template& t, std::span<const uint8_t> image,
               const std::vector<uint8_t>& aux, const Caps& creds);
   std::span<const uint8_t> FrameBytes(hw::FrameId f) const;
@@ -175,12 +175,12 @@ class Xn {
   // proposed modification on a scratch copy, requires the ownership delta to equal
   // exactly (require_added, require_removed), runs acl-uf, and only then applies the
   // mods to the cached frame and marks it dirty. Nothing is mutated on failure.
-  Status GuardedModify(hw::BlockId meta, const Mods& mods, const Caps& creds,
+  [[nodiscard]] Status GuardedModify(hw::BlockId meta, const Mods& mods, const Caps& creds,
                        const OwnsSet& require_added, const OwnsSet& require_removed);
 
   bool ReachesPersistentRoot(hw::BlockId b) const;
   bool IsTaintedForWrite(hw::BlockId b, std::set<hw::BlockId>* visiting);
-  void OnWriteComplete(hw::BlockId b);
+  void OnWriteComplete(hw::BlockId b, Status s);
   void MarkAllocated(hw::BlockId b, bool allocated);
 
   void WriteSuperblock(bool clean);

@@ -78,7 +78,7 @@ class XokKernel {
 
   // Reaps a zombie environment: frees its frames and kernel state. Called by the
   // parent libOS (wait) or the host driver for top-level environments.
-  Status ReapEnv(EnvId id);
+  [[nodiscard]] Status ReapEnv(EnvId id);
 
   // ---- Host driver ----
 
@@ -107,7 +107,7 @@ class XokKernel {
   [[noreturn]] void SysExit(int code);
 
   // Blocks until the child is a zombie, then reaps it and returns its exit code.
-  Result<int> SysWait(EnvId child);
+  [[nodiscard]] Result<int> SysWait(EnvId child);
 
   // Robust critical sections: disable/enable software interrupts (Sec. 3.3). These
   // are env-local flag flips visible to the kernel, not syscalls.
@@ -116,53 +116,53 @@ class XokKernel {
 
   // ---- Physical memory ----
 
-  Result<hw::FrameId> SysFrameAlloc(CredIndex cred, CapName guard);
-  Status SysFrameFree(hw::FrameId frame, CredIndex cred);
+  [[nodiscard]] Result<hw::FrameId> SysFrameAlloc(CredIndex cred, CapName guard);
+  [[nodiscard]] Status SysFrameFree(hw::FrameId frame, CredIndex cred);
   // Extra reference for sharing (e.g. COW); freeing decrements.
-  Status SysFrameRef(hw::FrameId frame, CredIndex cred);
+  [[nodiscard]] Status SysFrameRef(hw::FrameId frame, CredIndex cred);
   const CapName& FrameGuard(hw::FrameId frame) const;
   uint32_t FreeFrameCount() const;  // exposed free list (no syscall)
 
-  Status SysPtUpdate(EnvId target, const PtOp& op, CredIndex cred);
+  [[nodiscard]] Status SysPtUpdate(EnvId target, const PtOp& op, CredIndex cred);
   // Batched page-table updates amortize the trap over many entries (Sec. 5.2.1).
-  Status SysPtBatch(EnvId target, std::span<const PtOp> ops, CredIndex cred);
+  [[nodiscard]] Status SysPtBatch(EnvId target, std::span<const PtOp> ops, CredIndex cred);
 
   // Walks `env`'s page table to move bytes between a host buffer and mapped frames,
   // taking (and charging) page faults through the environment's handler exactly as
   // hardware would. Used by libOS data paths.
-  Status AccessUserMemory(EnvId id, uint64_t vaddr, std::span<uint8_t> buf, bool write,
+  [[nodiscard]] Status AccessUserMemory(EnvId id, uint64_t vaddr, std::span<uint8_t> buf, bool write,
                           bool charge_copy = true);
 
   // ---- Software regions (sub-page protection, Sec. 3.3) ----
 
-  Result<RegionId> SysRegionCreate(uint32_t size, CapName guard, CredIndex cred);
-  Status SysRegionWrite(RegionId rid, uint32_t off, std::span<const uint8_t> data,
+  [[nodiscard]] Result<RegionId> SysRegionCreate(uint32_t size, CapName guard, CredIndex cred);
+  [[nodiscard]] Status SysRegionWrite(RegionId rid, uint32_t off, std::span<const uint8_t> data,
                         CredIndex cred);
-  Status SysRegionRead(RegionId rid, uint32_t off, std::span<uint8_t> out, CredIndex cred);
-  Status SysRegionDestroy(RegionId rid, CredIndex cred);
+  [[nodiscard]] Status SysRegionRead(RegionId rid, uint32_t off, std::span<uint8_t> out, CredIndex cred);
+  [[nodiscard]] Status SysRegionDestroy(RegionId rid, CredIndex cred);
   // Exposed state: regions are readable data structures for predicate windows.
   const std::vector<uint8_t>* RegionBytes(RegionId rid) const;
 
   // ---- IPC ----
 
-  Status SysIpcSend(EnvId to, const IpcMessage& msg, CredIndex cred);
+  [[nodiscard]] Status SysIpcSend(EnvId to, const IpcMessage& msg, CredIndex cred);
   // Non-blocking receive from own queue.
-  Result<IpcMessage> SysIpcRecv();
+  [[nodiscard]] Result<IpcMessage> SysIpcRecv();
 
   // ---- Network ----
 
   // Installs a packet filter; the program must pass the deterministic-policy
   // verifier. Filters are dispatched in installation order; the kernel inspects
   // programs at install time, which is why it can trust their claims (Sec. 9.3).
-  Result<FilterId> SysFilterInstall(udf::Program program, CredIndex cred);
-  Status SysFilterRemove(FilterId id, CredIndex cred);
+  [[nodiscard]] Result<FilterId> SysFilterInstall(udf::Program program, CredIndex cred);
+  [[nodiscard]] Status SysFilterRemove(FilterId id, CredIndex cred);
   // Consumes the next packet from the filter's ring (kWouldBlock if empty).
-  Result<hw::Packet> SysRingConsume(FilterId id, CredIndex cred);
+  [[nodiscard]] Result<hw::Packet> SysRingConsume(FilterId id, CredIndex cred);
   const PacketFilter* Filter(FilterId id) const;  // exposed (predicate windows)
 
   // Transmits a frame. Data is gathered by DMA; the CPU does not touch the bytes
   // (copies, if any, are charged by the protocol library that built the frame).
-  Status SysNicTransmit(uint32_t nic, hw::Packet packet);
+  [[nodiscard]] Status SysNicTransmit(uint32_t nic, hw::Packet packet);
 
   // ---- Misc ----
 
@@ -182,7 +182,7 @@ class XokKernel {
 
   // Validates that `cred` (an index into env's capability list, or kCredAny) grants
   // `need_write` access to `guard`, charging per capability comparison.
-  Status CheckCred(const Env& e, CredIndex cred, const CapName& guard, bool need_write);
+  [[nodiscard]] Status CheckCred(const Env& e, CredIndex cred, const CapName& guard, bool need_write);
 
  private:
   void FinishExit(Env* e, int code);
@@ -190,7 +190,7 @@ class XokKernel {
   bool EvalPredicate(Env* e);
   void DeliverEndOfSlice(Env* e);
   void OnPacket(uint32_t nic, hw::Packet p);
-  Status PtApply(Env& target, const PtOp& op, CredIndex cred);
+  [[nodiscard]] Status PtApply(Env& target, const PtOp& op, CredIndex cred);
 
   hw::Machine* machine_;
   std::map<EnvId, std::unique_ptr<Env>> envs_;

@@ -140,6 +140,118 @@ TEST_F(DiskTest, StatsCountSeeks) {
   EXPECT_EQ(disk_.stats().requests, 2u);
 }
 
+TEST_F(DiskTest, OutOfRangeSubmitCompletesWithInvalidArgument) {
+  FrameId f = *mem_.Alloc();
+  Status got = Status::kOk;
+  // One block past the end of the disk.
+  disk_.Submit({.write = false,
+                .start = disk_.geometry().num_blocks,
+                .nblocks = 1,
+                .frames = {f},
+                .done = [&](Status s) { got = s; }});
+  EXPECT_EQ(got, Status::kOk);  // completion is asynchronous
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kInvalidArgument);
+
+  // A run that starts in range but extends past the end, a zero-length request, and
+  // a frame-count mismatch are all rejected the same way.
+  got = Status::kOk;
+  disk_.Submit({.write = true,
+                .start = disk_.geometry().num_blocks - 1,
+                .nblocks = 2,
+                .frames = {f, f},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kInvalidArgument);
+
+  got = Status::kOk;
+  disk_.Submit({.write = true, .start = 5, .nblocks = 0, .frames = {},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kInvalidArgument);
+
+  got = Status::kOk;
+  disk_.Submit({.write = true, .start = 5, .nblocks = 2, .frames = {f},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kInvalidArgument);
+
+  EXPECT_EQ(disk_.stats().rejected_requests, 4u);
+  EXPECT_EQ(disk_.stats().requests, 0u);  // none reached the media
+}
+
+TEST_F(DiskTest, InjectedErrorSurfacesAndRetrySucceeds) {
+  sim::FaultInjector faults({.seed = 7, .disk_error_rate = 1.0});
+  disk_.SetFaultInjector(&faults);
+  FrameId f = *mem_.Alloc();
+  std::memset(mem_.Data(f).data(), 0x77, kPageSize);
+
+  Status got = Status::kOk;
+  disk_.Submit({.write = true, .start = 40, .nblocks = 1, .frames = {f},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kIoError);
+  EXPECT_EQ(disk_.stats().io_errors, 1u);
+  EXPECT_NE(disk_.RawBlock(40)[0], 0x77);  // the media was never touched
+
+  // Disarm (a 0-rate plan would redraw forever at rate 1.0) and retry.
+  disk_.SetFaultInjector(nullptr);
+  disk_.Submit({.write = true, .start = 40, .nblocks = 1, .frames = {f},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kOk);
+  EXPECT_EQ(disk_.RawBlock(40)[0], 0x77);
+}
+
+TEST_F(DiskTest, PowerCutTearsMultiBlockWrite) {
+  // Cut power after the 6th durable block write: a 4-block request completes, then
+  // a second 4-block request is torn after its 2nd block.
+  sim::FaultInjector faults({.seed = 1, .power_cut_after_blocks = 6});
+  disk_.SetFaultInjector(&faults);
+
+  std::vector<FrameId> frames;
+  for (int i = 0; i < 4; ++i) {
+    FrameId f = *mem_.Alloc();
+    std::memset(mem_.Data(f).data(), 0xa0 + i, kPageSize);
+    frames.push_back(f);
+  }
+  int completions = 0;
+  disk_.Submit({.write = true, .start = 100, .nblocks = 4, .frames = frames,
+                .done = [&](Status) { ++completions; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(completions, 1);
+
+  disk_.Submit({.write = true, .start = 200, .nblocks = 4, .frames = frames,
+                .done = [&](Status) { ++completions; }});
+  engine_.RunUntilIdle();
+
+  // The torn request never completed; power is off; exactly 2 of its blocks landed.
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(disk_.powered_off());
+  EXPECT_EQ(disk_.stats().blocks_written, 6u);
+  EXPECT_EQ(disk_.stats().torn_blocks, 2u);
+  EXPECT_EQ(disk_.RawBlock(200)[0], 0xa0);
+  EXPECT_EQ(disk_.RawBlock(201)[0], 0xa1);
+  EXPECT_EQ(disk_.RawBlock(202)[0], 0x00);  // never written
+  EXPECT_EQ(disk_.RawBlock(203)[0], 0x00);
+
+  // While dead, submissions vanish without completions.
+  disk_.Submit({.write = true, .start = 300, .nblocks = 1, .frames = {frames[0]},
+                .done = [&](Status) { ++completions; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(completions, 1);
+
+  // After restore the store contents survive and the disk works again.
+  disk_.PowerRestore();
+  disk_.SetFaultInjector(nullptr);
+  EXPECT_EQ(disk_.RawBlock(201)[0], 0xa1);
+  bool ok = false;
+  disk_.Submit({.write = false, .start = 201, .nblocks = 1, .frames = {frames[0]},
+                .done = [&](Status s) { ok = s == Status::kOk; }});
+  engine_.RunUntilIdle();
+  EXPECT_TRUE(ok);
+}
+
 TEST(NicTest, PacketDeliveredWithWireDelay) {
   sim::Engine engine;
   Nic a(0);
@@ -201,6 +313,77 @@ TEST(NicTest, NoHandlerCountsDrop) {
   a.Transmit({.bytes = {9}});
   engine.RunUntilIdle();
   EXPECT_EQ(b.stats().dropped, 1u);
+}
+
+TEST(NicTest, LinkFaultsDropCorruptAndDuplicate) {
+  auto run = [](uint64_t seed) {
+    sim::Engine engine;
+    Nic a(0);
+    Nic b(1);
+    Link link(&engine, 100.0, 0.0, 200);
+    link.Connect(&a, &b);
+    sim::FaultInjector faults({.seed = seed,
+                               .net_drop_rate = 0.2,
+                               .net_corrupt_rate = 0.2,
+                               .net_duplicate_rate = 0.2,
+                               .net_corrupt_min_offset = 8});
+    link.SetFaultInjector(&faults);
+
+    uint64_t received = 0;
+    uint64_t corrupted = 0;
+    b.SetReceiveHandler([&](Packet p) {
+      ++received;
+      for (uint8_t byte : p.bytes) {
+        if (byte != 0x42) {
+          ++corrupted;
+          break;
+        }
+      }
+    });
+    for (int i = 0; i < 200; ++i) {
+      a.Transmit({.bytes = std::vector<uint8_t>(100, 0x42)});
+    }
+    engine.RunUntilIdle();
+    const auto& st = faults.stats();
+    EXPECT_EQ(st.frames_seen, 200u);
+    EXPECT_GT(st.net_drops, 0u);
+    EXPECT_GT(st.net_corruptions, 0u);
+    EXPECT_GT(st.net_duplicates, 0u);
+    EXPECT_EQ(received, 200u - st.net_drops + st.net_duplicates);
+    EXPECT_EQ(corrupted, st.net_corruptions);
+    return faults.log();
+  };
+  // Same seed => byte-for-byte the same fault schedule; different seed => not.
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(NicTest, CorruptionSparesBytesBelowMinOffset) {
+  sim::Engine engine;
+  Nic a(0);
+  Nic b(1);
+  Link link(&engine, 100.0, 0.0, 200);
+  link.Connect(&a, &b);
+  sim::FaultInjector faults({.seed = 3, .net_corrupt_rate = 1.0,
+                             .net_corrupt_min_offset = 32});
+  link.SetFaultInjector(&faults);
+
+  uint64_t delivered = 0;
+  b.SetReceiveHandler([&](Packet p) {
+    ++delivered;
+    for (size_t i = 0; i < 32; ++i) {
+      EXPECT_EQ(p.bytes[i], 0x11) << "header byte " << i << " corrupted";
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    a.Transmit({.bytes = std::vector<uint8_t>(200, 0x11)});
+  }
+  // Frames shorter than the protected prefix are dropped rather than corrupted.
+  a.Transmit({.bytes = std::vector<uint8_t>(16, 0x11)});
+  engine.RunUntilIdle();
+  EXPECT_EQ(delivered, 50u);
+  EXPECT_EQ(faults.stats().net_corruptions, 50u);
+  EXPECT_EQ(faults.stats().net_drops, 1u);
 }
 
 TEST(MachineTest, ChargeAdvancesSharedClock) {

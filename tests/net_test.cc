@@ -184,6 +184,123 @@ TEST_F(NetTest, RetransmitRecoversFromLoss) {
   EXPECT_GE(client->stats().retransmits, 1u);
 }
 
+TEST_F(NetTest, ByteExactTransferUnderInjectedLossAndCorruption) {
+  // 5% drop + 3% corruption + 2% duplication on the wire; the transfer must still
+  // be byte-exact, with retransmission doing the recovery and the payload checksum
+  // catching every corrupted segment.
+  sim::FaultInjector faults({.seed = 20260807,
+                             .net_drop_rate = 0.05,
+                             .net_corrupt_rate = 0.03,
+                             .net_duplicate_rate = 0.02,
+                             .net_corrupt_min_offset = kIpHeaderBytes + kTcpHeaderBytes});
+  link_.SetFaultInjector(&faults);
+
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
+  // The receiver must run a checksum-verifying profile (ClientProfile models a
+  // cost-free load generator that skips rx verification and would accept damage).
+  auto client = MakeStack(&nic_a_, &cpu_a_, 1, XokSocketProfile());
+
+  std::vector<uint8_t> blob(150 * 1024);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<uint8_t>(i * 31 + (i >> 8));
+  }
+  std::vector<uint8_t> got;
+  ASSERT_EQ(server->Listen(80, [&](TcpConn* c) { c->Send(blob); }), Status::kOk);
+  client->Connect(2, 80, [&](TcpConn* c) {
+    c->set_on_data([&](TcpConn*, std::span<const uint8_t> d) {
+      got.insert(got.end(), d.begin(), d.end());
+    });
+  });
+  Run();
+
+  EXPECT_EQ(got.size(), blob.size());
+  EXPECT_EQ(got, blob);
+  EXPECT_GT(server->stats().retransmits, 0u);
+  EXPECT_GT(faults.stats().net_drops, 0u);
+  EXPECT_GT(faults.stats().net_corruptions, 0u);
+  EXPECT_GT(client->stats().checksum_drops, 0u);
+}
+
+TEST_F(NetTest, ByteExactBothDirectionsUnderTenPercentLoss) {
+  sim::FaultInjector faults({.seed = 5, .net_drop_rate = 0.10});
+  link_.SetFaultInjector(&faults);
+
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
+  auto client = MakeStack(&nic_a_, nullptr, 1, ClientProfile());
+
+  std::vector<uint8_t> up(40 * 1024);
+  std::vector<uint8_t> down(40 * 1024);
+  for (size_t i = 0; i < up.size(); ++i) {
+    up[i] = static_cast<uint8_t>(i * 7);
+    down[i] = static_cast<uint8_t>(i * 11 + 3);
+  }
+  std::vector<uint8_t> server_got;
+  std::vector<uint8_t> client_got;
+  ASSERT_EQ(server->Listen(80, [&](TcpConn* c) {
+    c->set_on_data([&](TcpConn*, std::span<const uint8_t> d) {
+      server_got.insert(server_got.end(), d.begin(), d.end());
+    });
+    c->Send(down);
+  }), Status::kOk);
+  client->Connect(2, 80, [&](TcpConn* c) {
+    c->set_on_data([&](TcpConn*, std::span<const uint8_t> d) {
+      client_got.insert(client_got.end(), d.begin(), d.end());
+    });
+    c->Send(up);
+  });
+  Run();
+
+  EXPECT_EQ(server_got, up);
+  EXPECT_EQ(client_got, down);
+  EXPECT_GT(faults.stats().net_drops, 0u);
+  EXPECT_GT(client->stats().retransmits + server->stats().retransmits, 0u);
+}
+
+TEST_F(NetTest, HandshakeSurvivesSynAndSynAckLoss) {
+  // Drop the first two frames on the wire: the client's SYN, then the server's
+  // SYN|ACK from the retried handshake. Both sides must retransmit their half.
+  int frames_sent = 0;
+  auto mk = [&](hw::Nic* nic, IpAddr ip, TcpProfile prof) {
+    TcpStack::Hooks hooks;
+    hooks.engine = &engine_;
+    hooks.cost = &cost_;
+    hooks.cpu = nullptr;
+    hooks.transmit = [this, nic, &frames_sent](hw::Packet p, sim::Cycles when) {
+      engine_.ScheduleAt(std::max(when, engine_.now()),
+                         [this, nic, &frames_sent, p = std::move(p)]() mutable {
+        if (++frames_sent <= 2) {
+          return;  // SYN lost, then SYN|ACK lost
+        }
+        nic->Transmit(std::move(p));
+      });
+    };
+    auto stack = std::make_unique<TcpStack>(hooks, ip, prof);
+    TcpStack* raw = stack.get();
+    nic->SetReceiveHandler([raw](hw::Packet p) { raw->Input(p); });
+    return stack;
+  };
+  auto server = mk(&nic_b_, 2, XokSocketProfile());
+  auto client = mk(&nic_a_, 1, ClientProfile());
+
+  std::vector<uint8_t> got;
+  ASSERT_EQ(server->Listen(80, [&](TcpConn* c) {
+    c->set_on_data([&](TcpConn*, std::span<const uint8_t> d) {
+      got.insert(got.end(), d.begin(), d.end());
+    });
+  }), Status::kOk);
+  bool established = false;
+  client->Connect(2, 80, [&](TcpConn* c) {
+    established = true;
+    c->Send(std::vector<uint8_t>(64, 0x5c));
+  });
+  Run();
+
+  EXPECT_TRUE(established);
+  ASSERT_EQ(got.size(), 64u);
+  EXPECT_EQ(got[0], 0x5c);
+  EXPECT_GE(client->stats().retransmits + server->stats().retransmits, 2u);
+}
+
 TEST_F(NetTest, CloseHandshakeReachesBothSides) {
   auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
   auto client = MakeStack(&nic_a_, nullptr, 1, ClientProfile());
