@@ -54,11 +54,6 @@ Status WriteWhole(os::UnixEnv& env, const std::string& path,
   return env.Close(*fd);
 }
 
-std::string Leaf(const std::string& path) {
-  auto pos = path.rfind('/');
-  return pos == std::string::npos ? path : path.substr(pos + 1);
-}
-
 }  // namespace
 
 Status Cp(os::UnixEnv& env, const std::string& src, const std::string& dst) {

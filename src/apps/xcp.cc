@@ -85,7 +85,9 @@ Result<XcpStats> Xcp(os::System& sys, os::UnixEnv& env,
                                   --outstanding;
                                 });
     for (hw::FrameId fr : frames) {
-      sys.machine().mem().Unref(fr);  // registry holds its own reference now
+      // Registry holds its own reference now; return ours through the kernel so
+      // the caller env's ledger is debited.
+      kernel.FrameUnref(fr, kernel.current_id());
     }
     if (s != Status::kOk) {
       return s;

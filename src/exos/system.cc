@@ -114,10 +114,36 @@ fs::Blocker System::MakeBlocker() {
   };
 }
 
+namespace {
+
+// Default ExOS revocation compliance (Sec. 3.4/3.5): when the kernel asks for
+// frames back, shed directly-held frame references until under the requested
+// ceiling. Cached frames are a performance hint, not correctness state, so a
+// well-behaved libOS can always comply.
+void InstallRevocationHandler(xok::XokKernel* kernel, xok::EnvId id) {
+  xok::Env& e = kernel->env(id);
+  e.on_revoke = [kernel, &e](const xok::RevocationRequest& req) {
+    if (req.resource != xok::RevokeResource::kFrames) {
+      return;  // regions/filters carry libOS state; those requests need app logic
+    }
+    while (e.usage.frames > req.allowed && !e.frame_refs.empty()) {
+      hw::FrameId f = e.frame_refs.begin()->first;
+      if (kernel->SysFrameFree(f, xok::kCredAny) != Status::kOk) {
+        break;
+      }
+    }
+  };
+}
+
+}  // namespace
+
 Status System::Boot() {
   const bool exo = flavor_ == Flavor::kXokExos;
   if (exo && !options_.disable_xn) {
     xn_ = std::make_unique<xn::Xn>(machine_, &machine_->disk());
+    // XN's registry references route back through the kernel's accounting so
+    // frame guards retire with the last reference.
+    xn_->SetFrameRelease([this](hw::FrameId f) { kernel_->FrameUnref(f); });
     xn_->Format();
     Status s = xn_->Attach();
     if (s != Status::kOk) {
@@ -125,7 +151,9 @@ Status System::Boot() {
     }
     backend_ = std::make_unique<fs::XnBackend>(
         xn_.get(), xn::Caps{xok::Capability::For({xok::kCapFs, 1})}, MakeBlocker(), [this] {
-          auto f = kernel_->SysFrameAlloc(0, xok::CapName{xok::kCapFs, 1});
+          // Shared allocation: buffer-cache frames belong to the registry, not
+          // the env that happened to fault them in.
+          auto f = kernel_->SysFrameAlloc(0, xok::CapName{xok::kCapFs, 1}, /*shared=*/true);
           return f.ok() ? *f : hw::kInvalidFrame;
         });
   } else {
@@ -226,6 +254,7 @@ int System::SpawnInit(const std::string& program, std::function<void(UnixEnv&)> 
                                  machine_->engine().now()});
       });
   raw->SetEnv(env);
+  InstallRevocationHandler(kernel_.get(), env);
   pid_to_env_[pid] = env;
   return pid;
 }
@@ -534,6 +563,7 @@ Result<int> Proc::DoFork(const std::string& program, std::function<void(UnixEnv&
                                        sys_->machine_->engine().now()});
       });
   raw->SetEnv(child_env);
+  InstallRevocationHandler(kernel, child_env);
   sys_->pid_to_env_[pid] = child_env;
   return pid;
 }

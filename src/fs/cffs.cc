@@ -450,10 +450,10 @@ Result<Cffs::DirRef> Cffs::WalkToDir(const std::string& path, std::string* leaf)
     if (leaf != nullptr) {
       return Status::kInvalidArgument;  // caller needed a leaf name
     }
-    return DirRef{.is_root = true};
+    return DirRef{.is_root = true, .entry = {}};
   }
   size_t stop = parts->size() - (leaf != nullptr ? 1 : 0);
-  DirRef cur{.is_root = true};
+  DirRef cur{.is_root = true, .entry = {}};
   for (size_t i = 0; i < stop; ++i) {
     auto h = FindInDir(cur, (*parts)[i]);
     if (!h.ok()) {
@@ -933,7 +933,7 @@ Result<FileStat> Cffs::StatPath(const std::string& path) {
 Result<std::vector<DirEnt>> Cffs::ReadDir(const std::string& path) {
   Result<DirRef> dir = Status::kNotFound;
   if (path == "/") {
-    dir = DirRef{.is_root = true};
+    dir = DirRef{.is_root = true, .entry = {}};
   } else {
     auto h = Lookup(path);
     if (!h.ok()) {

@@ -99,7 +99,7 @@ Status XnBackend::EnsureCached(hw::BlockId block, hw::BlockId parent) {
         s = xn_->ReadAndInsert(parent, blocks, frames, creds_, {});
       }
       // The registry took its own reference; drop ours: the buffer is registry-owned.
-      xn_->machine().mem().Unref(*f);
+      xn_->ReleaseFrame(*f);
       if (s != Status::kOk && s != Status::kAlreadyExists) {
         return s;
       }
@@ -151,7 +151,7 @@ Status XnBackend::InstallFresh(hw::BlockId block, hw::BlockId parent) {
     WaitResident(parent);
     s = xn_->InsertMapping(block, parent, *f, /*dirty=*/true, creds_);
   }
-  xn_->machine().mem().Unref(*f);
+  xn_->ReleaseFrame(*f);
   return s;
 }
 
@@ -253,7 +253,7 @@ Result<hw::BlockId> XnBackend::CreateRoot(const std::string& name, uint32_t tmpl
     }
     Status done = Status::kWouldBlock;
     Status s = xn_->LoadRoot(name, *f, creds_, [&done](Status st) { done = st; });
-    xn_->machine().mem().Unref(*f);
+    xn_->ReleaseFrame(*f);
     if (s != Status::kOk) {
       return s;
     }
@@ -285,7 +285,7 @@ Result<hw::BlockId> XnBackend::OpenRoot(const std::string& name) {
     }
     Status done = Status::kWouldBlock;
     Status s = xn_->LoadRoot(name, *f, creds_, [&done](Status st) { done = st; });
-    xn_->machine().mem().Unref(*f);
+    xn_->ReleaseFrame(*f);
     if (s == Status::kBusy) {
       // Another process's read is in flight; wait on the exposed registry state.
       hw::BlockId block = r->block;

@@ -1,0 +1,82 @@
+// Deterministic syscall-fuzzing support (the hostile-libOS counterpart to
+// sim::FaultInjector).
+//
+// A Fuzzer is a seeded decision stream plus a replay log. Every argument the
+// syscall fuzzer invents — ids, offsets, credential indices, op selectors —
+// comes from one xoshiro256** stream drawn in program order, so a whole hostile
+// schedule is a pure function of its seed: same seed, byte-for-byte the same
+// syscall sequence and the same log (the docs/FAULTS.md determinism contract).
+// A failing run is reproduced by re-running with the printed seed.
+#ifndef EXO_SIM_FUZZ_H_
+#define EXO_SIM_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace exo::sim {
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  // Uniform selector in [0, n).
+  uint32_t Pick(uint32_t n) { return static_cast<uint32_t>(rng_.Below(n)); }
+
+  // True with probability p/100.
+  bool Percent(uint32_t p) { return rng_.Below(100) < p; }
+
+  // Boundary-biased garbage: hostile arguments cluster at edges (0, 1, all-ones,
+  // just past 32 bits), with a tail of small and fully random values.
+  uint64_t Chaos64() {
+    switch (rng_.Below(8)) {
+      case 0:
+        return 0;
+      case 1:
+        return 1;
+      case 2:
+        return UINT64_MAX;
+      case 3:
+        return UINT64_MAX - 1;
+      case 4:
+        return static_cast<uint64_t>(UINT32_MAX);
+      case 5:
+        return static_cast<uint64_t>(UINT32_MAX) + 1;
+      case 6:
+        return rng_.Below(256);
+      default:
+        return rng_.Next();
+    }
+  }
+  uint32_t Chaos32() { return static_cast<uint32_t>(Chaos64()); }
+
+  // Mostly a plausible live id drawn from `pool`, sometimes outright garbage —
+  // the mix that reaches deep paths (valid-looking) and edge paths (malformed).
+  uint32_t SemiValid(const std::vector<uint32_t>& pool, uint32_t garbage_percent = 25) {
+    if (!pool.empty() && !Percent(garbage_percent)) {
+      return pool[Pick(static_cast<uint32_t>(pool.size()))];
+    }
+    return Chaos32();
+  }
+
+  // Replay log: one line per decision worth comparing across runs. Two runs are
+  // provably schedule-identical iff their logs are equal.
+  void Log(const std::string& line) {
+    log_ += line;
+    log_ += '\n';
+  }
+  const std::string& log() const { return log_; }
+
+ private:
+  uint64_t seed_;
+  Rng rng_;
+  std::string log_;
+};
+
+}  // namespace exo::sim
+
+#endif  // EXO_SIM_FUZZ_H_

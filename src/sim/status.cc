@@ -32,6 +32,8 @@ const char* StatusName(Status s) {
       return "IO_ERROR";
     case Status::kCrashed:
       return "CRASHED";
+    case Status::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
   }
   return "UNKNOWN";
 }

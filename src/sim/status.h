@@ -27,6 +27,7 @@ enum class Status : int {
   kNotSupported,
   kIoError,
   kCrashed,            // simulated crash injected
+  kQuotaExceeded,      // per-env resource quota would be exceeded
 };
 
 // Human-readable name for diagnostics and test failure messages.

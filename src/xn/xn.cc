@@ -551,7 +551,7 @@ Status Xn::LoadRoot(const std::string& name, hw::FrameId frame, const Caps& cred
                      if (s != Status::kOk) {
                        // The frame holds garbage, not the root: drop the mapping so a
                        // retry re-issues the read instead of trusting it.
-                       machine_->mem().Unref(e->frame);
+                       ReleaseFrame(e->frame);
                        registry_.Remove(block);
                        if (done) {
                          done(s);
@@ -674,7 +674,7 @@ Status Xn::ReadAndInsert(hw::BlockId parent, std::span<const hw::BlockId> blocks
                if (s != Status::kOk) {
                  // Failed read: unwind the in-transit mapping entirely so the libFS
                  // can retry the same blocks.
-                 machine_->mem().Unref(e->frame);
+                 ReleaseFrame(e->frame);
                  registry_.Remove(b);
                  parent_of_.erase(b);
                  continue;
@@ -772,7 +772,7 @@ Status Xn::RawRead(hw::BlockId block, hw::FrameId frame, std::function<void(Stat
                  .done = [this, block, done = std::move(done)](Status s) {
                    if (RegistryEntry* e = registry_.LookupMutable(block)) {
                      if (s != Status::kOk) {
-                       machine_->mem().Unref(e->frame);
+                       ReleaseFrame(e->frame);
                        registry_.Remove(block);
                      } else {
                        e->state = BufState::kResident;
@@ -882,7 +882,7 @@ Status Xn::RemoveMapping(hw::BlockId block) {
       e->locked_by != xok::kInvalidEnv) {
     return Status::kBusy;
   }
-  machine_->mem().Unref(e->frame);
+  ReleaseFrame(e->frame);
   registry_.Remove(block);
   return Status::kOk;
 }
@@ -1020,7 +1020,7 @@ Status Xn::Dealloc(hw::BlockId meta, const Mods& mods, std::span<const udf::Exte
     uninit_.erase(b);
     parent_of_.erase(b);
     if (const RegistryEntry* e = registry_.Lookup(b)) {
-      machine_->mem().Unref(e->frame);
+      ReleaseFrame(e->frame);
       registry_.Remove(b);
     }
     if (disk_owns != nullptr && disk_owns->count(b) != 0) {

@@ -161,6 +161,21 @@ class Xn {
   const XnStats& stats() const { return stats_; }
   hw::Machine& machine() { return *machine_; }
 
+  // Frame-release hook. XN holds its registry frames by raw refcount; when the
+  // exokernel proper is present, it wires this to XokKernel::FrameUnref so guard
+  // and ledger bookkeeping retire with the last reference. Unwired (standalone
+  // XN tests), releases fall back to the raw PhysMem refcount.
+  void SetFrameRelease(std::function<void(hw::FrameId)> release) {
+    frame_release_ = std::move(release);
+  }
+  void ReleaseFrame(hw::FrameId f) {
+    if (frame_release_) {
+      frame_release_(f);
+    } else {
+      machine_->mem().Unref(f);
+    }
+  }
+
  private:
   using OwnsSet = std::map<hw::BlockId, TemplateId>;  // block -> template
 
@@ -192,6 +207,7 @@ class Xn {
   hw::Machine* machine_;
   hw::Disk* disk_;
   Registry registry_;
+  std::function<void(hw::FrameId)> frame_release_;
 
   std::map<TemplateId, Template> templates_;
   TemplateId next_template_ = 1;  // 0 is the raw-data pseudo template

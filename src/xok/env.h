@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/engine.h"
@@ -56,6 +58,48 @@ struct IpcMessage {
   std::array<uint64_t, 4> words{};
 };
 
+// ---- Resource accounting (quotas + revocation, Sec. 3 "visible resource
+// revocation" and Sec. 3.5 "the abort protocol") ----
+
+// Per-env ceilings. Defaults are effectively unlimited; a supervisor (the host
+// driver or a privileged libOS) lowers them with SysSetQuota. All admission
+// checks are pure integer compares on the stored ledger — no cycles are charged
+// beyond the syscall's normal cost, so well-behaved workloads are unaffected.
+struct ResourceQuota {
+  uint32_t frames = UINT32_MAX;      // direct refs + page-table mappings
+  uint32_t regions = UINT32_MAX;     // software regions owned
+  uint64_t region_bytes = UINT64_MAX;
+  uint32_t filters = UINT32_MAX;     // packet filters installed
+  uint32_t ring_slots = UINT32_MAX;  // sum of filter ring capacities
+  uint32_t ipc_depth = 1024;         // pending messages in ipc_queue
+  // When locked, the env itself may not raise its own quota (a hostile libOS
+  // cannot simply undo the limits placed on it).
+  bool locked = false;
+};
+
+// The ledger the kernel maintains as resources are granted/released. Stored
+// (not recomputed) so admission is O(1); CheckInvariants() recounts from
+// scratch and cross-checks.
+struct ResourceUsage {
+  uint32_t frames = 0;
+  uint32_t regions = 0;
+  uint64_t region_bytes = 0;
+  uint32_t filters = 0;
+  uint32_t ring_slots = 0;
+};
+
+enum class RevokeResource : uint8_t { kFrames, kRegions, kFilters };
+
+// An outstanding revocation: the kernel has asked the env (via its on_revoke
+// upcall) to shed resources down to `allowed` before `deadline`. Past the
+// deadline a non-compliant env is aborted and the kernel repossesses
+// everything it held (Sec. 3.5).
+struct RevocationRequest {
+  RevokeResource resource = RevokeResource::kFrames;
+  uint32_t allowed = 0;       // usage the env must get down to
+  sim::Cycles deadline = 0;   // absolute cycle count
+};
+
 struct Env {
   EnvId id = kInvalidEnv;
   EnvId parent = kInvalidEnv;
@@ -81,6 +125,29 @@ struct Env {
   std::function<void(const IpcMessage&)> on_ipc;
 
   std::deque<IpcMessage> ipc_queue;
+
+  // ---- Resource accounting ----
+
+  ResourceQuota quota;
+  ResourceUsage usage;
+  // Direct frame references held via SysFrameAlloc/SysFrameRef (frame -> count).
+  // Page-table references are tracked by `pt` itself. Together these are what
+  // AbortEnv repossesses and what CheckInvariants() audits.
+  std::map<hw::FrameId, uint32_t> frame_refs;
+
+  // Outstanding revocation, if any (at most one at a time).
+  std::optional<RevocationRequest> pending_revoke;
+  // Revocation upcall, installed by the libOS. Runs in env context with
+  // software interrupts disabled (critical section), like the other upcalls.
+  std::function<void(const RevocationRequest&)> on_revoke;
+
+  // Why the kernel aborted this env (nullptr if it exited voluntarily).
+  const char* abort_reason = nullptr;
+
+  // Watchdog: consecutive end-of-slice deferrals inside one critical section.
+  uint32_t deferred_slices = 0;
+  // Set when the parent exited first; FinishExit auto-reaps orphaned zombies.
+  bool orphaned = false;
 
   // Application-reserved space in the kernel environment structure, mapped readable
   // for all processes and writable only for the owner (Sec. 9.3).

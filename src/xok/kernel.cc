@@ -17,8 +17,6 @@ CapName EnvGuardName(EnvId id) {
 
 // Idle-clock tick when every environment is blocked and no device events are pending.
 constexpr sim::Cycles kIdleTick = 20'000;  // 100 us at 200 MHz
-// Simulated-time bound on a fully idle system before we declare deadlock.
-constexpr sim::Cycles kDeadlockBound = 24'000'000'000ULL;  // 120 s at 200 MHz
 
 }  // namespace
 
@@ -117,7 +115,26 @@ Status XokKernel::ReapEnv(EnvId id) {
   // Drop the mapping references; frames shared with the buffer-cache registry (or
   // other environments) survive, which is how cache contents outlive processes.
   for (const auto& [vp, pte] : e.pt.entries()) {
-    machine_->mem().Unref(pte.frame);
+    ReleaseFrame(pte.frame);
+  }
+  // Direct references survive the reap (same reason), but their ledger entries
+  // move to the host so the global accounting stays exact and a later holder of
+  // the guard capability can still free them.
+  for (const auto& [f, n] : e.frame_refs) {
+    host_frame_refs_[f] += n;
+  }
+  // Regions survive likewise, ownerless; installed filters of a dead env can
+  // only accumulate garbage, so they go.
+  for (auto& [rid, region] : regions_) {
+    if (region.owner == id) {
+      region.owner = kInvalidEnv;
+    }
+  }
+  filters_.erase(std::remove_if(filters_.begin(), filters_.end(),
+                                [id](const PacketFilter& f) { return f.owner == id; }),
+                 filters_.end());
+  if (e.pending_revoke.has_value()) {
+    --pending_revocations_;
   }
   envs_.erase(it);
   return Status::kOk;
@@ -130,6 +147,27 @@ void XokKernel::FinishExit(Env* e, int code) {
   e->exit_code = code;
   e->exited_at = machine_->engine().now();
   --alive_count_;
+  // A zombie cannot comply with a revocation; the abort/reap path reclaims.
+  if (e->pending_revoke.has_value()) {
+    e->pending_revoke.reset();
+    --pending_revocations_;
+  }
+  // Orphan handling: children of a dead parent will never be SysWait()ed on, so
+  // their zombie state would leak. Reparent them to "no one" and auto-reap any
+  // that are already (or later become) zombies. Top-level envs (created with no
+  // parent) keep the old behavior: the host driver inspects and reaps them.
+  for (auto& [cid, child] : envs_) {
+    if (child->parent == e->id) {
+      child->parent = kInvalidEnv;
+      child->orphaned = true;
+      if (child->state == EnvState::kZombie) {
+        pending_reaps_.push_back(cid);
+      }
+    }
+  }
+  if (e->orphaned || (e->parent != kInvalidEnv && !EnvExists(e->parent))) {
+    pending_reaps_.push_back(e->id);
+  }
 }
 
 // ---- Scheduler ----
@@ -206,6 +244,13 @@ void XokKernel::Run() {
   bool was_idle = false;
 
   while (alive_count_ > 0) {
+    DrainPendingReaps();
+    if (pending_revocations_ > 0) {
+      EnforceRevocations();
+      if (alive_count_ == 0) {
+        break;
+      }
+    }
     Env* next = PickNext();
     if (next == nullptr) {
       if (machine_->engine().HasPendingEvents()) {
@@ -225,14 +270,32 @@ void XokKernel::Run() {
             e->predicate.deadline > machine_->engine().now()) {
           step = std::min(step, e->predicate.deadline - machine_->engine().now());
         }
-      }
-      if (machine_->engine().now() - idle_since >= kDeadlockBound) {
-        std::fprintf(stderr, "deadlock: %u alive envs, states:", alive_count_);
-        for (const auto& [id, e] : envs_) {
-          std::fprintf(stderr, " env%u=%d", id, static_cast<int>(e->state));
+        if (e->pending_revoke.has_value() &&
+            e->pending_revoke->deadline > machine_->engine().now()) {
+          step = std::min(step, e->pending_revoke->deadline - machine_->engine().now());
         }
-        std::fprintf(stderr, "\n");
-        EXO_CHECK(false);
+      }
+      if (machine_->engine().now() - idle_since >= deadlock_bound_) {
+        // Never-true predicates (or a lost wakeup) would idle forever. Report a
+        // diagnostic and abort the stuck envs instead of spinning or crashing
+        // the host: a buggy libOS may only hurt itself (Sec. 3).
+        deadlock_report_ = "deadlock: " + std::to_string(alive_count_) + " alive envs idle for " +
+                           std::to_string(machine_->engine().now() - idle_since) + " cycles:";
+        std::vector<EnvId> stuck;
+        for (const auto& [id, e] : envs_) {
+          deadlock_report_ += " env" + std::to_string(id) + "=" +
+                              (e->state == EnvState::kRunnable ? "runnable"
+                               : e->state == EnvState::kBlocked ? "blocked"
+                                                                : "zombie");
+          if (e->alive) {
+            stuck.push_back(id);
+          }
+        }
+        std::fprintf(stderr, "%s\n", deadlock_report_.c_str());
+        for (EnvId id : stuck) {
+          AbortEnv(id, "deadlock: wakeup predicate can never become true");
+        }
+        continue;
       }
       machine_->engine().Advance(step);
       continue;
@@ -259,6 +322,36 @@ void XokKernel::Run() {
       FinishExit(next, 0);
     }
   }
+  DrainPendingReaps();
+}
+
+void XokKernel::DrainPendingReaps() {
+  while (!pending_reaps_.empty()) {
+    EnvId id = pending_reaps_.front();
+    pending_reaps_.pop_front();
+    if (EnvExists(id) && env(id).state == EnvState::kZombie) {
+      machine_->counters().Add("xok.orphans_reaped");
+      EXO_CHECK_EQ(ReapEnv(id), Status::kOk);
+    }
+  }
+}
+
+void XokKernel::EnforceRevocations() {
+  std::vector<EnvId> overdue;
+  for (const auto& [id, e] : envs_) {
+    if (!e->pending_revoke.has_value() || machine_->engine().now() < e->pending_revoke->deadline) {
+      continue;
+    }
+    if (RevocableUsage(*e, e->pending_revoke->resource) <= e->pending_revoke->allowed) {
+      e->pending_revoke.reset();  // complied on the last cycle
+      --pending_revocations_;
+    } else {
+      overdue.push_back(id);
+    }
+  }
+  for (EnvId id : overdue) {
+    AbortEnv(id, "revocation deadline passed");
+  }
 }
 
 void XokKernel::ChargeCpu(sim::Cycles cycles) {
@@ -275,10 +368,17 @@ void XokKernel::ChargeCpu(sim::Cycles cycles) {
     if (e->slice_used >= quantum) {
       // Timer fires the moment the quantum is consumed.
       if (e->critical_depth > 0) {
-        // Software interrupts disabled: defer slice end, run on (Sec. 3.3).
+        // Software interrupts disabled: defer slice end, run on (Sec. 3.3). The
+        // paper's critical sections are short by construction; one that eats
+        // whole quanta without re-enabling interrupts is runaway, and the
+        // kernel repossesses the CPU by aborting it (Sec. 3.5).
+        if (++e->deferred_slices > kMaxCriticalDeferrals) {
+          AbortEnv(e->id, "runaway critical section");  // does not return
+        }
         e->end_of_slice_pending = true;
         e->slice_used = 0;
       } else {
+        e->deferred_slices = 0;
         DeliverEndOfSlice(e);
         sim::Fiber::Suspend();  // back of the round-robin queue; resumed later
         e->slice_used = 0;
@@ -312,6 +412,15 @@ void XokKernel::SysYield(EnvId directed) {
 void XokKernel::SysSleep(WakeupPredicate predicate) {
   EXO_CHECK(current_ != nullptr);
   ChargeSyscall("sleep");
+  // Downloaded predicates face the same static verifier as packet filters; an
+  // unverifiable program is dropped, degrading to a plain yield-style sleep
+  // (immediately runnable) rather than running arbitrary code in the scheduler.
+  if (!predicate.program.empty() &&
+      (predicate.program.size() > kMaxFilterProgramInsns ||
+       !udf::Verify(predicate.program, udf::Policy::kDeterministic).ok)) {
+    predicate.program.clear();
+    predicate.host = nullptr;
+  }
   current_->predicate = std::move(predicate);
   current_->state = EnvState::kBlocked;
   sim::Fiber::Suspend();
@@ -351,38 +460,117 @@ Result<int> XokKernel::SysWait(EnvId child) {
 void XokKernel::EnterCritical() {
   EXO_CHECK(current_ != nullptr);
   machine_->Charge(5);  // a flag write in exposed memory; no kernel crossing
+  if (current_->critical_depth >= kMaxCriticalDepth) {
+    AbortEnv(current_->id, "critical-section depth overflow");  // does not return
+  }
   ++current_->critical_depth;
 }
 
 void XokKernel::ExitCritical() {
   EXO_CHECK(current_ != nullptr);
   Env* e = current_;
-  EXO_CHECK_GT(e->critical_depth, 0u);
+  if (e->critical_depth == 0) {
+    // Unbalanced exit: a libOS bug that would previously crash the host. It only
+    // hurts the misbehaving env.
+    AbortEnv(e->id, "critical-section underflow");  // does not return
+  }
   machine_->Charge(5);
-  if (--e->critical_depth == 0 && e->end_of_slice_pending) {
-    e->end_of_slice_pending = false;
-    DeliverEndOfSlice(e);
-    sim::Fiber::Suspend();
-    e->slice_used = 0;
+  if (--e->critical_depth == 0) {
+    e->deferred_slices = 0;
+    if (e->end_of_slice_pending) {
+      e->end_of_slice_pending = false;
+      DeliverEndOfSlice(e);
+      sim::Fiber::Suspend();
+      e->slice_used = 0;
+    }
   }
 }
 
 // ---- Physical memory ----
 
-Result<hw::FrameId> XokKernel::SysFrameAlloc(CredIndex cred, CapName guard) {
+void XokKernel::ReleaseFrame(hw::FrameId frame) {
+  machine_->mem().Unref(frame);
+  if (!machine_->mem().allocated(frame)) {
+    frame_guards_.erase(frame);
+    host_frame_refs_.erase(frame);
+  }
+}
+
+bool XokKernel::DebitFrameRef(hw::FrameId frame, Env* preferred) {
+  if (preferred != nullptr) {
+    auto it = preferred->frame_refs.find(frame);
+    if (it != preferred->frame_refs.end()) {
+      if (--it->second == 0) {
+        preferred->frame_refs.erase(it);
+      }
+      --preferred->usage.frames;
+      ClearRevokeIfCompliant(*preferred);
+      return true;
+    }
+  }
+  auto hit = host_frame_refs_.find(frame);
+  if (hit != host_frame_refs_.end()) {
+    if (--hit->second == 0) {
+      host_frame_refs_.erase(hit);
+    }
+    return true;
+  }
+  // Freed by a capability holder that never took the reference itself: debit
+  // whichever env's ledger carries it so attribution tracks the real refcounts.
+  for (auto& [id, e] : envs_) {
+    auto it = e->frame_refs.find(frame);
+    if (it != e->frame_refs.end()) {
+      if (--it->second == 0) {
+        e->frame_refs.erase(it);
+      }
+      --e->usage.frames;
+      ClearRevokeIfCompliant(*e);
+      return true;
+    }
+  }
+  return false;
+}
+
+void XokKernel::FrameUnref(hw::FrameId frame, EnvId attribution) {
+  if (frame >= machine_->mem().num_frames() || !machine_->mem().allocated(frame)) {
+    return;  // trusted path, but stay defensive: never abort the host
+  }
+  Env* holder = (attribution != kInvalidEnv && EnvExists(attribution)) ? &env(attribution) : nullptr;
+  DebitFrameRef(frame, holder);
+  ReleaseFrame(frame);
+}
+
+Result<hw::FrameId> XokKernel::SysFrameAlloc(CredIndex cred, CapName guard, bool shared) {
   ChargeSyscall("frame_alloc");
+  (void)cred;  // allocation itself needs no permission; the guard protects use
+  if (guard.size() > kMaxGuardName) {
+    return Status::kInvalidArgument;
+  }
+  Env* e = shared ? nullptr : current_;
+  if (e != nullptr && e->usage.frames + 1 > e->quota.frames) {
+    return Status::kQuotaExceeded;
+  }
   auto f = machine_->mem().Alloc();
   if (!f.ok()) {
     return f.status();
   }
   frame_guards_[*f] = std::move(guard);
+  if (e != nullptr) {
+    ++e->frame_refs[*f];
+    ++e->usage.frames;
+  } else {
+    ++host_frame_refs_[*f];
+  }
   return *f;
 }
 
 Status XokKernel::SysFrameFree(hw::FrameId frame, CredIndex cred) {
   ChargeSyscall("frame_free");
+  if (frame >= machine_->mem().num_frames()) {
+    return Status::kInvalidArgument;
+  }
   auto it = frame_guards_.find(frame);
-  if (it == frame_guards_.end()) {
+  if (it == frame_guards_.end() || !machine_->mem().allocated(frame)) {
     return Status::kNotFound;
   }
   if (current_ != nullptr) {
@@ -391,17 +579,23 @@ Status XokKernel::SysFrameFree(hw::FrameId frame, CredIndex cred) {
       return s;
     }
   }
-  machine_->mem().Unref(frame);
-  if (!machine_->mem().allocated(frame)) {
-    frame_guards_.erase(it);
+  if (!DebitFrameRef(frame, current_)) {
+    // Every remaining reference is a page mapping or kernel-held (e.g. the
+    // buffer-cache registry). Releasing one from here would leave a dangling
+    // mapping; the holder must unmap/evict first.
+    return Status::kBusy;
   }
+  ReleaseFrame(frame);
   return Status::kOk;
 }
 
 Status XokKernel::SysFrameRef(hw::FrameId frame, CredIndex cred) {
   ChargeSyscall("frame_ref");
+  if (frame >= machine_->mem().num_frames()) {
+    return Status::kInvalidArgument;
+  }
   auto it = frame_guards_.find(frame);
-  if (it == frame_guards_.end()) {
+  if (it == frame_guards_.end() || !machine_->mem().allocated(frame)) {
     return Status::kNotFound;
   }
   if (current_ != nullptr) {
@@ -410,7 +604,16 @@ Status XokKernel::SysFrameRef(hw::FrameId frame, CredIndex cred) {
       return s;
     }
   }
+  if (current_ != nullptr && current_->usage.frames + 1 > current_->quota.frames) {
+    return Status::kQuotaExceeded;
+  }
   machine_->mem().Ref(frame);
+  if (current_ != nullptr) {
+    ++current_->frame_refs[frame];
+    ++current_->usage.frames;
+  } else {
+    ++host_frame_refs_[frame];
+  }
   return Status::kOk;
 }
 
@@ -433,18 +636,29 @@ Status XokKernel::PtApply(Env& target, const PtOp& op, CredIndex cred) {
   }
   switch (op.kind) {
     case PtOp::Kind::kInsert: {
+      if (op.pte.frame >= machine_->mem().num_frames()) {
+        return Status::kInvalidArgument;
+      }
       auto git = frame_guards_.find(op.pte.frame);
-      if (git == frame_guards_.end()) {
+      if (git == frame_guards_.end() || !machine_->mem().allocated(op.pte.frame)) {
         return Status::kNotFound;
       }
       Status s = CheckCred(*caller, cred, git->second, /*need_write=*/op.pte.writable);
       if (s != Status::kOk) {
         return s;
       }
-      if (const Pte* old = target.pt.Lookup(op.vpage)) {
-        machine_->mem().Unref(old->frame);
+      const Pte* old = target.pt.Lookup(op.vpage);
+      if (old == nullptr && target.usage.frames + 1 > target.quota.frames) {
+        return Status::kQuotaExceeded;
       }
+      // Take the new reference before dropping the old one: remapping the same
+      // frame over itself must not bounce the refcount through zero.
       machine_->mem().Ref(op.pte.frame);
+      if (old != nullptr) {
+        ReleaseFrame(old->frame);
+      } else {
+        ++target.usage.frames;
+      }
       target.pt.Insert(op.vpage, op.pte);
       return Status::kOk;
     }
@@ -455,8 +669,11 @@ Status XokKernel::PtApply(Env& target, const PtOp& op, CredIndex cred) {
       }
       if (op.pte.writable && !pte->writable) {
         // Upgrading to writable requires write access to the frame.
-        Status s = CheckCred(*caller, cred, frame_guards_.at(pte->frame),
-                             /*need_write=*/true);
+        auto git = frame_guards_.find(pte->frame);
+        if (git == frame_guards_.end()) {
+          return Status::kNotFound;
+        }
+        Status s = CheckCred(*caller, cred, git->second, /*need_write=*/true);
         if (s != Status::kOk) {
           return s;
         }
@@ -471,8 +688,10 @@ Status XokKernel::PtApply(Env& target, const PtOp& op, CredIndex cred) {
       if (pte == nullptr) {
         return Status::kNotFound;
       }
-      machine_->mem().Unref(pte->frame);
+      ReleaseFrame(pte->frame);
       target.pt.Remove(op.vpage);
+      --target.usage.frames;
+      ClearRevokeIfCompliant(target);
       return Status::kOk;
     }
   }
@@ -506,6 +725,9 @@ Status XokKernel::SysPtBatch(EnvId target, std::span<const PtOp> ops, CredIndex 
 
 Status XokKernel::AccessUserMemory(EnvId id, uint64_t vaddr, std::span<uint8_t> buf,
                                    bool write, bool charge_copy) {
+  if (!EnvExists(id)) {
+    return Status::kNotFound;
+  }
   Env& e = env(id);
   size_t done = 0;
   while (done < buf.size()) {
@@ -546,11 +768,20 @@ Status XokKernel::AccessUserMemory(EnvId id, uint64_t vaddr, std::span<uint8_t> 
 
 Result<RegionId> XokKernel::SysRegionCreate(uint32_t size, CapName guard, CredIndex cred) {
   ChargeSyscall("region_create");
-  if (size == 0 || size > (1u << 20)) {
+  (void)cred;
+  if (size == 0 || size > (1u << 20) || guard.size() > kMaxGuardName) {
     return Status::kInvalidArgument;
   }
+  if (current_ != nullptr && (current_->usage.regions + 1 > current_->quota.regions ||
+                              current_->usage.region_bytes + size > current_->quota.region_bytes)) {
+    return Status::kQuotaExceeded;
+  }
   RegionId id = next_region_id_++;
-  regions_[id] = {std::move(guard), std::vector<uint8_t>(size, 0)};
+  regions_[id] = Region{std::move(guard), current_id(), std::vector<uint8_t>(size, 0)};
+  if (current_ != nullptr) {
+    ++current_->usage.regions;
+    current_->usage.region_bytes += size;
+  }
   return id;
 }
 
@@ -562,12 +793,12 @@ Status XokKernel::SysRegionWrite(RegionId rid, uint32_t off, std::span<const uin
     return Status::kNotFound;
   }
   if (current_ != nullptr) {
-    Status s = CheckCred(*current_, cred, it->second.first, /*need_write=*/true);
+    Status s = CheckCred(*current_, cred, it->second.guard, /*need_write=*/true);
     if (s != Status::kOk) {
       return s;
     }
   }
-  auto& bytes = it->second.second;
+  auto& bytes = it->second.bytes;
   if (static_cast<uint64_t>(off) + data.size() > bytes.size()) {
     return Status::kInvalidArgument;
   }
@@ -584,12 +815,12 @@ Status XokKernel::SysRegionRead(RegionId rid, uint32_t off, std::span<uint8_t> o
     return Status::kNotFound;
   }
   if (current_ != nullptr) {
-    Status s = CheckCred(*current_, cred, it->second.first, /*need_write=*/false);
+    Status s = CheckCred(*current_, cred, it->second.guard, /*need_write=*/false);
     if (s != Status::kOk) {
       return s;
     }
   }
-  const auto& bytes = it->second.second;
+  const auto& bytes = it->second.bytes;
   if (static_cast<uint64_t>(off) + out.size() > bytes.size()) {
     return Status::kInvalidArgument;
   }
@@ -605,10 +836,16 @@ Status XokKernel::SysRegionDestroy(RegionId rid, CredIndex cred) {
     return Status::kNotFound;
   }
   if (current_ != nullptr) {
-    Status s = CheckCred(*current_, cred, it->second.first, /*need_write=*/true);
+    Status s = CheckCred(*current_, cred, it->second.guard, /*need_write=*/true);
     if (s != Status::kOk) {
       return s;
     }
+  }
+  if (it->second.owner != kInvalidEnv && EnvExists(it->second.owner)) {
+    Env& owner = env(it->second.owner);
+    --owner.usage.regions;
+    owner.usage.region_bytes -= it->second.bytes.size();
+    ClearRevokeIfCompliant(owner);
   }
   regions_.erase(it);
   return Status::kOk;
@@ -616,7 +853,7 @@ Status XokKernel::SysRegionDestroy(RegionId rid, CredIndex cred) {
 
 const std::vector<uint8_t>* XokKernel::RegionBytes(RegionId rid) const {
   auto it = regions_.find(rid);
-  return it == regions_.end() ? nullptr : &it->second.second;
+  return it == regions_.end() ? nullptr : &it->second.bytes;
 }
 
 // ---- IPC ----
@@ -627,6 +864,12 @@ Status XokKernel::SysIpcSend(EnvId to, const IpcMessage& msg, CredIndex cred) {
     return Status::kNotFound;
   }
   Env& dest = env(to);
+  // The queue lives in kernel memory: bound it by the receiver's quota so a
+  // flooding sender exhausts its own patience, not host memory.
+  if (dest.ipc_queue.size() >= dest.quota.ipc_depth) {
+    machine_->counters().Add("xok.ipc_rejected");
+    return Status::kWouldBlock;
+  }
   IpcMessage m = msg;
   m.from = current_ != nullptr ? current_->id : kInvalidEnv;
   dest.ipc_queue.push_back(m);
@@ -652,6 +895,10 @@ Result<IpcMessage> XokKernel::SysIpcRecv() {
 
 Result<FilterId> XokKernel::SysFilterInstall(udf::Program program, CredIndex cred) {
   ChargeSyscall("filter_install");
+  (void)cred;
+  if (program.size() > kMaxFilterProgramInsns) {
+    return Status::kInvalidArgument;
+  }
   auto v = udf::Verify(program, udf::Policy::kDeterministic);
   if (!v.ok) {
     return Status::kVerifierReject;
@@ -660,16 +907,32 @@ Result<FilterId> XokKernel::SysFilterInstall(udf::Program program, CredIndex cre
   f.id = next_filter_id_++;
   f.owner = current_ != nullptr ? current_->id : kInvalidEnv;
   f.program = std::move(program);
+  if (current_ != nullptr &&
+      (current_->usage.filters + 1 > current_->quota.filters ||
+       current_->usage.ring_slots + f.ring_capacity > current_->quota.ring_slots)) {
+    return Status::kQuotaExceeded;
+  }
+  if (current_ != nullptr) {
+    ++current_->usage.filters;
+    current_->usage.ring_slots += f.ring_capacity;
+  }
   filters_.push_back(std::move(f));
   return filters_.back().id;
 }
 
 Status XokKernel::SysFilterRemove(FilterId id, CredIndex cred) {
   ChargeSyscall("filter_remove");
+  (void)cred;
   for (auto it = filters_.begin(); it != filters_.end(); ++it) {
     if (it->id == id) {
       if (current_ != nullptr && it->owner != current_->id) {
         return Status::kPermissionDenied;
+      }
+      if (it->owner != kInvalidEnv && EnvExists(it->owner)) {
+        Env& owner = env(it->owner);
+        --owner.usage.filters;
+        owner.usage.ring_slots -= it->ring_capacity;
+        ClearRevokeIfCompliant(owner);
       }
       filters_.erase(it);
       return Status::kOk;
@@ -709,8 +972,8 @@ const PacketFilter* XokKernel::Filter(FilterId id) const {
 
 Status XokKernel::SysNicTransmit(uint32_t nic, hw::Packet packet) {
   ChargeSyscall("nic_tx");
-  if (nic >= machine_->num_nics()) {
-    return Status::kInvalidArgument;
+  if (nic >= machine_->num_nics() || packet.bytes.size() > hw::kMaxFrameBytes) {
+    return Status::kInvalidArgument;  // an oversized frame must not reach the DMA engine
   }
   machine_->Charge(150);  // DMA descriptor setup; the CPU does not touch the payload
   machine_->nic(nic).Transmit(std::move(packet));
@@ -743,6 +1006,295 @@ void XokKernel::OnPacket(uint32_t nic, hw::Packet p) {
   }
   machine_->counters().Add("xok.packets_unclaimed");
   interrupt_debt_ += cost;
+}
+
+// ---- Quotas, revocation, abort (Sec. 3 / Sec. 3.5) ----
+
+uint32_t XokKernel::RevocableUsage(const Env& e, RevokeResource r) const {
+  switch (r) {
+    case RevokeResource::kFrames:
+      return e.usage.frames;
+    case RevokeResource::kRegions:
+      return e.usage.regions;
+    case RevokeResource::kFilters:
+      return e.usage.filters;
+  }
+  return 0;
+}
+
+void XokKernel::ClearRevokeIfCompliant(Env& e) {
+  if (e.pending_revoke.has_value() &&
+      RevocableUsage(e, e.pending_revoke->resource) <= e.pending_revoke->allowed) {
+    e.pending_revoke.reset();
+    --pending_revocations_;
+    machine_->counters().Add("xok.revocations_complied");
+  }
+}
+
+Status XokKernel::SysSetQuota(EnvId target, const ResourceQuota& q, CredIndex cred) {
+  ChargeSyscall("set_quota");
+  if (!EnvExists(target)) {
+    return Status::kNotFound;
+  }
+  Env& t = env(target);
+  if (current_ != nullptr) {
+    Status s = CheckCred(*current_, cred, EnvGuardName(target), /*need_write=*/true);
+    if (s != Status::kOk) {
+      return s;
+    }
+    if (t.quota.locked && current_->id == target) {
+      return Status::kPermissionDenied;  // a limited env may not lift its own limits
+    }
+  }
+  t.quota = q;
+  return Status::kOk;
+}
+
+Status XokKernel::SysRevoke(EnvId target, RevokeResource resource, uint32_t allowed,
+                            sim::Cycles grace, CredIndex cred) {
+  ChargeSyscall("revoke");
+  if (!EnvExists(target) || !env(target).alive) {
+    return Status::kNotFound;
+  }
+  Env& t = env(target);
+  if (current_ != nullptr) {
+    Status s = CheckCred(*current_, cred, EnvGuardName(target), /*need_write=*/true);
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  if (RevocableUsage(t, resource) <= allowed) {
+    return Status::kOk;  // already compliant; nothing to ask
+  }
+  if (t.pending_revoke.has_value()) {
+    return Status::kBusy;  // one outstanding request at a time
+  }
+  t.pending_revoke = RevocationRequest{resource, allowed, machine_->engine().now() + grace};
+  ++pending_revocations_;
+  machine_->counters().Add("xok.revocations_requested");
+  if (t.on_revoke) {
+    // Deliver the upcall in the target's context so releases debit its ledger.
+    // Software interrupts are disabled for the duration (the handler runs on the
+    // requester's slice and must not be suspended mid-flight).
+    const RevocationRequest req = *t.pending_revoke;  // by value: handler may clear it
+    Env* saved = current_;
+    current_ = &t;
+    ++t.critical_depth;
+    machine_->Charge(machine_->cost().upcall);
+    t.on_revoke(req);
+    --t.critical_depth;
+    if (t.critical_depth == 0 && t.end_of_slice_pending) {
+      // The handler consumed the rest of a slice; drop the deferred upcall (the
+      // slice accounting restarts when the target is next scheduled).
+      t.end_of_slice_pending = false;
+    }
+    current_ = saved;
+    ClearRevokeIfCompliant(t);
+  }
+  return Status::kOk;
+}
+
+void XokKernel::AbortEnv(EnvId id, const char* reason) {
+  auto it = envs_.find(id);
+  if (it == envs_.end()) {
+    return;
+  }
+  Env& e = *it->second;
+  // Repossess everything: mappings, direct references, regions, filters, IPC.
+  for (const auto& [vp, pte] : e.pt.entries()) {
+    ReleaseFrame(pte.frame);
+  }
+  e.pt.Clear();
+  for (const auto& [f, n] : e.frame_refs) {
+    for (uint32_t i = 0; i < n; ++i) {
+      ReleaseFrame(f);
+    }
+  }
+  e.frame_refs.clear();
+  for (auto rit = regions_.begin(); rit != regions_.end();) {
+    rit = rit->second.owner == id ? regions_.erase(rit) : std::next(rit);
+  }
+  filters_.erase(std::remove_if(filters_.begin(), filters_.end(),
+                                [id](const PacketFilter& f) { return f.owner == id; }),
+                 filters_.end());
+  e.ipc_queue.clear();
+  e.usage = ResourceUsage{};
+  if (e.pending_revoke.has_value()) {
+    e.pending_revoke.reset();
+    --pending_revocations_;
+  }
+  e.abort_reason = reason;
+  machine_->counters().Add("xok.env_aborts");
+  const bool self = (current_ == &e);
+  if (e.alive) {
+    FinishExit(&e, -1);
+  }
+  if (self) {
+    for (;;) {
+      sim::Fiber::Suspend();  // zombies are never scheduled again
+      EXO_CHECK(false);
+    }
+  }
+}
+
+// ---- Invariant audit ----
+
+std::string XokKernel::CheckInvariants() const {
+  std::string out;
+  auto fail = [&out](std::string line) {
+    out += line;
+    out += '\n';
+  };
+  const hw::PhysMem& mem = machine_->mem();
+  const uint32_t nframes = mem.num_frames();
+
+  // (1) Guards and attribution only on live frames; attributed refs <= refcount.
+  std::map<hw::FrameId, uint64_t> attributed;
+  for (const auto& [f, n] : host_frame_refs_) {
+    attributed[f] += n;
+  }
+  for (const auto& [id, e] : envs_) {
+    for (const auto& [f, n] : e->frame_refs) {
+      attributed[f] += n;
+      if (frame_guards_.count(f) == 0) {
+        fail("env " + std::to_string(id) + " holds unguarded frame " + std::to_string(f));
+      }
+    }
+    for (const auto& [vp, pte] : e->pt.entries()) {
+      attributed[pte.frame] += 1;
+      if (frame_guards_.count(pte.frame) == 0) {
+        fail("env " + std::to_string(id) + " maps unguarded frame " + std::to_string(pte.frame));
+      }
+    }
+  }
+  for (const auto& [f, guard] : frame_guards_) {
+    if (f >= nframes || !mem.allocated(f)) {
+      fail("stale guard on free frame " + std::to_string(f));
+    }
+  }
+  for (const auto& [f, n] : attributed) {
+    if (f >= nframes || !mem.allocated(f)) {
+      fail("attributed refs on free frame " + std::to_string(f));
+    } else if (n > mem.refcount(f)) {
+      fail("frame " + std::to_string(f) + ": attributed " + std::to_string(n) + " > refcount " +
+           std::to_string(mem.refcount(f)));
+    }
+  }
+
+  // (2) Free-list conservation.
+  uint32_t live = 0;
+  for (hw::FrameId f = 0; f < nframes; ++f) {
+    live += mem.allocated(f) ? 1 : 0;
+  }
+  if (live + mem.free_frames() != nframes) {
+    fail("frame conservation: " + std::to_string(live) + " live + " +
+         std::to_string(mem.free_frames()) + " free != " + std::to_string(nframes));
+  }
+
+  // (3) Stored per-env ledgers match a from-scratch recount.
+  for (const auto& [id, e] : envs_) {
+    uint64_t direct = 0;
+    for (const auto& [f, n] : e->frame_refs) {
+      direct += n;
+    }
+    const uint64_t frames = direct + e->pt.size();
+    if (frames != e->usage.frames) {
+      fail("env " + std::to_string(id) + ": usage.frames " + std::to_string(e->usage.frames) +
+           " != recount " + std::to_string(frames));
+    }
+    uint32_t regions = 0;
+    uint64_t region_bytes = 0;
+    for (const auto& [rid, r] : regions_) {
+      if (r.owner == id) {
+        ++regions;
+        region_bytes += r.bytes.size();
+      }
+    }
+    if (regions != e->usage.regions || region_bytes != e->usage.region_bytes) {
+      fail("env " + std::to_string(id) + ": region ledger (" + std::to_string(e->usage.regions) +
+           ", " + std::to_string(e->usage.region_bytes) + "B) != recount (" +
+           std::to_string(regions) + ", " + std::to_string(region_bytes) + "B)");
+    }
+    uint32_t nfilters = 0;
+    uint64_t ring_slots = 0;
+    for (const auto& f : filters_) {
+      if (f.owner == id) {
+        ++nfilters;
+        ring_slots += f.ring_capacity;
+      }
+    }
+    if (nfilters != e->usage.filters || ring_slots != e->usage.ring_slots) {
+      fail("env " + std::to_string(id) + ": filter ledger (" + std::to_string(e->usage.filters) +
+           ", " + std::to_string(e->usage.ring_slots) + " slots) != recount (" +
+           std::to_string(nfilters) + ", " + std::to_string(ring_slots) + " slots)");
+    }
+    if (e->ipc_queue.size() > e->quota.ipc_depth) {
+      fail("env " + std::to_string(id) + ": ipc queue " + std::to_string(e->ipc_queue.size()) +
+           " over quota " + std::to_string(e->quota.ipc_depth));
+    }
+  }
+
+  // (4) Scheduler consistency: alive <=> not zombie; alive envs are schedulable.
+  uint32_t alive = 0;
+  for (const auto& [id, e] : envs_) {
+    if (e->alive != (e->state != EnvState::kZombie)) {
+      fail("env " + std::to_string(id) + ": alive flag disagrees with state");
+    }
+    if (e->alive) {
+      ++alive;
+      if (std::find(run_queue_.begin(), run_queue_.end(), id) == run_queue_.end()) {
+        fail("alive env " + std::to_string(id) + " missing from run queue");
+      }
+    }
+  }
+  if (alive != alive_count_) {
+    fail("alive_count " + std::to_string(alive_count_) + " != recount " + std::to_string(alive));
+  }
+
+  // (5) Protection: every writable mapping is justified by a capability — held
+  // by the mapped env itself, or by some env that also holds the mapped env's
+  // environment capability (the parent-setup case).
+  for (const auto& [id, e] : envs_) {
+    const CapName env_guard = EnvGuardName(id);
+    for (const auto& [vp, pte] : e->pt.entries()) {
+      if (!pte.writable) {
+        continue;
+      }
+      auto git = frame_guards_.find(pte.frame);
+      if (git == frame_guards_.end()) {
+        continue;  // reported above
+      }
+      bool justified = false;
+      for (const auto& [oid, other] : envs_) {
+        if (justified) {
+          break;
+        }
+        bool frame_ok = false;
+        bool env_ok = (oid == id);
+        for (const Capability& cap : other->caps) {
+          frame_ok = frame_ok || Dominates(cap, git->second, /*need_write=*/true);
+          env_ok = env_ok || Dominates(cap, env_guard, /*need_write=*/true);
+        }
+        justified = frame_ok && env_ok;
+      }
+      if (!justified) {
+        fail("env " + std::to_string(id) + " vpage " + std::to_string(vp) +
+             ": writable mapping of frame " + std::to_string(pte.frame) +
+             " with no justifying capability");
+      }
+    }
+  }
+
+  // (6) Revocation bookkeeping.
+  uint32_t pending = 0;
+  for (const auto& [id, e] : envs_) {
+    pending += e->pending_revoke.has_value() ? 1 : 0;
+  }
+  if (pending != pending_revocations_) {
+    fail("pending_revocations " + std::to_string(pending_revocations_) + " != recount " +
+         std::to_string(pending));
+  }
+  return out;
 }
 
 void XokKernel::SysNull(int count) {

@@ -40,10 +40,28 @@ namespace exo::xok {
 using RegionId = uint32_t;
 using FilterId = uint32_t;
 
+// Syscall-surface bounds: the kernel rejects arguments beyond these instead of
+// letting a hostile libOS grow kernel structures without limit.
+constexpr size_t kMaxGuardName = 64;            // capability-name components
+constexpr size_t kMaxFilterProgramInsns = 1024; // packet-filter program length
+// Watchdog bounds for robust critical sections (Sec. 3.3): a libOS that nests
+// deeper than this, or holds software interrupts disabled across this many
+// consecutive quanta, is presumed runaway and aborted.
+constexpr uint32_t kMaxCriticalDepth = 1024;
+constexpr uint32_t kMaxCriticalDeferrals = 64;
+
 struct PtOp {
   enum class Kind : uint8_t { kInsert, kProtect, kRemove } kind = Kind::kInsert;
   VPage vpage = 0;
   Pte pte;  // for insert/protect
+};
+
+// A software region (Sec. 3.3): capability-guarded sub-page memory. `owner` is
+// the env whose quota ledger carries it (kInvalidEnv: host/registry-owned).
+struct Region {
+  CapName guard;
+  EnvId owner = kInvalidEnv;
+  std::vector<uint8_t> bytes;
 };
 
 // One installed dynamic packet filter and its packet ring (Sec. 5.1).
@@ -80,6 +98,36 @@ class XokKernel {
   // parent libOS (wait) or the host driver for top-level environments.
   [[nodiscard]] Status ReapEnv(EnvId id);
 
+  // Forcibly terminates an environment, repossessing everything it holds: page-
+  // table mappings, direct frame references, regions, filters, queued IPC. Unlike
+  // ReapEnv after a voluntary exit, nothing survives. This is the kernel's last
+  // resort in the abort protocol (Sec. 3.5) and the watchdogs' teeth. Safe on
+  // zombies (reclaims what a voluntary exit left shared). Never returns when the
+  // env aborts itself (the calling fiber suspends forever).
+  void AbortEnv(EnvId id, const char* reason);
+
+  // ---- Resource quotas + revocation (Sec. 3: visible revocation; Sec. 3.5) ----
+
+  // Replaces `target`'s quota. Callable from the host, or by an env holding the
+  // target's environment capability — except that an env whose quota is `locked`
+  // may not change its own.
+  [[nodiscard]] Status SysSetQuota(EnvId target, const ResourceQuota& q, CredIndex cred);
+
+  // Asks `target` (via its on_revoke upcall) to shed `resource` down to `allowed`
+  // within `grace` cycles. Returns kOk immediately if already compliant, kBusy if
+  // a revocation is outstanding. A non-compliant env is aborted by the scheduler
+  // once the deadline passes.
+  [[nodiscard]] Status SysRevoke(EnvId target, RevokeResource resource, uint32_t allowed,
+                                 sim::Cycles grace, CredIndex cred);
+
+  // Audits every kernel data structure against its definition: frame refcounts vs
+  // guards vs the free list, per-env ledgers vs a from-scratch recount, zombie/
+  // alive/run-queue consistency, capability justification for writable mappings,
+  // and the revocation bookkeeping. Returns "" when clean, else one violation per
+  // line. Charges nothing (host diagnostic, not a syscall) — the fuzzer calls it
+  // after every step.
+  std::string CheckInvariants() const;
+
   // ---- Host driver ----
 
   // Schedules environments until none are alive. The host test/bench driver calls
@@ -89,6 +137,13 @@ class XokKernel {
   // The environment whose fiber is currently executing (nullptr in host context).
   Env* current() { return current_; }
   EnvId current_id() const { return current_ == nullptr ? kInvalidEnv : current_->id; }
+
+  // Lowers the idle-time bound after which Run() declares deadlock (tests use a
+  // small bound to exercise the diagnostic without minutes of idle scanning).
+  void SetDeadlockBound(sim::Cycles cycles) { deadlock_bound_ = cycles; }
+  // Non-empty once Run() has diagnosed a deadlock (all remaining envs were
+  // aborted instead of spinning forever).
+  const std::string& deadlock_report() const { return deadlock_report_; }
 
   // ---- CPU multiplexing (called from env fibers) ----
 
@@ -116,12 +171,23 @@ class XokKernel {
 
   // ---- Physical memory ----
 
-  [[nodiscard]] Result<hw::FrameId> SysFrameAlloc(CredIndex cred, CapName guard);
+  // `shared = true` attributes the reference to the host/registry ledger instead
+  // of the calling env's quota — used by libOS-shared caches (the buffer
+  // registry) whose frames outlive any single environment.
+  [[nodiscard]] Result<hw::FrameId> SysFrameAlloc(CredIndex cred, CapName guard,
+                                                  bool shared = false);
   [[nodiscard]] Status SysFrameFree(hw::FrameId frame, CredIndex cred);
   // Extra reference for sharing (e.g. COW); freeing decrements.
   [[nodiscard]] Status SysFrameRef(hw::FrameId frame, CredIndex cred);
   const CapName& FrameGuard(hw::FrameId frame) const;
   uint32_t FreeFrameCount() const;  // exposed free list (no syscall)
+
+  // Trusted-sibling release path (XN, the buffer registry, host drivers): drops
+  // one reference through the kernel's accounting so guards and ledgers stay
+  // exact when the refcount hits zero. `attribution` names the env whose ledger
+  // carried the reference (kInvalidEnv: the host/registry ledger). Charges
+  // nothing; callers charge through their own cost models.
+  void FrameUnref(hw::FrameId frame, EnvId attribution = kInvalidEnv);
 
   [[nodiscard]] Status SysPtUpdate(EnvId target, const PtOp& op, CredIndex cred);
   // Batched page-table updates amortize the trap over many entries (Sec. 5.2.1).
@@ -192,6 +258,24 @@ class XokKernel {
   void OnPacket(uint32_t nic, hw::Packet p);
   [[nodiscard]] Status PtApply(Env& target, const PtOp& op, CredIndex cred);
 
+  // Drops one refcount; when the frame dies, retires its guard and any residual
+  // host attribution so no stale bookkeeping survives. Every kernel-side Unref
+  // goes through here.
+  void ReleaseFrame(hw::FrameId frame);
+  // Best-effort ledger debit when a reference is released: the caller's own
+  // direct ref first, then the host ledger, then any env's (a capability holder
+  // may free references it did not take). Returns false when no ledger accounts
+  // for the frame — its remaining references are page mappings or kernel-held,
+  // and an untrusted free must not steal them.
+  bool DebitFrameRef(hw::FrameId frame, Env* preferred);
+  uint32_t RevocableUsage(const Env& e, RevokeResource r) const;
+  // Clears a pending revocation the moment the env becomes compliant.
+  void ClearRevokeIfCompliant(Env& e);
+  // Host-context scheduler duties: abort envs past their revocation deadline;
+  // reap orphaned zombies queued by FinishExit.
+  void EnforceRevocations();
+  void DrainPendingReaps();
+
   hw::Machine* machine_;
   std::map<EnvId, std::unique_ptr<Env>> envs_;
   std::deque<EnvId> run_queue_;  // round-robin order over alive envs
@@ -201,10 +285,21 @@ class XokKernel {
   uint32_t alive_count_ = 0;
 
   std::map<hw::FrameId, CapName> frame_guards_;
-  std::map<RegionId, std::pair<CapName, std::vector<uint8_t>>> regions_;
+  // References held by the host/registry rather than any env (shared caches,
+  // frames surviving a reaped env). CheckInvariants() sums this with the per-env
+  // ledgers against the real refcounts.
+  std::map<hw::FrameId, uint32_t> host_frame_refs_;
+  std::map<RegionId, Region> regions_;
   RegionId next_region_id_ = 1;
   std::vector<PacketFilter> filters_;
   FilterId next_filter_id_ = 1;
+
+  // Orphaned zombies queued for host-context reaping (their fibers may be the
+  // one executing when they die, so FinishExit cannot erase them inline).
+  std::deque<EnvId> pending_reaps_;
+  uint32_t pending_revocations_ = 0;
+  sim::Cycles deadlock_bound_ = 24'000'000'000ULL;  // 120 s at 200 MHz
+  std::string deadlock_report_;
 
   // CPU time consumed by interrupt-context demultiplexing, folded into the next
   // synchronous charge (we cannot advance the clock from inside an event callback).

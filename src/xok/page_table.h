@@ -40,6 +40,7 @@ class PageTable {
   }
   void Insert(VPage vp, const Pte& pte) { entries_[vp] = pte; }
   void Remove(VPage vp) { entries_.erase(vp); }
+  void Clear() { entries_.clear(); }
   size_t size() const { return entries_.size(); }
 
   // Exposed read-only to the owning libOS (Xok exposes kernel data structures).

@@ -1,0 +1,440 @@
+// Deterministic syscall fuzzer: several hostile environments issue randomized
+// garbage and semi-valid system calls while XokKernel::CheckInvariants() audits
+// every kernel data structure after every single call.
+//
+// The determinism contract mirrors docs/FAULTS.md: every argument derives from
+// one sim::Fuzzer stream per env, so a whole hostile schedule is a pure
+// function of (seed, num_envs, steps) and any failure replays byte-for-byte
+// from the seed printed with it. Override with FUZZ_SEED=<n>; the CI sweep sets
+// FUZZ_SEEDS=<lo>:<hi> and FUZZ_STEPS=<n> (see docs/ROBUSTNESS.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "sim/engine.h"
+#include "sim/fuzz.h"
+#include "udf/assembler.h"
+#include "xok/kernel.h"
+
+namespace exo::xok {
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::strtoull(v, nullptr, 0) : fallback;
+}
+
+struct FuzzOutcome {
+  std::string log;        // concatenated per-env decision logs, env order
+  std::string violation;  // first CheckInvariants() failure, annotated with env/step
+  std::string final_check;
+  uint64_t syscalls = 0;
+  uint32_t free_before = 0;  // free frames before any env was created
+  uint32_t free_after = 0;   // free frames after abort+reap of every env
+};
+
+// Per-env mutable state. Lives in the harness frame, NOT on fiber stacks:
+// aborted fibers are destroyed without unwinding, so nothing heap-owning may
+// live on their stacks across a suspension point.
+struct EnvPools {
+  std::vector<uint32_t> frames;
+  std::vector<uint32_t> regions;
+  std::vector<uint32_t> filters;
+  uint32_t pinned = 0;  // frames under a guard nobody dominates: unfreeable until abort
+};
+
+CredIndex FuzzCred(sim::Fuzzer& fz) {
+  if (fz.Percent(15)) {
+    return static_cast<CredIndex>(fz.Chaos32());  // out-of-range / negative garbage
+  }
+  return static_cast<CredIndex>(fz.Pick(5)) - 1;  // kCredAny..3
+}
+
+// One randomized operation against the kernel, in env context. Only POD locals
+// may be live when a call can suspend (yield / sleep / ChargeCpu).
+void DoOneOp(XokKernel& kernel, sim::Fuzzer& fz, uint32_t self_index,
+             std::vector<EnvPools>& pools, const std::vector<uint32_t>& env_ids,
+             const udf::Program& good_prog, const udf::Program& bad_prog,
+             const udf::Program& huge_prog) {
+  EnvPools& mine = pools[self_index];
+  const uint16_t me = static_cast<uint16_t>(self_index);
+  const uint32_t op = fz.Pick(100);
+
+  if (op < 16) {  // frame alloc: shared, private, unreachable, or oversized guard
+    CapName guard;
+    bool pin = false;
+    switch (fz.Pick(4)) {
+      case 0:
+        guard = {kCapUsers, 7, me};
+        break;
+      case 1:
+        guard = CapName{kCapUsers, static_cast<uint16_t>(100 + me), 3};
+        break;
+      case 2:
+        // Nobody here dominates the empty guard: unfreeable until abort. Capped
+        // at two so a shedding env can still satisfy most revocations.
+        pin = mine.pinned < 2;
+        guard = pin ? CapName{} : CapName{kCapUsers, 7, me};
+        break;
+      default:
+        guard = CapName(kMaxGuardName + 1 + fz.Pick(8), me);  // must be rejected
+        break;
+    }
+    auto f = kernel.SysFrameAlloc(FuzzCred(fz), guard);
+    fz.Log("alloc " + std::string(StatusName(f.status())));
+    if (f.ok()) {
+      mine.frames.push_back(*f);
+      if (pin) {
+        ++mine.pinned;
+      }
+    }
+  } else if (op < 26) {  // frame free: own, sibling's, or garbage id
+    uint32_t frame = fz.Percent(30) ? fz.SemiValid(pools[fz.Pick(static_cast<uint32_t>(
+                                          pools.size()))].frames)
+                                    : fz.SemiValid(mine.frames);
+    Status s = kernel.SysFrameFree(frame, FuzzCred(fz));
+    fz.Log("free f" + std::to_string(frame) + " " + StatusName(s));
+    if (s == Status::kOk) {
+      std::erase(mine.frames, frame);  // may erase nothing (freed a sibling's)
+      for (auto& p : pools) {
+        std::erase(p.frames, frame);
+      }
+    }
+  } else if (op < 31) {  // extra ref
+    uint32_t frame = fz.SemiValid(mine.frames);
+    Status s = kernel.SysFrameRef(frame, FuzzCred(fz));
+    fz.Log("ref f" + std::to_string(frame) + " " + StatusName(s));
+    if (s == Status::kOk) {
+      mine.frames.push_back(frame);
+    }
+  } else if (op < 43) {  // page-table ops, garbage vpages/frames/targets
+    PtOp pt;
+    const uint32_t kind = fz.Pick(3);
+    pt.kind = kind == 0 ? PtOp::Kind::kInsert
+              : kind == 1 ? PtOp::Kind::kProtect
+                          : PtOp::Kind::kRemove;
+    pt.vpage = fz.Percent(20) ? fz.Chaos32() : fz.Pick(48);
+    pt.pte.frame = fz.Percent(30) ? fz.SemiValid(pools[fz.Pick(static_cast<uint32_t>(
+                                        pools.size()))].frames)
+                                  : fz.SemiValid(mine.frames);
+    pt.pte.readable = true;
+    pt.pte.writable = fz.Percent(60);
+    EnvId target = fz.Percent(15) ? fz.Chaos32() : env_ids[self_index];
+    if (fz.Percent(10)) {
+      target = env_ids[fz.Pick(static_cast<uint32_t>(env_ids.size()))];  // sibling: denied
+    }
+    Status s = kernel.SysPtUpdate(target, pt, FuzzCred(fz));
+    fz.Log("pt k" + std::to_string(kind) + " vp" + std::to_string(pt.vpage) + " " +
+           StatusName(s));
+  } else if (op < 53) {  // software regions with chaos offsets
+    switch (fz.Pick(4)) {
+      case 0: {
+        uint32_t size = fz.Percent(25) ? fz.Chaos32() : 1 + fz.Pick(4096);
+        auto r = kernel.SysRegionCreate(size, {kCapUsers, 7, me}, FuzzCred(fz));
+        fz.Log("rcreate " + std::string(StatusName(r.status())));
+        if (r.ok()) {
+          mine.regions.push_back(*r);
+        }
+        break;
+      }
+      case 1: {
+        uint8_t buf[64];
+        uint32_t off = fz.Percent(40) ? fz.Chaos32() : fz.Pick(4096);
+        Status s = kernel.SysRegionWrite(fz.SemiValid(mine.regions), off,
+                                         std::span<const uint8_t>(buf, 1 + fz.Pick(64)),
+                                         FuzzCred(fz));
+        fz.Log("rwrite " + std::string(StatusName(s)));
+        break;
+      }
+      case 2: {
+        uint8_t buf[64];
+        uint32_t off = fz.Percent(40) ? fz.Chaos32() : fz.Pick(4096);
+        Status s = kernel.SysRegionRead(fz.SemiValid(mine.regions), off,
+                                        std::span<uint8_t>(buf, 1 + fz.Pick(64)),
+                                        FuzzCred(fz));
+        fz.Log("rread " + std::string(StatusName(s)));
+        break;
+      }
+      default: {
+        uint32_t rid = fz.SemiValid(mine.regions);
+        Status s = kernel.SysRegionDestroy(rid, FuzzCred(fz));
+        fz.Log("rdestroy " + std::string(StatusName(s)));
+        if (s == Status::kOk) {
+          std::erase(mine.regions, rid);
+        }
+        break;
+      }
+    }
+  } else if (op < 61) {  // IPC send floods + non-blocking receive
+    if (fz.Percent(60)) {
+      IpcMessage m;
+      m.words[0] = fz.Chaos64();
+      EnvId to = fz.Percent(20) ? fz.Chaos32()
+                                : env_ids[fz.Pick(static_cast<uint32_t>(env_ids.size()))];
+      Status s = kernel.SysIpcSend(to, m, FuzzCred(fz));
+      fz.Log("send " + std::string(StatusName(s)));
+    } else {
+      auto m = kernel.SysIpcRecv();
+      fz.Log("recv " + std::string(StatusName(m.status())));
+    }
+  } else if (op < 69) {  // packet filters: valid, unverifiable, oversized
+    switch (fz.Pick(3)) {
+      case 0: {
+        const udf::Program& prog =
+            fz.Percent(50) ? good_prog : (fz.Percent(50) ? bad_prog : huge_prog);
+        auto fid = kernel.SysFilterInstall(prog, FuzzCred(fz));
+        fz.Log("finstall " + std::string(StatusName(fid.status())));
+        if (fid.ok()) {
+          mine.filters.push_back(*fid);
+        }
+        break;
+      }
+      case 1: {
+        uint32_t fid = fz.SemiValid(mine.filters);
+        Status s = kernel.SysFilterRemove(fid, FuzzCred(fz));
+        fz.Log("fremove " + std::string(StatusName(s)));
+        if (s == Status::kOk) {
+          std::erase(mine.filters, fid);
+        }
+        break;
+      }
+      default: {
+        auto p = kernel.SysRingConsume(fz.SemiValid(mine.filters), FuzzCred(fz));
+        fz.Log("ring " + std::string(StatusName(p.status())));
+        break;
+      }
+    }
+  } else if (op < 74) {  // null syscalls + exposed reads
+    kernel.SysNull(1 + static_cast<int>(fz.Pick(3)));
+    fz.Log("null");
+  } else if (op < 80) {  // yield, sometimes directed at garbage
+    EnvId to = fz.Percent(30) ? fz.Chaos32() : kInvalidEnv;
+    fz.Log("yield");
+    kernel.SysYield(to);
+  } else if (op < 85) {  // bounded sleep (deadline predicates keep the clock moving)
+    sim::Cycles until = kernel.Now() + 1'000 + fz.Pick(50'000);
+    fz.Log("sleep");
+    WakeupPredicate p;
+    p.deadline = until;
+    p.host_cost = 40;
+    p.host = [&kernel, until] { return kernel.Now() >= until; };
+    if (fz.Percent(15)) {
+      p.program = bad_prog;  // unverifiable: kernel must degrade it to a plain sleep
+    }
+    kernel.SysSleep(std::move(p));
+  } else if (op < 89) {  // compute through quantum boundaries
+    fz.Log("compute");
+    kernel.ChargeCpu(500 + fz.Pick(30'000));
+  } else if (op < 92) {  // balanced critical section spanning slices
+    fz.Log("critical");
+    kernel.EnterCritical();
+    kernel.ChargeCpu(fz.Pick(8'000));
+    kernel.ExitCritical();
+  } else if (op < 95) {  // wait on a non-child (must never block or reap)
+    EnvId child = fz.Percent(40) ? fz.Chaos32()
+                                 : env_ids[fz.Pick(static_cast<uint32_t>(env_ids.size()))];
+    auto r = kernel.SysWait(child);
+    fz.Log("wait " + std::string(StatusName(r.status())));
+  } else if (op < 97) {  // quota self-service must be denied (locked)
+    ResourceQuota q;  // unlimited
+    Status s = kernel.SysSetQuota(
+        fz.Percent(50) ? env_ids[self_index] : fz.SemiValid(env_ids), q, FuzzCred(fz));
+    fz.Log("setquota " + std::string(StatusName(s)));
+  } else if (op < 99) {  // revocation: the upcall handler sheds down to `allowed`
+    // Rarely, demand less than the env's pinned (unfreeable) holdings — an
+    // unsatisfiable request that arms the abort protocol mid-fuzz.
+    uint32_t allowed = fz.Percent(1) ? fz.Pick(2) : 2 + fz.Pick(16);
+    EnvId target = fz.Percent(70) ? env_ids[self_index] : fz.SemiValid(env_ids);
+    Status s = kernel.SysRevoke(target, RevokeResource::kFrames, allowed,
+                                200'000 + fz.Pick(400'000), FuzzCred(fz));
+    fz.Log("revoke " + std::string(StatusName(s)));
+  } else {  // hostile NIC transmit: oversized frames must be rejected, not DMA'd
+    uint32_t len = fz.Percent(50) ? 1515 + fz.Pick(4096) : fz.Pick(1515);
+    Status s = kernel.SysNicTransmit(fz.Percent(70) ? 0 : fz.Chaos32(),
+                                     hw::Packet{std::vector<uint8_t>(len, 0xee)});
+    fz.Log("nictx " + std::to_string(len) + " " + StatusName(s));
+  }
+}
+
+FuzzOutcome RunFuzz(uint64_t seed, uint32_t num_envs, uint32_t steps) {
+  sim::Engine engine;
+  hw::Machine machine(&engine, hw::MachineConfig{.mem_frames = 192});
+  hw::Nic peer(99);
+  hw::Link link(&engine, 100.0, 10.0, 200);
+  link.Connect(&peer, &machine.nic(0));
+  XokKernel kernel(&machine);
+  kernel.SetDeadlockBound(500'000'000);  // fuzz sleeps are bounded; fail fast if stuck
+
+  FuzzOutcome out;
+  out.free_before = kernel.FreeFrameCount();
+
+  std::vector<sim::Fuzzer> fuzzers;
+  fuzzers.reserve(num_envs);
+  for (uint32_t i = 0; i < num_envs; ++i) {
+    fuzzers.emplace_back(seed * 0x9e3779b97f4a7c15ULL + i);
+  }
+  std::vector<EnvPools> pools(num_envs);
+  std::vector<uint32_t> env_ids;
+
+  const udf::Program good_prog = [] {
+    auto a = udf::Assemble("ldi r1, 1\nret r1\n");
+    EXO_CHECK(a.ok);
+    return a.program;
+  }();
+  const udf::Program bad_prog = [] {
+    auto a = udf::Assemble("time r1\nret r1\n");  // nondeterministic: verifier rejects
+    EXO_CHECK(a.ok);
+    return a.program;
+  }();
+  const udf::Program huge_prog(kMaxFilterProgramInsns + 1, udf::Insn{});
+
+  for (uint32_t i = 0; i < num_envs; ++i) {
+    std::vector<Capability> caps = {
+        Capability::For({kCapUsers, 7}),  // shared: siblings may free/map each other's
+        Capability::For({kCapUsers, static_cast<uint16_t>(100 + i)}),
+    };
+    EnvId id = kernel.CreateEnv(
+        kInvalidEnv, caps,
+        [&kernel, &fuzzers, &pools, &env_ids, &out, &good_prog, &bad_prog, &huge_prog, i,
+         steps] {
+          for (uint32_t step = 0; step < steps; ++step) {
+            DoOneOp(kernel, fuzzers[i], i, pools, env_ids, good_prog, bad_prog, huge_prog);
+            if (out.violation.empty()) {
+              std::string v = kernel.CheckInvariants();
+              if (!v.empty()) {
+                out.violation =
+                    "env " + std::to_string(i) + " step " + std::to_string(step) + ":\n" + v;
+              }
+            }
+          }
+        });
+    env_ids.push_back(id);
+  }
+
+  // Fuzz envs behave like a real libOS under revocation: the upcall sheds
+  // freeable frame refs, then page mappings, until within the allowance.
+  // Frames pinned under guards nobody dominates stay — a request below the
+  // pinned count is deliberately unsatisfiable and arms the abort protocol.
+  for (EnvId id : env_ids) {
+    kernel.env(id).on_revoke = [&kernel, id](const RevocationRequest& req) {
+      if (req.resource != RevokeResource::kFrames) {
+        return;
+      }
+      Env& self = kernel.env(id);
+      std::vector<hw::FrameId> held;
+      for (const auto& [f, n] : self.frame_refs) {
+        held.push_back(f);
+      }
+      for (hw::FrameId f : held) {
+        while (self.usage.frames > req.allowed && self.frame_refs.count(f) != 0) {
+          if (kernel.SysFrameFree(f, kCredAny) != Status::kOk) {
+            break;  // pinned: no credential of ours dominates its guard
+          }
+        }
+      }
+      std::vector<VPage> mapped;
+      for (const auto& [vp, pte] : self.pt.entries()) {
+        mapped.push_back(vp);
+      }
+      for (VPage vp : mapped) {
+        if (self.usage.frames <= req.allowed) {
+          break;
+        }
+        PtOp op;
+        op.kind = PtOp::Kind::kRemove;
+        op.vpage = vp;
+        (void)kernel.SysPtUpdate(id, op, kCredAny);
+      }
+    };
+  }
+
+  // Modest quotas so kQuotaExceeded paths run; locked so the envs cannot lift them.
+  for (EnvId id : env_ids) {
+    ResourceQuota q;
+    q.frames = 24;
+    q.regions = 8;
+    q.region_bytes = 1u << 16;
+    q.filters = 4;
+    q.ring_slots = 256;
+    q.ipc_depth = 8;
+    q.locked = true;
+    EXO_CHECK_EQ(kernel.SysSetQuota(id, q, kCredAny), Status::kOk);
+  }
+
+  kernel.Run();
+
+  // Host cleanup: forcibly reclaim whatever each (now zombie or aborted) env
+  // still holds, then reap. Leak-freedom means the free list returns exactly to
+  // its pre-spawn size.
+  for (EnvId id : env_ids) {
+    kernel.AbortEnv(id, "fuzz cleanup");
+    (void)kernel.ReapEnv(id);
+  }
+  out.free_after = kernel.FreeFrameCount();
+  out.final_check = kernel.CheckInvariants();
+  out.syscalls = machine.counters().Get("xok.syscalls");
+  for (auto& fz : fuzzers) {
+    out.log += fz.log();
+  }
+  return out;
+}
+
+TEST(FuzzSyscall, TenThousandHostileSyscallsHoldInvariants) {
+  const uint64_t seed = EnvOr("FUZZ_SEED", 0xEC0C0DEULL);
+  const uint32_t steps = static_cast<uint32_t>(EnvOr("FUZZ_STEPS", 2800));
+  std::fprintf(stderr, "fuzz: seed=0x%llx envs=6 steps=%u (override with FUZZ_SEED=...)\n",
+               static_cast<unsigned long long>(seed), steps);
+  FuzzOutcome out = RunFuzz(seed, /*num_envs=*/6, steps);
+  // At the default budget this demands >=10k syscalls; reduced FUZZ_STEPS runs
+  // (the sanitizer CI job) scale the floor down with the budget.
+  const uint64_t floor = std::min<uint64_t>(10'000, steps * 6ull * 3 / 5);
+  EXPECT_GE(out.syscalls, floor) << "hostile workload too small to be meaningful";
+  EXPECT_EQ(out.violation, "") << "seed 0x" << std::hex << seed << " broke an invariant";
+  EXPECT_EQ(out.final_check, "");
+  EXPECT_EQ(out.free_after, out.free_before)
+      << "frames leaked across abort+reap (seed 0x" << std::hex << seed << ")";
+  std::fprintf(stderr, "fuzz: %llu syscalls, log bytes=%zu, invariants clean\n",
+               static_cast<unsigned long long>(out.syscalls), out.log.size());
+}
+
+TEST(FuzzSyscall, SameSeedReplaysByteForByte) {
+  FuzzOutcome a = RunFuzz(424242, 4, 400);
+  FuzzOutcome b = RunFuzz(424242, 4, 400);
+  ASSERT_FALSE(a.log.empty());
+  EXPECT_EQ(a.log, b.log);  // the docs/FAULTS.md contract: equal logs <=> same schedule
+  EXPECT_EQ(a.syscalls, b.syscalls);
+  EXPECT_EQ(a.free_after, b.free_after);
+}
+
+TEST(FuzzSyscall, DifferentSeedsDiverge) {
+  FuzzOutcome a = RunFuzz(1, 4, 300);
+  FuzzOutcome b = RunFuzz(2, 4, 300);
+  EXPECT_NE(a.log, b.log);
+}
+
+// The CI fuzz-sweep: a fixed block of seeds, every one checked to completion.
+TEST(FuzzSyscall, SeedBlockSweep) {
+  uint64_t lo = 1;
+  uint64_t hi = 3;
+  if (const char* block = std::getenv("FUZZ_SEEDS")) {
+    char* colon = nullptr;
+    lo = std::strtoull(block, &colon, 0);
+    hi = (colon != nullptr && *colon == ':') ? std::strtoull(colon + 1, nullptr, 0) : lo;
+  }
+  const uint32_t steps = static_cast<uint32_t>(EnvOr("FUZZ_STEPS", 500));
+  for (uint64_t seed = lo; seed <= hi; ++seed) {
+    FuzzOutcome out = RunFuzz(seed, 4, steps);
+    EXPECT_EQ(out.violation, "") << "seed " << seed;
+    EXPECT_EQ(out.final_check, "") << "seed " << seed;
+    EXPECT_EQ(out.free_after, out.free_before) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace exo::xok

@@ -290,6 +290,41 @@ TEST(OsCostTest, ProtectionModeAddsSyscalls) {
   EXPECT_GT(with, without + 3 * 50);  // >=3 per fd-table write
 }
 
+TEST(ExosRevocationTest, LibOsShedsFramesOnKernelRequest) {
+  // ExOS installs a default revocation handler on every process env (Sec. 3.4):
+  // cached frames are a performance hint, so a kernel request is met by shedding
+  // directly-held references synchronously in the upcall — never by abort.
+  sim::Engine engine;
+  hw::Machine machine(&engine, TestMachine());
+  System sys(&machine, Flavor::kXokExos);
+  ASSERT_EQ(sys.Boot(), Status::kOk);
+  auto& kernel = sys.kernel();
+  uint32_t usage_after = 999;
+  bool done = false;
+  xok::EnvId hog_env = xok::kInvalidEnv;
+  sys.SpawnInit("hog", [&](UnixEnv&) {
+    hog_env = kernel.current_id();
+    for (uint16_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(kernel.SysFrameAlloc(0, xok::CapName{xok::kCapUsers, 7, i}).ok());
+    }
+    xok::WakeupPredicate p;
+    p.host = [&] { return done; };
+    kernel.SysSleep(std::move(p));
+  });
+  sys.SpawnInit("revoker", [&](UnixEnv&) {
+    ASSERT_EQ(kernel.SysRevoke(hog_env, xok::RevokeResource::kFrames, 3, 1'000'000,
+                               xok::kCredAny),
+              Status::kOk);
+    usage_after = kernel.env(hog_env).usage.frames;  // shed during the upcall
+    done = true;
+  });
+  sys.Run();
+  EXPECT_LE(usage_after, 3u);
+  EXPECT_GE(machine.counters().Get("xok.revocations_complied"), 1u);
+  EXPECT_EQ(machine.counters().Get("xok.env_aborts"), 0u);
+  EXPECT_EQ(kernel.CheckInvariants(), "");
+}
+
 TEST(XcpTest, ZeroTouchCopyIsCorrectAndFaster) {
   sim::Engine engine;
   hw::Machine machine(&engine, TestMachine());

@@ -128,9 +128,8 @@ TEST_F(XokTest, CriticalSectionDefersSliceEnd) {
 
 TEST_F(XokTest, DirectedYieldHandsOffSlice) {
   std::vector<int> order;
-  EnvId a = kInvalidEnv;
   EnvId b = kInvalidEnv;
-  a = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
     order.push_back(0);
     kernel_.SysYield(b);  // hand the CPU to b specifically
     order.push_back(0);
@@ -461,6 +460,342 @@ TEST_F(XokTest, FramesSurviveEnvExitWhenShared) {
     EXPECT_EQ(machine_.mem().Data(shared)[0], 0x99);
   });
   kernel_.Run();
+}
+
+// ---- Quotas, revocation, and the abort protocol ----
+
+TEST(CapabilityTest, EdgeCases) {
+  // A zero-length capability name is a prefix of everything (root-like).
+  Capability empty = Capability{CapName{}, true};
+  EXPECT_TRUE(Dominates(empty, {}, true));
+  EXPECT_TRUE(Dominates(empty, {1, 2, 3}, true));
+  // A zero-length guard is reachable only through a zero-length capability name.
+  Capability one = Capability::For({1});
+  EXPECT_FALSE(Dominates(one, {}, true));
+  // Self-dominance: a name dominates exactly itself.
+  EXPECT_TRUE(Dominates(one, {1}, true));
+  EXPECT_TRUE(Dominates(one, {1}, false));
+  // Write-bit downgrade survives prefix extension: a read-only root-like
+  // capability reads everything and writes nothing.
+  Capability ro = Capability{CapName{}, /*write=*/false};
+  EXPECT_TRUE(Dominates(ro, {5, 6}, false));
+  EXPECT_FALSE(Dominates(ro, {5, 6}, true));
+}
+
+TEST_F(XokTest, QuotaCapsAllocationsAndLockedSelfRaiseDenied) {
+  Status third = Status::kOk;
+  Status raise = Status::kOk;
+  bool refree_ok = false;
+  EnvId id = kernel_.CreateEnv(kInvalidEnv, {Capability::For({kCapUsers, 1})}, [&] {
+    auto a = kernel_.SysFrameAlloc(0, {kCapUsers, 1, 1});
+    auto b = kernel_.SysFrameAlloc(0, {kCapUsers, 1, 2});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    third = kernel_.SysFrameAlloc(0, {kCapUsers, 1, 3}).status();
+    ResourceQuota lift;  // default-unlimited
+    raise = kernel_.SysSetQuota(kernel_.current_id(), lift, kCredAny);
+    // Freeing restores headroom under the same quota.
+    ASSERT_EQ(kernel_.SysFrameFree(*a, 0), Status::kOk);
+    refree_ok = kernel_.SysFrameAlloc(0, {kCapUsers, 1, 4}).ok();
+  });
+  ResourceQuota q;
+  q.frames = 2;
+  q.locked = true;
+  ASSERT_EQ(kernel_.SysSetQuota(id, q, kCredAny), Status::kOk);  // host: always allowed
+  kernel_.Run();
+  EXPECT_EQ(third, Status::kQuotaExceeded);
+  EXPECT_EQ(raise, Status::kPermissionDenied);  // a limited env may not lift its own cap
+  EXPECT_TRUE(refree_ok);
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
+}
+
+TEST_F(XokTest, IpcFloodBoundedByReceiverQuota) {
+  int drained = 0;
+  EnvId receiver = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    while (drained < 4) {
+      if (kernel_.SysIpcRecv().ok()) {
+        ++drained;
+      } else {
+        kernel_.SysYield();
+      }
+    }
+  });
+  ResourceQuota q;
+  q.ipc_depth = 4;
+  ASSERT_EQ(kernel_.SysSetQuota(receiver, q, kCredAny), Status::kOk);
+  int accepted = 0;
+  int rejected = 0;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    for (int i = 0; i < 10; ++i) {
+      IpcMessage m;
+      m.words[0] = static_cast<uint64_t>(i);
+      Status s = kernel_.SysIpcSend(receiver, m, 0);
+      if (s == Status::kOk) {
+        ++accepted;
+      } else {
+        EXPECT_EQ(s, Status::kWouldBlock);  // bounded queue: flood hurts the sender
+        ++rejected;
+      }
+    }
+  });
+  kernel_.Run();
+  EXPECT_EQ(accepted + rejected, 10);
+  EXPECT_GE(rejected, 2);  // receiver stops draining after 4: the tail must bounce
+  EXPECT_EQ(machine_.counters().Get("xok.ipc_rejected"),
+            static_cast<uint64_t>(rejected));
+  EXPECT_EQ(drained, 4);
+}
+
+TEST_F(XokTest, RevocationUpcallShedsToAllowance) {
+  bool done = false;
+  uint32_t usage_after = 999;
+  EnvId worker = kernel_.CreateEnv(
+      kInvalidEnv, {Capability::For({kCapUsers, 3})}, [&] {
+        for (uint16_t i = 0; i < 6; ++i) {
+          ASSERT_TRUE(kernel_.SysFrameAlloc(0, {kCapUsers, 3, i}).ok());
+        }
+        WakeupPredicate p;
+        p.host = [&] { return done; };
+        kernel_.SysSleep(std::move(p));
+      });
+  // A cooperative libOS: the upcall sheds direct refs until within allowance.
+  kernel_.env(worker).on_revoke = [this, worker](const RevocationRequest& req) {
+    Env& self = kernel_.env(worker);
+    while (self.usage.frames > req.allowed && !self.frame_refs.empty()) {
+      if (kernel_.SysFrameFree(self.frame_refs.begin()->first, kCredAny) != Status::kOk) {
+        break;
+      }
+    }
+  };
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    EXPECT_EQ(kernel_.SysRevoke(worker, RevokeResource::kFrames, 2, 1'000'000, 0),
+              Status::kOk);
+    usage_after = kernel_.env(worker).usage.frames;  // shed synchronously by the upcall
+    EXPECT_FALSE(kernel_.env(worker).pending_revoke.has_value());
+    done = true;
+  });
+  kernel_.Run();
+  EXPECT_EQ(usage_after, 2u);
+  EXPECT_EQ(machine_.counters().Get("xok.revocations_complied"), 1u);
+  EXPECT_EQ(machine_.counters().Get("xok.env_aborts"), 0u);
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
+}
+
+TEST_F(XokTest, IgnoredRevocationAbortsAndReclaimsEverything) {
+  const uint32_t free_before = kernel_.FreeFrameCount();
+  EnvId hog = kernel_.CreateEnv(kInvalidEnv, {Capability::For({kCapUsers, 4})}, [&] {
+    for (int i = 0; i < 6; ++i) {
+      // Empty guard: no credential here dominates it, so only abort can reclaim.
+      ASSERT_TRUE(kernel_.SysFrameAlloc(0, {}).ok());
+    }
+    for (;;) {
+      kernel_.ChargeCpu(5'000);  // ignores the request forever
+    }
+  });
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    EXPECT_EQ(kernel_.SysRevoke(hog, RevokeResource::kFrames, 1, 100'000, 0),
+              Status::kOk);
+  });
+  kernel_.Run();  // must terminate: the kernel repossesses by aborting the hog
+  ASSERT_TRUE(kernel_.EnvExists(hog));
+  EXPECT_EQ(kernel_.env(hog).state, EnvState::kZombie);
+  EXPECT_STREQ(kernel_.env(hog).abort_reason, "revocation deadline passed");
+  EXPECT_EQ(machine_.counters().Get("xok.env_aborts"), 1u);
+  EXPECT_EQ(kernel_.FreeFrameCount(), free_before);  // abort reclaimed all six frames
+  EXPECT_EQ(kernel_.ReapEnv(hog), Status::kOk);
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
+}
+
+TEST_F(XokTest, OrphanedChildAutoReapedLeakFree) {
+  const uint32_t free_before = kernel_.FreeFrameCount();
+  EnvId child = kInvalidEnv;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    child = kernel_.CreateEnv(kernel_.current_id(), {Capability::Root()}, [&] {
+      auto f = kernel_.SysFrameAlloc(0, {});
+      ASSERT_TRUE(f.ok());
+      kernel_.ChargeCpu(50'000);  // outlive the parent
+      EXPECT_EQ(kernel_.SysFrameFree(*f, 0), Status::kOk);
+    });
+    // Parent exits immediately: the child becomes an orphan with no reaper.
+  });
+  kernel_.Run();
+  EXPECT_FALSE(kernel_.EnvExists(child));  // auto-reaped; nobody needed to wait()
+  EXPECT_GE(machine_.counters().Get("xok.orphans_reaped"), 1u);
+  EXPECT_EQ(kernel_.FreeFrameCount(), free_before);
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
+}
+
+// ---- Syscall-surface hardening ----
+
+TEST_F(XokTest, FreeingMappedOnlyFrameRefusedNotStolen) {
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    EnvId self = kernel_.current_id();
+    auto f = kernel_.SysFrameAlloc(0, {});
+    ASSERT_TRUE(f.ok());
+    PtOp op;
+    op.kind = PtOp::Kind::kInsert;
+    op.vpage = 5;
+    op.pte = {.frame = *f, .readable = true, .writable = true, .software_bits = 0};
+    ASSERT_EQ(kernel_.SysPtUpdate(self, op, 0), Status::kOk);
+    ASSERT_EQ(kernel_.SysFrameFree(*f, 0), Status::kOk);  // drops the direct ref
+    EXPECT_TRUE(machine_.mem().allocated(*f));             // the mapping still holds it
+    // The only remaining reference belongs to the mapping; freeing again must
+    // refuse rather than steal it out from under the page table (refcount
+    // underflow found by the syscall fuzzer).
+    EXPECT_EQ(kernel_.SysFrameFree(*f, 0), Status::kBusy);
+    EXPECT_EQ(kernel_.CheckInvariants(), "");
+    PtOp rm;
+    rm.kind = PtOp::Kind::kRemove;
+    rm.vpage = 5;
+    ASSERT_EQ(kernel_.SysPtUpdate(self, rm, 0), Status::kOk);
+    EXPECT_FALSE(machine_.mem().allocated(*f));  // unmapping released the last ref
+    EXPECT_EQ(kernel_.SysFrameFree(*f, 0), Status::kNotFound);  // guard retired with it
+  });
+  kernel_.Run();
+}
+
+TEST_F(XokTest, RemappingSameFrameKeepsItAlive) {
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    EnvId self = kernel_.current_id();
+    auto f = kernel_.SysFrameAlloc(0, {});
+    ASSERT_TRUE(f.ok());
+    PtOp op;
+    op.kind = PtOp::Kind::kInsert;
+    op.vpage = 7;
+    op.pte = {.frame = *f, .readable = true, .writable = false, .software_bits = 0};
+    ASSERT_EQ(kernel_.SysPtUpdate(self, op, 0), Status::kOk);
+    // Flip protection by re-inserting the same frame at the same vpage: the swap
+    // must take the new reference before dropping the old one.
+    op.pte.writable = true;
+    ASSERT_EQ(kernel_.SysPtUpdate(self, op, 0), Status::kOk);
+    EXPECT_TRUE(machine_.mem().allocated(*f));
+    EXPECT_EQ(kernel_.CheckInvariants(), "");
+    ASSERT_EQ(kernel_.SysFrameFree(*f, 0), Status::kOk);  // direct ref
+    EXPECT_TRUE(machine_.mem().allocated(*f));  // exactly one mapping ref remains
+    PtOp rm;
+    rm.kind = PtOp::Kind::kRemove;
+    rm.vpage = 7;
+    ASSERT_EQ(kernel_.SysPtUpdate(self, rm, 0), Status::kOk);
+    EXPECT_FALSE(machine_.mem().allocated(*f));
+  });
+  kernel_.Run();
+}
+
+TEST_F(XokTest, MalformedArgumentsRejectedNotFatal) {
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    // Frame ids beyond physical memory.
+    EXPECT_EQ(kernel_.SysFrameFree(1u << 30, kCredAny), Status::kInvalidArgument);
+    EXPECT_EQ(kernel_.SysFrameRef(1u << 30, kCredAny), Status::kInvalidArgument);
+    // Oversized guard names.
+    EXPECT_EQ(kernel_.SysFrameAlloc(0, CapName(kMaxGuardName + 1, 1)).status(),
+              Status::kInvalidArgument);
+    // Nonexistent environments.
+    ResourceQuota q;
+    EXPECT_EQ(kernel_.SysSetQuota(777'777, q, kCredAny), Status::kNotFound);
+    EXPECT_EQ(kernel_.SysRevoke(777'777, RevokeResource::kFrames, 0, 1'000, kCredAny),
+              Status::kNotFound);
+    EXPECT_EQ(kernel_.SysIpcSend(777'777, IpcMessage{}, kCredAny), Status::kNotFound);
+    std::vector<uint8_t> buf(4);
+    EXPECT_EQ(kernel_.AccessUserMemory(777'777, 0, buf, /*write=*/false),
+              Status::kNotFound);
+    // Oversized filter programs.
+    EXPECT_EQ(kernel_.SysFilterInstall(udf::Program(kMaxFilterProgramInsns + 1,
+                                                    udf::Insn{}),
+                                       kCredAny)
+                  .status(),
+              Status::kInvalidArgument);
+    // Oversized or misdirected NIC transmits never reach the DMA engine.
+    EXPECT_EQ(kernel_.SysNicTransmit(
+                  0, {.bytes = std::vector<uint8_t>(hw::kMaxFrameBytes + 1, 0xee)}),
+              Status::kInvalidArgument);
+    EXPECT_EQ(kernel_.SysNicTransmit(500, {.bytes = {1, 2, 3}}),
+              Status::kInvalidArgument);
+    EXPECT_EQ(kernel_.CheckInvariants(), "");
+  });
+  kernel_.Run();
+}
+
+TEST_F(XokTest, OutOfRangeCredIndexRejected) {
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    auto f = kernel_.SysFrameAlloc(0, {kCapUsers, 9});
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(kernel_.SysFrameFree(*f, 99), Status::kInvalidArgument);
+    EXPECT_EQ(kernel_.SysFrameFree(*f, -7), Status::kInvalidArgument);
+    EXPECT_EQ(kernel_.SysFrameFree(*f, kCredAny), Status::kOk);
+  });
+  kernel_.Run();
+}
+
+TEST_F(XokTest, UnverifiableSleepPredicateDegradesSafely) {
+  auto bad = udf::Assemble("time r1\nret r1\n");  // nondeterministic: verifier rejects
+  ASSERT_TRUE(bad.ok);
+  bool woke = false;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    WakeupPredicate p;
+    p.deadline = 1'000'000'000;  // never reached if the degrade works
+    p.program = bad.program;
+    kernel_.SysSleep(std::move(p));
+    woke = true;
+  });
+  kernel_.Run();
+  EXPECT_TRUE(woke);  // degraded to an immediately-runnable sleep, not evaluated
+  EXPECT_LT(kernel_.Now(), 1'000'000'000u);
+}
+
+// ---- Misbehavior watchdogs ----
+
+TEST_F(XokTest, CriticalSectionUnderflowAbortsOnlyTheOffender) {
+  bool other_ran = false;
+  EnvId bad = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    kernel_.ExitCritical();  // never entered; previously crashed the host
+    ADD_FAILURE() << "abort must not return";
+  });
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] { other_ran = true; });
+  kernel_.Run();
+  ASSERT_TRUE(kernel_.EnvExists(bad));
+  EXPECT_EQ(kernel_.env(bad).state, EnvState::kZombie);
+  EXPECT_STREQ(kernel_.env(bad).abort_reason, "critical-section underflow");
+  EXPECT_TRUE(other_ran);
+}
+
+TEST_F(XokTest, RunawayCriticalSectionRepossessed) {
+  const sim::Cycles q = machine_.cost().quantum;
+  bool other_ran = false;
+  EnvId hog = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    kernel_.EnterCritical();
+    for (;;) {
+      kernel_.ChargeCpu(q);  // defers every slice end, forever
+    }
+  });
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] { other_ran = true; });
+  kernel_.Run();
+  EXPECT_STREQ(kernel_.env(hog).abort_reason, "runaway critical section");
+  EXPECT_TRUE(other_ran);  // the CPU came back
+}
+
+TEST_F(XokTest, CriticalDepthOverflowAborts) {
+  EnvId bad = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    for (;;) {
+      kernel_.EnterCritical();  // never exits: unbounded nesting
+    }
+  });
+  kernel_.Run();
+  EXPECT_STREQ(kernel_.env(bad).abort_reason, "critical-section depth overflow");
+}
+
+TEST_F(XokTest, DeadlockDiagnosedInsteadOfHanging) {
+  kernel_.SetDeadlockBound(1'000'000);
+  EnvId stuck = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    WakeupPredicate p;
+    p.host = [] { return false; };  // can never become true
+    kernel_.SysSleep(std::move(p));
+  });
+  kernel_.Run();  // must return with a diagnostic, not spin the host forever
+  EXPECT_NE(kernel_.deadlock_report(), "");
+  ASSERT_TRUE(kernel_.EnvExists(stuck));
+  EXPECT_STREQ(kernel_.env(stuck).abort_reason,
+               "deadlock: wakeup predicate can never become true");
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
 }
 
 }  // namespace
