@@ -1,9 +1,10 @@
 // Ablation: wakeup predicates vs polling (Sec. 5.1). A process waiting for a disk
 // block can either sleep on a downloaded predicate (evaluated by the kernel when it
 // is about to be scheduled) or busy-poll with yield system calls. This bench
-// measures wasted CPU and wakeup latency for both, plus the cost of gratuitous
-// predicate installation (Table 2's "something unnecessary even with mutual
-// distrust").
+// measures wasted CPU and wakeup latency for both, plus the effect of declaring
+// the predicate's watched windows: the scheduler then evaluates the predicate only
+// after a write to a watched kernel object instead of on every scheduling
+// decision (xok.predicate_evals vs xok.predicate_skips).
 #include "bench/common.h"
 #include "udf/assembler.h"
 
@@ -14,45 +15,67 @@ using namespace exo;
 struct WaitResult {
   double wake_latency_us = 0;   // condition-true to running
   uint64_t waiter_syscalls = 0;
+  uint64_t predicate_evals = 0;
+  uint64_t predicate_skips = 0;
 };
 
-WaitResult Run(bool use_predicate) {
+enum class Mechanism { kPredicate, kWatchedPredicate, kPolling };
+
+WaitResult Run(Mechanism mech) {
   sim::Engine engine;
   hw::Machine machine(&engine, bench::PaperMachine(64));
   xok::XokKernel kernel(&machine);
 
-  auto window = std::make_shared<std::vector<uint8_t>>(8, 0);
+  // The flag lives in a kernel region so the watched variant's producer write is
+  // visible to the scheduler; the unwatched variants read the same region through
+  // a live window, and the polling variant reads it through SysRegionRead.
+  auto rid_r = kernel.SysRegionCreate(8, {}, 0);
+  EXO_CHECK(rid_r.ok());
+  const xok::RegionId rid = *rid_r;
+
   sim::Cycles condition_set_at = 0;
   sim::Cycles woke_at = 0;
 
   kernel.CreateEnv(xok::kInvalidEnv, {xok::Capability::Root()}, [&] {
-    if (use_predicate) {
+    if (mech != Mechanism::kPolling) {
       auto prog = udf::Assemble("ldi r1, 0\nld4 r2, r1, 0, meta\nret r2\n");
       EXO_CHECK(prog.ok);
       xok::WakeupPredicate p;
       p.program = prog.program;
-      p.live_window = window.get();
+      p.live_window = kernel.RegionBytes(rid);
+      if (mech == Mechanism::kWatchedPredicate) {
+        p.watches.push_back(xok::WatchSpec{xok::WatchKind::kRegion, rid});
+      }
       kernel.SysSleep(std::move(p));
     } else {
       // Busy polling: yield-loop until the flag flips.
-      while ((*window)[0] == 0) {
+      uint8_t flag = 0;
+      do {
         kernel.SysYield();
-      }
+        EXO_CHECK_EQ(kernel.SysRegionRead(rid, 0, std::span<uint8_t>(&flag, 1), 0),
+                     Status::kOk);
+      } while (flag == 0);
     }
     woke_at = engine.now();
   });
   kernel.CreateEnv(xok::kInvalidEnv, {xok::Capability::Root()}, [&] {
     kernel.ChargeCpu(10'000'000);  // 50 ms of foreground work
-    (*window)[0] = 1;
+    const uint8_t one = 1;
+    EXO_CHECK_EQ(kernel.SysRegionWrite(rid, 0, std::span<const uint8_t>(&one, 1), 0),
+                 Status::kOk);
     condition_set_at = engine.now();
     kernel.ChargeCpu(2'000'000);  // keep running a little: does the waiter preempt?
   });
   uint64_t syscalls0 = machine.counters().Get("xok.syscalls");
+  uint64_t evals0 = machine.counters().Get("xok.predicate_evals");
+  uint64_t skips0 = machine.counters().Get("xok.predicate_skips");
   kernel.Run();
 
   WaitResult r;
   r.wake_latency_us = static_cast<double>(woke_at - condition_set_at) / 200.0;
   r.waiter_syscalls = machine.counters().Get("xok.syscalls") - syscalls0;
+  r.predicate_evals = machine.counters().Get("xok.predicate_evals") - evals0;
+  r.predicate_skips = machine.counters().Get("xok.predicate_skips") - skips0;
   return r;
 }
 
@@ -61,15 +84,37 @@ WaitResult Run(bool use_predicate) {
 int main() {
   using namespace exo;
   bench::PrintHeader("Ablation: wakeup predicates vs yield-polling (50 ms wait)");
-  WaitResult pred = Run(true);
-  WaitResult poll = Run(false);
-  std::printf("%-20s %16s %16s\n", "mechanism", "wake latency", "syscalls burned");
-  std::printf("%-20s %13.1f us %16llu\n", "wakeup predicate", pred.wake_latency_us,
-              static_cast<unsigned long long>(pred.waiter_syscalls));
-  std::printf("%-20s %13.1f us %16llu\n", "yield polling", poll.wake_latency_us,
-              static_cast<unsigned long long>(poll.waiter_syscalls));
+  WaitResult pred = Run(Mechanism::kPredicate);
+  WaitResult watched = Run(Mechanism::kWatchedPredicate);
+  WaitResult poll = Run(Mechanism::kPolling);
+  std::printf("%-20s %16s %16s %12s %12s\n", "mechanism", "wake latency", "syscalls burned",
+              "pred evals", "pred skips");
+  std::printf("%-20s %13.1f us %16llu %12llu %12llu\n", "wakeup predicate",
+              pred.wake_latency_us, static_cast<unsigned long long>(pred.waiter_syscalls),
+              static_cast<unsigned long long>(pred.predicate_evals),
+              static_cast<unsigned long long>(pred.predicate_skips));
+  std::printf("%-20s %13.1f us %16llu %12llu %12llu\n", "watched predicate",
+              watched.wake_latency_us,
+              static_cast<unsigned long long>(watched.waiter_syscalls),
+              static_cast<unsigned long long>(watched.predicate_evals),
+              static_cast<unsigned long long>(watched.predicate_skips));
+  std::printf("%-20s %13.1f us %16llu %12llu %12llu\n", "yield polling",
+              poll.wake_latency_us, static_cast<unsigned long long>(poll.waiter_syscalls),
+              static_cast<unsigned long long>(poll.predicate_evals),
+              static_cast<unsigned long long>(poll.predicate_skips));
   std::printf("\npredicates burn no CPU while waiting; the kernel evaluates ~%u cycles of\n",
               60u);
-  std::printf("downloaded code per scheduling decision instead (Sec. 5.1)\n");
+  std::printf("downloaded code per scheduling decision instead (Sec. 5.1).\n");
+  std::printf("declared watches skip even that: of %llu blocked-env scheduling decisions,\n",
+              static_cast<unsigned long long>(watched.predicate_evals +
+                                              watched.predicate_skips));
+  std::printf("only %llu ran the predicate; %llu were skipped as clean.\n",
+              static_cast<unsigned long long>(watched.predicate_evals),
+              static_cast<unsigned long long>(watched.predicate_skips));
+  if (watched.predicate_evals + watched.predicate_skips <= watched.predicate_evals ||
+      watched.predicate_skips == 0) {
+    std::printf("ERROR: watch indexing skipped nothing\n");
+    return 1;
+  }
   return 0;
 }

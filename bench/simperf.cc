@@ -1,0 +1,315 @@
+// Simulator hot-path performance harness (wall-clock, not simulated time).
+//
+// Every other bench in this directory reports *simulated* seconds; this one reports
+// how fast the simulator itself chews through its hot loops, so engine/scheduler/
+// disk-queue optimizations (and regressions) are visible. Four synthetic workloads:
+//
+//   event_churn      raw sim::Engine schedule/cancel/fire churn shaped like the TCP
+//                    timer pattern (arm, re-arm, cancel-after-fire)
+//   predicate_storm  N blocked envs with downloaded wakeup predicates; a producer
+//                    pokes one region at a time, so almost every predicate the
+//                    scheduler could evaluate per decision is a waste
+//   disk_deep_queue  thousands of queued requests exercising merge lookup and
+//                    C-LOOK dispatch
+//   global_fig4      a scaled-down Figure 4 job mix: the end-to-end sanity number
+//                    (simulated seconds per wall second)
+//
+// Results go to BENCH_simperf.json (override with --out FILE). SIMPERF_SCALE=<f>
+// scales workload sizes. See docs/PERFORMANCE.md for how to read the numbers.
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bench/global_common.h"
+#include "hw/disk.h"
+#include "sim/rng.h"
+#include "udf/insn.h"
+#include "xok/kernel.h"
+
+namespace {
+
+using namespace exo;
+
+double WallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct WorkloadResult {
+  std::string name;
+  uint64_t ops = 0;        // workload-defined unit (events, wakeups, requests, ...)
+  double wall_s = 0;
+  double sim_s = 0;        // simulated seconds the workload advanced
+  uint64_t predicate_evals = 0;
+  uint64_t predicate_skips = 0;
+};
+
+// ---- Workload 1: event churn ----
+//
+// The TCP stack's timer pattern: every connection arms an RTO/ack timer, most are
+// cancelled — often after an intervening event already fired them. The old engine
+// kept every stale cancellation forever and scanned the list on each pop.
+WorkloadResult EventChurn(uint64_t n) {
+  sim::Engine eng;
+  uint64_t fired = 0;
+  std::deque<sim::Engine::EventId> armed;
+
+  const double t0 = WallNow();
+  for (uint64_t i = 0; i < n; ++i) {
+    armed.push_back(eng.ScheduleAfter(20 + (i * 7) % 400, [&fired] { ++fired; }));
+    if ((i & 7) < 6) {
+      eng.RunNextEvent();
+    }
+    if (armed.size() >= 64) {
+      // Cancel the oldest half: a mix of still-pending and long-fired ids.
+      for (int k = 0; k < 32; ++k) {
+        eng.Cancel(armed.front());
+        armed.pop_front();
+      }
+    }
+  }
+  eng.RunUntilIdle();
+  const double t1 = WallNow();
+
+  WorkloadResult r;
+  r.name = "event_churn";
+  r.ops = n + n / 2;  // schedules + cancels
+  r.wall_s = t1 - t0;
+  r.sim_s = eng.now_seconds();
+  return r;
+}
+
+// ---- Workload 2: predicate storm ----
+
+// Wake when the 32-bit little-endian word at window[0] equals `round`.
+udf::Program EqProgram(uint32_t round) {
+  using udf::Insn;
+  using udf::Op;
+  udf::Program p;
+  p.push_back(Insn{Op::kLdi, 1, 0, 0, 0});
+  p.push_back(Insn{Op::kLd4, 2, 1, udf::kBufMeta, 0});
+  p.push_back(Insn{Op::kLdi, 3, 0, 0, static_cast<int32_t>(round)});
+  p.push_back(Insn{Op::kCeq, 4, 2, 3, 0});
+  p.push_back(Insn{Op::kRet, 0, 4, 0, 0});
+  return p;
+}
+
+WorkloadResult PredicateStorm(uint32_t n_envs, uint32_t rounds) {
+  sim::Engine eng;
+  hw::MachineConfig cfg;
+  cfg.mem_frames = 256;
+  cfg.disks.clear();
+  hw::Machine machine(&eng, cfg);
+  xok::XokKernel kernel(&machine);
+
+  std::vector<xok::RegionId> rids(n_envs);
+  for (uint32_t i = 0; i < n_envs; ++i) {
+    auto rid = kernel.SysRegionCreate(8, {}, xok::kCredAny);
+    EXO_CHECK(rid.ok());
+    rids[i] = *rid;
+  }
+
+  const uint64_t evals0 = machine.counters().Get("xok.predicate_evals");
+  const uint64_t skips0 = machine.counters().Get("xok.predicate_skips");
+
+  for (uint32_t i = 0; i < n_envs; ++i) {
+    kernel.CreateEnv(xok::kInvalidEnv, {xok::Capability::Root()}, [&kernel, &rids, i,
+                                                                   rounds] {
+      for (uint32_t r = 1; r <= rounds; ++r) {
+        xok::WakeupPredicate p;
+        p.program = EqProgram(r);
+        p.live_window = kernel.RegionBytes(rids[i]);
+#ifdef EXO_XOK_PREDICATE_WATCHES
+        p.watches.push_back(xok::WatchSpec{xok::WatchKind::kRegion, rids[i]});
+#endif
+        kernel.SysSleep(std::move(p));
+      }
+    });
+  }
+  kernel.CreateEnv(xok::kInvalidEnv, {xok::Capability::Root()}, [&kernel, &rids,
+                                                                 n_envs, rounds] {
+    for (uint32_t r = 1; r <= rounds; ++r) {
+      for (uint32_t i = 0; i < n_envs; ++i) {
+        uint8_t buf[4];
+        std::memcpy(buf, &r, 4);
+        EXO_CHECK_EQ(kernel.SysRegionWrite(rids[i], 0, buf, 0), Status::kOk);
+        kernel.SysYield();
+      }
+    }
+  });
+
+  const double t0 = WallNow();
+  kernel.Run();
+  const double t1 = WallNow();
+
+  WorkloadResult r;
+  r.name = "predicate_storm";
+  r.ops = static_cast<uint64_t>(n_envs) * rounds;  // wakeups delivered
+  r.wall_s = t1 - t0;
+  r.sim_s = eng.now_seconds();
+  r.predicate_evals = machine.counters().Get("xok.predicate_evals") - evals0;
+  r.predicate_skips = machine.counters().Get("xok.predicate_skips") - skips0;
+  return r;
+}
+
+// ---- Workload 3: deep disk queues ----
+WorkloadResult DiskDeepQueue(uint32_t bursts, uint32_t burst_size) {
+  sim::Engine eng;
+  hw::PhysMem mem(8);
+  hw::DiskGeometry geom;
+  geom.num_blocks = 1u << 16;
+  hw::Disk disk(&eng, &mem, geom, 200);
+  auto frame = mem.Alloc();
+  EXO_CHECK(frame.ok());
+
+  sim::Rng rng(7);
+  uint64_t completed = 0;
+  uint64_t submitted = 0;
+
+  const double t0 = WallNow();
+  for (uint32_t b = 0; b < bursts; ++b) {
+    for (uint32_t j = 0; j < burst_size; ++j) {
+      const hw::BlockId start = static_cast<hw::BlockId>(rng.Below(geom.num_blocks - 4));
+      const bool write = (j & 1) != 0;
+      disk.Submit({.write = write,
+                   .start = start,
+                   .nblocks = 1,
+                   .frames = {*frame},
+                   .done = [&completed](Status) { ++completed; }});
+      ++submitted;
+      if (j % 5 == 0) {
+        // A contiguous follow-on: exercises the merge lookup.
+        disk.Submit({.write = write,
+                     .start = start + 1,
+                     .nblocks = 1,
+                     .frames = {*frame},
+                     .done = [&completed](Status) { ++completed; }});
+        ++submitted;
+      }
+    }
+    eng.RunUntilIdle();
+  }
+  const double t1 = WallNow();
+  EXO_CHECK_EQ(completed, submitted);
+
+  WorkloadResult r;
+  r.name = "disk_deep_queue";
+  r.ops = submitted;
+  r.wall_s = t1 - t0;
+  r.sim_s = eng.now_seconds();
+  return r;
+}
+
+// ---- Workload 4: scaled-down Figure 4 global load ----
+WorkloadResult GlobalFig4(int jobs, int conc) {
+  using namespace exo::bench;
+  auto setup_shared = [](os::UnixEnv& env, int) { MakeSharedInputs(env, false); };
+  std::vector<GlobalJob> pool = {
+      {"grep",
+       [](os::UnixEnv& e, int) {
+         for (int r = 0; r < 3; ++r) {
+           EXO_CHECK(apps::Grep(e, "symbol", "/shared/big.txt").ok());
+         }
+       },
+       setup_shared},
+      {"wc",
+       [](os::UnixEnv& e, int) {
+         for (int r = 0; r < 4; ++r) {
+           EXO_CHECK(apps::Wc(e, "/shared/big.txt").ok());
+         }
+       },
+       setup_shared},
+      {"cksum",
+       [](os::UnixEnv& e, int) { EXO_CHECK(apps::Cksum(e, "/shared/t", 20).ok()); },
+       setup_shared},
+      {"sor", [](os::UnixEnv& e, int) { EXO_CHECK(apps::Sor(e, 150, 30).ok()); }, {}},
+  };
+
+  const double t0 = WallNow();
+  GlobalResult g = RunGlobal(os::Flavor::kXokExos, pool, jobs, conc, 11);
+  const double t1 = WallNow();
+
+  WorkloadResult r;
+  r.name = "global_fig4";
+  r.ops = static_cast<uint64_t>(jobs);
+  r.wall_s = t1 - t0;
+  r.sim_s = g.total;
+  return r;
+}
+
+void PrintResult(const WorkloadResult& r) {
+  std::printf("%-18s %12llu ops %9.3f s wall %12.0f ops/s %10.3f sim-s %8.2f sim-s/wall-s\n",
+              r.name.c_str(), static_cast<unsigned long long>(r.ops), r.wall_s,
+              static_cast<double>(r.ops) / r.wall_s, r.sim_s, r.sim_s / r.wall_s);
+  if (r.predicate_evals + r.predicate_skips > 0) {
+    std::printf("%-18s %12s evals=%llu skips=%llu\n", "", "",
+                static_cast<unsigned long long>(r.predicate_evals),
+                static_cast<unsigned long long>(r.predicate_skips));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_simperf.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") {
+      out_path = argv[i + 1];
+    }
+  }
+  double scale = 1.0;
+  if (const char* s = std::getenv("SIMPERF_SCALE")) {
+    scale = std::atof(s);
+    if (scale <= 0) {
+      scale = 1.0;
+    }
+  }
+
+#ifdef EXO_XOK_PREDICATE_WATCHES
+  const bool indexed = true;
+#else
+  const bool indexed = false;
+#endif
+
+  exo::bench::PrintHeader("simperf: simulator hot-path wall-clock throughput");
+  std::printf("scale=%.2f indexed_predicates=%s\n\n", scale, indexed ? "yes" : "no");
+
+  std::vector<WorkloadResult> results;
+  results.push_back(EventChurn(static_cast<uint64_t>(150000 * scale)));
+  PrintResult(results.back());
+  results.push_back(PredicateStorm(static_cast<uint32_t>(1000 * scale), 10));
+  PrintResult(results.back());
+  results.push_back(DiskDeepQueue(8, static_cast<uint32_t>(3000 * scale)));
+  PrintResult(results.back());
+  results.push_back(GlobalFig4(std::max(4, static_cast<int>(16 * scale)), 4));
+  PrintResult(results.back());
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"simperf\",\n  \"scale\": %.3f,\n", scale);
+  std::fprintf(f, "  \"indexed_predicates\": %s,\n", indexed ? "true" : "false");
+  std::fprintf(f, "  \"workloads\": {\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"ops\": %llu, \"wall_s\": %.6f, \"events_per_sec\": "
+                 "%.1f, \"sim_s\": %.6f, \"sim_s_per_wall_s\": %.3f, "
+                 "\"predicate_evals\": %llu, \"predicate_skips\": %llu}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.ops), r.wall_s,
+                 static_cast<double>(r.ops) / r.wall_s, r.sim_s, r.sim_s / r.wall_s,
+                 static_cast<unsigned long long>(r.predicate_evals),
+                 static_cast<unsigned long long>(r.predicate_skips),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -44,13 +44,26 @@ void Disk::Submit(DiskRequest req) {
     return;
   }
 
+  // Idle disk, empty queue: nothing to merge with and no competition for the
+  // head, so StartNext would pick this request immediately — skip the queue and
+  // its indexes entirely. This is the common case for the shallow-queue global
+  // workloads, where per-request index bookkeeping would dominate.
+  if (!active_ && queue_.empty()) {
+    Dispatch(std::move(req));
+    return;
+  }
+
   // Try to merge with a queued request forming one contiguous run in the same
-  // direction. Completion callbacks are chained so every submitter is notified.
-  for (auto& q : queue_) {
-    if (q.write != req.write || q.frames.empty() || req.frames.empty()) {
-      continue;
-    }
-    if (q.start + q.nblocks == req.start) {
+  // direction: the merge index keys same-direction framed requests by their end
+  // block, so the lookup is one lower_bound. Among several requests ending at
+  // req.start the earliest-queued wins (seq orders the keys), matching the old
+  // front-to-back scan. Completion callbacks are chained so every submitter is
+  // notified.
+  if (!req.frames.empty()) {
+    BlockIndex& idx = merge_tail_[req.write ? 1 : 0];
+    auto mit = idx.lower_bound({req.start, 0});
+    if (mit != idx.end() && mit->first.first == req.start) {
+      QueuedRequest& q = *mit->second;
       q.nblocks += req.nblocks;
       q.frames.insert(q.frames.end(), req.frames.begin(), req.frames.end());
       if (req.done) {
@@ -64,14 +77,48 @@ void Disk::Submit(DiskRequest req) {
         };
       }
       ++stats_.merged_requests;
+      // The merged request's tail moved: rekey it under its new end block,
+      // reusing the map node in place.
+      QueueIter lit = mit->second;
+      auto nh = idx.extract(mit);
+      nh.key() = {q.start + q.nblocks, lit->seq};
+      idx.insert(std::move(nh));
       return;
     }
   }
 
-  queue_.push_back(std::move(req));
+  const uint64_t seq = next_submit_seq_++;
+  if (free_queue_nodes_.empty()) {
+    queue_.push_back(QueuedRequest{std::move(req), seq});
+  } else {
+    queue_.splice(queue_.end(), free_queue_nodes_, free_queue_nodes_.begin());
+    static_cast<DiskRequest&>(queue_.back()) = std::move(req);
+    queue_.back().seq = seq;
+  }
+  QueueIter lit = std::prev(queue_.end());
+  IndexInsert(by_start_, lit->start, seq, lit);
+  if (!lit->frames.empty()) {
+    IndexInsert(merge_tail_[lit->write ? 1 : 0], lit->start + lit->nblocks, seq, lit);
+  }
   if (!active_) {
     StartNext();
   }
+}
+
+void Disk::IndexInsert(BlockIndex& idx, BlockId block, uint64_t seq, QueueIter it) {
+  if (free_index_nodes_.empty()) {
+    idx.emplace(std::make_pair(block, seq), it);
+    return;
+  }
+  auto nh = std::move(free_index_nodes_.back());
+  free_index_nodes_.pop_back();
+  nh.key() = {block, seq};
+  nh.mapped() = it;
+  idx.insert(std::move(nh));
+}
+
+void Disk::IndexErase(BlockIndex& idx, BlockIndex::iterator it) {
+  free_index_nodes_.push_back(idx.extract(it));
 }
 
 sim::Cycles Disk::ServiceTime(BlockId start, uint32_t nblocks) {
@@ -121,25 +168,26 @@ void Disk::StartNext() {
   }
 
   // C-LOOK: service the queued request with the smallest start block at or beyond the
-  // head; wrap to the lowest start when none is ahead.
+  // head; wrap to the lowest start when none is ahead. The dispatch index is ordered
+  // by (start, seq), so both the forward pick and the wrap are one lookup, with the
+  // earliest-queued request winning among equal starts as before.
   const BlockId head_block = head_cylinder_ * geometry_.blocks_per_cylinder();
-  size_t best = queue_.size();
-  size_t best_wrap = 0;
-  for (size_t i = 0; i < queue_.size(); ++i) {
-    if (queue_[i].start >= head_block &&
-        (best == queue_.size() || queue_[i].start < queue_[best].start)) {
-      best = i;
-    }
-    if (queue_[i].start < queue_[best_wrap].start) {
-      best_wrap = i;
-    }
+  auto bit = by_start_.lower_bound({head_block, 0});
+  if (bit == by_start_.end()) {
+    bit = by_start_.begin();
   }
-  if (best == queue_.size()) {
-    best = best_wrap;
+  QueueIter lit = bit->second;
+  IndexErase(by_start_, bit);
+  if (!lit->frames.empty()) {
+    BlockIndex& idx = merge_tail_[lit->write ? 1 : 0];
+    IndexErase(idx, idx.find({lit->start + lit->nblocks, lit->seq}));
   }
+  DiskRequest req = std::move(static_cast<DiskRequest&>(*lit));
+  free_queue_nodes_.splice(free_queue_nodes_.end(), queue_, lit);
+  Dispatch(std::move(req));
+}
 
-  DiskRequest req = std::move(queue_[best]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+void Disk::Dispatch(DiskRequest req) {
   active_ = true;
 
   const sim::Cycles service = ServiceTime(req.start, req.nblocks);
@@ -213,16 +261,23 @@ void Disk::Complete(DiskRequest req) {
   StartNext();
 }
 
+void Disk::ClearQueue() {
+  queue_.clear();
+  by_start_.clear();
+  merge_tail_[0].clear();
+  merge_tail_[1].clear();
+}
+
 void Disk::PowerCut() {
   powered_off_ = true;
   ++power_epoch_;  // orphan any completion already scheduled
-  queue_.clear();
+  ClearQueue();
   active_ = false;
 }
 
 void Disk::PowerRestore() {
   powered_off_ = false;
-  queue_.clear();
+  ClearQueue();
   active_ = false;
   head_cylinder_ = 0;
   last_block_end_ = 0;

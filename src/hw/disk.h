@@ -13,9 +13,11 @@
 #define EXO_HW_DISK_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
+#include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "hw/phys_mem.h"
@@ -78,6 +80,12 @@ class Disk {
   // asynchronously with kInvalidArgument instead of aborting the simulation. While
   // power is off, requests are silently swallowed: a dead controller raises no
   // completion interrupts.
+  //
+  // The frame list is a true scatter-gather descriptor: one request DMAs a
+  // contiguous block range to/from an arbitrary (discontiguous) set of frames,
+  // with kInvalidFrame entries skipping the transfer for that block. Merge lookup
+  // and C-LOOK dispatch both run against ordered indexes, so deep queues cost
+  // O(log n) per decision instead of a full scan.
   void Submit(DiskRequest req);
 
   // Attaches (or detaches, with nullptr) a fault injector. The injector is consulted
@@ -103,15 +111,34 @@ class Disk {
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
   bool idle() const { return !active_ && queue_.empty(); }
+  bool active() const { return active_; }
   uint32_t queue_depth() const { return static_cast<uint32_t>(queue_.size()); }
 
  private:
+  // A queued request plus its admission order; seq breaks ties exactly the way
+  // queue position did when the queue was a scanned deque (merges only ever grow
+  // a request at its tail, so both start and seq are stable once queued).
+  struct QueuedRequest : DiskRequest {
+    uint64_t seq = 0;
+  };
+  using QueueIter = std::list<QueuedRequest>::iterator;
+  // (block, seq) -> queued request. The dispatch index keys on start block; the
+  // per-direction merge indexes key on end block (one past the last block).
+  using BlockIndex = std::map<std::pair<BlockId, uint64_t>, QueueIter>;
+
   void StartNext();
+  // Makes `req` the active request and schedules its completion.
+  void Dispatch(DiskRequest req);
   void Complete(DiskRequest req);
+  // Index insert/erase through a node pool, so steady-state queue churn performs
+  // no heap allocation (shallow queues dominate the global benches).
+  void IndexInsert(BlockIndex& idx, BlockId block, uint64_t seq, QueueIter it);
+  void IndexErase(BlockIndex& idx, BlockIndex::iterator it);
   // Cycle cost for servicing a request whose first block is `start`, given current
   // head position and rotational phase.
   sim::Cycles ServiceTime(BlockId start, uint32_t nblocks);
   uint32_t CylinderOf(BlockId b) const { return b / geometry_.blocks_per_cylinder(); }
+  void ClearQueue();
 
   sim::Engine* engine_;
   PhysMem* mem_;
@@ -119,7 +146,12 @@ class Disk {
   uint32_t cpu_mhz_;
   std::vector<uint8_t> store_;
 
-  std::deque<DiskRequest> queue_;
+  std::list<QueuedRequest> queue_;
+  BlockIndex by_start_;       // C-LOOK dispatch: all queued requests
+  BlockIndex merge_tail_[2];  // merge candidates with frames, by direction [write]
+  uint64_t next_submit_seq_ = 0;
+  std::list<QueuedRequest> free_queue_nodes_;          // recycled list nodes
+  std::vector<BlockIndex::node_type> free_index_nodes_;  // recycled map nodes
   sim::FaultInjector* faults_ = nullptr;
   bool powered_off_ = false;
   uint64_t power_epoch_ = 0;  // completions scheduled before a cut are invalidated

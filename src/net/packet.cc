@@ -38,9 +38,11 @@ uint32_t Checksum(std::span<const uint8_t> data) {
   return static_cast<uint32_t>(sum);
 }
 
-hw::Packet EncodeTcp(const TcpSegment& seg) {
+hw::Packet EncodeTcp(const TcpSegment& seg) { return EncodeTcp(seg, seg.payload); }
+
+hw::Packet EncodeTcp(const TcpSegment& seg, std::span<const uint8_t> payload) {
   hw::Packet p;
-  p.bytes.reserve(kIpHeaderBytes + kTcpHeaderBytes + seg.payload.size());
+  p.bytes.reserve(kIpHeaderBytes + kTcpHeaderBytes + payload.size());
   p.bytes.push_back(kProtoTcp);
   PutU32(p.bytes, seg.src_ip);
   PutU32(p.bytes, seg.dst_ip);
@@ -54,7 +56,7 @@ hw::Packet EncodeTcp(const TcpSegment& seg) {
   p.bytes.push_back(0);
   PutU16(p.bytes, seg.window);
   PutU32(p.bytes, seg.checksum);
-  p.bytes.insert(p.bytes.end(), seg.payload.begin(), seg.payload.end());
+  p.bytes.insert(p.bytes.end(), payload.begin(), payload.end());
   return p;
 }
 
@@ -80,6 +82,7 @@ std::optional<TcpSegment> DecodeTcp(const hw::Packet& p) {
 
 hw::Packet EncodeUdp(const UdpDatagram& d) {
   hw::Packet p;
+  p.bytes.reserve(kIpHeaderBytes + kUdpHeaderBytes + d.payload.size());
   p.bytes.push_back(kProtoUdp);
   PutU32(p.bytes, d.src_ip);
   PutU32(p.bytes, d.dst_ip);

@@ -62,6 +62,10 @@ struct UdpDatagram {
 uint32_t Checksum(std::span<const uint8_t> data);
 
 hw::Packet EncodeTcp(const TcpSegment& seg);
+// Zero-copy variant for the transmit path: encodes seg's headers but takes the
+// payload from `payload` (seg.payload is ignored), so callers holding the bytes
+// in a send buffer skip the intermediate segment copy.
+hw::Packet EncodeTcp(const TcpSegment& seg, std::span<const uint8_t> payload);
 std::optional<TcpSegment> DecodeTcp(const hw::Packet& p);
 hw::Packet EncodeUdp(const UdpDatagram& d);
 std::optional<UdpDatagram> DecodeUdp(const hw::Packet& p);

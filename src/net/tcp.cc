@@ -93,7 +93,8 @@ void TcpStack::Emit(TcpConn* c, uint8_t flags, uint32_t seq, std::span<const uin
   seg.flags = flags;
   seg.window = 0xffff;
   seg.checksum = checksum;
-  seg.payload.assign(payload.begin(), payload.end());
+  // The payload rides the span straight into the encoded frame below; copying it
+  // into the segment first would double the per-byte work on the transmit path.
   if (c->state_ != TcpConn::State::kSynSent || (flags & kFlagAck) != 0) {
     seg.flags |= kFlagAck;
     seg.ack = c->rcv_next_;
@@ -109,7 +110,7 @@ void TcpStack::Emit(TcpConn* c, uint8_t flags, uint32_t seq, std::span<const uin
 
   ++stats_.segments_out;
   stats_.bytes_out += payload.size();
-  hooks_.transmit(EncodeTcp(seg), when);
+  hooks_.transmit(EncodeTcp(seg, payload), when);
 }
 
 void TcpStack::SendPureAck(TcpConn* c) {

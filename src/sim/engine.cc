@@ -1,22 +1,21 @@
 #include "sim/engine.h"
 
-#include <algorithm>
-
 namespace exo::sim {
 
-bool Engine::IsCancelled(EventId id) {
-  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-  if (it == cancelled_.end()) {
-    return false;
+void Engine::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.armed = false;
+  s.fn.Reset();
+  if (++s.gen == 0) {
+    s.gen = 1;  // keep ids nonzero: callers use 0 as a "no event armed" sentinel
   }
-  cancelled_.erase(it);
-  return true;
+  free_slots_.push_back(slot);
 }
 
 void Engine::DropCancelledHead() {
-  while (!heap_.empty() && IsCancelled(heap_.top().id)) {
+  while (!heap_.empty() && !slots_[heap_.top().slot].armed) {
+    FreeSlot(heap_.top().slot);
     heap_.pop();
-    --live_events_;
   }
 }
 
@@ -31,14 +30,17 @@ bool Engine::RunNextEvent() {
   if (heap_.empty()) {
     return false;
   }
-  // priority_queue::top returns const ref; move the callback out via const_cast is
-  // avoided by copying the small struct pieces we need.
-  Event ev{heap_.top().time, heap_.top().id, std::move(const_cast<Event&>(heap_.top()).fn)};
+  const HeapEntry top = heap_.top();
   heap_.pop();
+  // Move the callback out and recycle the slot before invoking: the callback may
+  // schedule new events (reusing this slot) or cancel ids, and a stale id must
+  // already miss on the bumped generation.
+  EventFn fn = std::move(slots_[top.slot].fn);
+  FreeSlot(top.slot);
   --live_events_;
-  EXO_CHECK_GE(ev.time, now_);
-  now_ = ev.time;
-  ev.fn();
+  EXO_CHECK_GE(top.time, now_);
+  now_ = top.time;
+  fn();
   return true;
 }
 

@@ -4,15 +4,22 @@
 // (a 200-MHz Pentium Pro by default, matching the paper's testbed). Hardware devices
 // (disk, NIC, timers) schedule completion events here; the CPU side advances the clock
 // by charging computation costs (see CostModel).
+//
+// Events live in a slab of generation-stamped slots. The heap orders plain
+// {time, seq, slot} triples — no callable moves during sifts — and same-timestamp
+// events fire in schedule order (seq is monotonic), exactly as the original
+// id-ordered queue did. Cancel is O(1): it disarms the slot; the heap entry is
+// dropped lazily when it reaches the top. Slot memory is recycled through a free
+// list, so long-running sims stay bounded no matter how many events churn through.
 #ifndef EXO_SIM_ENGINE_H_
 #define EXO_SIM_ENGINE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "sim/check.h"
+#include "sim/event_fn.h"
 
 namespace exo::sim {
 
@@ -22,7 +29,7 @@ constexpr Cycles kCyclesPerMicrosecondAt200MHz = 200;
 
 class Engine {
  public:
-  using EventFn = std::function<void()>;
+  using EventFn = InplaceFunction;
   using EventId = uint64_t;
 
   Engine() = default;
@@ -34,19 +41,46 @@ class Engine {
     return static_cast<double>(now_) / (static_cast<double>(cpu_mhz) * 1e6);
   }
 
-  // Schedules fn to run at absolute time t (>= now). Returns an id usable with Cancel.
+  // Schedules fn to run at absolute time t (>= now). Returns an id usable with
+  // Cancel. Ids are never 0, so callers may use 0 as a "no event" sentinel.
   EventId ScheduleAt(Cycles t, EventFn fn) {
     EXO_CHECK_GE(t, now_);
-    EventId id = next_id_++;
-    heap_.push(Event{t, id, std::move(fn)});
+    uint32_t slot;
+    if (free_slots_.empty()) {
+      slot = static_cast<uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    Slot& s = slots_[slot];
+    s.fn = std::move(fn);
+    s.armed = true;
+    heap_.push(HeapEntry{t, next_seq_++, slot});
     ++live_events_;
-    return id;
+    return MakeId(slot, s.gen);
   }
 
   EventId ScheduleAfter(Cycles delta, EventFn fn) { return ScheduleAt(now_ + delta, std::move(fn)); }
 
-  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
-  void Cancel(EventId id) { cancelled_.push_back(id); }
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op:
+  // firing bumps the slot's generation, so a stale id can never hit a reused slot.
+  void Cancel(EventId id) {
+    const uint32_t slot = static_cast<uint32_t>(id >> 32);
+    const uint32_t gen = static_cast<uint32_t>(id);
+    if (slot >= slots_.size()) {
+      return;
+    }
+    Slot& s = slots_[slot];
+    if (!s.armed || s.gen != gen) {
+      return;
+    }
+    s.armed = false;
+    s.fn.Reset();
+    --live_events_;
+    // The heap entry is now a corpse; DropCancelledHead reclaims the slot when
+    // the entry surfaces.
+  }
 
   bool HasPendingEvents() const { return live_events_ > 0; }
 
@@ -71,23 +105,39 @@ class Engine {
   // computation and their completion handlers observe a consistent clock.
   void Advance(Cycles delta) { RunUntil(now_ + delta); }
 
+  // Introspection for tests and the perf harness: the slab high-water mark and the
+  // number of heap entries (live events plus not-yet-reclaimed cancellations).
+  size_t event_slot_count() const { return slots_.size(); }
+  size_t queued_entry_count() const { return heap_.size(); }
+
  private:
-  struct Event {
-    Cycles time;
-    EventId id;
+  struct Slot {
     EventFn fn;
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : id > o.id;
+    uint32_t gen = 1;  // starts at 1 so no (slot, gen) packs to id 0
+    bool armed = false;
+  };
+
+  struct HeapEntry {
+    Cycles time;
+    uint64_t seq;
+    uint32_t slot;
+    bool operator>(const HeapEntry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
     }
   };
 
-  bool IsCancelled(EventId id);
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+
+  void FreeSlot(uint32_t slot);
   void DropCancelledHead();
 
   Cycles now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
-  std::vector<EventId> cancelled_;
+  uint64_t next_seq_ = 1;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   uint64_t live_events_ = 0;
 };
 

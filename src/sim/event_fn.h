@@ -1,0 +1,101 @@
+// Move-only callable wrapper used for simulator events.
+//
+// Unlike std::function, callables up to kInlineBytes are stored in place, so the
+// event queue's hot path (schedule, fire, cancel) performs no heap allocation for
+// typical device-completion lambdas (disk DMA, NIC delivery, TCP timers). Larger
+// callables transparently fall back to the heap; behavior is identical either way.
+#ifndef EXO_SIM_EVENT_FN_H_
+#define EXO_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace exo::sim {
+
+class InplaceFunction {
+ public:
+  // Sized to hold a disk-completion capture (request descriptor + frame list +
+  // done callback) without spilling. Total footprint: kInlineBytes + one pointer.
+  static constexpr std::size_t kInlineBytes = 104;
+
+  InplaceFunction() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InplaceFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(buf_)) = new D(std::forward<F>(f));
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& o) noexcept { MoveFrom(o); }
+  InplaceFunction& operator=(InplaceFunction&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+  ~InplaceFunction() { Reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  void Reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct into dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVt{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVt{
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) { *static_cast<D**>(dst) = *static_cast<D**>(src); },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  void MoveFrom(InplaceFunction& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, o.buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace exo::sim
+
+#endif  // EXO_SIM_EVENT_FN_H_

@@ -1120,22 +1120,54 @@ Status Xn::Write(std::span<const hw::BlockId> blocks, std::function<void(Status)
 
   auto remaining = std::make_shared<int>(static_cast<int>(blocks.size()));
   auto first_err = std::make_shared<Status>(Status::kOk);
-  for (hw::BlockId b : blocks) {
-    RegistryEntry* e = registry_.LookupMutable(b);
-    e->state = BufState::kWriteTransit;  // frame stays readable while the DMA runs
+
+  // Submit each contiguous run as one scatter-gather request (the frame list may
+  // be arbitrarily discontiguous) instead of one request per block. Timing is
+  // identical to per-block submission: a busy disk would have merged the
+  // per-block stream into exactly this gathered request, and an idle disk still
+  // gets the run's first block as its own request, because per-block submission
+  // dispatched that block immediately — before the rest could merge behind it.
+  auto submit_run = [&](std::span<const hw::BlockId> run) {
+    std::vector<hw::FrameId> frames;
+    frames.reserve(run.size());
+    for (hw::BlockId b : run) {
+      RegistryEntry* e = registry_.LookupMutable(b);
+      e->state = BufState::kWriteTransit;  // frame stays readable while the DMA runs
+      frames.push_back(e->frame);
+    }
+    const hw::BlockId run_start = run.front();
+    const uint32_t n = static_cast<uint32_t>(run.size());
     disk_->Submit({.write = true,
-                   .start = b,
-                   .nblocks = 1,
-                   .frames = {e->frame},
-                   .done = [this, b, remaining, first_err, done](Status s) {
+                   .start = run_start,
+                   .nblocks = n,
+                   .frames = std::move(frames),
+                   .done = [this, run_start, n, remaining, first_err, done](Status s) {
                      if (s != Status::kOk) {
                        *first_err = s;
                      }
-                     OnWriteComplete(b, s);
-                     if (--*remaining == 0 && done) {
+                     for (uint32_t k = 0; k < n; ++k) {
+                       OnWriteComplete(run_start + k, s);
+                     }
+                     *remaining -= static_cast<int>(n);
+                     if (*remaining == 0 && done) {
                        done(*first_err);
                      }
                    }});
+  };
+  size_t i = 0;
+  while (i < blocks.size()) {
+    size_t j = i + 1;
+    while (j < blocks.size() && blocks[j] == blocks[j - 1] + 1) {
+      ++j;
+    }
+    std::span<const hw::BlockId> run = blocks.subspan(i, j - i);
+    if (!disk_->active() && run.size() > 1) {
+      submit_run(run.first(1));
+      submit_run(run.subspan(1));
+    } else {
+      submit_run(run);
+    }
+    i = j;
   }
   return Status::kOk;
 }

@@ -28,6 +28,26 @@ namespace exo::xok {
 using EnvId = uint32_t;
 constexpr EnvId kInvalidEnv = 0xffffffff;
 
+// Predicate indexing is available in this tree; benches that must also compile
+// against older checkouts (for baseline recording) test this macro.
+#define EXO_XOK_PREDICATE_WATCHES 1
+
+// A kernel object a blocked env's wakeup predicate reads. When the predicate
+// declares its watches, the scheduler re-evaluates it only after a write to one
+// of the watched objects (or once the deadline passes) instead of on every
+// scheduling decision.
+enum class WatchKind : uint8_t {
+  kRegion,      // id = RegionId: SysRegionWrite/Destroy
+  kFilterRing,  // id = FilterId: packet arrival, ring consume, filter removal
+  kIpc,         // id = EnvId whose ipc_queue is read (usually the watcher's own)
+  kEnvState,    // id = EnvId: exit/abort transitions (wait-style predicates)
+};
+
+struct WatchSpec {
+  WatchKind kind = WatchKind::kRegion;
+  uint32_t id = 0;
+};
+
 // A downloaded wakeup predicate (Sec. 5.1): a loop-free program the kernel evaluates
 // when the environment is about to be scheduled; the environment runs only if it
 // returns nonzero. The program reads a pinned memory window (pre-translated physical
@@ -45,6 +65,13 @@ struct WakeupPredicate {
   // Re-evaluation deadline hint for time-based predicates; the scheduler advances an
   // idle clock no further than this before re-checking.
   sim::Cycles deadline = UINT64_MAX;
+  // Opt-in dirty-window indexing. Empty (the default): the predicate is
+  // re-evaluated on every scheduling decision, exactly as before. Non-empty: the
+  // installer asserts the predicate's value can only change when one of the
+  // watched kernel objects is written (or when `deadline` passes) — predicates
+  // over raw application memory that other envs poke directly must NOT declare
+  // watches, since those stores are invisible to the kernel.
+  std::vector<WatchSpec> watches;
 };
 
 enum class EnvState : uint8_t {
@@ -110,6 +137,10 @@ struct Env {
 
   EnvState state = EnvState::kRunnable;
   WakeupPredicate predicate;  // valid when state == kBlocked
+  // Dirty flag for watched predicates: set when a watched object is written (and
+  // on block, so every predicate is evaluated at least once); cleared after an
+  // evaluation that returned false. Meaningless when predicate.watches is empty.
+  bool predicate_dirty = true;
 
   // Scheduling.
   sim::Cycles slice_used = 0;

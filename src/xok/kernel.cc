@@ -24,6 +24,8 @@ XokKernel::XokKernel(hw::Machine* machine) : machine_(machine) {
   syscall_counter_ = machine_->counters().Handle("xok.syscalls");
   ctx_switch_counter_ = machine_->counters().Handle("xok.context_switches");
   fault_counter_ = machine_->counters().Handle("xok.page_faults");
+  predicate_eval_counter_ = machine_->counters().Handle("xok.predicate_evals");
+  predicate_skip_counter_ = machine_->counters().Handle("xok.predicate_skips");
   for (uint32_t i = 0; i < machine_->num_nics(); ++i) {
     machine_->nic(i).SetReceiveHandler([this, i](hw::Packet p) { OnPacket(i, std::move(p)); });
   }
@@ -130,6 +132,11 @@ Status XokKernel::ReapEnv(EnvId id) {
       region.owner = kInvalidEnv;
     }
   }
+  for (const PacketFilter& f : filters_) {
+    if (f.owner == id) {
+      NotifyWatch(WatchKind::kFilterRing, f.id);
+    }
+  }
   filters_.erase(std::remove_if(filters_.begin(), filters_.end(),
                                 [id](const PacketFilter& f) { return f.owner == id; }),
                  filters_.end());
@@ -142,11 +149,15 @@ Status XokKernel::ReapEnv(EnvId id) {
 
 void XokKernel::FinishExit(Env* e, int code) {
   EXO_CHECK(e->alive);
+  if (e->state == EnvState::kBlocked) {
+    UnregisterWatches(e);  // a blocked env can die via AbortEnv
+  }
   e->alive = false;
   e->state = EnvState::kZombie;
   e->exit_code = code;
   e->exited_at = machine_->engine().now();
   --alive_count_;
+  NotifyWatch(WatchKind::kEnvState, e->id);  // wait-style predicates on this env
   // A zombie cannot comply with a revocation; the abort/reap path reclaims.
   if (e->pending_revoke.has_value()) {
     e->pending_revoke.reset();
@@ -197,16 +208,29 @@ bool XokKernel::EvalPredicate(Env* e) {
 Env* XokKernel::PickNext() {
   // Directed-yield hint takes priority (Sec. 9.1: the CPU interface's directed yields
   // let communicating processes hand the slice to each other).
-  auto consider = [this](EnvId id) -> Env* {
-    auto it = envs_.find(id);
-    if (it == envs_.end() || !it->second->alive) {
+  auto consider = [this](Env* e) -> Env* {
+    if (!e->alive) {
       return nullptr;
     }
-    Env* e = it->second.get();
     if (e->state == EnvState::kRunnable) {
       return e;
     }
-    if (e->state == EnvState::kBlocked && EvalPredicate(e)) {
+    if (e->state != EnvState::kBlocked) {
+      return nullptr;
+    }
+    // Watched predicates: skip the evaluation entirely while no watched object
+    // has been written and the deadline has not passed. The skip charges nothing
+    // (a flag check in kernel memory), so unwatched workloads are untouched.
+    if (!e->predicate.watches.empty() && !e->predicate_dirty &&
+        machine_->engine().now() < e->predicate.deadline) {
+      ++*predicate_skip_counter_;
+      return nullptr;
+    }
+    ++*predicate_eval_counter_;
+    const bool ready = EvalPredicate(e);
+    e->predicate_dirty = false;
+    if (ready) {
+      UnregisterWatches(e);
       e->state = EnvState::kRunnable;
       return e;
     }
@@ -217,8 +241,11 @@ Env* XokKernel::PickNext() {
     EnvId hint = env(last_scheduled_).yield_to;
     if (hint != kInvalidEnv) {
       env(last_scheduled_).yield_to = kInvalidEnv;
-      if (Env* e = consider(hint)) {
-        return e;
+      auto it = envs_.find(hint);
+      if (it != envs_.end()) {
+        if (Env* e = consider(it->second.get())) {
+          return e;
+        }
       }
     }
   }
@@ -231,7 +258,7 @@ Env* XokKernel::PickNext() {
       continue;  // reaped or dead: drop from the queue
     }
     run_queue_.push_back(id);
-    if (Env* e = consider(id)) {
+    if (Env* e = consider(it->second.get())) {
       return e;
     }
   }
@@ -423,7 +450,53 @@ void XokKernel::SysSleep(WakeupPredicate predicate) {
   }
   current_->predicate = std::move(predicate);
   current_->state = EnvState::kBlocked;
+  current_->predicate_dirty = true;  // always evaluate at least once after blocking
+  RegisterWatches(current_);
   sim::Fiber::Suspend();
+}
+
+void XokKernel::RegisterWatches(Env* e) {
+  for (const WatchSpec& w : e->predicate.watches) {
+    watchers_[{static_cast<uint8_t>(w.kind), w.id}].push_back(e->id);
+  }
+}
+
+void XokKernel::UnregisterWatches(Env* e) {
+  if (e->predicate.watches.empty()) {
+    return;
+  }
+  for (const WatchSpec& w : e->predicate.watches) {
+    auto it = watchers_.find({static_cast<uint8_t>(w.kind), w.id});
+    if (it == watchers_.end()) {
+      continue;
+    }
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), e->id), v.end());
+    if (v.empty()) {
+      watchers_.erase(it);
+    }
+  }
+}
+
+void XokKernel::NotifyWatch(WatchKind kind, uint32_t id) {
+  auto it = watchers_.find({static_cast<uint8_t>(kind), id});
+  if (it == watchers_.end()) {
+    return;
+  }
+  auto& v = it->second;
+  size_t kept = 0;
+  for (EnvId watcher : v) {
+    auto eit = envs_.find(watcher);
+    if (eit == envs_.end() || eit->second->state != EnvState::kBlocked) {
+      continue;  // stale entry: the watcher woke or died; prune it
+    }
+    eit->second->predicate_dirty = true;
+    v[kept++] = watcher;
+  }
+  v.resize(kept);
+  if (v.empty()) {
+    watchers_.erase(it);
+  }
 }
 
 void XokKernel::SysExit(int code) {
@@ -804,6 +877,7 @@ Status XokKernel::SysRegionWrite(RegionId rid, uint32_t off, std::span<const uin
   }
   machine_->Charge(machine_->cost().CopyCost(data.size()));
   std::memcpy(bytes.data() + off, data.data(), data.size());
+  NotifyWatch(WatchKind::kRegion, rid);
   return Status::kOk;
 }
 
@@ -848,6 +922,7 @@ Status XokKernel::SysRegionDestroy(RegionId rid, CredIndex cred) {
     ClearRevokeIfCompliant(owner);
   }
   regions_.erase(it);
+  NotifyWatch(WatchKind::kRegion, rid);
   return Status::kOk;
 }
 
@@ -873,6 +948,7 @@ Status XokKernel::SysIpcSend(EnvId to, const IpcMessage& msg, CredIndex cred) {
   IpcMessage m = msg;
   m.from = current_ != nullptr ? current_->id : kInvalidEnv;
   dest.ipc_queue.push_back(m);
+  NotifyWatch(WatchKind::kIpc, to);
   if (dest.on_ipc) {
     machine_->Charge(machine_->cost().upcall);
     dest.on_ipc(m);
@@ -888,6 +964,7 @@ Result<IpcMessage> XokKernel::SysIpcRecv() {
   }
   IpcMessage m = current_->ipc_queue.front();
   current_->ipc_queue.pop_front();
+  NotifyWatch(WatchKind::kIpc, current_->id);
   return m;
 }
 
@@ -935,6 +1012,7 @@ Status XokKernel::SysFilterRemove(FilterId id, CredIndex cred) {
         ClearRevokeIfCompliant(owner);
       }
       filters_.erase(it);
+      NotifyWatch(WatchKind::kFilterRing, id);
       return Status::kOk;
     }
   }
@@ -955,6 +1033,7 @@ Result<hw::Packet> XokKernel::SysRingConsume(FilterId id, CredIndex cred) {
       }
       hw::Packet p = std::move(f.ring.front());
       f.ring.pop_front();
+      NotifyWatch(WatchKind::kFilterRing, id);
       return p;
     }
   }
@@ -999,6 +1078,7 @@ void XokKernel::OnPacket(uint32_t nic, hw::Packet p) {
         f.ring.push_back(std::move(p));
         ++f.delivered;
       }
+      NotifyWatch(WatchKind::kFilterRing, f.id);
       machine_->counters().Add("xok.packets_demuxed");
       interrupt_debt_ += cost;
       return;
@@ -1112,7 +1192,18 @@ void XokKernel::AbortEnv(EnvId id, const char* reason) {
   }
   e.frame_refs.clear();
   for (auto rit = regions_.begin(); rit != regions_.end();) {
-    rit = rit->second.owner == id ? regions_.erase(rit) : std::next(rit);
+    if (rit->second.owner == id) {
+      const RegionId dead = rit->first;
+      rit = regions_.erase(rit);
+      NotifyWatch(WatchKind::kRegion, dead);
+    } else {
+      ++rit;
+    }
+  }
+  for (const PacketFilter& f : filters_) {
+    if (f.owner == id) {
+      NotifyWatch(WatchKind::kFilterRing, f.id);
+    }
   }
   filters_.erase(std::remove_if(filters_.begin(), filters_.end(),
                                 [id](const PacketFilter& f) { return f.owner == id; }),

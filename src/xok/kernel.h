@@ -28,6 +28,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hw/machine.h"
@@ -254,6 +255,13 @@ class XokKernel {
   void FinishExit(Env* e, int code);
   Env* PickNext();
   bool EvalPredicate(Env* e);
+  // Dirty-window predicate indexing: a blocked env with declared watches is
+  // re-evaluated only after one of its watched objects is written (or past its
+  // deadline). Registration happens in SysSleep; every write path to a watchable
+  // object calls NotifyWatch.
+  void RegisterWatches(Env* e);
+  void UnregisterWatches(Env* e);
+  void NotifyWatch(WatchKind kind, uint32_t id);
   void DeliverEndOfSlice(Env* e);
   void OnPacket(uint32_t nic, hw::Packet p);
   [[nodiscard]] Status PtApply(Env& target, const PtOp& op, CredIndex cred);
@@ -305,9 +313,15 @@ class XokKernel {
   // synchronous charge (we cannot advance the clock from inside an event callback).
   sim::Cycles interrupt_debt_ = 0;
 
+  // Watch key -> blocked envs to mark dirty on write. Entries are pruned when a
+  // watcher wakes or dies (UnregisterWatches) and lazily inside NotifyWatch.
+  std::map<std::pair<uint8_t, uint32_t>, std::vector<EnvId>> watchers_;
+
   uint64_t* syscall_counter_ = nullptr;
   uint64_t* ctx_switch_counter_ = nullptr;
   uint64_t* fault_counter_ = nullptr;
+  uint64_t* predicate_eval_counter_ = nullptr;
+  uint64_t* predicate_skip_counter_ = nullptr;
 };
 
 }  // namespace exo::xok

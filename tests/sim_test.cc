@@ -1,6 +1,7 @@
 // Unit tests for the simulation core: event engine, fibers, RNG, counters, cost model.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/cost_model.h"
@@ -89,6 +90,101 @@ TEST(EngineTest, NextEventTimeSkipsCancelled) {
   e.ScheduleAt(9, [] {});
   e.Cancel(id);
   EXPECT_EQ(e.NextEventTime(), 9u);
+}
+
+TEST(EngineTest, SameTimestampOrderSurvivesInterleavedCancels) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<Engine::EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(e.ScheduleAt(5, [&order, i] { order.push_back(i); }));
+  }
+  e.Cancel(ids[1]);
+  e.Cancel(ids[4]);
+  e.Cancel(ids[7]);
+  // Late arrivals at the same timestamp still fire after the survivors.
+  e.ScheduleAt(5, [&order] { order.push_back(8); });
+  e.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5, 6, 8}));
+}
+
+TEST(EngineTest, CancelAfterFireIsNoOp) {
+  Engine e;
+  auto id = e.ScheduleAt(10, [] {});
+  e.RunUntilIdle();
+  e.Cancel(id);  // must not disturb anything, including a reuse of the same slot
+  bool fired = false;
+  auto id2 = e.ScheduleAt(20, [&] { fired = true; });
+  e.Cancel(id);  // stale id again, now that the slot is re-armed for id2
+  e.RunUntilIdle();
+  EXPECT_TRUE(fired);
+  EXPECT_NE(id, id2);
+}
+
+TEST(EngineTest, RunUntilLandsExactlyOnTargetWithNoEvents) {
+  Engine e;
+  e.RunUntil(1234);
+  EXPECT_EQ(e.now(), 1234u);
+  EXPECT_FALSE(e.HasPendingEvents());
+  // And with an event strictly before the target: clock still ends at t.
+  Cycles fired_at = 0;
+  e.ScheduleAt(2000, [&] { fired_at = e.now(); });
+  e.RunUntil(3000);
+  EXPECT_EQ(fired_at, 2000u);
+  EXPECT_EQ(e.now(), 3000u);
+}
+
+TEST(EngineTest, EventIdsAreNeverZero) {
+  // Callers (TCP timers) use 0 as the "no event armed" sentinel.
+  Engine e;
+  for (int i = 0; i < 100; ++i) {
+    auto id = e.ScheduleAfter(1, [] {});
+    EXPECT_NE(id, 0u);
+    e.RunUntilIdle();
+  }
+}
+
+TEST(EngineTest, AcceptsMoveOnlyCallables) {
+  Engine e;
+  auto big = std::make_unique<int>(41);
+  int got = 0;
+  e.ScheduleAt(1, [p = std::move(big), &got] { got = *p + 1; });
+  e.RunUntilIdle();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EngineTest, SlotsAreRecycledAcrossChurn) {
+  Engine e;
+  for (int round = 0; round < 10'000; ++round) {
+    e.ScheduleAfter(1, [] {});
+    e.ScheduleAfter(2, [] {});
+    e.RunUntilIdle();
+  }
+  // The slab never grows past the peak concurrency (2), not the total churn.
+  EXPECT_LE(e.event_slot_count(), 2u);
+}
+
+// Regression: ids of already-fired events used to accumulate forever in a
+// cancelled-id vector that every pop scanned linearly, so a long-running sim
+// leaked memory and went quadratic. Cancelling 1M fired ids must be O(1) each
+// and leave no residue (with the old representation this test would not finish).
+TEST(EngineTest, CancellingAMillionFiredIdsStaysBounded) {
+  Engine e;
+  std::vector<Engine::EventId> fired;
+  fired.reserve(1'000'000);
+  for (int i = 0; i < 1'000'000; ++i) {
+    fired.push_back(e.ScheduleAfter(1, [] {}));
+    e.RunUntilIdle();
+  }
+  for (auto id : fired) {
+    e.Cancel(id);
+  }
+  EXPECT_LE(e.event_slot_count(), 1u);   // one slot, reused a million times
+  EXPECT_EQ(e.queued_entry_count(), 0u);  // stale cancels queue no corpses
+  bool sentinel = false;
+  e.ScheduleAfter(1, [&] { sentinel = true; });
+  e.RunUntilIdle();
+  EXPECT_TRUE(sentinel);
 }
 
 TEST(FiberTest, RunsBodyToCompletion) {

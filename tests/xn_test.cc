@@ -348,6 +348,28 @@ TEST_F(XnTest, DataRoundTripsThroughDisk) {
   EXPECT_EQ(machine_.mem().Data(frames[1])[10], 0x31);
 }
 
+TEST_F(XnTest, ContiguousFlushGathersIntoFewRequests) {
+  // A flush of N contiguous dirty blocks must reach the disk as a scatter-gather
+  // run, not N single-block submissions: at most two requests (the head block
+  // dispatches immediately off an idle disk; the rest ride as one gathered tail).
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 8);
+  for (size_t i = 1; i < kids.size(); ++i) {
+    ASSERT_EQ(kids[i], kids[i - 1] + 1);  // fresh format: allocation is contiguous
+  }
+  for (size_t i = 0; i < kids.size(); ++i) {
+    FrameId f = NewFrame();
+    std::memset(machine_.mem().Data(f).data(), 0x60 + static_cast<int>(i), 4096);
+    ASSERT_EQ(xn_.InsertMapping(kids[i], root, f, /*dirty=*/true, good_creds_), Status::kOk);
+  }
+  const uint64_t requests0 = machine_.disk().stats().requests;
+  ASSERT_EQ(FlushAll(kids), Status::kOk);
+  EXPECT_LE(machine_.disk().stats().requests - requests0, 2u);
+  for (size_t i = 0; i < kids.size(); ++i) {
+    EXPECT_EQ(machine_.disk().RawBlock(kids[i])[5], 0x60 + static_cast<int>(i));
+  }
+}
+
 TEST_F(XnTest, ReadAndInsertDeniedForForeignBlocks) {
   BlockId root = MakeRoot("fs", leaf_tmpl_);
   AllocChildren(root, 0, 1);

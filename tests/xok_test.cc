@@ -207,6 +207,101 @@ TEST_F(XokTest, TimeBasedPredicateFiresOnIdleClock) {
   EXPECT_LT(woke, wake_at + 100'000);  // deadline hint avoids gross overshoot
 }
 
+TEST_F(XokTest, WatchedPredicateSkipsEvalUntilRegionWrite) {
+  // A predicate that declares its watched kernel objects is only re-evaluated
+  // after a write to one of them; every other scheduling decision skips it.
+  auto rid_r = kernel_.SysRegionCreate(8, {}, 0);
+  ASSERT_TRUE(rid_r.ok());
+  const RegionId rid = *rid_r;
+  auto prog = udf::Assemble(R"(
+    ldi r1, 0
+    ld4 r2, r1, 0, meta
+    ret r2
+  )");
+  ASSERT_TRUE(prog.ok);
+
+  std::vector<int> order;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    WakeupPredicate p;
+    p.program = prog.program;
+    p.live_window = kernel_.RegionBytes(rid);
+    p.watches.push_back(WatchSpec{WatchKind::kRegion, rid});
+    kernel_.SysSleep(std::move(p));
+    order.push_back(1);
+  });
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    // Each yield forces a scheduling decision; while the flag region is clean
+    // every one after the first must skip the sleeper's predicate, not run it.
+    for (int i = 0; i < 5; ++i) {
+      kernel_.ChargeCpu(50'000);
+      kernel_.SysYield();
+    }
+    order.push_back(0);
+    const uint8_t one = 1;
+    ASSERT_EQ(kernel_.SysRegionWrite(rid, 0, std::span<const uint8_t>(&one, 1), 0),
+              Status::kOk);
+  });
+  uint64_t evals0 = machine_.counters().Get("xok.predicate_evals");
+  uint64_t skips0 = machine_.counters().Get("xok.predicate_skips");
+  kernel_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));  // write still wakes the sleeper
+  uint64_t evals = machine_.counters().Get("xok.predicate_evals") - evals0;
+  uint64_t skips = machine_.counters().Get("xok.predicate_skips") - skips0;
+  EXPECT_GT(skips, 0u);
+  // Dirty on block, dirty after the write: a handful of evals at most, and
+  // strictly fewer than total blocked-env scheduling decisions.
+  EXPECT_LT(evals, evals + skips);
+  EXPECT_LE(evals, 3u);
+}
+
+TEST_F(XokTest, WatchedPredicateStillHonorsDeadline) {
+  // Declared watches must not starve a predicate that also carries a deadline:
+  // once now >= deadline the scheduler re-evaluates it even with no notify.
+  auto rid_r = kernel_.SysRegionCreate(8, {}, 0);
+  ASSERT_TRUE(rid_r.ok());
+  const RegionId rid = *rid_r;
+
+  const sim::Cycles wake_at = 500'000;
+  sim::Cycles woke = 0;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    WakeupPredicate p;
+    p.host = [&] { return engine_.now() >= wake_at; };
+    p.deadline = wake_at;
+    p.watches.push_back(WatchSpec{WatchKind::kRegion, rid});  // never written
+    kernel_.SysSleep(std::move(p));
+    woke = engine_.now();
+  });
+  kernel_.Run();
+  EXPECT_GE(woke, wake_at);
+  EXPECT_LT(woke, wake_at + 100'000);
+}
+
+TEST_F(XokTest, IpcWatchWakesReceiver) {
+  // An IPC-watched predicate sleeps through unrelated work and wakes on the send.
+  std::vector<int> order;
+  EnvId receiver = kInvalidEnv;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    Env* self = kernel_.current();
+    receiver = self->id;
+    WakeupPredicate p;
+    p.host = [self] { return !self->ipc_queue.empty(); };
+    p.watches.push_back(WatchSpec{WatchKind::kIpc, receiver});
+    kernel_.SysSleep(std::move(p));
+    auto m = kernel_.SysIpcRecv();
+    ASSERT_TRUE(m.ok());
+    order.push_back(static_cast<int>(m->words[0]));
+  });
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    kernel_.ChargeCpu(100'000);
+    IpcMessage m;
+    m.words[0] = 7;
+    ASSERT_EQ(kernel_.SysIpcSend(receiver, m, 0), Status::kOk);
+    kernel_.ChargeCpu(100'000);
+  });
+  kernel_.Run();
+  EXPECT_EQ(order, (std::vector<int>{7}));
+}
+
 TEST_F(XokTest, FrameAllocationGuardsEnforced) {
   Status steal = Status::kOk;
   kernel_.CreateEnv(kInvalidEnv, {Capability::For({kCapUsers, 1})}, [&] {
