@@ -4,6 +4,7 @@
 #define EXO_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,8 +12,64 @@
 #include "apps/unix_apps.h"
 #include "apps/workload.h"
 #include "exos/system.h"
+#include "trace/trace.h"
 
 namespace exo::bench {
+
+// ---- --trace support, shared by the figure benches ----
+//
+// `--trace=PATH` writes a Chrome/Perfetto trace_event JSON (or a compact text
+// dump when PATH ends in ".txt") of one traced run. `--trace-categories=LIST`
+// narrows the category mask ("disk,net,fault"; default all). The simulated run
+// is bit-identical with tracing on or off; trace status goes to stderr so
+// stdout stays diffable.
+struct TraceOptions {
+  std::string path;  // empty: tracing off
+  uint32_t mask = trace::kAllCategories;
+
+  bool on() const { return !path.empty(); }
+};
+
+inline TraceOptions ParseTraceArgs(int argc, char** argv) {
+  TraceOptions t;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) {
+      t.path = a.substr(8);
+    } else if (a.rfind("--trace-categories=", 0) == 0) {
+      if (!trace::ParseCategoryMask(a.substr(19), &t.mask)) {
+        std::fprintf(stderr, "unknown category in %s\n", a.c_str());
+        std::exit(2);
+      }
+    }
+  }
+  return t;
+}
+
+inline void WriteTraceFile(const trace::Tracer& tracer, const TraceOptions& opts,
+                           uint32_t cpu_mhz = 200) {
+  if (!opts.on()) {
+    return;
+  }
+  const bool text =
+      opts.path.size() >= 4 && opts.path.compare(opts.path.size() - 4, 4, ".txt") == 0;
+  const std::string out =
+      text ? trace::TextDump(tracer, cpu_mhz) : trace::PerfettoJson(tracer, cpu_mhz);
+  FILE* f = std::fopen(opts.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s\n", opts.path.c_str());
+    std::exit(2);
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "trace: wrote %zu bytes (%llu records, %llu dropped) to %s\n",
+               out.size(), static_cast<unsigned long long>(tracer.emitted()),
+               static_cast<unsigned long long>(tracer.dropped()), opts.path.c_str());
+  const std::string hist = trace::HistogramSummary(tracer);
+  if (!hist.empty()) {
+    std::fprintf(stderr, "%s", hist.c_str());
+  }
+}
 
 inline hw::MachineConfig PaperMachine(uint32_t disk_mb = 256) {
   hw::MachineConfig cfg;
@@ -37,9 +94,13 @@ struct WorkloadResult {
 // The Table 1 / Figure 2 workload: install the lcc distribution. Eleven steps, each
 // run as a separate program through fork/exec, exactly as a shell would run them.
 inline WorkloadResult RunIoWorkload(os::Flavor flavor, os::SystemOptions opts = {},
-                                    uint64_t seed = 42) {
+                                    uint64_t seed = 42,
+                                    const TraceOptions* trace_opts = nullptr) {
   sim::Engine engine;
   hw::Machine machine(&engine, PaperMachine());
+  if (trace_opts != nullptr && trace_opts->on()) {
+    machine.tracer().Enable(trace_opts->mask);  // before Boot: env tracks register
+  }
   os::System sys(&machine, flavor, opts);
   EXO_CHECK_EQ(sys.Boot(), Status::kOk);
 
@@ -106,6 +167,9 @@ inline WorkloadResult RunIoWorkload(os::Flavor flavor, os::SystemOptions opts = 
     result.total += s.seconds;
   }
   result.syscalls = sys.syscall_count();
+  if (trace_opts != nullptr) {
+    WriteTraceFile(machine.tracer(), *trace_opts);
+  }
   return result;
 }
 

@@ -1,11 +1,15 @@
 // Figure 2 / Table 1: the I/O-intensive lcc-install workload across all four OS
 // configurations. Prints per-application runtimes (seconds) like the figure's bars,
 // plus totals (paper: Xok/ExOS 41 s, OpenBSD/C-FFS 51 s, OpenBSD/FreeBSD ~60 s).
+//
+// --trace=PATH captures the Xok/ExOS run (the other flavors run untraced).
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exo;
   using namespace exo::bench;
+
+  const TraceOptions trace_opts = ParseTraceArgs(argc, argv);
 
   const os::Flavor flavors[] = {os::Flavor::kXokExos, os::Flavor::kOpenBsdCffs,
                                 os::Flavor::kOpenBsd, os::Flavor::kFreeBsd};
@@ -13,7 +17,8 @@ int main() {
   PrintHeader("Figure 2: unmodified UNIX applications, lcc install workload");
   std::vector<WorkloadResult> results;
   for (os::Flavor f : flavors) {
-    results.push_back(RunIoWorkload(f));
+    const bool traced = trace_opts.on() && f == os::Flavor::kXokExos;
+    results.push_back(RunIoWorkload(f, {}, 42, traced ? &trace_opts : nullptr));
   }
 
   std::printf("%-12s", "step");

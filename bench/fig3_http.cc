@@ -19,13 +19,18 @@ struct HttpResult {
   double cpu_idle = 0;
 };
 
-HttpResult RunServer(apps::ServerStyle style, size_t doc_bytes) {
+HttpResult RunServer(apps::ServerStyle style, size_t doc_bytes,
+                     trace::Tracer* tracer = nullptr) {
   sim::Engine engine;
   sim::CostModel cost = sim::CostModel::PentiumPro200();
 
   // Server machine: three NICs, one per client link (Sec. 7.3's testbed).
   constexpr int kLinks = 3;
   apps::HttpServer server(&engine, &cost, style, /*ip=*/100);
+  if (tracer != nullptr) {
+    engine.set_tracer(tracer, tracer->NewTrack("engine"));
+    server.SetTracer(tracer);
+  }
 
   std::vector<std::unique_ptr<hw::Nic>> nics;
   std::vector<std::unique_ptr<hw::Link>> links;
@@ -48,6 +53,10 @@ HttpResult RunServer(apps::ServerStyle style, size_t doc_bytes) {
     server.AttachNic(snic.get(), client_ip);
     clients.push_back(std::make_unique<apps::HttpClient>(
         &engine, &cost, cnic.get(), client_ip, 100, "doc", /*concurrency=*/6));
+    if (tracer != nullptr) {
+      link->AttachTracer(tracer, "link" + std::to_string(i));
+      clients.back()->SetTracer(tracer, "client" + std::to_string(i));
+    }
     server_nics.push_back(std::move(snic));
     nics.push_back(std::move(cnic));
     links.push_back(std::move(link));
@@ -76,8 +85,16 @@ HttpResult RunServer(apps::ServerStyle style, size_t doc_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exo;
+  // --trace=PATH captures the Socket/Xok 10-KByte run: the one cell that
+  // exercises all of sched, syscall, fs, app, and net span categories.
+  const bench::TraceOptions trace_opts = bench::ParseTraceArgs(argc, argv);
+  trace::Tracer tracer;
+  if (trace_opts.on()) {
+    tracer.Enable(trace_opts.mask);
+  }
+
   bench::PrintHeader("Figure 3: HTTP throughput vs document size (requests/second)");
 
   const size_t sizes[] = {0, 100, 1024, 10 * 1024, 100 * 1024};
@@ -99,7 +116,9 @@ int main() {
   for (size_t i = 0; i < 5; ++i) {
     std::printf("%-10s", size_names[i]);
     for (auto s : styles) {
-      HttpResult r = RunServer(s, sizes[i]);
+      const bool traced = trace_opts.on() && s == apps::ServerStyle::kSocketXok &&
+                          sizes[i] == 10 * 1024;
+      HttpResult r = RunServer(s, sizes[i], traced ? &tracer : nullptr);
       std::printf(" %12.0f", r.req_per_s);
       if (sizes[i] == 100 * 1024) {
         if (s == apps::ServerStyle::kCheetah) {
@@ -117,5 +136,6 @@ int main() {
               cheetah_100k_mbs, cheetah_100k_idle * 100.0, socketbsd_100k_mbs);
   std::printf("paper: Cheetah 29.3 MB/s with >30%% idle; Socket/BSD 16.5 MB/s at 100%% CPU;\n");
   std::printf("       small documents: Cheetah ~8x best BSD server, ~4x Socket/Xok\n");
+  bench::WriteTraceFile(tracer, trace_opts);
   return 0;
 }

@@ -5,10 +5,11 @@
 // roughly comparable to FreeBSD despite being untuned for global performance.
 #include "bench/global_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exo;
   using namespace exo::bench;
 
+  const TraceOptions trace_opts = ParseTraceArgs(argc, argv);
   auto setup_shared = [](os::UnixEnv& env, int) { MakeSharedInputs(env, false); };
 
   std::vector<GlobalJob> pool = {
@@ -61,7 +62,8 @@ int main() {
        setup_shared},
   };
 
-  PrintGlobalTable("Figure 4: global performance, application pool 1 (seconds)", pool, 11);
+  PrintGlobalTable("Figure 4: global performance, application pool 1 (seconds)", pool, 11,
+                   trace_opts);
   std::printf("\npaper: Xok/ExOS achieves throughput and latency roughly comparable to\n");
   std::printf("FreeBSD across all concurrency levels, despite decentralized management\n");
   return 0;

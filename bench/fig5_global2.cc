@@ -5,10 +5,11 @@
 // the relative advantage of Xok/ExOS grows with concurrency.
 #include "bench/global_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exo;
   using namespace exo::bench;
 
+  const TraceOptions trace_opts = ParseTraceArgs(argc, argv);
   auto setup_shared = [](os::UnixEnv& env, int) { MakeSharedInputs(env, true); };
 
   std::vector<GlobalJob> pool = {
@@ -35,7 +36,8 @@ int main() {
        setup_shared},
   };
 
-  PrintGlobalTable("Figure 5: global performance, application pool 2 (seconds)", pool, 13);
+  PrintGlobalTable("Figure 5: global performance, application pool 2 (seconds)", pool, 13,
+                   trace_opts);
   std::printf("\npaper: global performance does not degrade with aggressive applications;\n");
   std::printf("the Xok/ExOS advantage grows with job concurrency\n");
   return 0;

@@ -25,9 +25,13 @@ struct GlobalResult {
 };
 
 inline GlobalResult RunGlobal(os::Flavor flavor, const std::vector<GlobalJob>& pool,
-                              int total_jobs, int max_concurrent, uint64_t seed) {
+                              int total_jobs, int max_concurrent, uint64_t seed,
+                              const TraceOptions* trace_opts = nullptr) {
   sim::Engine engine;
   hw::Machine machine(&engine, PaperMachine(512));
+  if (trace_opts != nullptr && trace_opts->on()) {
+    machine.tracer().Enable(trace_opts->mask);
+  }
   os::System sys(&machine, flavor);
   EXO_CHECK_EQ(sys.Boot(), Status::kOk);
 
@@ -78,18 +82,24 @@ inline GlobalResult RunGlobal(os::Flavor flavor, const std::vector<GlobalJob>& p
     result.max_latency = std::max(result.max_latency, lat);
     result.min_latency = std::min(result.min_latency, lat);
   }
+  if (trace_opts != nullptr) {
+    WriteTraceFile(machine.tracer(), *trace_opts);
+  }
   return result;
 }
 
+// --trace=PATH captures the highest-concurrency Xok/ExOS run.
 inline void PrintGlobalTable(const char* title, const std::vector<GlobalJob>& pool,
-                             uint64_t seed) {
+                             uint64_t seed, const TraceOptions& trace_opts = {}) {
   PrintHeader(title);
   std::printf("%-8s %28s %28s\n", "", "Xok/ExOS", "FreeBSD");
   std::printf("%-8s %9s %9s %8s %9s %9s %8s\n", "jobs/conc", "total", "max", "min",
               "total", "max", "min");
   const int configs[][2] = {{7, 1}, {14, 2}, {21, 3}, {28, 4}, {35, 5}};
   for (auto [jobs, conc] : configs) {
-    GlobalResult xok = RunGlobal(os::Flavor::kXokExos, pool, jobs, conc, seed);
+    const bool traced = trace_opts.on() && jobs == 35;
+    GlobalResult xok = RunGlobal(os::Flavor::kXokExos, pool, jobs, conc, seed,
+                                 traced ? &trace_opts : nullptr);
     GlobalResult bsd = RunGlobal(os::Flavor::kFreeBsd, pool, jobs, conc, seed);
     std::printf("%4d/%-4d %8.2fs %8.2fs %7.2fs %8.2fs %8.2fs %7.2fs\n", jobs, conc,
                 xok.total, xok.max_latency, xok.min_latency, bsd.total, bsd.max_latency,

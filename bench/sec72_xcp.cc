@@ -13,9 +13,12 @@ struct CopyTimes {
   double xcp = 0;
 };
 
-CopyTimes Run(bool cold_cache) {
+CopyTimes Run(bool cold_cache, const bench::TraceOptions* trace_opts = nullptr) {
   sim::Engine engine;
   hw::Machine machine(&engine, bench::PaperMachine());
+  if (trace_opts != nullptr && trace_opts->on()) {
+    machine.tracer().Enable(trace_opts->mask);
+  }
   os::System sys(&machine, os::Flavor::kXokExos);
   EXO_CHECK_EQ(sys.Boot(), Status::kOk);
 
@@ -63,16 +66,21 @@ CopyTimes Run(bool cold_cache) {
     EXO_CHECK_EQ(env.Sync(), Status::kOk);
   });
   sys.Run();
+  if (trace_opts != nullptr) {
+    bench::WriteTraceFile(machine.tracer(), *trace_opts);
+  }
   return times;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace exo;
+  // --trace=PATH captures the cold-cache run (the disk-bound schedules).
+  const bench::TraceOptions trace_opts = bench::ParseTraceArgs(argc, argv);
   bench::PrintHeader("Section 7.2: XCP vs cp on Xok/ExOS (3.8 MB across 24 files)");
   CopyTimes warm = Run(/*cold_cache=*/false);
-  CopyTimes cold = Run(/*cold_cache=*/true);
+  CopyTimes cold = Run(/*cold_cache=*/true, trace_opts.on() ? &trace_opts : nullptr);
   std::printf("%-22s %10s %10s %9s\n", "case", "cp", "xcp", "speedup");
   std::printf("%-22s %9.3fs %9.3fs %8.1fx\n", "in core (cached)", warm.cp, warm.xcp,
               warm.cp / warm.xcp);

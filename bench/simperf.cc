@@ -83,6 +83,43 @@ WorkloadResult EventChurn(uint64_t n) {
   return r;
 }
 
+// ---- Workload 1b: trace overhead ----
+//
+// The event_churn loop with a Tracer attached but *disabled*: every dispatch pays
+// the instrumentation site's predicted branch and nothing else. Compare ops/s
+// against event_churn — the two should be within noise of each other.
+WorkloadResult TraceOverhead(uint64_t n) {
+  sim::Engine eng;
+  trace::Tracer tracer;  // attached, never enabled
+  eng.set_tracer(&tracer, 0);
+  uint64_t fired = 0;
+  std::deque<sim::Engine::EventId> armed;
+
+  const double t0 = WallNow();
+  for (uint64_t i = 0; i < n; ++i) {
+    armed.push_back(eng.ScheduleAfter(20 + (i * 7) % 400, [&fired] { ++fired; }));
+    if ((i & 7) < 6) {
+      eng.RunNextEvent();
+    }
+    if (armed.size() >= 64) {
+      for (int k = 0; k < 32; ++k) {
+        eng.Cancel(armed.front());
+        armed.pop_front();
+      }
+    }
+  }
+  eng.RunUntilIdle();
+  const double t1 = WallNow();
+  EXO_CHECK_EQ(tracer.emitted(), 0u);  // disabled tracing stored nothing
+
+  WorkloadResult r;
+  r.name = "trace_overhead";
+  r.ops = n + n / 2;
+  r.wall_s = t1 - t0;
+  r.sim_s = eng.now_seconds();
+  return r;
+}
+
 // ---- Workload 2: predicate storm ----
 
 // Wake when the 32-bit little-endian word at window[0] equals `round`.
@@ -280,6 +317,8 @@ int main(int argc, char** argv) {
 
   std::vector<WorkloadResult> results;
   results.push_back(EventChurn(static_cast<uint64_t>(150000 * scale)));
+  PrintResult(results.back());
+  results.push_back(TraceOverhead(static_cast<uint64_t>(150000 * scale)));
   PrintResult(results.back());
   results.push_back(PredicateStorm(static_cast<uint32_t>(1000 * scale), 10));
   PrintResult(results.back());

@@ -79,6 +79,13 @@ HttpServer::HttpServer(sim::Engine* engine, const sim::CostModel* cost, ServerSt
   stack_ = std::make_unique<net::TcpStack>(hooks, ip, ProfileFor(style));
 }
 
+void HttpServer::SetTracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  trace_track_ = tracer->NewTrack("server");
+  cpu_.SetTracer(tracer, tracer->NewTrack("server.cpu"));
+  stack_->SetTracer(tracer, trace_track_);
+}
+
 void HttpServer::AttachNic(hw::Nic* nic, net::IpAddr peer_ip) {
   routes_[peer_ip] = nic;
   nic->SetReceiveHandler([this](hw::Packet p) { stack_->Input(p); });
@@ -125,7 +132,7 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
   if (end == std::string::npos) {
     return;
   }
-  cpu_.Occupy(kParseCost);
+  const sim::Cycles parse_done = cpu_.Occupy(kParseCost);
 
   std::string name;
   if (buf.rfind("GET /", 0) == 0) {
@@ -144,7 +151,29 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
     return;
   }
   const std::vector<uint8_t>& body = it->second;
-  cpu_.Occupy(PerRequestOsCost(body.size()));
+  const bool tracing = tracer_ != nullptr && tracer_->enabled(trace::Category::kApp);
+  // The copy portion of the OS path is file-cache work; the remainder is the
+  // syscall path. Splitting the single Occupy keeps the total cycles identical
+  // while letting the trace attribute the two separately.
+  sim::Cycles copy_part = 0;
+  if (style_ == ServerStyle::kNcsaBsd || style_ == ServerStyle::kSocketBsd ||
+      style_ == ServerStyle::kSocketXok) {
+    copy_part = cost_->CopyCost(body.size());
+  }
+  const sim::Cycles os_part = PerRequestOsCost(body.size()) - copy_part;
+  sim::Cycles done = cpu_.Occupy(os_part);
+  if (tracing && os_part > 0) {
+    tracer_->Begin(trace::Category::kSyscall, trace_track_, "os", done - os_part, os_part);
+    tracer_->End(trace::Category::kSyscall, trace_track_, "os", done, os_part);
+  }
+  if (copy_part > 0) {
+    done = cpu_.Occupy(copy_part);
+    if (tracing) {
+      tracer_->Begin(trace::Category::kFs, trace_track_, "file_cache", done - copy_part,
+                     copy_part);
+      tracer_->End(trace::Category::kFs, trace_track_, "file_cache", done, copy_part);
+    }
+  }
   ++requests_;
 
   header = "HTTP/1.0 200 OK\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n";
@@ -162,6 +191,14 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
     conn->Send(response);
   }
   conn->set_on_send_complete([this](net::TcpConn* c) { c->Close(); });
+  if (tracing) {
+    // The request's CPU window: parse through the last transmit Occupy. Windows
+    // are serialized on the meter, so these spans never interleave.
+    tracer_->Begin(trace::Category::kApp, trace_track_, "http.request",
+                   parse_done - kParseCost, body.size());
+    tracer_->End(trace::Category::kApp, trace_track_, "http.request", cpu_.busy_until(),
+                 body.size());
+  }
 }
 
 HttpClient::HttpClient(sim::Engine* engine, const sim::CostModel* cost, hw::Nic* nic,
@@ -184,6 +221,12 @@ HttpClient::HttpClient(sim::Engine* engine, const sim::CostModel* cost, hw::Nic*
   nic->SetReceiveHandler([this](hw::Packet p) { stack_->Input(p); });
 }
 
+void HttpClient::SetTracer(trace::Tracer* tracer, const std::string& name) {
+  tracer_ = tracer;
+  stack_->SetTracer(tracer, tracer->NewTrack(name));
+  latency_hist_ = tracer->Histogram("http.request_latency_cycles");
+}
+
 void HttpClient::Start(sim::Cycles deadline) {
   deadline_ = deadline;
   for (int i = 0; i < concurrency_; ++i) {
@@ -196,10 +239,14 @@ void HttpClient::StartOne() {
     return;
   }
   std::string req = "GET /" + doc_ + " HTTP/1.0\r\n\r\n";
-  stack_->Connect(server_ip_, 80, [this, req](net::TcpConn* c) {
+  const sim::Cycles start = engine_->now();
+  stack_->Connect(server_ip_, 80, [this, req, start](net::TcpConn* c) {
     c->set_on_data([this](net::TcpConn*, std::span<const uint8_t> d) { bytes_ += d.size(); });
-    c->set_on_close([this](net::TcpConn* conn) {
+    c->set_on_close([this, start](net::TcpConn* conn) {
       // The server closes after the response: we have the whole document.
+      if (latency_hist_ != nullptr && tracer_->enabled(trace::Category::kApp)) {
+        latency_hist_->Record(engine_->now() - start);
+      }
       ++completed_;
       conn->Close();  // finish our side; the stack reaps the PCB when fully closed
       StartOne();     // closed loop: immediately issue the next request

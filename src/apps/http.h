@@ -50,6 +50,11 @@ class HttpServer {
   sim::CpuMeter& cpu() { return cpu_; }
   net::TcpStack& stack() { return *stack_; }
 
+  // Attaches a tracer: requests become `app` spans with nested syscall/fs
+  // sub-spans, the CPU meter gets its own busy track, and the TCP stack emits
+  // segment instants. Call before serving traffic.
+  void SetTracer(trace::Tracer* tracer);
+
  private:
   void OnRequest(net::TcpConn* conn, std::span<const uint8_t> data);
   sim::Cycles PerRequestOsCost(size_t doc_size) const;
@@ -58,6 +63,8 @@ class HttpServer {
   const sim::CostModel* cost_;
   ServerStyle style_;
   sim::CpuMeter cpu_;
+  trace::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
   std::unique_ptr<net::TcpStack> stack_;
   std::map<net::IpAddr, hw::Nic*> routes_;
   std::map<std::string, std::vector<uint8_t>> docs_;
@@ -80,6 +87,10 @@ class HttpClient {
   uint64_t completed() const { return completed_; }
   uint64_t bytes_received() const { return bytes_; }
 
+  // Attaches a tracer under track `name`; completed requests feed the
+  // "http.request_latency_cycles" histogram (connect to close).
+  void SetTracer(trace::Tracer* tracer, const std::string& name);
+
  private:
   void StartOne();
 
@@ -92,6 +103,8 @@ class HttpClient {
   std::unique_ptr<net::TcpStack> stack_;
   uint64_t completed_ = 0;
   uint64_t bytes_ = 0;
+  trace::Tracer* tracer_ = nullptr;
+  trace::LatencyHistogram* latency_hist_ = nullptr;
 };
 
 }  // namespace exo::apps

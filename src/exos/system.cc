@@ -55,6 +55,7 @@ const char* FlavorName(Flavor f) {
 
 System::System(hw::Machine* machine, Flavor flavor, const SystemOptions& options)
     : machine_(machine), flavor_(flavor), options_(options) {
+  bsd_syscall_counter_ = machine_->counters().Handle("bsd.syscalls");
   kernel_ = std::make_unique<xok::XokKernel>(machine_);
   // Default program images (sizes shaped after 1997 BSD userland binaries; ExOS
   // binaries are comparable because the libOS is a shared library, Sec. 5.2.2).
@@ -273,7 +274,7 @@ void Proc::ChargeCall() {
     sys_->kernel_->ChargeCpu(c.libos_procedure_call);
   } else {
     sys_->kernel_->ChargeCpu(c.trap_round_trip + c.unix_syscall_dispatch);
-    sys_->machine_->counters().Add("bsd.syscalls");
+    ++*sys_->bsd_syscall_counter_;
   }
 }
 

@@ -138,6 +138,7 @@ class System {
   hw::Machine* machine_;
   Flavor flavor_;
   SystemOptions options_;
+  uint64_t* bsd_syscall_counter_;  // cached slot: Proc::ChargeCall is hot
 
   std::unique_ptr<xok::XokKernel> kernel_;
   std::unique_ptr<xn::Xn> xn_;

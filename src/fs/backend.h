@@ -101,6 +101,9 @@ class FsBackend {
   // buffers, checksum work) — charged to the simulated clock.
   virtual void ChargeCpu(sim::Cycles cycles) = 0;
   virtual const sim::CostModel& cost() const = 0;
+  // The machine's tracer, so file systems built on this backend can emit
+  // `fs`-category records without extra wiring (nullptr: untraced backend).
+  virtual trace::Tracer* tracer() { return nullptr; }
   // Current simulated time (reading the cycle counter is free).
   virtual sim::Cycles Now() const = 0;
   // True when the block is present in the cache/registry (exposed state).

@@ -222,7 +222,11 @@ Result<std::vector<std::string>> SplitPath(const std::string& path) {
 }  // namespace
 
 Cffs::Cffs(FsBackend* backend, const CffsOptions& options)
-    : backend_(backend), options_(options) {}
+    : backend_(backend), options_(options), tracer_(backend->tracer()) {
+  if (tracer_ != nullptr) {
+    trace_track_ = tracer_->NewTrack(options_.root_name);
+  }
+}
 
 uint32_t Cffs::Mtime() const {
   return static_cast<uint32_t>(backend_->cost().ToSeconds(backend_->Now()));
@@ -325,6 +329,11 @@ Result<std::span<const uint8_t>> Cffs::GetMeta(hw::BlockId block) {
   if (backend_->IsCached(block)) {
     return backend_->GetBlock(block, block);  // parent irrelevant on a hit
   }
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kFs)) {
+    // Only misses are recorded; hits are the hot path and say nothing new.
+    tracer_->Instant(trace::Category::kFs, trace_track_, "meta_miss", backend_->Now(),
+                     block);
+  }
   if (block == root_block_) {
     auto r = backend_->OpenRoot(options_.root_name);  // reloads the root mapping
     if (!r.ok()) {
@@ -420,6 +429,10 @@ Result<Cffs::Handle> Cffs::FindInDir(const DirRef& d, const std::string& name) {
   if (!blocks.ok()) {
     return blocks.status();
   }
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kFs)) {
+    tracer_->Instant(trace::Category::kFs, trace_track_, "dir_search", backend_->Now(),
+                     blocks->size());
+  }
   for (hw::BlockId b : *blocks) {
     auto bytes = GetMeta(b);
     if (!bytes.ok()) {
@@ -475,6 +488,10 @@ Result<Cffs::DirRef> Cffs::WalkToDir(const std::string& path, std::string* leaf)
 }
 
 Result<Cffs::Handle> Cffs::Lookup(const std::string& path) {
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kFs)) {
+    tracer_->Instant(trace::Category::kFs, trace_track_, "lookup", backend_->Now(),
+                     path.size());
+  }
   std::string leaf;
   auto dir = WalkToDir(path, &leaf);
   if (!dir.ok()) {
@@ -685,6 +702,10 @@ Result<std::pair<hw::BlockId, hw::BlockId>> Cffs::DataBlockAt(const Handle& h, c
     return Status::kBadMetadata;
   }
   RememberParent(e.indirect[k], h.dir_block);
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kFs)) {
+    tracer_->Instant(trace::Category::kFs, trace_track_, "indirect", backend_->Now(),
+                     e.indirect[k]);
+  }
   auto ind = GetMeta(e.indirect[k]);
   if (!ind.ok()) {
     return ind.status();

@@ -169,6 +169,8 @@ class Cffs {
 
   FsBackend* backend_;
   CffsOptions options_;
+  trace::Tracer* tracer_ = nullptr;  // from the backend; nullptr when untraced
+  uint32_t trace_track_ = 0;
   hw::BlockId root_block_ = hw::kInvalidBlock;
   uint32_t dir_tmpl_ = 0;
   uint32_t ind_file_tmpl_ = 0;

@@ -63,6 +63,7 @@ class KernelBackend : public FsBackend {
   void ChargeCpu(sim::Cycles cycles) override { machine_->Charge(cycles); }
   const sim::CostModel& cost() const override { return machine_->cost(); }
   sim::Cycles Now() const override { return machine_->engine().now(); }
+  trace::Tracer* tracer() override { return &machine_->tracer(); }
   bool IsCached(hw::BlockId block) const override {
     auto it = cache_.find(block);
     return it != cache_.end() && !it->second.in_transit;

@@ -52,6 +52,7 @@ class XnBackend : public FsBackend {
   void ChargeCpu(sim::Cycles cycles) override;
   const sim::CostModel& cost() const override { return xn_->machine().cost(); }
   sim::Cycles Now() const override { return xn_->machine().engine().now(); }
+  trace::Tracer* tracer() override { return &xn_->machine().tracer(); }
   bool IsCached(hw::BlockId block) const override {
     const xn::RegistryEntry* e = xn_->registry().Lookup(block);
     return e != nullptr && e->state == xn::BufState::kResident;

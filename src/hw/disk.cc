@@ -44,6 +44,11 @@ void Disk::Submit(DiskRequest req) {
     return;
   }
 
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kDisk)) {
+    tracer_->Instant(trace::Category::kDisk, trace_track_, req.write ? "submit_w" : "submit_r",
+                     engine_->now(), req.start);
+  }
+
   // Idle disk, empty queue: nothing to merge with and no competition for the
   // head, so StartNext would pick this request immediately — skip the queue and
   // its indexes entirely. This is the common case for the shallow-queue global
@@ -77,6 +82,10 @@ void Disk::Submit(DiskRequest req) {
         };
       }
       ++stats_.merged_requests;
+      if (tracer_ != nullptr && tracer_->enabled(trace::Category::kDisk)) {
+        tracer_->Instant(trace::Category::kDisk, trace_track_, "merge", engine_->now(),
+                         req.start);
+      }
       // The merged request's tail moved: rekey it under its new end block,
       // reusing the map node in place.
       QueueIter lit = mit->second;
@@ -121,9 +130,12 @@ void Disk::IndexErase(BlockIndex& idx, BlockIndex::iterator it) {
   free_index_nodes_.push_back(idx.extract(it));
 }
 
-sim::Cycles Disk::ServiceTime(BlockId start, uint32_t nblocks) {
+sim::Cycles Disk::ServiceTime(BlockId start, uint32_t nblocks, ServicePhases* phases) {
   const double cycles_per_ms = static_cast<double>(cpu_mhz_) * 1000.0;
   double ms = geometry_.controller_overhead_us / 1000.0;
+  if (phases != nullptr) {
+    phases->overhead = static_cast<sim::Cycles>(ms * cycles_per_ms);
+  }
 
   const uint32_t target_cyl = CylinderOf(start);
   const bool sequential = (start == last_block_end_) && (target_cyl == head_cylinder_);
@@ -135,8 +147,12 @@ sim::Cycles Disk::ServiceTime(BlockId start, uint32_t nblocks) {
     if (dist > 0) {
       const double frac = static_cast<double>(dist) /
                           static_cast<double>(std::max(1u, geometry_.num_cylinders() - 1));
-      ms += geometry_.min_seek_ms +
-            (geometry_.max_seek_ms - geometry_.min_seek_ms) * std::sqrt(frac);
+      const double seek_ms = geometry_.min_seek_ms +
+                             (geometry_.max_seek_ms - geometry_.min_seek_ms) * std::sqrt(frac);
+      ms += seek_ms;
+      if (phases != nullptr) {
+        phases->seek = static_cast<sim::Cycles>(seek_ms * cycles_per_ms);
+      }
       ++stats_.seeks;
     }
     // Rotational delay: platter position is a function of simulated time, so the
@@ -152,6 +168,9 @@ sim::Cycles Disk::ServiceTime(BlockId start, uint32_t nblocks) {
       wait += 1.0;
     }
     ms += wait * rev_ms;
+    if (phases != nullptr) {
+      phases->rotate = static_cast<sim::Cycles>(wait * rev_ms * cycles_per_ms);
+    }
   }
 
   // Media transfer.
@@ -190,9 +209,44 @@ void Disk::StartNext() {
 void Disk::Dispatch(DiskRequest req) {
   active_ = true;
 
-  const sim::Cycles service = ServiceTime(req.start, req.nblocks);
+  const bool tracing = tracer_ != nullptr && tracer_->enabled(trace::Category::kDisk);
+  ServicePhases phases;
+  const sim::Cycles service =
+      ServiceTime(req.start, req.nblocks, tracing ? &phases : nullptr);
   stats_.busy_cycles += service;
   ++stats_.requests;
+
+  if (tracing) {
+    // One outer "service" span per request, with the mechanical breakdown nested
+    // inside it. The phase boundaries are supplementary casts; the outer span ends
+    // exactly at the authoritative completion time.
+    const sim::Cycles now = engine_->now();
+    tracer_->Begin(trace::Category::kDisk, trace_track_, "service", now, req.start);
+    sim::Cycles t = now;
+    if (phases.overhead > 0) {
+      tracer_->Begin(trace::Category::kDisk, trace_track_, "overhead", t, phases.overhead);
+      t += phases.overhead;
+      tracer_->End(trace::Category::kDisk, trace_track_, "overhead", t, phases.overhead);
+    }
+    if (phases.seek > 0) {
+      tracer_->Begin(trace::Category::kDisk, trace_track_, "seek", t, phases.seek);
+      t += phases.seek;
+      tracer_->End(trace::Category::kDisk, trace_track_, "seek", t, phases.seek);
+    }
+    if (phases.rotate > 0) {
+      tracer_->Begin(trace::Category::kDisk, trace_track_, "rotate", t, phases.rotate);
+      t += phases.rotate;
+      tracer_->End(trace::Category::kDisk, trace_track_, "rotate", t, phases.rotate);
+    }
+    if (now + service > t) {
+      tracer_->Begin(trace::Category::kDisk, trace_track_, "transfer", t, req.nblocks);
+      tracer_->End(trace::Category::kDisk, trace_track_, "transfer", now + service,
+                   req.nblocks);
+    }
+    if (service_hist_ != nullptr) {
+      service_hist_->Record(service);
+    }
+  }
 
   engine_->ScheduleAfter(service,
                          [this, epoch = power_epoch_, req = std::move(req)]() mutable {
@@ -214,6 +268,10 @@ void Disk::Complete(DiskRequest req) {
     head_cylinder_ = CylinderOf(req.start);
     last_block_end_ = req.start;
     active_ = false;
+    if (tracer_ != nullptr && tracer_->enabled(trace::Category::kDisk)) {
+      tracer_->End(trace::Category::kDisk, trace_track_, "service", engine_->now(),
+                   static_cast<uint64_t>(Status::kIoError));
+    }
     if (req.done) {
       req.done(Status::kIoError);
     }
@@ -254,6 +312,11 @@ void Disk::Complete(DiskRequest req) {
   head_cylinder_ = CylinderOf(req.start + req.nblocks - 1);
   last_block_end_ = req.start + req.nblocks;
   active_ = false;
+
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kDisk)) {
+    tracer_->End(trace::Category::kDisk, trace_track_, "service", engine_->now(),
+                 static_cast<uint64_t>(Status::kOk));
+  }
 
   if (req.done) {
     req.done(Status::kOk);

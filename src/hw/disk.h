@@ -25,6 +25,7 @@
 #include "sim/engine.h"
 #include "sim/fault.h"
 #include "sim/status.h"
+#include "trace/trace.h"
 
 namespace exo::hw {
 
@@ -91,8 +92,22 @@ class Disk {
   // Attaches (or detaches, with nullptr) a fault injector. The injector is consulted
   // once per request for I/O errors and once per durable block write for power-cut
   // scheduling; unarmed disks skip all of it behind one pointer test.
-  void SetFaultInjector(sim::FaultInjector* faults) { faults_ = faults; }
+  void SetFaultInjector(sim::FaultInjector* faults) {
+    faults_ = faults;
+    if (faults_ != nullptr && tracer_ != nullptr) {
+      faults_->AttachTracer(tracer_, engine_);  // injected faults share our timeline
+    }
+  }
   sim::FaultInjector* fault_injector() const { return faults_; }
+
+  // Attaches a tracer; the request lifecycle (submit, merge, dispatch,
+  // seek/rotate/transfer, complete) lands in the `disk` category on `track`, and
+  // per-request service time feeds the "disk.service_cycles" histogram.
+  void SetTracer(trace::Tracer* tracer, uint32_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+    service_hist_ = tracer != nullptr ? tracer->Histogram("disk.service_cycles") : nullptr;
+  }
 
   // Simulated power loss: the block store freezes exactly as the in-flight request
   // left it. Queued requests are lost, the active request never completes (its DMA
@@ -134,9 +149,17 @@ class Disk {
   // no heap allocation (shallow queues dominate the global benches).
   void IndexInsert(BlockIndex& idx, BlockId block, uint64_t seq, QueueIter it);
   void IndexErase(BlockIndex& idx, BlockIndex::iterator it);
+  // Mechanical breakdown of one service, for tracing only. The authoritative
+  // completion time is ServiceTime's return value; these are cast per-phase and
+  // may disagree with the total by a cycle of rounding.
+  struct ServicePhases {
+    sim::Cycles overhead = 0;
+    sim::Cycles seek = 0;
+    sim::Cycles rotate = 0;
+  };
   // Cycle cost for servicing a request whose first block is `start`, given current
-  // head position and rotational phase.
-  sim::Cycles ServiceTime(BlockId start, uint32_t nblocks);
+  // head position and rotational phase. `phases` (optional) receives the breakdown.
+  sim::Cycles ServiceTime(BlockId start, uint32_t nblocks, ServicePhases* phases = nullptr);
   uint32_t CylinderOf(BlockId b) const { return b / geometry_.blocks_per_cylinder(); }
   void ClearQueue();
 
@@ -153,6 +176,9 @@ class Disk {
   std::list<QueuedRequest> free_queue_nodes_;          // recycled list nodes
   std::vector<BlockIndex::node_type> free_index_nodes_;  // recycled map nodes
   sim::FaultInjector* faults_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
+  trace::LatencyHistogram* service_hist_ = nullptr;
   bool powered_off_ = false;
   uint64_t power_epoch_ = 0;  // completions scheduled before a cut are invalidated
   bool active_ = false;

@@ -15,6 +15,7 @@
 #include "sim/counters.h"
 #include "sim/engine.h"
 #include "sim/rng.h"
+#include "trace/trace.h"
 
 namespace exo::hw {
 
@@ -33,10 +34,23 @@ class Machine {
     disks_.reserve(config.disks.size());
     for (const auto& g : config.disks) {
       disks_.push_back(std::make_unique<Disk>(engine_, &mem_, g, cost_.cpu_mhz));
+      disks_.back()->SetTracer(
+          &tracer_, tracer_.NewTrack("disk" + std::to_string(disks_.size() - 1)));
     }
     nics_.reserve(config.num_nics);
     for (uint32_t i = 0; i < config.num_nics; ++i) {
       nics_.push_back(std::make_unique<Nic>(i));
+    }
+    // The engine is shared across machines; the first machine's tracer carries
+    // its dispatch instants.
+    if (engine_->tracer() == nullptr) {
+      engine_->set_tracer(&tracer_, tracer_.NewTrack("engine"));
+    }
+  }
+
+  ~Machine() {
+    if (engine_->tracer() == &tracer_) {
+      engine_->set_tracer(nullptr);  // the engine may outlive this machine
     }
   }
 
@@ -51,6 +65,9 @@ class Machine {
   Nic& nic(size_t i = 0) { return *nics_.at(i); }
   size_t num_nics() const { return nics_.size(); }
   sim::Counters& counters() { return counters_; }
+  // The machine's tracer (disabled until Tracer::Enable); disks and the shared
+  // engine are pre-wired to it, the kernel and OS layers pick it up at boot.
+  trace::Tracer& tracer() { return tracer_; }
   sim::Rng& rng() { return rng_; }
 
   // Charges CPU computation: advances the shared clock, firing any due device events
@@ -64,6 +81,7 @@ class Machine {
   std::vector<std::unique_ptr<Disk>> disks_;
   std::vector<std::unique_ptr<Nic>> nics_;
   sim::Counters counters_;
+  trace::Tracer tracer_;
   sim::Rng rng_;
 };
 

@@ -26,6 +26,13 @@ void Link::Send(Nic* from, Packet p) {
   dir.busy_until = start + serialize;
   const sim::Cycles arrival = dir.busy_until + latency_cycles_;
 
+  const bool tracing = tracer_ != nullptr && tracer_->enabled(trace::Category::kNet);
+  if (tracing) {
+    // Serialization windows per direction never overlap (start >= prior busy_until).
+    tracer_->Begin(trace::Category::kNet, dir.track, "wire", start, wire_bytes);
+    tracer_->End(trace::Category::kNet, dir.track, "wire", dir.busy_until, wire_bytes);
+  }
+
   if (faults_ != nullptr) {
     switch (faults_->NextWireFate(p.bytes.size())) {
       case sim::FaultInjector::WireFate::kDrop:
@@ -38,6 +45,12 @@ void Link::Send(Nic* from, Packet p) {
         // sender's retransmit logic fired spuriously.
         Packet copy = p;
         dir.busy_until += serialize;
+        if (tracing) {
+          tracer_->Begin(trace::Category::kNet, dir.track, "wire_dup",
+                         dir.busy_until - serialize, wire_bytes);
+          tracer_->End(trace::Category::kNet, dir.track, "wire_dup", dir.busy_until,
+                       wire_bytes);
+        }
         engine_->ScheduleAt(dir.busy_until + latency_cycles_,
                             [to, copy = std::move(copy)]() mutable {
           to->Deliver(std::move(copy));
@@ -49,6 +62,9 @@ void Link::Send(Nic* from, Packet p) {
     }
   }
 
+  if (tracing) {
+    tracer_->Instant(trace::Category::kNet, dir.track, "arrive", arrival, wire_bytes);
+  }
   engine_->ScheduleAt(arrival, [to, p = std::move(p)]() mutable { to->Deliver(std::move(p)); });
 }
 

@@ -12,9 +12,12 @@
 #include <functional>
 #include <vector>
 
+#include <string>
+
 #include "sim/counters.h"
 #include "sim/engine.h"
 #include "sim/fault.h"
+#include "trace/trace.h"
 
 namespace exo::hw {
 
@@ -97,20 +100,40 @@ class Link {
 
   // Attaches (or detaches, with nullptr) a fault injector consulted once per frame
   // for drop/corrupt/duplicate; unarmed links skip it behind one pointer test.
-  void SetFaultInjector(sim::FaultInjector* faults) { faults_ = faults; }
+  void SetFaultInjector(sim::FaultInjector* faults) {
+    faults_ = faults;
+    if (faults_ != nullptr && tracer_ != nullptr) {
+      faults_->AttachTracer(tracer_, engine_);  // injected fates share our timeline
+    }
+  }
   sim::FaultInjector* fault_injector() const { return faults_; }
+
+  // Attaches a tracer; each direction gets its own track (`name`.a2b / `name`.b2a)
+  // carrying `net` wire-occupancy spans and arrival instants.
+  void AttachTracer(trace::Tracer* tracer, const std::string& name) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) {
+      dir_ab_.track = tracer_->NewTrack(name + ".a2b");
+      dir_ba_.track = tracer_->NewTrack(name + ".b2a");
+      if (faults_ != nullptr) {
+        faults_->AttachTracer(tracer_, engine_);
+      }
+    }
+  }
 
   double utilization_tx_a() const { return 0; }  // reserved for future instrumentation
 
  private:
   struct Direction {
     sim::Cycles busy_until = 0;
+    uint32_t track = 0;
   };
 
   sim::Engine* engine_;
   double cycles_per_byte_;
   sim::Cycles latency_cycles_;
   sim::FaultInjector* faults_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   Nic* a_ = nullptr;
   Nic* b_ = nullptr;
   Direction dir_ab_;

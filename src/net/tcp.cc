@@ -60,18 +60,20 @@ TcpConn* TcpStack::Connect(IpAddr dst_ip, Port dst_port,
   c->snd_una_ = kInitialSeq;
   c->on_established_ = std::move(on_established);
   conns_[Key(dst_ip, dst_port, c->local_port_)] = std::move(tmp_);
-  Emit(c, kFlagSyn, c->snd_next_, {}, 0, false, false);
+  const sim::Cycles sent = Emit(c, kFlagSyn, c->snd_next_, {}, 0, false, false);
   TcpConn::PendingSegment syn;
   syn.syn = true;
   syn.seq = c->snd_next_;
+  syn.sent_at = sent;
   c->unacked_.push_back(std::move(syn));
   c->snd_next_ += 1;
   ArmRto(c);
   return c;
 }
 
-void TcpStack::Emit(TcpConn* c, uint8_t flags, uint32_t seq, std::span<const uint8_t> payload,
-                    uint32_t checksum, bool charge_checksum, bool charge_copy) {
+sim::Cycles TcpStack::Emit(TcpConn* c, uint8_t flags, uint32_t seq,
+                           std::span<const uint8_t> payload, uint32_t checksum,
+                           bool charge_checksum, bool charge_copy) {
   sim::Cycles cost = profile_.tx_fixed;
   if (!payload.empty()) {
     if (charge_copy) {
@@ -110,7 +112,11 @@ void TcpStack::Emit(TcpConn* c, uint8_t flags, uint32_t seq, std::span<const uin
 
   ++stats_.segments_out;
   stats_.bytes_out += payload.size();
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kNet)) {
+    tracer_->Instant(trace::Category::kNet, trace_track_, "tcp.tx", when, payload.size());
+  }
   hooks_.transmit(EncodeTcp(seg, payload), when);
+  return when;
 }
 
 void TcpStack::SendPureAck(TcpConn* c) {
@@ -155,17 +161,17 @@ void TcpStack::PumpSendQueue(TcpConn* c) {
     c->send_queue_.pop_front();
     seg.seq = c->snd_next_;
     if (seg.fin) {
-      Emit(c, kFlagFin, seg.seq, {}, 0, false, false);
+      seg.sent_at = Emit(c, kFlagFin, seg.seq, {}, 0, false, false);
       c->snd_next_ += 1;
       c->fin_sent_ = true;
       c->state_ = c->state_ == TcpConn::State::kCloseWait ? TcpConn::State::kLastAck
                                                           : TcpConn::State::kFinWait;
     } else {
       const bool precomputed = seg.checksum != 0;
-      Emit(c, kFlagPsh, seg.seq, seg.bytes(),
-           precomputed ? seg.checksum : Checksum(seg.bytes()),
-           /*charge_checksum=*/profile_.checksum_tx && !precomputed,
-           /*charge_copy=*/!profile_.zero_copy_tx);
+      seg.sent_at = Emit(c, kFlagPsh, seg.seq, seg.bytes(),
+                         precomputed ? seg.checksum : Checksum(seg.bytes()),
+                         /*charge_checksum=*/profile_.checksum_tx && !precomputed,
+                         /*charge_copy=*/!profile_.zero_copy_tx);
       c->snd_next_ += static_cast<uint32_t>(seg.bytes().size());
     }
     c->unacked_.push_back(std::move(seg));
@@ -227,20 +233,25 @@ void TcpStack::OnRto(TcpConn* c) {
     return;
   }
   ++stats_.retransmits;
-  const TcpConn::PendingSegment& seg = c->unacked_.front();
+  TcpConn::PendingSegment& seg = c->unacked_.front();
+  seg.retransmitted = true;  // Karn: this segment can no longer yield an RTT sample
+  sim::Cycles when = 0;
   if (seg.syn) {
     // Emit adds the ACK flag itself outside kSynSent, so this re-sends the client's
     // SYN or the server's SYN|ACK as appropriate.
-    Emit(c, kFlagSyn, seg.seq, {}, 0, false, false);
+    when = Emit(c, kFlagSyn, seg.seq, {}, 0, false, false);
   } else if (seg.fin) {
-    Emit(c, kFlagFin, seg.seq, {}, 0, false, false);
+    when = Emit(c, kFlagFin, seg.seq, {}, 0, false, false);
   } else {
     // Retransmission reads the (still pinned) data; zero-copy pays no copy here
     // either — the file cache is the retransmission pool.
     const bool precomputed = seg.checksum != 0;
-    Emit(c, kFlagPsh, seg.seq, seg.bytes(),
-         precomputed ? seg.checksum : Checksum(seg.bytes()),
-         profile_.checksum_tx && !precomputed, !profile_.zero_copy_tx);
+    when = Emit(c, kFlagPsh, seg.seq, seg.bytes(),
+                precomputed ? seg.checksum : Checksum(seg.bytes()),
+                profile_.checksum_tx && !precomputed, !profile_.zero_copy_tx);
+  }
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kNet)) {
+    tracer_->Instant(trace::Category::kNet, trace_track_, "tcp.retx", when, seg.seq);
   }
   ArmRto(c);
 }
@@ -262,10 +273,18 @@ void TcpStack::Input(const hw::Packet& p) {
     }
   }
   sim::Cycles when = Occupy(cost);
+  const bool tracing = tracer_ != nullptr && tracer_->enabled(trace::Category::kNet);
+  if (tracing) {
+    tracer_->Instant(trace::Category::kNet, trace_track_, "tcp.rx", when,
+                     seg->payload.size());
+  }
   if (!checksum_ok) {
     // Damaged in transit: discard after paying the verify cost; the sender's RTO
     // recovers. Indistinguishable from a drop, which is the point of the checksum.
     ++stats_.checksum_drops;
+    if (tracing) {
+      tracer_->Instant(trace::Category::kNet, trace_track_, "tcp.csum_drop", when, seg->seq);
+    }
     return;
   }
   hooks_.engine->ScheduleAt(when, [this, s = std::move(*seg)]() mutable {
@@ -296,10 +315,11 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     c->snd_next_ = kInitialSeq;
     c->snd_una_ = kInitialSeq;
     conns_[key] = std::move(tmp_);
-    Emit(c, kFlagSyn | kFlagAck, c->snd_next_, {}, 0, false, false);
+    const sim::Cycles sent = Emit(c, kFlagSyn | kFlagAck, c->snd_next_, {}, 0, false, false);
     TcpConn::PendingSegment syn;
     syn.syn = true;
     syn.seq = c->snd_next_;
+    syn.sent_at = sent;
     c->unacked_.push_back(std::move(syn));
     c->snd_next_ += 1;
     ArmRto(c);
@@ -345,6 +365,10 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
           head.seq +
           ((head.fin || head.syn) ? 1 : static_cast<uint32_t>(head.bytes().size()));
       if (static_cast<int32_t>(seg.ack - head_end) >= 0) {
+        if (rtt_hist_ != nullptr && head.sent_at != 0 && !head.retransmitted &&
+            tracer_->enabled(trace::Category::kNet)) {
+          rtt_hist_->Record(hooks_.engine->now() - head.sent_at);
+        }
         c->snd_una_ = head_end;
         c->unacked_.pop_front();
       } else {

@@ -28,6 +28,7 @@
 #include "sim/status.h"
 #include "sim/cpu_meter.h"
 #include "sim/engine.h"
+#include "trace/trace.h"
 
 namespace exo::net {
 
@@ -107,6 +108,8 @@ class TcpConn {
     uint32_t seq = 0;
     bool fin = false;
     bool syn = false;  // handshake segments occupy sequence space and retransmit too
+    sim::Cycles sent_at = 0;    // first transmission time (RTT sampling)
+    bool retransmitted = false;  // Karn's rule: no RTT sample from retransmits
     std::span<const uint8_t> bytes() const {
       return owned.empty() ? stable : std::span<const uint8_t>(owned);
     }
@@ -167,6 +170,15 @@ class TcpStack {
   IpAddr ip() const { return ip_; }
   const TcpProfile& profile() const { return profile_; }
 
+  // Attaches a tracer; segment tx/rx/retransmit land as `net` instants on
+  // `track`, and acks of never-retransmitted data segments feed the
+  // "tcp.rtt_cycles" histogram.
+  void SetTracer(trace::Tracer* tracer, uint32_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+    rtt_hist_ = tracer != nullptr ? tracer->Histogram("tcp.rtt_cycles") : nullptr;
+  }
+
  private:
   friend class TcpConn;
   using ConnKey = uint64_t;
@@ -179,8 +191,9 @@ class TcpStack {
   }
 
   TcpConn* NewConn();
-  void Emit(TcpConn* c, uint8_t flags, uint32_t seq, std::span<const uint8_t> payload,
-            uint32_t checksum, bool charge_checksum, bool charge_copy);
+  // Returns the simulated time the frame reaches the wire (CPU completion).
+  sim::Cycles Emit(TcpConn* c, uint8_t flags, uint32_t seq, std::span<const uint8_t> payload,
+                   uint32_t checksum, bool charge_checksum, bool charge_copy);
   void SendPureAck(TcpConn* c);
   void ScheduleDelayedAck(TcpConn* c);
   void PumpSendQueue(TcpConn* c);
@@ -199,6 +212,9 @@ class TcpStack {
   std::unique_ptr<TcpConn> tmp_;  // freshly built PCB awaiting keying into conns_
   Port next_ephemeral_ = 20000;
   TcpStats stats_;
+  trace::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
+  trace::LatencyHistogram* rtt_hist_ = nullptr;
 };
 
 }  // namespace exo::net

@@ -49,6 +49,18 @@ class Counters {
     return out;
   }
 
+  // Sorted (name, value) pairs for counters whose name starts with `prefix`
+  // (e.g. "xok." or "disk."). The map is sorted, so this walks only the
+  // matching range.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot(const std::string& prefix) const {
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (auto it = slots_.lower_bound(prefix);
+         it != slots_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+      out.emplace_back(it->first, *it->second);
+    }
+    return out;
+  }
+
  private:
   std::map<std::string, std::unique_ptr<Slot>> slots_;
 };

@@ -10,6 +10,7 @@
 #define EXO_SIM_CPU_METER_H_
 
 #include "sim/engine.h"
+#include "trace/trace.h"
 
 namespace exo::sim {
 
@@ -22,7 +23,19 @@ class CpuMeter {
     Cycles start = engine_->now() > busy_until_ ? engine_->now() : busy_until_;
     busy_until_ = start + cost;
     total_busy_ += cost;
+    if (tracer_ != nullptr && tracer_->enabled(trace::Category::kSched) && cost > 0) {
+      // Occupancy windows are serialized (start >= previous busy_until), so
+      // these spans never overlap on the track.
+      tracer_->Begin(trace::Category::kSched, trace_track_, "busy", start, cost);
+      tracer_->End(trace::Category::kSched, trace_track_, "busy", busy_until_, cost);
+    }
     return busy_until_;
+  }
+
+  // Attaches a tracer; each Occupy emits a `sched` busy span onto `track`.
+  void SetTracer(trace::Tracer* tracer, uint32_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
   }
 
   Cycles busy_until() const { return busy_until_; }
@@ -43,6 +56,8 @@ class CpuMeter {
   Engine* engine_;
   Cycles busy_until_ = 0;
   Cycles total_busy_ = 0;
+  trace::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace exo::sim

@@ -40,6 +40,9 @@ bool Engine::RunNextEvent() {
   --live_events_;
   EXO_CHECK_GE(top.time, now_);
   now_ = top.time;
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kSched)) {
+    tracer_->Instant(trace::Category::kSched, trace_track_, "event", now_, top.seq);
+  }
   fn();
   return true;
 }

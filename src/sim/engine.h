@@ -20,6 +20,7 @@
 
 #include "sim/check.h"
 #include "sim/event_fn.h"
+#include "trace/trace.h"
 
 namespace exo::sim {
 
@@ -110,6 +111,14 @@ class Engine {
   size_t event_slot_count() const { return slots_.size(); }
   size_t queued_entry_count() const { return heap_.size(); }
 
+  // Attaches a tracer (or detaches, with nullptr); event dispatch emits `sched`
+  // instants onto `track`. Unattached engines skip it behind one pointer test.
+  void set_tracer(trace::Tracer* tracer, uint32_t track = 0) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Slot {
     EventFn fn;
@@ -139,6 +148,8 @@ class Engine {
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   uint64_t live_events_ = 0;
+  trace::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace exo::sim

@@ -23,6 +23,7 @@ bool FaultInjector::NextDiskRequestFails(uint64_t start_block, uint32_t nblocks)
   }
   ++stats_.disk_io_errors;
   Log(Format("disk-error block=%llu n=%llu", start_block, nblocks));
+  TraceFault("disk_error", start_block);
   return true;
 }
 
@@ -34,6 +35,7 @@ bool FaultInjector::OnBlockWritten(uint64_t block) {
   }
   ++stats_.power_cuts;
   Log(Format("power-cut after-block=%llu writes=%llu", block, stats_.disk_blocks_written));
+  TraceFault("power_cut", block);
   return true;
 }
 
@@ -49,6 +51,7 @@ FaultInjector::WireFate FaultInjector::NextWireFate(uint64_t frame_bytes) {
   if (roll < plan_.net_drop_rate) {
     ++stats_.net_drops;
     Log(Format("net-drop bytes=%llu seq=%llu", frame_bytes, stats_.frames_seen));
+    TraceFault("net_drop", frame_bytes);
     return WireFate::kDrop;
   }
   if (roll < plan_.net_drop_rate + plan_.net_corrupt_rate) {
@@ -57,6 +60,7 @@ FaultInjector::WireFate FaultInjector::NextWireFate(uint64_t frame_bytes) {
       ++stats_.net_drops;
       Log(Format("net-drop(short-corrupt) bytes=%llu seq=%llu", frame_bytes,
                  stats_.frames_seen));
+      TraceFault("net_drop", frame_bytes);
       return WireFate::kDrop;
     }
     corrupt_offset_ =
@@ -64,11 +68,13 @@ FaultInjector::WireFate FaultInjector::NextWireFate(uint64_t frame_bytes) {
         rng_.Below(frame_bytes - plan_.net_corrupt_min_offset);
     ++stats_.net_corruptions;
     Log(Format("net-corrupt bytes=%llu off=%llu", frame_bytes, corrupt_offset_));
+    TraceFault("net_corrupt", corrupt_offset_);
     return WireFate::kCorrupt;
   }
   if (roll < plan_.net_drop_rate + plan_.net_corrupt_rate + plan_.net_duplicate_rate) {
     ++stats_.net_duplicates;
     Log(Format("net-dup bytes=%llu seq=%llu", frame_bytes, stats_.frames_seen));
+    TraceFault("net_duplicate", frame_bytes);
     return WireFate::kDuplicate;
   }
   return WireFate::kDeliver;

@@ -23,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine.h"
 #include "sim/rng.h"
+#include "trace/trace.h"
 
 namespace exo::sim {
 
@@ -77,6 +79,25 @@ class FaultInjector {
   // with the same seed and workload must produce identical logs.
   const std::vector<std::string>& log() const { return log_; }
 
+  // Mirrors every injected fault into the tracer's `fault` category as an
+  // instant event, stamped with the engine clock, so a failing crash-test
+  // schedule replays with a visible timeline. First attachment wins (a Disk and
+  // a Link sharing one injector both try to wire it); detach with nullptr.
+  void AttachTracer(trace::Tracer* tracer, const Engine* engine) {
+    if (tracer == nullptr) {
+      tracer_ = nullptr;
+      engine_ = nullptr;
+      return;
+    }
+    if (tracer_ != nullptr) {
+      return;
+    }
+    tracer_ = tracer;
+    engine_ = engine;
+    trace_track_ = tracer->NewTrack("faults");
+  }
+  trace::Tracer* tracer() const { return tracer_; }
+
   // ---- Disk consultation ----
 
   // Drawn once per disk request as it begins service. True => the request fails
@@ -107,12 +128,22 @@ class FaultInjector {
 
  private:
   void Log(std::string line) { log_.push_back(std::move(line)); }
+  // Emits a `fault` instant if a tracer is attached and the category armed.
+  void TraceFault(const char* name, uint64_t arg) {
+    if (tracer_ != nullptr && tracer_->enabled(trace::Category::kFault)) {
+      tracer_->Instant(trace::Category::kFault, trace_track_, name,
+                       engine_ != nullptr ? engine_->now() : 0, arg);
+    }
+  }
 
   FaultPlan plan_;
   Rng rng_;
   FaultStats stats_;
   uint64_t corrupt_offset_ = 0;
   std::vector<std::string> log_;
+  trace::Tracer* tracer_ = nullptr;
+  const Engine* engine_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace exo::sim

@@ -92,6 +92,8 @@ class Cursor {
 
 Xn::Xn(hw::Machine* machine, hw::Disk* disk) : machine_(machine), disk_(disk) {
   syscall_counter_ = machine_->counters().Handle("xok.syscalls");
+  tracer_ = &machine_->tracer();
+  trace_track_ = tracer_->NewTrack("xn");
 }
 
 void Xn::ChargeOp(const char* name) {
@@ -99,6 +101,9 @@ void Xn::ChargeOp(const char* name) {
   machine_->Charge(c.trap_round_trip + c.xok_syscall_check);
   ++*syscall_counter_;
   ++stats_.ops;
+  if (tracer_->enabled(trace::Category::kXn)) {
+    tracer_->Instant(trace::Category::kXn, trace_track_, name, machine_->engine().now());
+  }
 }
 
 std::span<const uint8_t> Xn::FrameBytes(hw::FrameId f) const {
@@ -370,6 +375,11 @@ void Xn::Crash() {
 }
 
 void Xn::RecoverFreeMap() {
+  const bool tracing = tracer_->enabled(trace::Category::kXn);
+  if (tracing) {
+    tracer_->Begin(trace::Category::kXn, trace_track_, "recovery",
+                   machine_->engine().now());
+  }
   const uint32_t nblocks = disk_->geometry().num_blocks;
   free_map_.assign(nblocks, 1);
   for (hw::BlockId b = 0; b < first_data_block_; ++b) {
@@ -384,6 +394,10 @@ void Xn::RecoverFreeMap() {
     free_count_ += free_map_[b];
   }
   machine_->counters().Add("xn.recovery_blocks_scanned", seen.size());
+  if (tracing) {
+    tracer_->End(trace::Category::kXn, trace_track_, "recovery",
+                 machine_->engine().now(), seen.size());
+  }
 }
 
 void Xn::TraverseForRecovery(hw::BlockId block, TemplateId tmpl,
@@ -1144,6 +1158,11 @@ Status Xn::Write(std::span<const hw::BlockId> blocks, std::function<void(Status)
                    .done = [this, run_start, n, remaining, first_err, done](Status s) {
                      if (s != Status::kOk) {
                        *first_err = s;
+                     }
+                     if (tracer_->enabled(trace::Category::kXn)) {
+                       tracer_->Instant(trace::Category::kXn, trace_track_,
+                                        s == Status::kOk ? "write_done" : "write_err",
+                                        machine_->engine().now(), run_start);
                      }
                      for (uint32_t k = 0; k < n; ++k) {
                        OnWriteComplete(run_start + k, s);

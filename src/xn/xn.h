@@ -228,6 +228,8 @@ class Xn {
   uint64_t lru_clock_ = 0;
   XnStats stats_;
   uint64_t* syscall_counter_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;  // the machine's tracer (never null)
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace exo::xn

@@ -192,6 +192,12 @@ struct Env {
   // Accounting surfaced to Figure 4/5 benches: per-process run time.
   sim::Cycles spawned_at = 0;
   sim::Cycles exited_at = 0;
+
+  // Tracing: the track this env's spans land on (the kernel track when the env
+  // was created with tracing off), and when the current blocked period started
+  // (the wake path emits the whole `blocked` span retrospectively).
+  uint32_t trace_track = 0;
+  sim::Cycles blocked_since = 0;
 };
 
 }  // namespace exo::xok

@@ -26,12 +26,44 @@ XokKernel::XokKernel(hw::Machine* machine) : machine_(machine) {
   fault_counter_ = machine_->counters().Handle("xok.page_faults");
   predicate_eval_counter_ = machine_->counters().Handle("xok.predicate_evals");
   predicate_skip_counter_ = machine_->counters().Handle("xok.predicate_skips");
+  demux_counter_ = machine_->counters().Handle("xok.packets_demuxed");
+  unclaimed_counter_ = machine_->counters().Handle("xok.packets_unclaimed");
+  ring_drop_counter_ = machine_->counters().Handle("xok.ring_drops");
+  ipc_rejected_counter_ = machine_->counters().Handle("xok.ipc_rejected");
+  orphan_reap_counter_ = machine_->counters().Handle("xok.orphans_reaped");
+  tracer_ = &machine_->tracer();
+  trace_track_ = tracer_->NewTrack("kernel");
+  syscall_hist_ = tracer_->Histogram("syscall.latency_cycles");
   for (uint32_t i = 0; i < machine_->num_nics(); ++i) {
     machine_->nic(i).SetReceiveHandler([this, i](hw::Packet p) { OnPacket(i, std::move(p)); });
   }
 }
 
 XokKernel::~XokKernel() = default;
+
+XokKernel::SyscallScope::SyscallScope(XokKernel* kernel, const char* name)
+    : kernel_(kernel), name_(name) {
+  kernel_->ChargeSyscall(name_);
+  if (kernel_->tracer_->enabled(trace::Category::kSyscall)) {
+    track_ = kernel_->current_ != nullptr ? kernel_->current_->trace_track
+                                          : kernel_->trace_track_;
+    start_ = kernel_->machine_->engine().now();
+    kernel_->tracer_->Begin(trace::Category::kSyscall, track_, name_, start_,
+                            kernel_->current_id());
+    open_ = true;
+  }
+}
+
+Status XokKernel::SyscallScope::Close(Status s) {
+  if (open_) {
+    open_ = false;
+    const sim::Cycles now = kernel_->machine_->engine().now();
+    kernel_->tracer_->End(trace::Category::kSyscall, track_, name_, now,
+                          static_cast<uint64_t>(s));
+    kernel_->syscall_hist_->Record(now - start_);
+  }
+  return s;
+}
 
 void XokKernel::ChargeSyscall(const char* name) {
   const auto& c = machine_->cost();
@@ -65,10 +97,14 @@ Status XokKernel::CheckCred(const Env& e, CredIndex cred, const CapName& guard,
 
 EnvId XokKernel::CreateEnv(EnvId parent, std::vector<Capability> caps,
                            std::function<void()> body) {
-  ChargeSyscall("env_alloc");
+  SyscallScope scope(this, "env_alloc");
   EnvId id = next_env_id_++;
   auto e = std::make_unique<Env>();
   e->id = id;
+  // With tracing off at creation, the env shares the kernel track; a track
+  // created later would renumber depending on when tracing was switched on.
+  e->trace_track = tracer_->active() ? tracer_->NewTrack("env" + std::to_string(id))
+                                     : trace_track_;
   e->parent = parent;
   e->alive = true;
   e->caps = std::move(caps);
@@ -224,14 +260,30 @@ Env* XokKernel::PickNext() {
     if (!e->predicate.watches.empty() && !e->predicate_dirty &&
         machine_->engine().now() < e->predicate.deadline) {
       ++*predicate_skip_counter_;
+      if (tracer_->enabled(trace::Category::kSched)) {
+        tracer_->Instant(trace::Category::kSched, trace_track_, "pred_skip",
+                         machine_->engine().now(), e->id);
+      }
       return nullptr;
     }
     ++*predicate_eval_counter_;
+    if (tracer_->enabled(trace::Category::kSched)) {
+      tracer_->Instant(trace::Category::kSched, trace_track_, "pred_eval",
+                       machine_->engine().now(), e->id);
+    }
     const bool ready = EvalPredicate(e);
     e->predicate_dirty = false;
     if (ready) {
       UnregisterWatches(e);
       e->state = EnvState::kRunnable;
+      if (tracer_->enabled(trace::Category::kSched)) {
+        // The whole blocked period, emitted retrospectively at wake so no span
+        // stays open while the fiber is suspended.
+        tracer_->Begin(trace::Category::kSched, e->trace_track, "blocked",
+                       e->blocked_since, e->id);
+        tracer_->End(trace::Category::kSched, e->trace_track, "blocked",
+                     machine_->engine().now(), e->id);
+      }
       return e;
     }
     return nullptr;
@@ -332,6 +384,10 @@ void XokKernel::Run() {
     if (next->id != last_scheduled_) {
       machine_->Charge(machine_->cost().context_switch);
       ++*ctx_switch_counter_;
+      if (tracer_->enabled(trace::Category::kSched)) {
+        tracer_->Instant(trace::Category::kSched, trace_track_, "context_switch",
+                         machine_->engine().now(), next->id);
+      }
     }
     last_scheduled_ = next->id;
     next->slice_used = 0;
@@ -341,9 +397,18 @@ void XokKernel::Run() {
       next->on_slice_begin();
     }
 
+    const bool trace_run = tracer_->enabled(trace::Category::kSched);
+    if (trace_run) {
+      tracer_->Begin(trace::Category::kSched, next->trace_track, "run",
+                     machine_->engine().now(), next->id);
+    }
     current_ = next;
     next->fiber->Resume();
     current_ = nullptr;
+    if (trace_run) {
+      tracer_->End(trace::Category::kSched, next->trace_track, "run",
+                   machine_->engine().now(), next->id);
+    }
 
     if (next->fiber->done() && next->alive) {
       FinishExit(next, 0);
@@ -357,7 +422,7 @@ void XokKernel::DrainPendingReaps() {
     EnvId id = pending_reaps_.front();
     pending_reaps_.pop_front();
     if (EnvExists(id) && env(id).state == EnvState::kZombie) {
-      machine_->counters().Add("xok.orphans_reaped");
+      ++*orphan_reap_counter_;
       EXO_CHECK_EQ(ReapEnv(id), Status::kOk);
     }
   }
@@ -431,14 +496,15 @@ void XokKernel::DeliverEndOfSlice(Env* e) {
 
 void XokKernel::SysYield(EnvId directed) {
   EXO_CHECK(current_ != nullptr);
-  ChargeSyscall("yield");
+  SyscallScope scope(this, "yield");
   current_->yield_to = directed;
+  scope.Close(Status::kOk);  // the span must not outlive the fiber's slice
   sim::Fiber::Suspend();
 }
 
 void XokKernel::SysSleep(WakeupPredicate predicate) {
   EXO_CHECK(current_ != nullptr);
-  ChargeSyscall("sleep");
+  SyscallScope scope(this, "sleep");
   // Downloaded predicates face the same static verifier as packet filters; an
   // unverifiable program is dropped, degrading to a plain yield-style sleep
   // (immediately runnable) rather than running arbitrary code in the scheduler.
@@ -451,7 +517,9 @@ void XokKernel::SysSleep(WakeupPredicate predicate) {
   current_->predicate = std::move(predicate);
   current_->state = EnvState::kBlocked;
   current_->predicate_dirty = true;  // always evaluate at least once after blocking
+  current_->blocked_since = machine_->engine().now();
   RegisterWatches(current_);
+  scope.Close(Status::kOk);  // the span must not outlive the fiber's slice
   sim::Fiber::Suspend();
 }
 
@@ -501,8 +569,9 @@ void XokKernel::NotifyWatch(WatchKind kind, uint32_t id) {
 
 void XokKernel::SysExit(int code) {
   EXO_CHECK(current_ != nullptr);
-  ChargeSyscall("exit");
+  SyscallScope scope(this, "exit");
   FinishExit(current_, code);
+  scope.Close(Status::kOk);  // the fiber never resumes past the suspend below
   for (;;) {
     sim::Fiber::Suspend();  // zombies are never scheduled again
     EXO_CHECK(false);
@@ -511,13 +580,14 @@ void XokKernel::SysExit(int code) {
 
 Result<int> XokKernel::SysWait(EnvId child) {
   EXO_CHECK(current_ != nullptr);
-  ChargeSyscall("wait");
+  SyscallScope scope(this, "wait");
   if (!EnvExists(child)) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   if (env(child).parent != current_->id) {
-    return Status::kPermissionDenied;
+    return scope.Close(Status::kPermissionDenied);
   }
+  scope.Close(Status::kOk);  // the nested SysSleep may suspend the fiber
   if (env(child).state != EnvState::kZombie) {
     WakeupPredicate p;
     p.host = [this, child] {
@@ -614,18 +684,18 @@ void XokKernel::FrameUnref(hw::FrameId frame, EnvId attribution) {
 }
 
 Result<hw::FrameId> XokKernel::SysFrameAlloc(CredIndex cred, CapName guard, bool shared) {
-  ChargeSyscall("frame_alloc");
+  SyscallScope scope(this, "frame_alloc");
   (void)cred;  // allocation itself needs no permission; the guard protects use
   if (guard.size() > kMaxGuardName) {
-    return Status::kInvalidArgument;
+    return scope.Close(Status::kInvalidArgument);
   }
   Env* e = shared ? nullptr : current_;
   if (e != nullptr && e->usage.frames + 1 > e->quota.frames) {
-    return Status::kQuotaExceeded;
+    return scope.Close(Status::kQuotaExceeded);
   }
   auto f = machine_->mem().Alloc();
   if (!f.ok()) {
-    return f.status();
+    return scope.Close(f.status());
   }
   frame_guards_[*f] = std::move(guard);
   if (e != nullptr) {
@@ -638,47 +708,47 @@ Result<hw::FrameId> XokKernel::SysFrameAlloc(CredIndex cred, CapName guard, bool
 }
 
 Status XokKernel::SysFrameFree(hw::FrameId frame, CredIndex cred) {
-  ChargeSyscall("frame_free");
+  SyscallScope scope(this, "frame_free");
   if (frame >= machine_->mem().num_frames()) {
-    return Status::kInvalidArgument;
+    return scope.Close(Status::kInvalidArgument);
   }
   auto it = frame_guards_.find(frame);
   if (it == frame_guards_.end() || !machine_->mem().allocated(frame)) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   if (current_ != nullptr) {
     Status s = CheckCred(*current_, cred, it->second, /*need_write=*/true);
     if (s != Status::kOk) {
-      return s;
+      return scope.Close(s);
     }
   }
   if (!DebitFrameRef(frame, current_)) {
     // Every remaining reference is a page mapping or kernel-held (e.g. the
     // buffer-cache registry). Releasing one from here would leave a dangling
     // mapping; the holder must unmap/evict first.
-    return Status::kBusy;
+    return scope.Close(Status::kBusy);
   }
   ReleaseFrame(frame);
   return Status::kOk;
 }
 
 Status XokKernel::SysFrameRef(hw::FrameId frame, CredIndex cred) {
-  ChargeSyscall("frame_ref");
+  SyscallScope scope(this, "frame_ref");
   if (frame >= machine_->mem().num_frames()) {
-    return Status::kInvalidArgument;
+    return scope.Close(Status::kInvalidArgument);
   }
   auto it = frame_guards_.find(frame);
   if (it == frame_guards_.end() || !machine_->mem().allocated(frame)) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   if (current_ != nullptr) {
     Status s = CheckCred(*current_, cred, it->second, /*need_write=*/false);
     if (s != Status::kOk) {
-      return s;
+      return scope.Close(s);
     }
   }
   if (current_ != nullptr && current_->usage.frames + 1 > current_->quota.frames) {
-    return Status::kQuotaExceeded;
+    return scope.Close(Status::kQuotaExceeded);
   }
   machine_->mem().Ref(frame);
   if (current_ != nullptr) {
@@ -772,25 +842,25 @@ Status XokKernel::PtApply(Env& target, const PtOp& op, CredIndex cred) {
 }
 
 Status XokKernel::SysPtUpdate(EnvId target, const PtOp& op, CredIndex cred) {
-  ChargeSyscall("pt_update");
+  SyscallScope scope(this, "pt_update");
   if (!EnvExists(target)) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   machine_->Charge(machine_->cost().pte_update_kernel);
-  return PtApply(env(target), op, cred);
+  return scope.Close(PtApply(env(target), op, cred));
 }
 
 Status XokKernel::SysPtBatch(EnvId target, std::span<const PtOp> ops, CredIndex cred) {
-  ChargeSyscall("pt_batch");
+  SyscallScope scope(this, "pt_batch");
   if (!EnvExists(target)) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   Env& t = env(target);
   for (const PtOp& op : ops) {
     machine_->Charge(machine_->cost().pte_update_batched);
     Status s = PtApply(t, op, cred);
     if (s != Status::kOk) {
-      return s;  // batch stops at first failure; prior updates remain applied
+      return scope.Close(s);  // batch stops at first failure; prior updates remain applied
     }
   }
   return Status::kOk;
@@ -840,14 +910,14 @@ Status XokKernel::AccessUserMemory(EnvId id, uint64_t vaddr, std::span<uint8_t> 
 // ---- Software regions ----
 
 Result<RegionId> XokKernel::SysRegionCreate(uint32_t size, CapName guard, CredIndex cred) {
-  ChargeSyscall("region_create");
+  SyscallScope scope(this, "region_create");
   (void)cred;
   if (size == 0 || size > (1u << 20) || guard.size() > kMaxGuardName) {
-    return Status::kInvalidArgument;
+    return scope.Close(Status::kInvalidArgument);
   }
   if (current_ != nullptr && (current_->usage.regions + 1 > current_->quota.regions ||
                               current_->usage.region_bytes + size > current_->quota.region_bytes)) {
-    return Status::kQuotaExceeded;
+    return scope.Close(Status::kQuotaExceeded);
   }
   RegionId id = next_region_id_++;
   regions_[id] = Region{std::move(guard), current_id(), std::vector<uint8_t>(size, 0)};
@@ -860,20 +930,20 @@ Result<RegionId> XokKernel::SysRegionCreate(uint32_t size, CapName guard, CredIn
 
 Status XokKernel::SysRegionWrite(RegionId rid, uint32_t off, std::span<const uint8_t> data,
                                  CredIndex cred) {
-  ChargeSyscall("region_write");
+  SyscallScope scope(this, "region_write");
   auto it = regions_.find(rid);
   if (it == regions_.end()) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   if (current_ != nullptr) {
     Status s = CheckCred(*current_, cred, it->second.guard, /*need_write=*/true);
     if (s != Status::kOk) {
-      return s;
+      return scope.Close(s);
     }
   }
   auto& bytes = it->second.bytes;
   if (static_cast<uint64_t>(off) + data.size() > bytes.size()) {
-    return Status::kInvalidArgument;
+    return scope.Close(Status::kInvalidArgument);
   }
   machine_->Charge(machine_->cost().CopyCost(data.size()));
   std::memcpy(bytes.data() + off, data.data(), data.size());
@@ -883,20 +953,20 @@ Status XokKernel::SysRegionWrite(RegionId rid, uint32_t off, std::span<const uin
 
 Status XokKernel::SysRegionRead(RegionId rid, uint32_t off, std::span<uint8_t> out,
                                 CredIndex cred) {
-  ChargeSyscall("region_read");
+  SyscallScope scope(this, "region_read");
   auto it = regions_.find(rid);
   if (it == regions_.end()) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   if (current_ != nullptr) {
     Status s = CheckCred(*current_, cred, it->second.guard, /*need_write=*/false);
     if (s != Status::kOk) {
-      return s;
+      return scope.Close(s);
     }
   }
   const auto& bytes = it->second.bytes;
   if (static_cast<uint64_t>(off) + out.size() > bytes.size()) {
-    return Status::kInvalidArgument;
+    return scope.Close(Status::kInvalidArgument);
   }
   machine_->Charge(machine_->cost().CopyCost(out.size()));
   std::memcpy(out.data(), bytes.data() + off, out.size());
@@ -904,15 +974,15 @@ Status XokKernel::SysRegionRead(RegionId rid, uint32_t off, std::span<uint8_t> o
 }
 
 Status XokKernel::SysRegionDestroy(RegionId rid, CredIndex cred) {
-  ChargeSyscall("region_destroy");
+  SyscallScope scope(this, "region_destroy");
   auto it = regions_.find(rid);
   if (it == regions_.end()) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   if (current_ != nullptr) {
     Status s = CheckCred(*current_, cred, it->second.guard, /*need_write=*/true);
     if (s != Status::kOk) {
-      return s;
+      return scope.Close(s);
     }
   }
   if (it->second.owner != kInvalidEnv && EnvExists(it->second.owner)) {
@@ -934,16 +1004,16 @@ const std::vector<uint8_t>* XokKernel::RegionBytes(RegionId rid) const {
 // ---- IPC ----
 
 Status XokKernel::SysIpcSend(EnvId to, const IpcMessage& msg, CredIndex cred) {
-  ChargeSyscall("ipc_send");
+  SyscallScope scope(this, "ipc_send");
   if (!EnvExists(to) || !env(to).alive) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   Env& dest = env(to);
   // The queue lives in kernel memory: bound it by the receiver's quota so a
   // flooding sender exhausts its own patience, not host memory.
   if (dest.ipc_queue.size() >= dest.quota.ipc_depth) {
-    machine_->counters().Add("xok.ipc_rejected");
-    return Status::kWouldBlock;
+    ++*ipc_rejected_counter_;
+    return scope.Close(Status::kWouldBlock);
   }
   IpcMessage m = msg;
   m.from = current_ != nullptr ? current_->id : kInvalidEnv;
@@ -958,9 +1028,9 @@ Status XokKernel::SysIpcSend(EnvId to, const IpcMessage& msg, CredIndex cred) {
 
 Result<IpcMessage> XokKernel::SysIpcRecv() {
   EXO_CHECK(current_ != nullptr);
-  ChargeSyscall("ipc_recv");
+  SyscallScope scope(this, "ipc_recv");
   if (current_->ipc_queue.empty()) {
-    return Status::kWouldBlock;
+    return scope.Close(Status::kWouldBlock);
   }
   IpcMessage m = current_->ipc_queue.front();
   current_->ipc_queue.pop_front();
@@ -971,14 +1041,14 @@ Result<IpcMessage> XokKernel::SysIpcRecv() {
 // ---- Network ----
 
 Result<FilterId> XokKernel::SysFilterInstall(udf::Program program, CredIndex cred) {
-  ChargeSyscall("filter_install");
+  SyscallScope scope(this, "filter_install");
   (void)cred;
   if (program.size() > kMaxFilterProgramInsns) {
-    return Status::kInvalidArgument;
+    return scope.Close(Status::kInvalidArgument);
   }
   auto v = udf::Verify(program, udf::Policy::kDeterministic);
   if (!v.ok) {
-    return Status::kVerifierReject;
+    return scope.Close(Status::kVerifierReject);
   }
   PacketFilter f;
   f.id = next_filter_id_++;
@@ -987,7 +1057,7 @@ Result<FilterId> XokKernel::SysFilterInstall(udf::Program program, CredIndex cre
   if (current_ != nullptr &&
       (current_->usage.filters + 1 > current_->quota.filters ||
        current_->usage.ring_slots + f.ring_capacity > current_->quota.ring_slots)) {
-    return Status::kQuotaExceeded;
+    return scope.Close(Status::kQuotaExceeded);
   }
   if (current_ != nullptr) {
     ++current_->usage.filters;
@@ -998,12 +1068,12 @@ Result<FilterId> XokKernel::SysFilterInstall(udf::Program program, CredIndex cre
 }
 
 Status XokKernel::SysFilterRemove(FilterId id, CredIndex cred) {
-  ChargeSyscall("filter_remove");
+  SyscallScope scope(this, "filter_remove");
   (void)cred;
   for (auto it = filters_.begin(); it != filters_.end(); ++it) {
     if (it->id == id) {
       if (current_ != nullptr && it->owner != current_->id) {
-        return Status::kPermissionDenied;
+        return scope.Close(Status::kPermissionDenied);
       }
       if (it->owner != kInvalidEnv && EnvExists(it->owner)) {
         Env& owner = env(it->owner);
@@ -1016,7 +1086,7 @@ Status XokKernel::SysFilterRemove(FilterId id, CredIndex cred) {
       return Status::kOk;
     }
   }
-  return Status::kNotFound;
+  return scope.Close(Status::kNotFound);
 }
 
 Result<hw::Packet> XokKernel::SysRingConsume(FilterId id, CredIndex cred) {
@@ -1050,9 +1120,10 @@ const PacketFilter* XokKernel::Filter(FilterId id) const {
 }
 
 Status XokKernel::SysNicTransmit(uint32_t nic, hw::Packet packet) {
-  ChargeSyscall("nic_tx");
+  SyscallScope scope(this, "nic_tx");
   if (nic >= machine_->num_nics() || packet.bytes.size() > hw::kMaxFrameBytes) {
-    return Status::kInvalidArgument;  // an oversized frame must not reach the DMA engine
+    // An oversized frame must not reach the DMA engine.
+    return scope.Close(Status::kInvalidArgument);
   }
   machine_->Charge(150);  // DMA descriptor setup; the CPU does not touch the payload
   machine_->nic(nic).Transmit(std::move(packet));
@@ -1071,20 +1142,29 @@ void XokKernel::OnPacket(uint32_t nic, hw::Packet p) {
     udf::RunOutput out = udf::Run(f.program, in);
     cost += out.insns * machine_->cost().downloaded_insn;
     if (out.ok && out.ret != 0) {
-      if (f.ring.size() >= f.ring_capacity) {
+      const bool full = f.ring.size() >= f.ring_capacity;
+      if (full) {
         ++f.dropped;
-        machine_->counters().Add("xok.ring_drops");
+        ++*ring_drop_counter_;
       } else {
         f.ring.push_back(std::move(p));
         ++f.delivered;
       }
       NotifyWatch(WatchKind::kFilterRing, f.id);
-      machine_->counters().Add("xok.packets_demuxed");
+      ++*demux_counter_;
+      if (tracer_->enabled(trace::Category::kNet)) {
+        tracer_->Instant(trace::Category::kNet, trace_track_,
+                         full ? "ring_drop" : "demux", machine_->engine().now(), f.id);
+      }
       interrupt_debt_ += cost;
       return;
     }
   }
-  machine_->counters().Add("xok.packets_unclaimed");
+  ++*unclaimed_counter_;
+  if (tracer_->enabled(trace::Category::kNet)) {
+    tracer_->Instant(trace::Category::kNet, trace_track_, "unclaimed",
+                     machine_->engine().now(), p.bytes.size());
+  }
   interrupt_debt_ += cost;
 }
 
@@ -1112,18 +1192,19 @@ void XokKernel::ClearRevokeIfCompliant(Env& e) {
 }
 
 Status XokKernel::SysSetQuota(EnvId target, const ResourceQuota& q, CredIndex cred) {
-  ChargeSyscall("set_quota");
+  SyscallScope scope(this, "set_quota");
   if (!EnvExists(target)) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   Env& t = env(target);
   if (current_ != nullptr) {
     Status s = CheckCred(*current_, cred, EnvGuardName(target), /*need_write=*/true);
     if (s != Status::kOk) {
-      return s;
+      return scope.Close(s);
     }
     if (t.quota.locked && current_->id == target) {
-      return Status::kPermissionDenied;  // a limited env may not lift its own limits
+      // A limited env may not lift its own limits.
+      return scope.Close(Status::kPermissionDenied);
     }
   }
   t.quota = q;
@@ -1132,22 +1213,22 @@ Status XokKernel::SysSetQuota(EnvId target, const ResourceQuota& q, CredIndex cr
 
 Status XokKernel::SysRevoke(EnvId target, RevokeResource resource, uint32_t allowed,
                             sim::Cycles grace, CredIndex cred) {
-  ChargeSyscall("revoke");
+  SyscallScope scope(this, "revoke");
   if (!EnvExists(target) || !env(target).alive) {
-    return Status::kNotFound;
+    return scope.Close(Status::kNotFound);
   }
   Env& t = env(target);
   if (current_ != nullptr) {
     Status s = CheckCred(*current_, cred, EnvGuardName(target), /*need_write=*/true);
     if (s != Status::kOk) {
-      return s;
+      return scope.Close(s);
     }
   }
   if (RevocableUsage(t, resource) <= allowed) {
     return Status::kOk;  // already compliant; nothing to ask
   }
   if (t.pending_revoke.has_value()) {
-    return Status::kBusy;  // one outstanding request at a time
+    return scope.Close(Status::kBusy);  // one outstanding request at a time
   }
   t.pending_revoke = RevocationRequest{resource, allowed, machine_->engine().now() + grace};
   ++pending_revocations_;
@@ -1390,9 +1471,21 @@ std::string XokKernel::CheckInvariants() const {
 
 void XokKernel::SysNull(int count) {
   const auto& c = machine_->cost();
+  // Bursts are common (Sec. 6.3 issues hundreds of thousands); one span covers
+  // the whole burst rather than drowning the ring in per-call records.
+  const bool tracing = tracer_->enabled(trace::Category::kSyscall);
+  const uint32_t track = current_ != nullptr ? current_->trace_track : trace_track_;
+  if (tracing) {
+    tracer_->Begin(trace::Category::kSyscall, track, "null", machine_->engine().now(),
+                   static_cast<uint64_t>(count));
+  }
   for (int i = 0; i < count; ++i) {
     machine_->Charge(c.trap_round_trip + c.xok_syscall_check);
     ++*syscall_counter_;
+  }
+  if (tracing) {
+    tracer_->End(trace::Category::kSyscall, track, "null", machine_->engine().now(),
+                 static_cast<uint64_t>(Status::kOk));
   }
 }
 

@@ -247,6 +247,29 @@ class XokKernel {
   // sibling kernel subsystems (XN) charge through the same path.
   void ChargeSyscall(const char* name);
 
+  // RAII span around one system call: charges entry cost exactly like
+  // ChargeSyscall, then opens a `syscall` span on the calling environment's
+  // track. The destructor closes the span with Status::kOk; error paths close
+  // early via `return scope.Close(status);`, and syscalls that suspend the
+  // fiber close explicitly before blocking so no span stays open across a
+  // context switch. Closing also feeds the "syscall.latency_cycles" histogram.
+  class SyscallScope {
+   public:
+    SyscallScope(XokKernel* kernel, const char* name);
+    ~SyscallScope() { Close(Status::kOk); }
+    SyscallScope(const SyscallScope&) = delete;
+    SyscallScope& operator=(const SyscallScope&) = delete;
+    // Idempotent; returns `s` so callers can `return scope.Close(s);`.
+    Status Close(Status s);
+
+   private:
+    XokKernel* kernel_;
+    const char* name_;
+    uint32_t track_ = 0;
+    sim::Cycles start_ = 0;
+    bool open_ = false;
+  };
+
   // Validates that `cred` (an index into env's capability list, or kCredAny) grants
   // `need_write` access to `guard`, charging per capability comparison.
   [[nodiscard]] Status CheckCred(const Env& e, CredIndex cred, const CapName& guard, bool need_write);
@@ -322,6 +345,17 @@ class XokKernel {
   uint64_t* fault_counter_ = nullptr;
   uint64_t* predicate_eval_counter_ = nullptr;
   uint64_t* predicate_skip_counter_ = nullptr;
+  uint64_t* demux_counter_ = nullptr;
+  uint64_t* unclaimed_counter_ = nullptr;
+  uint64_t* ring_drop_counter_ = nullptr;
+  uint64_t* ipc_rejected_counter_ = nullptr;
+  uint64_t* orphan_reap_counter_ = nullptr;
+
+  // The machine's tracer (never null) and the kernel's own track; per-env
+  // tracks live in Env::trace_track.
+  trace::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
+  trace::LatencyHistogram* syscall_hist_ = nullptr;
 };
 
 }  // namespace exo::xok
