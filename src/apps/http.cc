@@ -1,6 +1,7 @@
 #include "apps/http.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 namespace exo::apps {
@@ -18,6 +19,9 @@ constexpr sim::Cycles kSocketBsdPerRequest = 24'000;  // accept/open/stat/read/c
 constexpr sim::Cycles kSocketXokPerRequest = 11'000;   // same ops as libOS calls
 constexpr sim::Cycles kCheetahPerRequest = 1'400;     // cached file pointers (XIO)
 constexpr sim::Cycles kParseCost = 600;
+// Shedding a request must cost far less than serving one, or rejection itself
+// collapses under load: a canned 503 is a table-free header write.
+constexpr sim::Cycles kRejectCost = 500;
 
 net::TcpProfile ProfileFor(ServerStyle s) {
   switch (s) {
@@ -96,17 +100,58 @@ void HttpServer::AddDocument(const std::string& name, std::vector<uint8_t> conte
   doc_ids_[name] = next_doc_id_++;
 }
 
+void HttpServer::SetOverloadPolicy(const net::ServerOverloadPolicy& policy) {
+  policy_ = policy;
+}
+
 Status HttpServer::Listen(net::Port port) {
-  return stack_->Listen(port, [this](net::TcpConn* c) {
-    c->set_on_data(
-        [this](net::TcpConn* conn, std::span<const uint8_t> d) { OnRequest(conn, d); });
-    c->set_on_close([this](net::TcpConn* conn) {
-      partial_.erase(conn);
-      if (conn->state() == net::TcpConn::State::kCloseWait) {
-        conn->Close();  // client closed first (e.g. abort): close our side too
-      }
-    });
-  });
+  return stack_->Listen(
+      port,
+      [this](net::TcpConn* c) {
+        c->set_on_data(
+            [this](net::TcpConn* conn, std::span<const uint8_t> d) { OnRequest(conn, d); });
+        c->set_on_close([this](net::TcpConn* conn) {
+          partial_.erase(conn);
+          DisarmDeadline(conn);
+          if (conn->state() == net::TcpConn::State::kCloseWait) {
+            conn->Close();  // client closed first (e.g. abort): close our side too
+          }
+        });
+      },
+      policy_.enabled ? policy_.listen_backlog : 0);
+}
+
+void HttpServer::ArmDeadline(net::TcpConn* conn) {
+  if (!policy_.enabled || policy_.request_deadline_us == 0) {
+    return;
+  }
+  const uint64_t epoch = ++deadline_epoch_;
+  DeadlineEntry& e = deadlines_[conn];
+  if (e.timer != 0) {
+    engine_->Cancel(e.timer);
+  }
+  e.epoch = epoch;
+  e.timer = engine_->ScheduleAfter(
+      policy_.request_deadline_us * cost_->cpu_mhz, [this, conn, epoch] {
+        auto it = deadlines_.find(conn);
+        if (it == deadlines_.end() || it->second.epoch != epoch) {
+          return;  // completed (or the PCB was reused) before the timer fired
+        }
+        deadlines_.erase(it);
+        ++deadline_aborts_;
+        stack_->Abort(conn);
+      });
+}
+
+void HttpServer::DisarmDeadline(net::TcpConn* conn) {
+  auto it = deadlines_.find(conn);
+  if (it == deadlines_.end()) {
+    return;
+  }
+  if (it->second.timer != 0) {
+    engine_->Cancel(it->second.timer);
+  }
+  deadlines_.erase(it);
 }
 
 sim::Cycles HttpServer::PerRequestOsCost(size_t doc_size) const {
@@ -132,6 +177,39 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
   if (end == std::string::npos) {
     return;
   }
+
+  if (policy_.enabled) {
+    // Admission control on CPU backlog with hysteresis: the meter's busy_until
+    // is exactly the queueing delay a request admitted *now* would see before
+    // its first cycle of service.
+    const sim::Cycles now = engine_->now();
+    const sim::Cycles backlog = cpu_.busy_until() > now ? cpu_.busy_until() - now : 0;
+    const sim::Cycles mhz = cost_->cpu_mhz;
+    if (!shedding_ && backlog >= policy_.high_watermark_us * mhz) {
+      shedding_ = true;
+      if (tracer_ != nullptr && tracer_->enabled(trace::Category::kApp)) {
+        tracer_->Instant(trace::Category::kApp, trace_track_, "http.shed_on", now, backlog);
+      }
+    } else if (shedding_ && backlog <= policy_.low_watermark_us * mhz) {
+      shedding_ = false;
+      if (tracer_ != nullptr && tracer_->enabled(trace::Category::kApp)) {
+        tracer_->Instant(trace::Category::kApp, trace_track_, "http.shed_off", now, backlog);
+      }
+    }
+    if (shedding_) {
+      // Reject before parsing: the whole point is to spend ~nothing per
+      // turned-away request so goodput plateaus instead of cratering.
+      ++rejected_;
+      buf.clear();
+      cpu_.Occupy(kRejectCost);
+      static const std::string k503 =
+          "HTTP/1.0 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\n\r\n";
+      conn->Send(std::vector<uint8_t>(k503.begin(), k503.end()));
+      conn->set_on_send_complete([this](net::TcpConn* c) { c->Close(); });
+      return;
+    }
+  }
+
   const sim::Cycles parse_done = cpu_.Occupy(kParseCost);
 
   std::string name;
@@ -147,7 +225,11 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
     header = "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n";
     cpu_.Occupy(1'000);
     conn->Send(std::vector<uint8_t>(header.begin(), header.end()));
-    conn->set_on_send_complete([this](net::TcpConn* c) { c->Close(); });
+    conn->set_on_send_complete([this](net::TcpConn* c) {
+      DisarmDeadline(c);
+      c->Close();
+    });
+    ArmDeadline(conn);
     return;
   }
   const std::vector<uint8_t>& body = it->second;
@@ -190,7 +272,11 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
     response.insert(response.end(), body.begin(), body.end());
     conn->Send(response);
   }
-  conn->set_on_send_complete([this](net::TcpConn* c) { c->Close(); });
+  conn->set_on_send_complete([this](net::TcpConn* c) {
+    DisarmDeadline(c);
+    c->Close();
+  });
+  ArmDeadline(conn);
   if (tracing) {
     // The request's CPU window: parse through the last transmit Occupy. Windows
     // are serialized on the meter, so these spans never interleave.
@@ -240,19 +326,153 @@ void HttpClient::StartOne() {
   }
   std::string req = "GET /" + doc_ + " HTTP/1.0\r\n\r\n";
   const sim::Cycles start = engine_->now();
-  stack_->Connect(server_ip_, 80, [this, req, start](net::TcpConn* c) {
-    c->set_on_data([this](net::TcpConn*, std::span<const uint8_t> d) { bytes_ += d.size(); });
-    c->set_on_close([this, start](net::TcpConn* conn) {
-      // The server closes after the response: we have the whole document.
-      if (latency_hist_ != nullptr && tracer_->enabled(trace::Category::kApp)) {
-        latency_hist_->Record(engine_->now() - start);
-      }
-      ++completed_;
-      conn->Close();  // finish our side; the stack reaps the PCB when fully closed
-      StartOne();     // closed loop: immediately issue the next request
-    });
-    c->Send(std::vector<uint8_t>(req.begin(), req.end()));
+  // Handlers go on the PCB before the handshake completes, so every close path
+  // — including a pre-establishment abort (SYN retry exhaustion) — reissues
+  // this loop slot instead of silently retiring it.
+  net::TcpConn* c = stack_->Connect(server_ip_, 80, [req](net::TcpConn* conn) {
+    conn->Send(std::vector<uint8_t>(req.begin(), req.end()));
   });
+  c->set_on_data([this](net::TcpConn*, std::span<const uint8_t> d) { bytes_ += d.size(); });
+  c->set_on_close([this, start](net::TcpConn* conn) {
+    inflight_.erase(conn);
+    if (conn->aborted()) {
+      // Reset mid-request (server deadline abort or retry exhaustion): not a
+      // completed fetch. Keep the closed loop offering load.
+      StartOne();
+      return;
+    }
+    // The server closes after the response: we have the whole document.
+    if (latency_hist_ != nullptr && tracer_->enabled(trace::Category::kApp)) {
+      latency_hist_->Record(engine_->now() - start);
+    }
+    ++completed_;
+    conn->Close();  // finish our side; the stack reaps the PCB when fully closed
+    StartOne();     // closed loop: immediately issue the next request
+  });
+  if (request_timeout_ != 0) {
+    const uint64_t epoch = ++timeout_epoch_;
+    inflight_[c] = epoch;
+    engine_->ScheduleAfter(request_timeout_, [this, c, epoch] {
+      auto it = inflight_.find(c);
+      if (it != inflight_.end() && it->second == epoch) {
+        stack_->Abort(c);  // fires on_close with aborted() set
+      }
+    });
+  }
+}
+
+OpenLoopHttpClient::OpenLoopHttpClient(sim::Engine* engine, const sim::CostModel* cost,
+                                       hw::Nic* nic, net::IpAddr ip, net::IpAddr server_ip,
+                                       std::string doc, sim::Cycles interval_cycles,
+                                       net::TcpProfile profile)
+    : engine_(engine),
+      nic_(nic),
+      server_ip_(server_ip),
+      doc_(std::move(doc)),
+      interval_(interval_cycles) {
+  net::TcpStack::Hooks hooks;
+  hooks.engine = engine;
+  hooks.cost = cost;
+  hooks.cpu = nullptr;  // load generators are infinitely fast
+  hooks.transmit = [this](hw::Packet p, sim::Cycles when) {
+    engine_->ScheduleAt(std::max(when, engine_->now()),
+                        [this, p = std::move(p)]() mutable { nic_->Transmit(std::move(p)); });
+  };
+  stack_ = std::make_unique<net::TcpStack>(hooks, ip, profile);
+  nic->SetReceiveHandler([this](hw::Packet p) { stack_->Input(p); });
+}
+
+void OpenLoopHttpClient::Start(sim::Cycles deadline) {
+  deadline_ = deadline;
+  Tick();
+}
+
+void OpenLoopHttpClient::Tick() {
+  if (engine_->now() >= deadline_) {
+    return;
+  }
+  IssueOne();
+  engine_->ScheduleAfter(interval_, [this] { Tick(); });
+}
+
+namespace {
+
+// Classifies a captured HTTP/1.0 response: status from the first line, body
+// completeness against Content-Length.
+enum class RespKind { kOk, kShed, kBad };
+
+RespKind ClassifyResponse(const std::string& resp) {
+  if (resp.rfind("HTTP/1.0 503", 0) == 0) {
+    return RespKind::kShed;
+  }
+  if (resp.rfind("HTTP/1.0 200", 0) != 0) {
+    return RespKind::kBad;
+  }
+  const auto blank = resp.find("\r\n\r\n");
+  if (blank == std::string::npos) {
+    return RespKind::kBad;
+  }
+  const auto cl = resp.find("Content-Length: ");
+  size_t want = 0;
+  if (cl != std::string::npos && cl < blank) {
+    want = std::strtoull(resp.c_str() + cl + 16, nullptr, 10);
+  }
+  return resp.size() - (blank + 4) == want ? RespKind::kOk : RespKind::kBad;
+}
+
+}  // namespace
+
+void OpenLoopHttpClient::IssueOne() {
+  ++issued_;
+  std::string req = "GET /" + doc_ + " HTTP/1.0\r\n\r\n";
+  const sim::Cycles start = engine_->now();
+  net::TcpConn* c = stack_->Connect(
+      server_ip_, 80, [req](net::TcpConn* conn) {
+        conn->Send(std::vector<uint8_t>(req.begin(), req.end()));
+      });
+  Pending& pending = responses_[c];
+  pending.epoch = ++timeout_epoch_;
+  c->set_on_data([this](net::TcpConn* conn, std::span<const uint8_t> d) {
+    bytes_ += d.size();
+    auto it = responses_.find(conn);
+    if (it != responses_.end()) {
+      it->second.data.append(reinterpret_cast<const char*>(d.data()), d.size());
+    }
+  });
+  c->set_on_close([this, start](net::TcpConn* conn) {
+    auto it = responses_.find(conn);
+    if (it == responses_.end()) {
+      return;  // already classified (close delivered once per conn, but be safe)
+    }
+    const std::string resp = std::move(it->second.data);
+    responses_.erase(it);
+    if (conn->aborted()) {
+      ++failed_;  // RST (server deadline abort), retry exhaustion, or SYN shed
+      return;
+    }
+    switch (ClassifyResponse(resp)) {
+      case RespKind::kOk:
+        ++completed_;
+        latency_.Record(engine_->now() - start);
+        break;
+      case RespKind::kShed:
+        ++rejected_;
+        break;
+      case RespKind::kBad:
+        ++failed_;
+        break;
+    }
+    conn->Close();
+  });
+  if (request_timeout_ != 0) {
+    const uint64_t epoch = pending.epoch;
+    engine_->ScheduleAfter(request_timeout_, [this, c, epoch] {
+      auto it = responses_.find(c);
+      if (it != responses_.end() && it->second.epoch == epoch) {
+        stack_->Abort(c);  // fires on_close with aborted() set -> counted failed
+      }
+    });
+  }
 }
 
 }  // namespace exo::apps

@@ -26,6 +26,7 @@
 #include "net/tcp.h"
 #include "net/xio.h"
 #include "sim/cpu_meter.h"
+#include "trace/histogram.h"
 
 namespace exo::apps {
 
@@ -44,9 +45,18 @@ class HttpServer {
   // Registers a document (contents stay stable: they are the file cache).
   void AddDocument(const std::string& name, std::vector<uint8_t> content);
 
+  // Installs the overload policy. Must precede Listen (the listen backlog is
+  // fixed at listen time). Default-constructed policy = historic behavior.
+  void SetOverloadPolicy(const net::ServerOverloadPolicy& policy);
+
   Status Listen(net::Port port = 80);
 
   uint64_t requests_served() const { return requests_; }
+  // Requests answered with a cheap 503 while shedding (admission control).
+  uint64_t requests_rejected() const { return rejected_; }
+  // Admitted requests aborted because they blew the response deadline.
+  uint64_t deadline_aborts() const { return deadline_aborts_; }
+  bool shedding() const { return shedding_; }
   sim::CpuMeter& cpu() { return cpu_; }
   net::TcpStack& stack() { return *stack_; }
 
@@ -56,8 +66,15 @@ class HttpServer {
   void SetTracer(trace::Tracer* tracer);
 
  private:
+  struct DeadlineEntry {
+    uint64_t epoch = 0;
+    sim::Engine::EventId timer = 0;
+  };
+
   void OnRequest(net::TcpConn* conn, std::span<const uint8_t> data);
   sim::Cycles PerRequestOsCost(size_t doc_size) const;
+  void ArmDeadline(net::TcpConn* conn);
+  void DisarmDeadline(net::TcpConn* conn);
 
   sim::Engine* engine_;
   const sim::CostModel* cost_;
@@ -73,6 +90,14 @@ class HttpServer {
   uint64_t next_doc_id_ = 1;
   uint64_t requests_ = 0;
   std::map<net::TcpConn*, std::string> partial_;  // request bytes per connection
+  net::ServerOverloadPolicy policy_;
+  bool shedding_ = false;
+  uint64_t rejected_ = 0;
+  uint64_t deadline_aborts_ = 0;
+  uint64_t deadline_epoch_ = 0;
+  // Keyed by PCB pointer; the epoch disambiguates a reused PCB from the
+  // connection whose deadline was armed (stale timers check it and stand down).
+  std::map<net::TcpConn*, DeadlineEntry> deadlines_;
 };
 
 // A load generator: `concurrency` closed-loop clients fetching `doc` over new
@@ -86,6 +111,15 @@ class HttpClient {
   void Start(sim::Cycles deadline);
   uint64_t completed() const { return completed_; }
   uint64_t bytes_received() const { return bytes_; }
+  net::TcpStack& stack() { return *stack_; }
+
+  // Client-side request deadline: a request outstanding longer than this is
+  // aborted (RST) and its loop slot reissued. Covers the case where the
+  // server's own abort RST is lost on the wire — without it the client would
+  // wait forever in kEstablished with no timer armed. 0 (default) disables;
+  // the disabled path schedules nothing, keeping fig3 runs event-for-event
+  // identical.
+  void set_request_timeout(sim::Cycles cycles) { request_timeout_ = cycles; }
 
   // Attaches a tracer under track `name`; completed requests feed the
   // "http.request_latency_cycles" histogram (connect to close).
@@ -105,6 +139,70 @@ class HttpClient {
   uint64_t bytes_ = 0;
   trace::Tracer* tracer_ = nullptr;
   trace::LatencyHistogram* latency_hist_ = nullptr;
+  sim::Cycles request_timeout_ = 0;
+  uint64_t timeout_epoch_ = 0;
+  // Outstanding requests by PCB pointer; the epoch disambiguates a reused PCB
+  // from the request whose timeout was armed (stale timers stand down).
+  std::map<net::TcpConn*, uint64_t> inflight_;
+};
+
+// An open-loop load generator: connection attempts arrive on a fixed schedule
+// regardless of how the previous ones fared — the arrival process does not slow
+// down when the server does, which is what makes overload visible (a closed
+// loop self-throttles and can never offer more than concurrency × 1/RTT).
+// Each request is classified from the response status line: 200 with a
+// complete body counts as goodput, 503 as shed, and an aborted/reset/short
+// connection as failed. Successful-request latency lands in latency() —
+// a standalone histogram, recorded regardless of tracing.
+class OpenLoopHttpClient {
+ public:
+  // `profile` defaults to the cost-free load-generator stack; soak tests pass a
+  // checksum-verifying profile so corrupted responses are detected and retried.
+  OpenLoopHttpClient(sim::Engine* engine, const sim::CostModel* cost, hw::Nic* nic,
+                     net::IpAddr ip, net::IpAddr server_ip, std::string doc,
+                     sim::Cycles interval_cycles,
+                     net::TcpProfile profile = net::ClientProfile());
+
+  // Issues requests every interval until `deadline`.
+  void Start(sim::Cycles deadline);
+
+  uint64_t issued() const { return issued_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t rejected() const { return rejected_; }
+  uint64_t failed() const { return failed_; }
+  uint64_t bytes_received() const { return bytes_; }
+  const trace::LatencyHistogram& latency() const { return latency_; }
+  net::TcpStack& stack() { return *stack_; }
+
+  // Same semantics as HttpClient::set_request_timeout: abort (and count as
+  // failed) a request still unresolved after this long. 0 (default) disables.
+  void set_request_timeout(sim::Cycles cycles) { request_timeout_ = cycles; }
+
+ private:
+  struct Pending {
+    std::string data;    // response bytes captured so far
+    uint64_t epoch = 0;  // guards timeout timers against PCB reuse
+  };
+
+  void IssueOne();
+  void Tick();
+
+  sim::Engine* engine_;
+  hw::Nic* nic_;
+  net::IpAddr server_ip_;
+  std::string doc_;
+  sim::Cycles interval_;
+  sim::Cycles deadline_ = 0;
+  std::unique_ptr<net::TcpStack> stack_;
+  std::map<net::TcpConn*, Pending> responses_;
+  sim::Cycles request_timeout_ = 0;
+  uint64_t timeout_epoch_ = 0;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t bytes_ = 0;
+  trace::LatencyHistogram latency_;
 };
 
 }  // namespace exo::apps

@@ -34,6 +34,9 @@ void Disk::Submit(DiskRequest req) {
       (!req.frames.empty() && req.frames.size() != req.nblocks);
   if (malformed) {
     ++stats_.rejected_requests;
+    if (rejected_counter_ != nullptr) {
+      ++*rejected_counter_;
+    }
     if (req.done) {
       // Complete asynchronously like any other request so callers never see a
       // callback re-enter them from inside Submit.
@@ -296,6 +299,9 @@ void Disk::Complete(DiskRequest req) {
         // torn away. No completion interrupt ever fires.
         stats_.blocks_written += i + 1;
         stats_.torn_blocks += req.nblocks - (i + 1);
+        if (dropped_counter_ != nullptr) {
+          *dropped_counter_ += req.nblocks - (i + 1);
+        }
         PowerCut();
         return;
       }

@@ -100,6 +100,14 @@ class Disk {
   }
   sim::FaultInjector* fault_injector() const { return faults_; }
 
+  // Caches `disk.rejected` (malformed submissions refused at the controller)
+  // and `disk.dropped` (torn blocks: accepted writes lost to a power cut)
+  // slots, per the counter convention in docs/OBSERVABILITY.md.
+  void AttachCounters(sim::Counters* counters) {
+    rejected_counter_ = counters != nullptr ? counters->Handle("disk.rejected") : nullptr;
+    dropped_counter_ = counters != nullptr ? counters->Handle("disk.dropped") : nullptr;
+  }
+
   // Attaches a tracer; the request lifecycle (submit, merge, dispatch,
   // seek/rotate/transfer, complete) lands in the `disk` category on `track`, and
   // per-request service time feeds the "disk.service_cycles" histogram.
@@ -179,6 +187,8 @@ class Disk {
   trace::Tracer* tracer_ = nullptr;
   uint32_t trace_track_ = 0;
   trace::LatencyHistogram* service_hist_ = nullptr;
+  sim::Counters::Slot* rejected_counter_ = nullptr;
+  sim::Counters::Slot* dropped_counter_ = nullptr;
   bool powered_off_ = false;
   uint64_t power_epoch_ = 0;  // completions scheduled before a cut are invalidated
   bool active_ = false;

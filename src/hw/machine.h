@@ -36,10 +36,12 @@ class Machine {
       disks_.push_back(std::make_unique<Disk>(engine_, &mem_, g, cost_.cpu_mhz));
       disks_.back()->SetTracer(
           &tracer_, tracer_.NewTrack("disk" + std::to_string(disks_.size() - 1)));
+      disks_.back()->AttachCounters(&counters_);
     }
     nics_.reserve(config.num_nics);
     for (uint32_t i = 0; i < config.num_nics; ++i) {
       nics_.push_back(std::make_unique<Nic>(i));
+      nics_.back()->AttachCounters(&counters_);
     }
     // The engine is shared across machines; the first machine's tracer carries
     // its dispatch instants.

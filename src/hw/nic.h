@@ -35,7 +35,13 @@ struct NicStats {
   uint64_t rx_packets = 0;
   uint64_t tx_bytes = 0;
   uint64_t rx_bytes = 0;
+  // Frames lost after the NIC accepted responsibility: rx-ring overflow, or
+  // arrival with no receive handler installed.
   uint64_t dropped = 0;
+  // Frames refused at the tx ring (ring full): the host keeps the buffer and
+  // can retry — backpressure, not loss.
+  uint64_t tx_rejected = 0;
+  uint64_t rx_overflows = 0;  // the rx-ring-full subset of `dropped`
 };
 
 class Link;
@@ -52,31 +58,65 @@ class Nic {
     rx_handler_ = std::move(handler);
   }
 
-  // Queues a frame for transmission on the attached link.
-  void Transmit(Packet p);
+  // Opt-in DMA ring bounds, in frames. 0 = unbounded (the historic model: the
+  // wire itself is the only queue). With a tx bound, Transmit refuses frames
+  // while `tx_slots` are still serializing — backpressure the host observes.
+  // With an rx bound, arriving frames are dropped while `rx_slots` are held by
+  // the host; the host returns a slot with RxRelease when it has consumed the
+  // frame (e.g. at the TCP stack's rx-processing completion time).
+  void ConfigureRings(uint32_t tx_slots, uint32_t rx_slots) {
+    tx_slots_ = tx_slots;
+    rx_slots_ = rx_slots;
+  }
+  void RxRelease() {
+    if (rx_in_ring_ > 0) {
+      --rx_in_ring_;
+    }
+  }
+  uint32_t rx_in_ring() const { return rx_in_ring_; }
+  uint32_t tx_in_ring() const { return tx_in_ring_; }
+
+  // Queues a frame for transmission on the attached link. Returns false (frame
+  // refused, `nic.rejected`) when a configured tx ring is full.
+  bool Transmit(Packet p);
 
   void AttachLink(Link* link) { link_ = link; }
   Link* link() const { return link_; }
+
+  // Caches `nic.rejected` / `nic.dropped` slots (docs/OBSERVABILITY.md).
+  void AttachCounters(sim::Counters* counters) {
+    rejected_counter_ = counters != nullptr ? counters->Handle("nic.rejected") : nullptr;
+    dropped_counter_ = counters != nullptr ? counters->Handle("nic.dropped") : nullptr;
+  }
+
+  // Attaches a tracer: tx refusals become `net` instants (`nic.tx_reject`),
+  // rx-ring overflows `fault` instants (`nic.rx_overflow`) on the named track.
+  void AttachTracer(trace::Tracer* tracer, const std::string& name) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) {
+      trace_track_ = tracer_->NewTrack(name);
+    }
+  }
 
   const NicStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NicStats{}; }
 
  private:
   friend class Link;
-  void Deliver(Packet p) {
-    ++stats_.rx_packets;
-    stats_.rx_bytes += p.bytes.size();
-    if (rx_handler_) {
-      rx_handler_(std::move(p));
-    } else {
-      ++stats_.dropped;
-    }
-  }
+  void Deliver(Packet p);
 
   uint32_t id_;
   Link* link_ = nullptr;
   std::function<void(Packet)> rx_handler_;
   NicStats stats_;
+  uint32_t tx_slots_ = 0;
+  uint32_t rx_slots_ = 0;
+  uint32_t tx_in_ring_ = 0;
+  uint32_t rx_in_ring_ = 0;
+  sim::Counters::Slot* rejected_counter_ = nullptr;
+  sim::Counters::Slot* dropped_counter_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 // Full-duplex point-to-point wire. Each direction is an independent serialization
@@ -96,7 +136,9 @@ class Link {
     b->AttachLink(this);
   }
 
-  void Send(Nic* from, Packet p);
+  // Serializes a frame onto the wire; returns the serialization-complete time
+  // (when a tx-ring slot, if configured, is handed back to the host).
+  sim::Cycles Send(Nic* from, Packet p);
 
   // Attaches (or detaches, with nullptr) a fault injector consulted once per frame
   // for drop/corrupt/duplicate; unarmed links skip it behind one pointer test.
@@ -120,6 +162,8 @@ class Link {
       }
     }
   }
+
+  sim::Engine* engine() const { return engine_; }
 
   double utilization_tx_a() const { return 0; }  // reserved for future instrumentation
 

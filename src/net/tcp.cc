@@ -1,6 +1,7 @@
 #include "net/tcp.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "sim/check.h"
 
@@ -8,10 +9,12 @@ namespace exo::net {
 
 namespace {
 constexpr uint32_t kInitialSeq = 1000;
+// Sequence-space compare: a >= b under 32-bit wraparound.
+inline bool SeqGe(uint32_t a, uint32_t b) { return static_cast<int32_t>(a - b) >= 0; }
 }  // namespace
 
 TcpStack::TcpStack(const Hooks& hooks, IpAddr ip, const TcpProfile& profile)
-    : hooks_(hooks), ip_(ip), profile_(profile) {
+    : hooks_(hooks), ip_(ip), profile_(profile), jitter_rng_(profile.rto_jitter_seed) {
   EXO_CHECK(hooks_.engine != nullptr);
   EXO_CHECK(hooks_.cost != nullptr);
   EXO_CHECK(hooks_.transmit != nullptr);
@@ -19,11 +22,12 @@ TcpStack::TcpStack(const Hooks& hooks, IpAddr ip, const TcpProfile& profile)
 
 TcpStack::~TcpStack() = default;
 
-Status TcpStack::Listen(Port port, std::function<void(TcpConn*)> on_accept) {
+Status TcpStack::Listen(Port port, std::function<void(TcpConn*)> on_accept,
+                        uint32_t backlog) {
   if (listeners_.count(port) != 0) {
     return Status::kAlreadyExists;
   }
-  listeners_[port] = std::move(on_accept);
+  listeners_[port] = Listener{std::move(on_accept), backlog};
   return Status::kOk;
 }
 
@@ -166,6 +170,9 @@ void TcpStack::PumpSendQueue(TcpConn* c) {
       c->fin_sent_ = true;
       c->state_ = c->state_ == TcpConn::State::kCloseWait ? TcpConn::State::kLastAck
                                                           : TcpConn::State::kFinWait;
+      if (c->state_ == TcpConn::State::kFinWait) {
+        ArmFinWaitReaper(c);
+      }
     } else {
       const bool precomputed = seg.checksum != 0;
       seg.sent_at = Emit(c, kFlagPsh, seg.seq, seg.bytes(),
@@ -213,25 +220,57 @@ void TcpConn::Close() {
   stack_->PumpSendQueue(this);
 }
 
+sim::Cycles TcpStack::RtoCycles(TcpConn* c) {
+  const sim::Cycles mhz = hooks_.cost->cpu_mhz;
+  if (!profile_.adaptive_rto) {
+    return profile_.rto_us * mhz;  // legacy fixed timer
+  }
+  // rto_us is the initial RTO; the estimator takes over at the first sample.
+  sim::Cycles rto = c->rtt_valid_
+                        ? c->srtt_ + std::max<sim::Cycles>(4 * c->rttvar_, mhz)
+                        : profile_.rto_us * mhz;
+  rto = std::clamp(rto, profile_.rto_min_us * mhz, profile_.rto_max_us * mhz);
+  if (c->backoff_ > 0) {
+    const sim::Cycles max_rto = profile_.rto_max_us * mhz;
+    const uint32_t shift = std::min<uint32_t>(c->backoff_, 20);
+    rto = rto > (max_rto >> shift) ? max_rto : (rto << shift);
+    // Deterministic seeded jitter desynchronizes retry storms without breaking
+    // replay: same seed, same schedule.
+    rto += jitter_rng_.Below(rto / 8 + 1);
+  }
+  return rto;
+}
+
 void TcpStack::ArmRto(TcpConn* c) {
   if (c->rto_timer_ != 0) {
     return;
   }
   ConnKey key = Key(c->peer_ip_, c->peer_port_, c->local_port_);
-  c->rto_timer_ = hooks_.engine->ScheduleAfter(
-      profile_.rto_us * hooks_.cost->cpu_mhz, [this, key] {
-        auto it = conns_.find(key);
-        if (it != conns_.end()) {
-          it->second->rto_timer_ = 0;
-          OnRto(it->second.get());
-        }
-      });
+  c->rto_timer_ = hooks_.engine->ScheduleAfter(RtoCycles(c), [this, key] {
+    auto it = conns_.find(key);
+    if (it != conns_.end()) {
+      it->second->rto_timer_ = 0;
+      OnRto(it->second.get());
+    }
+  });
 }
 
 void TcpStack::OnRto(TcpConn* c) {
   if (c->unacked_.empty()) {
     return;
   }
+  if (profile_.max_retransmits != 0 && c->backoff_ >= profile_.max_retransmits) {
+    // Retry budget exhausted: the peer is gone (or the path is dead). Abort
+    // rather than retry forever — under sustained loss this is what turns an
+    // unbounded PCB leak into bounded, observable failure.
+    ++stats_.rto_aborts;
+    if (c->state_ == TcpConn::State::kSynRcvd) {
+      ++stats_.half_open_reaped;
+    }
+    AbortConn(c, /*send_rst=*/c->state_ != TcpConn::State::kSynSent, "tcp.rto_abort");
+    return;
+  }
+  ++c->backoff_;
   ++stats_.retransmits;
   TcpConn::PendingSegment& seg = c->unacked_.front();
   seg.retransmitted = true;  // Karn: this segment can no longer yield an RTT sample
@@ -256,10 +295,75 @@ void TcpStack::OnRto(TcpConn* c) {
   ArmRto(c);
 }
 
-void TcpStack::Input(const hw::Packet& p) {
+void TcpStack::ArmFinWaitReaper(TcpConn* c) {
+  if (profile_.fin_wait_timeout_us == 0 || c->reap_timer_ != 0) {
+    return;
+  }
+  ConnKey key = Key(c->peer_ip_, c->peer_port_, c->local_port_);
+  c->reap_timer_ = hooks_.engine->ScheduleAfter(
+      profile_.fin_wait_timeout_us * hooks_.cost->cpu_mhz, [this, key] {
+        auto it = conns_.find(key);
+        if (it == conns_.end()) {
+          return;
+        }
+        TcpConn* conn = it->second.get();
+        conn->reap_timer_ = 0;
+        if (conn->state_ == TcpConn::State::kFinWait) {
+          // We closed, the peer never did (died, or its FIN path is aborted):
+          // reap the half-closed PCB instead of holding it forever.
+          ++stats_.fin_wait_reaped;
+          AbortConn(conn, /*send_rst=*/true, "tcp.finwait_reap");
+        }
+      });
+}
+
+void TcpStack::DropHalfOpen(TcpConn* c) {
+  if (!c->half_open_counted_) {
+    return;
+  }
+  c->half_open_counted_ = false;
+  auto it = half_open_.find(c->local_port_);
+  if (it != half_open_.end() && it->second > 0) {
+    --it->second;
+  }
+}
+
+void TcpStack::AbortConn(TcpConn* c, bool send_rst, const char* trace_name) {
+  if (c->state_ == TcpConn::State::kClosed) {
+    return;
+  }
+  DropHalfOpen(c);
+  if (send_rst) {
+    ++stats_.rsts_out;
+    Emit(c, kFlagRst, c->snd_next_, {}, 0, false, false);
+  }
+  if (tracer_ != nullptr && tracer_->enabled(trace::Category::kNet)) {
+    tracer_->Instant(trace::Category::kNet, trace_track_, trace_name,
+                     hooks_.engine->now(), c->snd_una_);
+  }
+  for (auto* timer : {&c->ack_timer_, &c->rto_timer_, &c->reap_timer_}) {
+    if (*timer != 0) {
+      hooks_.engine->Cancel(*timer);
+      *timer = 0;
+    }
+  }
+  c->unacked_.clear();
+  c->send_queue_.clear();
+  c->ack_pending_ = false;
+  c->aborted_ = true;
+  c->state_ = TcpConn::State::kClosed;
+  DeliverClose(c);
+  AutoRelease(c);
+}
+
+void TcpStack::Abort(TcpConn* conn) {
+  AbortConn(conn, /*send_rst=*/true, "tcp.app_abort");
+}
+
+sim::Cycles TcpStack::Input(const hw::Packet& p) {
   auto seg = DecodeTcp(p);
   if (!seg.has_value()) {
-    return;
+    return hooks_.engine->now();
   }
   // Receive-path CPU: fixed per-segment cost + payload copy/verify, then process.
   sim::Cycles cost = profile_.rx_fixed;
@@ -285,11 +389,12 @@ void TcpStack::Input(const hw::Packet& p) {
     if (tracing) {
       tracer_->Instant(trace::Category::kNet, trace_track_, "tcp.csum_drop", when, seg->seq);
     }
-    return;
+    return when;
   }
   hooks_.engine->ScheduleAt(when, [this, s = std::move(*seg)]() mutable {
     ProcessSegment(std::move(s));
   });
+  return when;
 }
 
 void TcpStack::ProcessSegment(TcpSegment seg) {
@@ -306,11 +411,24 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     if (lit == listeners_.end() || (seg.flags & kFlagSyn) == 0) {
       return;  // no RST machinery; silence is fine on a closed simulated network
     }
+    if (lit->second.backlog != 0 &&
+        half_open_count(seg.dst_port) >= lit->second.backlog) {
+      // SYN-flood shedding: the backlog is full, so this SYN is dropped before a
+      // PCB is allocated. A legitimate peer retries; a flood starves here.
+      ++stats_.syns_shed;
+      if (tracer_ != nullptr && tracer_->enabled(trace::Category::kNet)) {
+        tracer_->Instant(trace::Category::kNet, trace_track_, "tcp.syn_shed",
+                         hooks_.engine->now(), seg.dst_port);
+      }
+      return;
+    }
     c = NewConn();
     c->peer_ip_ = seg.src_ip;
     c->peer_port_ = seg.src_port;
     c->local_port_ = seg.dst_port;
     c->state_ = TcpConn::State::kSynRcvd;
+    c->half_open_counted_ = true;
+    ++half_open_[seg.dst_port];
     c->rcv_next_ = seg.seq + 1;
     c->snd_next_ = kInitialSeq;
     c->snd_una_ = kInitialSeq;
@@ -326,6 +444,13 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     return;
   }
 
+  // RST: the peer aborted. Tear down immediately — no reply, no retransmission.
+  if ((seg.flags & kFlagRst) != 0) {
+    ++stats_.rsts_in;
+    AbortConn(c, /*send_rst=*/false, "tcp.rst_rx");
+    return;
+  }
+
   // Active open: SYN|ACK completes the client side of the handshake.
   if ((seg.flags & kFlagSyn) != 0 && c->state_ == TcpConn::State::kSynSent) {
     c->rcv_next_ = seg.seq + 1;
@@ -335,6 +460,7 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
       hooks_.engine->Cancel(c->rto_timer_);
       c->rto_timer_ = 0;
     }
+    c->backoff_ = 0;
     c->state_ = TcpConn::State::kEstablished;
     SendPureAck(c);
     if (c->on_established_) {
@@ -359,31 +485,47 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     if (c->state_ == TcpConn::State::kSynSent) {
       return;  // stray ACK before the SYN|ACK; ignore
     }
+    bool progressed = false;
     while (!c->unacked_.empty()) {
       const auto& head = c->unacked_.front();
       uint32_t head_end =
           head.seq +
           ((head.fin || head.syn) ? 1 : static_cast<uint32_t>(head.bytes().size()));
-      if (static_cast<int32_t>(seg.ack - head_end) >= 0) {
-        if (rtt_hist_ != nullptr && head.sent_at != 0 && !head.retransmitted &&
-            tracer_->enabled(trace::Category::kNet)) {
-          rtt_hist_->Record(hooks_.engine->now() - head.sent_at);
+      if (SeqGe(seg.ack, head_end)) {
+        if (head.sent_at != 0 && !head.retransmitted) {
+          const sim::Cycles sample = hooks_.engine->now() - head.sent_at;
+          if (profile_.adaptive_rto) {
+            UpdateRtt(c, sample);  // Karn's rule: retransmitted heads never sample
+          }
+          if (rtt_hist_ != nullptr && tracer_->enabled(trace::Category::kNet)) {
+            rtt_hist_->Record(sample);
+          }
         }
         c->snd_una_ = head_end;
         c->unacked_.pop_front();
+        progressed = true;
       } else {
         break;
       }
     }
-    if (c->unacked_.empty() && c->rto_timer_ != 0) {
+    if (progressed) {
+      c->backoff_ = 0;  // forward progress resets the backoff ladder
+    }
+    // Restart the retransmission timer: always when nothing is outstanding; on
+    // progress too under the adaptive timer, so the timeout measures silence
+    // since the *latest* advance rather than since the oldest arm (the classic
+    // premature-RTO-on-long-transfers bug the fixed timer hid by being huge).
+    if (c->rto_timer_ != 0 &&
+        (c->unacked_.empty() || (progressed && profile_.adaptive_rto))) {
       hooks_.engine->Cancel(c->rto_timer_);
       c->rto_timer_ = 0;
     }
     if (c->state_ == TcpConn::State::kSynRcvd) {
       c->state_ = TcpConn::State::kEstablished;
+      DropHalfOpen(c);
       auto lit = listeners_.find(c->local_port_);
       if (lit != listeners_.end()) {
-        lit->second(c);
+        lit->second.on_accept(c);
       }
     }
     if (c->unacked_.empty() && c->send_queue_.empty() && !c->fin_queued_ &&
@@ -427,6 +569,85 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
   }
 }
 
+void TcpStack::UpdateRtt(TcpConn* c, sim::Cycles sample) {
+  // Jacobson '88 (integer form): SRTT += (err)/8, RTTVAR += (|err| - RTTVAR)/4.
+  if (!c->rtt_valid_) {
+    c->rtt_valid_ = true;
+    c->srtt_ = sample;
+    c->rttvar_ = sample / 2;
+    return;
+  }
+  const int64_t err = static_cast<int64_t>(sample) - static_cast<int64_t>(c->srtt_);
+  const int64_t abs_err = err < 0 ? -err : err;
+  c->rttvar_ = static_cast<sim::Cycles>(
+      static_cast<int64_t>(c->rttvar_) + (abs_err - static_cast<int64_t>(c->rttvar_)) / 4);
+  c->srtt_ = static_cast<sim::Cycles>(
+      std::max<int64_t>(1, static_cast<int64_t>(c->srtt_) + err / 8));
+}
+
+std::string TcpStack::DebugConnStates() const {
+  std::string out;
+  for (const auto& [key, up] : conns_) {
+    const TcpConn& c = *up;
+    char line[128];
+    std::snprintf(line, sizeof(line), "%u:%u state=%d unacked=%zu queued=%zu\n",
+                  c.peer_ip_, c.peer_port_, static_cast<int>(c.state_),
+                  c.unacked_.size(), c.send_queue_.size());
+    out += line;
+  }
+  return out;
+}
+
+std::string TcpStack::CheckInvariants() const {
+  std::map<Port, uint32_t> half_open_actual;
+  for (const auto& [key, up] : conns_) {
+    const TcpConn& c = *up;
+    const int32_t in_flight = static_cast<int32_t>(c.snd_next_ - c.snd_una_);
+    if (in_flight < 0) {
+      return "snd_una passed snd_next (cumulative ACK regressed)";
+    }
+    // SYN and FIN each occupy one sequence number beyond the data window.
+    if (static_cast<uint32_t>(in_flight) > profile_.window_bytes + 2) {
+      return "in-flight bytes exceed the send window";
+    }
+    uint32_t expect = c.snd_una_;
+    for (const auto& seg : c.unacked_) {
+      if (seg.seq != expect) {
+        return "retransmission queue out of sequence";
+      }
+      expect += (seg.syn || seg.fin) ? 1 : static_cast<uint32_t>(seg.bytes().size());
+    }
+    if (expect != c.snd_next_ && c.send_queue_.empty()) {
+      return "unacked queue does not account for all sent sequence space";
+    }
+    if (c.state_ == TcpConn::State::kClosed &&
+        (c.rto_timer_ != 0 || c.ack_timer_ != 0 || c.reap_timer_ != 0)) {
+      return "timer armed on a closed connection";
+    }
+    if (!c.unacked_.empty() && c.rto_timer_ == 0 &&
+        c.state_ != TcpConn::State::kClosed) {
+      return "outstanding segments without a retransmission timer";
+    }
+    if (c.half_open_counted_) {
+      if (c.state_ != TcpConn::State::kSynRcvd) {
+        return "half-open accounting on a non-SynRcvd connection";
+      }
+      ++half_open_actual[c.local_port_];
+    }
+  }
+  for (const auto& [port, count] : half_open_) {
+    if (count != (half_open_actual.count(port) ? half_open_actual[port] : 0)) {
+      return "half-open counter drifted from the connection table";
+    }
+    const auto lit = listeners_.find(port);
+    if (lit != listeners_.end() && lit->second.backlog != 0 &&
+        count > lit->second.backlog) {
+      return "half-open population exceeds the listen backlog";
+    }
+  }
+  return "";
+}
+
 void TcpStack::DeliverClose(TcpConn* c) {
   if (c->on_close_ && !c->close_delivered_) {
     c->close_delivered_ = true;
@@ -451,11 +672,12 @@ void TcpStack::Release(TcpConn* conn) {
   if (it == conns_.end()) {
     return;
   }
-  if (conn->ack_timer_ != 0) {
-    hooks_.engine->Cancel(conn->ack_timer_);
-  }
-  if (conn->rto_timer_ != 0) {
-    hooks_.engine->Cancel(conn->rto_timer_);
+  DropHalfOpen(conn);
+  for (auto* timer : {&conn->ack_timer_, &conn->rto_timer_, &conn->reap_timer_}) {
+    if (*timer != 0) {
+      hooks_.engine->Cancel(*timer);
+      *timer = 0;
+    }
   }
   if (profile_.pcb_reuse) {
     pcb_pool_.push_back(std::move(it->second));

@@ -12,8 +12,11 @@
 //     merging (delay the ACK on a request because the response will piggy-back it).
 //
 // Protocol scope: 3-way handshake, cumulative ACKs, fixed window, timeout
-// retransmission (go-back-N), FIN teardown. Links neither lose nor reorder, so loss
-// handling exists for correctness (ring overflow) rather than congestion control.
+// retransmission (go-back-N), FIN teardown, RST aborts. Loss recovery is adaptive:
+// RTT samples (Karn-filtered — retransmitted segments never contribute) feed a
+// Jacobson SRTT/RTTVAR estimator, consecutive timeouts back off exponentially with
+// deterministic seeded jitter, and a connection that exhausts its retransmission
+// budget is aborted (RST) and reaped so sustained loss can never leak PCBs.
 #ifndef EXO_NET_TCP_H_
 #define EXO_NET_TCP_H_
 
@@ -21,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/packet.h"
@@ -28,6 +32,7 @@
 #include "sim/status.h"
 #include "sim/cpu_meter.h"
 #include "sim/engine.h"
+#include "sim/rng.h"
 #include "trace/trace.h"
 
 namespace exo::net {
@@ -46,7 +51,33 @@ struct TcpProfile {
   sim::Cycles pcb_alloc = 700;  // fresh control-block setup
   sim::Cycles pcb_reuse_cost = 90;
   sim::Cycles delayed_ack_timeout_us = 2000;
+
+  // ---- Retransmission timer ----
+  // `rto_us` is the *initial* retransmission timeout. With `adaptive_rto` (the
+  // default) it is used only until the first RTT sample lands; from then on the
+  // timer follows Jacobson's estimator, RTO = SRTT + max(4*RTTVAR, 1us), clamped
+  // to [rto_min_us, rto_max_us]. Consecutive timeouts on the same connection
+  // double the timer (exponential backoff, capped at rto_max_us) and add a
+  // deterministic jitter in [0, RTO/8] drawn from a per-stack Rng seeded with
+  // `rto_jitter_seed` — two runs with the same seed retransmit at identical
+  // times. With `adaptive_rto = false` the timer is the fixed `rto_us` with no
+  // estimator, no backoff, and no jitter draws: exactly the pre-adaptive
+  // behavior, so historical goldens (fig3) reproduce bit-identically.
   sim::Cycles rto_us = 50'000;
+  bool adaptive_rto = true;
+  sim::Cycles rto_min_us = 5'000;
+  sim::Cycles rto_max_us = 4'000'000;
+  uint64_t rto_jitter_seed = 0x5eed;
+  // Consecutive timeouts on one connection before it is aborted: an RST is
+  // emitted (except from kSynSent, where the peer never spoke), the close
+  // callback fires with aborted() set, and the PCB is reaped. 0 = retry forever
+  // (the pre-abort behavior).
+  uint32_t max_retransmits = 8;
+  // A connection that sent its FIN (kFinWait) but whose peer goes silent is
+  // force-closed after this long — the TIME_WAIT-style reaper that keeps
+  // half-closed PCBs from leaking when the peer dies. 0 disables.
+  sim::Cycles fin_wait_timeout_us = 1'000'000;
+
   uint32_t window_bytes = 48 * 1024;
 };
 
@@ -61,6 +92,13 @@ struct TcpStats {
   uint64_t piggybacked_acks = 0;
   uint64_t conns_opened = 0;
   uint64_t pcb_reused = 0;
+  // ---- Robustness ----
+  uint64_t rto_aborts = 0;        // connections aborted after max_retransmits
+  uint64_t rsts_out = 0;          // RST segments emitted (aborts)
+  uint64_t rsts_in = 0;           // RST segments received (peer aborts)
+  uint64_t syns_shed = 0;         // SYNs dropped by a full listen backlog
+  uint64_t half_open_reaped = 0;  // kSynRcvd conns aborted (handshake never done)
+  uint64_t fin_wait_reaped = 0;   // kFinWait conns force-closed (peer went silent)
 };
 
 class TcpStack;
@@ -97,6 +135,15 @@ class TcpConn {
   State state() const { return state_; }
   IpAddr peer_ip() const { return peer_ip_; }
   Port peer_port() const { return peer_port_; }
+  // True once the connection was torn down abnormally (retry exhaustion, an
+  // incoming RST, a reap timeout, or an application Abort) rather than by the
+  // FIN handshake. Valid inside and after the on_close callback.
+  bool aborted() const { return aborted_; }
+  // Timer introspection (tests, observability). srtt/rttvar are 0 until the
+  // first un-retransmitted segment is acknowledged (Karn's rule).
+  sim::Cycles srtt() const { return srtt_; }
+  sim::Cycles rttvar() const { return rttvar_; }
+  uint32_t rto_backoff() const { return backoff_; }
   uint64_t user_data = 0;  // application scratch (request state machines)
 
  private:
@@ -130,8 +177,15 @@ class TcpConn {
   bool fin_sent_ = false;
   bool close_delivered_ = false;
   bool ack_pending_ = false;
+  bool aborted_ = false;
+  bool half_open_counted_ = false;  // contributes to the listener's backlog count
+  sim::Cycles srtt_ = 0;
+  sim::Cycles rttvar_ = 0;
+  bool rtt_valid_ = false;
+  uint32_t backoff_ = 0;  // consecutive timeouts since the last forward progress
   sim::Engine::EventId ack_timer_ = 0;
   sim::Engine::EventId rto_timer_ = 0;
+  sim::Engine::EventId reap_timer_ = 0;  // kFinWait silent-peer reaper
 
   std::function<void(TcpConn*, std::span<const uint8_t>)> on_data_;
   std::function<void(TcpConn*)> on_close_;
@@ -155,13 +209,24 @@ class TcpStack {
   TcpStack(const TcpStack&) = delete;
   TcpStack& operator=(const TcpStack&) = delete;
 
-  // Accept callback fires when a connection completes the handshake.
-  Status Listen(Port port, std::function<void(TcpConn*)> on_accept);
+  // Accept callback fires when a connection completes the handshake. `backlog`
+  // bounds the number of half-open (kSynRcvd) connections on this port: past it,
+  // incoming SYNs are shed (dropped without allocating a PCB — the SYN-flood
+  // defense; the peer's own retry/abort machinery handles the silence).
+  // 0 = unbounded.
+  Status Listen(Port port, std::function<void(TcpConn*)> on_accept,
+                uint32_t backlog = 0);
   TcpConn* Connect(IpAddr dst_ip, Port dst_port,
                    std::function<void(TcpConn*)> on_established);
 
   // Feed a received frame (from the NIC receive handler or a packet ring drain).
-  void Input(const hw::Packet& p);
+  // Returns the simulated time the stack is done with the frame (receive-path CPU
+  // completion) so callers managing bounded receive rings know when the slot frees.
+  sim::Cycles Input(const hw::Packet& p);
+
+  // Application-initiated abort: emits an RST, fires on_close with aborted() set,
+  // and reaps the PCB (servers use this to shed connections that blew a deadline).
+  void Abort(TcpConn* conn);
 
   // Releases a fully closed connection (returns its PCB to the pool).
   void Release(TcpConn* conn);
@@ -169,6 +234,21 @@ class TcpStack {
   const TcpStats& stats() const { return stats_; }
   IpAddr ip() const { return ip_; }
   const TcpProfile& profile() const { return profile_; }
+
+  // ---- Introspection (soak invariants, tests) ----
+  size_t conn_count() const { return conns_.size(); }
+  uint32_t half_open_count(Port port) const {
+    auto it = half_open_.find(port);
+    return it == half_open_.end() ? 0 : it->second;
+  }
+  // Audits every connection: cumulative-ACK monotonicity (snd_una never passes
+  // snd_next), in-flight data within the window, retransmission-queue seq
+  // continuity, timers armed iff work is outstanding, and half-open accounting.
+  // Returns "" when all invariants hold, else a description of the violation.
+  std::string CheckInvariants() const;
+  // One line per live connection ("peer:port state=N unacked=K queued=K"), for
+  // leak triage in soak-test failure messages.
+  std::string DebugConnStates() const;
 
   // Attaches a tracer; segment tx/rx/retransmit land as `net` instants on
   // `track`, and acks of never-retransmitted data segments feed the
@@ -186,6 +266,11 @@ class TcpStack {
     return (static_cast<uint64_t>(ip) << 32) | (static_cast<uint64_t>(remote) << 16) | local;
   }
 
+  struct Listener {
+    std::function<void(TcpConn*)> on_accept;
+    uint32_t backlog = 0;  // max half-open connections; 0 = unbounded
+  };
+
   sim::Cycles Occupy(sim::Cycles cost) {
     return hooks_.cpu != nullptr ? hooks_.cpu->Occupy(cost) : hooks_.engine->now();
   }
@@ -197,21 +282,32 @@ class TcpStack {
   void SendPureAck(TcpConn* c);
   void ScheduleDelayedAck(TcpConn* c);
   void PumpSendQueue(TcpConn* c);
+  // Current retransmission timeout for this connection, in cycles. Fixed rto_us
+  // when adaptive_rto is off; otherwise Jacobson + clamp + backoff + jitter.
+  sim::Cycles RtoCycles(TcpConn* c);
   void ArmRto(TcpConn* c);
   void OnRto(TcpConn* c);
+  void ArmFinWaitReaper(TcpConn* c);
+  // Abnormal teardown: cancel timers, optionally emit an RST, fire on_close with
+  // aborted() set, release the PCB. `trace_name` labels the `net` trace instant.
+  void AbortConn(TcpConn* c, bool send_rst, const char* trace_name);
+  void DropHalfOpen(TcpConn* c);  // backlog bookkeeping for kSynRcvd conns
   void ProcessSegment(TcpSegment seg);
+  void UpdateRtt(TcpConn* c, sim::Cycles sample);
   void DeliverClose(TcpConn* c);
   void AutoRelease(TcpConn* c);
 
   Hooks hooks_;
   IpAddr ip_;
   TcpProfile profile_;
-  std::map<Port, std::function<void(TcpConn*)>> listeners_;
+  std::map<Port, Listener> listeners_;
+  std::map<Port, uint32_t> half_open_;  // per-listener kSynRcvd population
   std::map<ConnKey, std::unique_ptr<TcpConn>> conns_;
   std::vector<std::unique_ptr<TcpConn>> pcb_pool_;
   std::unique_ptr<TcpConn> tmp_;  // freshly built PCB awaiting keying into conns_
   Port next_ephemeral_ = 20000;
   TcpStats stats_;
+  sim::Rng jitter_rng_;  // drawn only when arming a backed-off retransmission
   trace::Tracer* tracer_ = nullptr;
   uint32_t trace_track_ = 0;
   trace::LatencyHistogram* rtt_hist_ = nullptr;

@@ -11,6 +11,7 @@
 #define EXO_NET_XIO_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <vector>
@@ -18,6 +19,38 @@
 #include "net/tcp.h"
 
 namespace exo::net {
+
+// Figure-3 profiles honor EXO_TCP_ADAPTIVE_RTO=0, which reverts every stack
+// built from them to the fixed pre-adaptive retransmission timer. That is the
+// knob that reproduces the pre-adaptive fig2–fig5 stdout bit-for-bit
+// (docs/OVERLOAD.md); anything else (unset, "1", ...) leaves the default on.
+inline bool AdaptiveRtoDefault() {
+  static const bool on = [] {
+    const char* v = std::getenv("EXO_TCP_ADAPTIVE_RTO");
+    return v == nullptr || v[0] != '0';
+  }();
+  return on;
+}
+
+// Admission control and lifecycle limits for a serving stack. The shape is
+// SEDA's: detect overload from queue depth (here, CPU backlog — the one queue
+// every request crosses), shed early while rejection is still cheap, and bound
+// every resource a hostile or unlucky client could otherwise pin forever.
+// Default-constructed (enabled=false) the policy is inert and the server
+// behaves exactly as before.
+struct ServerOverloadPolicy {
+  bool enabled = false;
+  // Passed to TcpStack::Listen: SYNs beyond this many half-open connections per
+  // port are dropped before a PCB is allocated. 0 = unbounded.
+  uint32_t listen_backlog = 0;
+  // Hysteresis watermarks on CPU backlog (busy_until - now), in microseconds.
+  // Backlog >= high: start shedding (cheap 503s). Backlog <= low: stop.
+  sim::Cycles high_watermark_us = 2'000;
+  sim::Cycles low_watermark_us = 500;
+  // An admitted request that has not fully acknowledged its response within
+  // this budget is aborted (RST) and its resources reclaimed. 0 = no deadline.
+  sim::Cycles request_deadline_us = 0;
+};
 
 // Computes and caches per-MSS-segment checksums for stable buffers keyed by an
 // application-chosen id (Cheetah keys by file). The first request charges the
@@ -66,6 +99,7 @@ class ChecksumCache {
 // work; copy counts are the number of times the CPU moves the payload.
 inline TcpProfile BsdSocketProfile() {
   TcpProfile p;
+  p.adaptive_rto = AdaptiveRtoDefault();
   p.tx_fixed = 3200;  // syscall + socket layer + in-kernel TCP + mbufs + driver
   p.rx_fixed = 3200;
   p.tx_copies = 2.0;  // user->kernel, kernel->driver
@@ -83,6 +117,7 @@ inline TcpProfile BsdSocketProfile() {
 // (the "default socket implementation built on top of XIO", Sec. 7.3).
 inline TcpProfile XokSocketProfile() {
   TcpProfile p;
+  p.adaptive_rto = AdaptiveRtoDefault();
   p.tx_fixed = 1500;  // transmit syscall + user-level protocol work
   p.rx_fixed = 1200;  // packet-ring consume + user-level protocol work
   p.tx_copies = 1.0;
@@ -108,6 +143,7 @@ inline TcpProfile CheetahProfile() {
 // A load-generating client: cost-free CPU (the experiment isolates the server).
 inline TcpProfile ClientProfile() {
   TcpProfile p;
+  p.adaptive_rto = AdaptiveRtoDefault();
   p.tx_fixed = 0;
   p.rx_fixed = 0;
   p.tx_copies = 0;

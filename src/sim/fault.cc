@@ -1,6 +1,7 @@
 #include "sim/fault.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace exo::sim {
 
@@ -41,6 +42,40 @@ bool FaultInjector::OnBlockWritten(uint64_t block) {
 
 FaultInjector::WireFate FaultInjector::NextWireFate(uint64_t frame_bytes) {
   ++stats_.frames_seen;
+
+  // Scripted mode: explicit fates by consultation index, zero RNG draws. The
+  // short-corrupt → drop demotion matches rate mode so a recorded schedule
+  // replays to the identical outcome.
+  if (!script_.empty()) {
+    auto it = script_.find(stats_.frames_seen);
+    if (it == script_.end()) {
+      return WireFate::kDeliver;
+    }
+    WireEvent ev = it->second;
+    if (ev.kind == 'c' && frame_bytes > plan_.net_corrupt_min_offset &&
+        ev.corrupt_offset >= plan_.net_corrupt_min_offset &&
+        ev.corrupt_offset < frame_bytes) {
+      corrupt_offset_ = ev.corrupt_offset;
+      ++stats_.net_corruptions;
+      wire_events_.push_back(ev);
+      Log(Format("net-corrupt bytes=%llu off=%llu", frame_bytes, corrupt_offset_));
+      TraceFault("net_corrupt", corrupt_offset_);
+      return WireFate::kCorrupt;
+    }
+    if (ev.kind == 'u') {
+      ++stats_.net_duplicates;
+      wire_events_.push_back(ev);
+      Log(Format("net-dup bytes=%llu seq=%llu", frame_bytes, stats_.frames_seen));
+      TraceFault("net_duplicate", frame_bytes);
+      return WireFate::kDuplicate;
+    }
+    ++stats_.net_drops;
+    wire_events_.push_back(WireEvent{stats_.frames_seen, 'd', 0});
+    Log(Format("net-drop bytes=%llu seq=%llu", frame_bytes, stats_.frames_seen));
+    TraceFault("net_drop", frame_bytes);
+    return WireFate::kDrop;
+  }
+
   const bool any = plan_.net_drop_rate > 0.0 || plan_.net_corrupt_rate > 0.0 ||
                    plan_.net_duplicate_rate > 0.0;
   if (!any) {
@@ -50,6 +85,7 @@ FaultInjector::WireFate FaultInjector::NextWireFate(uint64_t frame_bytes) {
   const double roll = rng_.NextDouble();
   if (roll < plan_.net_drop_rate) {
     ++stats_.net_drops;
+    wire_events_.push_back(WireEvent{stats_.frames_seen, 'd', 0});
     Log(Format("net-drop bytes=%llu seq=%llu", frame_bytes, stats_.frames_seen));
     TraceFault("net_drop", frame_bytes);
     return WireFate::kDrop;
@@ -58,6 +94,7 @@ FaultInjector::WireFate FaultInjector::NextWireFate(uint64_t frame_bytes) {
     if (frame_bytes <= plan_.net_corrupt_min_offset) {
       // Nothing detectably corruptible: model the damaged frame as lost instead.
       ++stats_.net_drops;
+      wire_events_.push_back(WireEvent{stats_.frames_seen, 'd', 0});
       Log(Format("net-drop(short-corrupt) bytes=%llu seq=%llu", frame_bytes,
                  stats_.frames_seen));
       TraceFault("net_drop", frame_bytes);
@@ -67,17 +104,69 @@ FaultInjector::WireFate FaultInjector::NextWireFate(uint64_t frame_bytes) {
         plan_.net_corrupt_min_offset +
         rng_.Below(frame_bytes - plan_.net_corrupt_min_offset);
     ++stats_.net_corruptions;
+    wire_events_.push_back(WireEvent{stats_.frames_seen, 'c', corrupt_offset_});
     Log(Format("net-corrupt bytes=%llu off=%llu", frame_bytes, corrupt_offset_));
     TraceFault("net_corrupt", corrupt_offset_);
     return WireFate::kCorrupt;
   }
   if (roll < plan_.net_drop_rate + plan_.net_corrupt_rate + plan_.net_duplicate_rate) {
     ++stats_.net_duplicates;
+    wire_events_.push_back(WireEvent{stats_.frames_seen, 'u', 0});
     Log(Format("net-dup bytes=%llu seq=%llu", frame_bytes, stats_.frames_seen));
     TraceFault("net_duplicate", frame_bytes);
     return WireFate::kDuplicate;
   }
   return WireFate::kDeliver;
+}
+
+std::string FormatWireSchedule(const std::vector<WireEvent>& events) {
+  std::string out;
+  for (const WireEvent& e : events) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    char buf[48];
+    if (e.kind == 'c') {
+      std::snprintf(buf, sizeof(buf), "c@%llu:%llu",
+                    static_cast<unsigned long long>(e.frame_index),
+                    static_cast<unsigned long long>(e.corrupt_offset));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%c@%llu", e.kind,
+                    static_cast<unsigned long long>(e.frame_index));
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<WireEvent> ParseWireSchedule(const std::string& text) {
+  std::vector<WireEvent> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') {
+      ++pos;
+    }
+    if (pos >= text.size()) {
+      break;
+    }
+    WireEvent e;
+    e.kind = text[pos];
+    pos += 1;
+    if (pos >= text.size() || text[pos] != '@' ||
+        (e.kind != 'd' && e.kind != 'c' && e.kind != 'u')) {
+      break;  // malformed token: stop rather than guess
+    }
+    pos += 1;
+    char* end = nullptr;
+    e.frame_index = std::strtoull(text.c_str() + pos, &end, 10);
+    pos = static_cast<size_t>(end - text.c_str());
+    if (e.kind == 'c' && pos < text.size() && text[pos] == ':') {
+      e.corrupt_offset = std::strtoull(text.c_str() + pos + 1, &end, 10);
+      pos = static_cast<size_t>(end - text.c_str());
+    }
+    out.push_back(e);
+  }
+  return out;
 }
 
 }  // namespace exo::sim

@@ -20,6 +20,7 @@
 #define EXO_SIM_FAULT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,25 @@
 #include "trace/trace.h"
 
 namespace exo::sim {
+
+// One wire fault, keyed by consultation index: the `frame_index`-th frame to
+// enter any link sharing the injector (1-based — the same count rate-mode log
+// lines print as `seq=`). This is the replayable unit: the schedule a run
+// *executed* (wire_events()) can be fed back verbatim via FaultPlan::wire_script
+// and hits the identical frames, because consultation order is deterministic.
+struct WireEvent {
+  uint64_t frame_index = 0;
+  char kind = 'd';              // 'd' drop, 'c' corrupt, 'u' duplicate
+  uint64_t corrupt_offset = 0;  // byte to flip, kind == 'c' only
+
+  bool operator==(const WireEvent&) const = default;
+};
+
+// Compact one-line codec for wire schedules: "d@3 c@15:7 u@20" (kind@index,
+// corrupt events carry :offset). Round-trips through ParseWireSchedule; this is
+// the format soak reproducer seed lines embed.
+std::string FormatWireSchedule(const std::vector<WireEvent>& events);
+std::vector<WireEvent> ParseWireSchedule(const std::string& text);
 
 // Declarative description of the faults to inject. Rates are per-consultation
 // probabilities in [0, 1]; 0 disables the corresponding fault class.
@@ -52,6 +72,11 @@ struct FaultPlan {
   // fault the receiver cannot detect). Frames too short to corrupt are dropped
   // instead, which the receiver treats identically (a timeout).
   uint32_t net_corrupt_min_offset = 0;
+  // Scripted wire mode: when non-empty, wire fates come from this explicit
+  // schedule instead of the rates above — no RNG is consulted for the wire at
+  // all. Used to replay (and delta-minimize) a schedule recorded by a previous
+  // rate-mode run.
+  std::vector<WireEvent> wire_script;
 };
 
 struct FaultStats {
@@ -67,7 +92,11 @@ struct FaultStats {
 
 class FaultInjector {
  public:
-  explicit FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {}
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {
+    for (const WireEvent& e : plan_.wire_script) {
+      script_[e.frame_index] = e;
+    }
+  }
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -78,6 +107,11 @@ class FaultInjector {
   // The schedule actually executed, one line per injected fault, in order. Two runs
   // with the same seed and workload must produce identical logs.
   const std::vector<std::string>& log() const { return log_; }
+
+  // The wire faults actually executed, in consultation order, in the replayable
+  // form: feed them back through FaultPlan::wire_script (whole or ddmin-pruned —
+  // sim::Shrinker) to re-run or minimize the schedule.
+  const std::vector<WireEvent>& wire_events() const { return wire_events_; }
 
   // Mirrors every injected fault into the tracer's `fault` category as an
   // instant event, stamped with the engine clock, so a failing crash-test
@@ -141,6 +175,8 @@ class FaultInjector {
   FaultStats stats_;
   uint64_t corrupt_offset_ = 0;
   std::vector<std::string> log_;
+  std::vector<WireEvent> wire_events_;
+  std::map<uint64_t, WireEvent> script_;  // wire_script indexed by frame_index
   trace::Tracer* tracer_ = nullptr;
   const Engine* engine_ = nullptr;
   uint32_t trace_track_ = 0;

@@ -1,0 +1,83 @@
+#include "sim/shrink.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace exo::sim {
+
+namespace {
+
+// The subset of `s` excluding the chunk [lo, hi).
+Shrinker::Schedule WithoutChunk(const Shrinker::Schedule& s, size_t lo, size_t hi) {
+  Shrinker::Schedule out;
+  out.reserve(s.size() - (hi - lo));
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i < lo || i >= hi) {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Shrinker::Fails(const Schedule& s) {
+  ++probes_;
+  return still_fails_(s);
+}
+
+Shrinker::Schedule Shrinker::Minimize(Schedule input) {
+  probes_ = 0;
+  if (input.empty()) {
+    return input;
+  }
+
+  size_t granularity = 2;
+  while (input.size() >= 2) {
+    const size_t n = input.size();
+    granularity = std::min(granularity, n);
+    const size_t chunk = (n + granularity - 1) / granularity;
+    bool reduced = false;
+
+    // Try each complement (input minus one chunk): success keeps the failure
+    // with fewer events and restarts at coarse granularity on the smaller input.
+    for (size_t lo = 0; lo < n; lo += chunk) {
+      const size_t hi = std::min(lo + chunk, n);
+      Schedule candidate = WithoutChunk(input, lo, hi);
+      if (!candidate.empty() && Fails(candidate)) {
+        input = std::move(candidate);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) {
+      continue;
+    }
+    // Try each chunk alone (classic ddmin "reduce to subset").
+    if (granularity > 2) {
+      bool subset_fails = false;
+      for (size_t lo = 0; lo < n; lo += chunk) {
+        const size_t hi = std::min(lo + chunk, n);
+        Schedule candidate(input.begin() + static_cast<long>(lo),
+                           input.begin() + static_cast<long>(hi));
+        if (candidate.size() < input.size() && Fails(candidate)) {
+          input = std::move(candidate);
+          granularity = 2;
+          subset_fails = true;
+          break;
+        }
+      }
+      if (subset_fails) {
+        continue;
+      }
+    }
+    if (granularity >= n) {
+      break;  // single-event granularity exhausted: input is 1-minimal
+    }
+    granularity = std::min(n, granularity * 2);
+  }
+  return input;
+}
+
+}  // namespace exo::sim

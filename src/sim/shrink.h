@@ -1,0 +1,46 @@
+// Shrinker: delta-debugging minimization of fault schedules.
+//
+// The chaos-soak harness finds failures under hundreds of injected wire faults;
+// a reproducer that size is useless for debugging. Shrinker implements ddmin
+// (Zeller & Hildebrandt, "Simplifying and Isolating Failure-Inducing Input"):
+// given a failing schedule and a predicate that re-runs the deterministic
+// simulation under a candidate subset (FaultPlan::wire_script), it returns a
+// 1-minimal subsequence — removing any single remaining event makes the failure
+// vanish. Every probe is a full deterministic re-run, so the result replays
+// byte-for-byte from its printed seed line (sim::FormatWireSchedule).
+#ifndef EXO_SIM_SHRINK_H_
+#define EXO_SIM_SHRINK_H_
+
+#include <functional>
+#include <vector>
+
+#include "sim/fault.h"
+
+namespace exo::sim {
+
+class Shrinker {
+ public:
+  using Schedule = std::vector<WireEvent>;
+  // Returns true when the simulation still fails under `candidate`. Must be
+  // deterministic (same candidate, same verdict) — every probe is a fresh run.
+  using Predicate = std::function<bool(const Schedule&)>;
+
+  explicit Shrinker(Predicate still_fails) : still_fails_(std::move(still_fails)) {}
+
+  // ddmin: requires still_fails(input); returns a 1-minimal failing subsequence
+  // (event order — consultation index order — is preserved throughout).
+  Schedule Minimize(Schedule input);
+
+  // Number of predicate probes the last Minimize spent.
+  uint64_t probes() const { return probes_; }
+
+ private:
+  bool Fails(const Schedule& s);
+
+  Predicate still_fails_;
+  uint64_t probes_ = 0;
+};
+
+}  // namespace exo::sim
+
+#endif  // EXO_SIM_SHRINK_H_

@@ -29,7 +29,7 @@ XokKernel::XokKernel(hw::Machine* machine) : machine_(machine) {
   demux_counter_ = machine_->counters().Handle("xok.packets_demuxed");
   unclaimed_counter_ = machine_->counters().Handle("xok.packets_unclaimed");
   ring_drop_counter_ = machine_->counters().Handle("xok.ring_drops");
-  ipc_rejected_counter_ = machine_->counters().Handle("xok.ipc_rejected");
+  ipc_rejected_counter_ = machine_->counters().Handle("xok.rejected");
   orphan_reap_counter_ = machine_->counters().Handle("xok.orphans_reaped");
   tracer_ = &machine_->tracer();
   trace_track_ = tracer_->NewTrack("kernel");

@@ -495,5 +495,134 @@ TEST(ChecksumCacheTest, ComputesOnceThenHits) {
   EXPECT_GT(charged, after_first);
 }
 
+// Transmit times for a connection whose every frame is black-holed: the initial
+// SYN plus one retransmission per backoff step until max_retransmits aborts it.
+std::vector<sim::Cycles> RetransmitSchedule(uint64_t jitter_seed,
+                                            TcpStats* stats_out = nullptr) {
+  sim::Engine engine;
+  sim::CostModel cost = sim::CostModel::PentiumPro200();
+  std::vector<sim::Cycles> times;
+  TcpStack::Hooks hooks;
+  hooks.engine = &engine;
+  hooks.cost = &cost;
+  hooks.transmit = [&](hw::Packet, sim::Cycles when) { times.push_back(when); };
+  TcpProfile p = ClientProfile();
+  p.adaptive_rto = true;
+  p.rto_jitter_seed = jitter_seed;
+  p.max_retransmits = 6;
+  TcpStack stack(hooks, /*ip=*/1, p);
+  stack.Connect(2, 80, [](TcpConn*) {});
+  engine.RunUntilIdle();
+  if (stats_out != nullptr) {
+    *stats_out = stack.stats();
+  }
+  return times;
+}
+
+TEST(TcpRtoTest, BackoffIsDeterministicUnderSeededJitterAndDoubles) {
+  TcpStats stats;
+  const std::vector<sim::Cycles> a = RetransmitSchedule(0xfeed, &stats);
+  const std::vector<sim::Cycles> b = RetransmitSchedule(0xfeed);
+  ASSERT_EQ(a.size(), 7u);  // initial SYN + max_retransmits retries
+  EXPECT_EQ(a, b);          // same seed, same jittered schedule, cycle for cycle
+  for (size_t i = 2; i < a.size(); ++i) {
+    const sim::Cycles prev = a[i - 1] - a[i - 2];
+    const sim::Cycles cur = a[i] - a[i - 1];
+    // Each backoff step doubles the timer; jitter is bounded at rto/8, so even
+    // worst-case draws leave every gap >= 1.7x its predecessor.
+    EXPECT_GE(cur * 10, prev * 17) << "gap " << i << " did not back off";
+  }
+  EXPECT_EQ(stats.rto_aborts, 1u);
+  EXPECT_EQ(stats.rsts_out, 0u);  // never-established conns abort without an RST
+  const std::vector<sim::Cycles> c = RetransmitSchedule(0xbeef);
+  EXPECT_NE(a, c);  // a different seed perturbs the schedule
+}
+
+TEST_F(NetTest, KarnRuleExcludesRetransmitsFromSrtt) {
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
+  auto client = MakeStack(&nic_a_, nullptr, 1, ClientProfile());
+  ASSERT_EQ(server->Listen(80, [](TcpConn*) {}), Status::kOk);
+  TcpConn* conn = nullptr;
+  client->Connect(2, 80, [&](TcpConn* c) { conn = c; });
+  Run();
+  ASSERT_NE(conn, nullptr);
+
+  conn->Send(std::vector<uint8_t>(100, 1));  // clean round trip: baseline SRTT
+  Run();
+  const sim::Cycles srtt_clean = conn->srtt();
+  ASSERT_GT(srtt_clean, 0u);
+
+  // Drop the next data segment. Its retransmission is ACKed a full RTO (tens of
+  // milliseconds) after the original send; Karn's rule must keep that ambiguous
+  // sample out of the estimator, or SRTT would jump by three orders of magnitude.
+  drop_next_ = 1;
+  conn->Send(std::vector<uint8_t>(100, 2));
+  Run();
+  drop_next_ = 0;
+  EXPECT_GE(client->stats().retransmits, 1u);
+  EXPECT_LT(conn->srtt(), srtt_clean * 2);
+}
+
+TEST_F(NetTest, RetryExhaustionAbortsWithRstAndReapsBothPcbs) {
+  TcpProfile cp = ClientProfile();
+  cp.max_retransmits = 3;
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, XokSocketProfile());
+  auto client = MakeStack(&nic_a_, nullptr, 1, cp);
+  bool server_closed = false;
+  ASSERT_EQ(server->Listen(80, [&](TcpConn* c) {
+    c->set_on_close([&](TcpConn*) { server_closed = true; });
+  }), Status::kOk);
+  TcpConn* conn = nullptr;
+  bool aborted = false;
+  client->Connect(2, 80, [&](TcpConn* c) {
+    conn = c;
+    c->set_on_close([&](TcpConn* cc) { aborted = cc->aborted(); });
+  });
+  Run();
+  ASSERT_NE(conn, nullptr);
+
+  // Black-hole every data segment from here on: the sender retries
+  // max_retransmits times, gives up, and aborts. The RST is header-only, so it
+  // still crosses the wire and tears down the peer's PCB too.
+  drop_next_ = 1000;
+  conn->Send(std::vector<uint8_t>(200, 9));
+  Run();
+  drop_next_ = 0;
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(client->stats().rto_aborts, 1u);
+  EXPECT_EQ(client->stats().rsts_out, 1u);
+  EXPECT_EQ(server->stats().rsts_in, 1u);
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(client->conn_count(), 0u);
+  EXPECT_EQ(server->conn_count(), 0u);
+}
+
+TEST_F(NetTest, HalfOpenConnsFromLostFinalAcksAreReaped) {
+  // Frame 3 on the wire is the client's final handshake ACK (1: SYN,
+  // 2: SYN|ACK). Dropping it strands the server in kSynRcvd; frames 5/7/9 drop
+  // whatever the client answers to each SYN|ACK retransmission, so the server
+  // side can never complete. It must burn its retry budget, then reap the
+  // half-open PCB instead of leaking it — the SYN-flood survival property.
+  sim::FaultInjector faults({.seed = 1,
+                             .wire_script = {{3, 'd', 0},
+                                             {5, 'd', 0},
+                                             {7, 'd', 0},
+                                             {9, 'd', 0}}});
+  link_.SetFaultInjector(&faults);
+  TcpProfile sp = XokSocketProfile();
+  sp.max_retransmits = 3;
+  auto server = MakeStack(&nic_b_, &cpu_b_, 2, sp);
+  auto client = MakeStack(&nic_a_, nullptr, 1, ClientProfile());
+  ASSERT_EQ(server->Listen(80, [](TcpConn*) {}, /*backlog=*/4), Status::kOk);
+  client->Connect(2, 80, [](TcpConn*) {});
+  Run();
+  link_.SetFaultInjector(nullptr);
+
+  EXPECT_EQ(server->stats().half_open_reaped, 1u);
+  EXPECT_EQ(server->stats().rto_aborts, 1u);
+  EXPECT_EQ(server->half_open_count(80), 0u);
+  EXPECT_EQ(server->conn_count(), 0u);
+}
+
 }  // namespace
 }  // namespace exo::net

@@ -1,0 +1,410 @@
+// Chaos soak: long multi-tenant HTTP workloads under randomized wire-fault
+// schedules, with invariants checked every epoch and failing schedules
+// delta-minimized (sim::Shrinker) to a replayable reproducer.
+//
+// Knobs (CI and local triage):
+//   SOAK_SEEDS=<lo>:<hi>   seed block for the randomized sweep (default 1:3)
+//   SOAK_EPOCHS=<n>        epochs per seed (default 5; one epoch = 10 ms sim)
+//
+// On an invariant violation the test prints one line —
+//   SOAK-REPRO seed=<seed> schedule="d@12 c@31:58 ..."
+// — whose schedule replays byte-for-byte through FaultPlan::wire_script
+// (docs/OVERLOAD.md walks through replaying one).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/http.h"
+#include "hw/nic.h"
+#include "net/packet.h"
+#include "sim/engine.h"
+#include "sim/fault.h"
+#include "sim/shrink.h"
+
+namespace exo {
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::strtoull(v, nullptr, 0) : fallback;
+}
+
+constexpr sim::Cycles kEpoch = 2'000'000;  // 10 ms at 200 MHz
+
+struct SoakResult {
+  std::string failure;                  // first violated invariant ("" = clean)
+  std::vector<sim::WireEvent> events;   // executed wire faults, replayable
+  std::vector<std::string> fault_log;   // injector log, for byte-exactness checks
+  uint64_t closed_completed = 0;
+  uint64_t open_completed = 0;
+  uint64_t open_rejected = 0;
+  uint64_t open_failed = 0;
+  sim::Cycles end_time = 0;
+};
+
+// Two tenants against one Cheetah server with the full robustness policy on:
+// an open-loop client (checksum-verifying profile, so corrupted responses are
+// detected and recovered) and a closed-loop client. One FaultInjector spans
+// both links, so a schedule is a single consultation-ordered stream.
+SoakResult RunSoak(const sim::FaultPlan& plan, uint64_t epochs) {
+  sim::Engine engine;
+  sim::CostModel cost = sim::CostModel::PentiumPro200();
+  sim::FaultInjector faults(plan);
+
+  apps::HttpServer server(&engine, &cost, apps::ServerStyle::kCheetah, /*ip=*/100);
+  std::vector<uint8_t> doc(4096);
+  for (size_t i = 0; i < doc.size(); ++i) {
+    doc[i] = static_cast<uint8_t>(i * 31);
+  }
+  server.AddDocument("doc", doc);
+  net::ServerOverloadPolicy policy;
+  policy.enabled = true;
+  policy.listen_backlog = 16;
+  policy.high_watermark_us = 2'000;
+  policy.low_watermark_us = 500;
+  policy.request_deadline_us = 100'000;  // 100 ms: generous, but bounded
+  server.SetOverloadPolicy(policy);
+
+  hw::Nic snic0(0), cnic0(100), snic1(1), cnic1(101);
+  hw::Link link0(&engine, 100.0, 40.0, 200);
+  hw::Link link1(&engine, 100.0, 40.0, 200);
+  link0.Connect(&snic0, &cnic0);
+  link1.Connect(&snic1, &cnic1);
+  link0.SetFaultInjector(&faults);
+  link1.SetFaultInjector(&faults);
+  server.AttachNic(&snic0, /*peer_ip=*/1);
+  server.AttachNic(&snic1, /*peer_ip=*/2);
+  EXPECT_EQ(server.Listen(80), Status::kOk);
+
+  // Tenant 1: open-loop at ~2000 req/s, rx-verifying stack.
+  apps::OpenLoopHttpClient open_client(&engine, &cost, &cnic0, /*ip=*/1, 100, "doc",
+                                       /*interval_cycles=*/100'000,
+                                       net::XokSocketProfile());
+  // Tenant 2: closed-loop, 4 concurrent fetchers.
+  apps::HttpClient closed_client(&engine, &cost, &cnic1, /*ip=*/2, 100, "doc",
+                                 /*concurrency=*/4);
+  // Client-side request deadlines: without them a lost server-abort RST leaves
+  // a client parked in kEstablished forever (no timer armed), which the drain
+  // leak check would — correctly — flag.
+  open_client.set_request_timeout(40'000'000);    // 200 ms
+  closed_client.set_request_timeout(40'000'000);
+
+  const sim::Cycles deadline = static_cast<sim::Cycles>(epochs) * kEpoch;
+  open_client.Start(deadline);
+  closed_client.Start(deadline);
+
+  SoakResult r;
+  auto fail = [&](const std::string& what, uint64_t epoch) {
+    if (r.failure.empty()) {
+      r.failure = what + " (epoch " + std::to_string(epoch) + ")";
+    }
+  };
+
+  uint64_t last_progress = 0;
+  for (uint64_t e = 1; e <= epochs && r.failure.empty(); ++e) {
+    engine.RunUntil(static_cast<sim::Cycles>(e) * kEpoch);
+    // Stack invariants: monotonic ACKs, sequenced retransmission queues, timers
+    // consistent with state, half-open accounting honest and within backlog.
+    for (net::TcpStack* check :
+         {&server.stack(), &open_client.stack(), &closed_client.stack()}) {
+      std::string bad = check->CheckInvariants();
+      if (!bad.empty()) {
+        fail(bad, e);
+      }
+    }
+    // Liveness: the system must keep resolving requests every epoch — under
+    // faults a deadlock or livelock would freeze this sum while arrivals
+    // continue (even a shed request counts; silence does not).
+    const uint64_t progress = closed_client.completed() + open_client.completed() +
+                              open_client.rejected() + server.requests_rejected();
+    if (progress <= last_progress) {
+      fail("no request resolved over an epoch (deadlock/livelock)", e);
+    }
+    last_progress = progress;
+  }
+
+  // Drain: stop offering load, let every timer resolve (RTO aborts bound
+  // retries, reapers bound half-open and half-closed states), then the world
+  // must be empty — anything left is a leak.
+  if (r.failure.empty()) {
+    engine.RunUntilIdle();
+    if (server.stack().conn_count() != 0) {
+      fail("server leaked connections after drain", epochs);
+    }
+    if (open_client.stack().conn_count() != 0 ||
+        closed_client.stack().conn_count() != 0) {
+      fail("client leaked connections after drain: [open] " +
+               open_client.stack().DebugConnStates() + " [closed] " +
+               closed_client.stack().DebugConnStates(),
+           epochs);
+    }
+    if (server.stack().half_open_count(80) != 0) {
+      fail("half-open count nonzero after drain", epochs);
+    }
+    // Frame conservation: every frame a NIC transmitted is delivered, dropped
+    // by an injected wire fault, or dropped at a full rx ring; a duplicate adds
+    // one extra delivery.
+    const uint64_t tx = snic0.stats().tx_packets + snic1.stats().tx_packets +
+                        cnic0.stats().tx_packets + cnic1.stats().tx_packets;
+    const uint64_t rx = snic0.stats().rx_packets + snic1.stats().rx_packets +
+                        cnic0.stats().rx_packets + cnic1.stats().rx_packets;
+    const uint64_t overflows =
+        snic0.stats().rx_overflows + snic1.stats().rx_overflows +
+        cnic0.stats().rx_overflows + cnic1.stats().rx_overflows;
+    if (tx + faults.stats().net_duplicates !=
+        rx + overflows + faults.stats().net_drops) {
+      fail("frames leaked on the wire (tx != rx + drops)", epochs);
+    }
+  }
+
+  r.events = faults.wire_events();
+  r.fault_log = faults.log();
+  r.closed_completed = closed_client.completed();
+  r.open_completed = open_client.completed();
+  r.open_rejected = open_client.rejected();
+  r.open_failed = open_client.failed();
+  r.end_time = engine.now();
+  return r;
+}
+
+// Re-runs the identical workload under an explicit schedule (no RNG on the
+// wire) — the replay/shrink harness for a failure found by the rate-mode sweep.
+SoakResult ReplaySoak(const std::vector<sim::WireEvent>& schedule, uint64_t epochs) {
+  sim::FaultPlan plan;
+  plan.net_corrupt_min_offset = net::kIpHeaderBytes + net::kTcpHeaderBytes;
+  plan.wire_script = schedule;
+  return RunSoak(plan, epochs);
+}
+
+// The CI soak sweep: randomized schedules, every epoch checked. A failure
+// here is a real bug; the printed SOAK-REPRO line is its minimized, replayable
+// form (docs/OVERLOAD.md describes the triage workflow).
+TEST(Soak, MultiTenantRandomFaultSweep) {
+  uint64_t lo = 1;
+  uint64_t hi = 3;
+  if (const char* block = std::getenv("SOAK_SEEDS")) {
+    char* colon = nullptr;
+    lo = std::strtoull(block, &colon, 0);
+    hi = (colon != nullptr && *colon == ':') ? std::strtoull(colon + 1, nullptr, 0)
+                                             : lo;
+  }
+  const uint64_t epochs = EnvOr("SOAK_EPOCHS", 5);
+
+  for (uint64_t seed = lo; seed <= hi; ++seed) {
+    sim::FaultPlan plan;
+    plan.seed = seed;
+    plan.net_drop_rate = 0.02;
+    plan.net_corrupt_rate = 0.01;
+    plan.net_duplicate_rate = 0.01;
+    plan.net_corrupt_min_offset = net::kIpHeaderBytes + net::kTcpHeaderBytes;
+
+    SoakResult r = RunSoak(plan, epochs);
+    if (!r.failure.empty()) {
+      // Minimize before reporting: the reproducer is the deliverable.
+      const std::string failure = r.failure;
+      sim::Shrinker shrinker([&](const std::vector<sim::WireEvent>& candidate) {
+        return ReplaySoak(candidate, epochs).failure == failure;
+      });
+      std::vector<sim::WireEvent> minimal = r.events;
+      if (ReplaySoak(minimal, epochs).failure == failure) {
+        minimal = shrinker.Minimize(minimal);
+      }
+      std::printf("SOAK-REPRO seed=%llu schedule=\"%s\"\n",
+                  static_cast<unsigned long long>(seed),
+                  sim::FormatWireSchedule(minimal).c_str());
+      ADD_FAILURE() << "seed " << seed << ": " << failure
+                    << "\nminimized schedule (" << minimal.size()
+                    << " events): " << sim::FormatWireSchedule(minimal);
+      continue;
+    }
+    // The sweep must actually exercise the machinery, not idle through it.
+    EXPECT_GT(r.closed_completed + r.open_completed, 100u) << "seed " << seed;
+    EXPECT_GT(r.events.size(), 10u) << "seed " << seed;
+  }
+}
+
+// A recorded rate-mode schedule, replayed through wire_script, must re-execute
+// the identical faults against the identical frames: same event stream, same
+// outcome counters, same final clock — byte-for-byte determinism across modes.
+TEST(Soak, RecordedScheduleReplaysByteExact) {
+  sim::FaultPlan plan;
+  plan.seed = 99;
+  plan.net_drop_rate = 0.02;
+  plan.net_corrupt_rate = 0.01;
+  plan.net_duplicate_rate = 0.01;
+  plan.net_corrupt_min_offset = net::kIpHeaderBytes + net::kTcpHeaderBytes;
+
+  SoakResult original = RunSoak(plan, 3);
+  ASSERT_EQ(original.failure, "");
+  ASSERT_GT(original.events.size(), 5u);
+
+  SoakResult replay1 = ReplaySoak(original.events, 3);
+  SoakResult replay2 = ReplaySoak(original.events, 3);
+
+  // Scripted mode re-executes the recorded schedule exactly...
+  EXPECT_TRUE(replay1.events == original.events);
+  EXPECT_EQ(replay1.failure, "");
+  // ...the simulation lands in the identical final state...
+  EXPECT_EQ(replay1.closed_completed, original.closed_completed);
+  EXPECT_EQ(replay1.open_completed, original.open_completed);
+  EXPECT_EQ(replay1.open_rejected, original.open_rejected);
+  EXPECT_EQ(replay1.open_failed, original.open_failed);
+  EXPECT_EQ(replay1.end_time, original.end_time);
+  // ...and replay itself is bit-stable run to run.
+  EXPECT_EQ(replay1.fault_log, replay2.fault_log);
+  EXPECT_TRUE(replay1.events == replay2.events);
+  EXPECT_EQ(replay1.end_time, replay2.end_time);
+}
+
+// The schedule codec round-trips the printed seed line.
+TEST(Soak, WireScheduleCodecRoundTrips) {
+  std::vector<sim::WireEvent> events = {
+      {3, 'd', 0}, {15, 'c', 58}, {20, 'u', 0}, {901, 'd', 0}};
+  const std::string text = sim::FormatWireSchedule(events);
+  EXPECT_EQ(text, "d@3 c@15:58 u@20 d@901");
+  EXPECT_TRUE(sim::ParseWireSchedule(text) == events);
+  EXPECT_TRUE(sim::ParseWireSchedule("").empty());
+}
+
+// ---- Shrinker acceptance: a soak-style failure minimizes to a <=10-event
+// reproducer that replays byte-for-byte from its printed seed line. ----
+
+// A deliberately fragile scenario: one client with max_retransmits=3 fetching
+// one 2000-byte document. Failure predicate: the fetch never completes. The
+// cheapest way to kill it is to drop the SYN and all three retries — frames
+// 1..4, since nothing else crosses the wire until the handshake succeeds.
+// When `recorded` is non-null the executed wire schedule is copied out.
+bool FragileFetchFails(const sim::FaultPlan& plan,
+                       std::vector<sim::WireEvent>* recorded = nullptr) {
+  sim::Engine engine;
+  sim::CostModel cost = sim::CostModel::PentiumPro200();
+  sim::FaultInjector faults(plan);
+
+  hw::Nic snic(0), cnic(1);
+  hw::Link link(&engine, 100.0, 40.0, 200);
+  link.Connect(&snic, &cnic);
+  link.SetFaultInjector(&faults);
+
+  net::TcpProfile server_prof = net::XokSocketProfile();
+  net::TcpProfile client_prof = net::ClientProfile();
+  server_prof.max_retransmits = 3;
+  client_prof.max_retransmits = 3;
+
+  auto mk = [&](hw::Nic* nic, net::IpAddr ip, const net::TcpProfile& prof) {
+    net::TcpStack::Hooks hooks;
+    hooks.engine = &engine;
+    hooks.cost = &cost;
+    hooks.cpu = nullptr;
+    hooks.transmit = [&engine, nic](hw::Packet p, sim::Cycles when) {
+      engine.ScheduleAt(std::max(when, engine.now()),
+                        [nic, p = std::move(p)]() mutable { nic->Transmit(std::move(p)); });
+    };
+    auto stack = std::make_unique<net::TcpStack>(hooks, ip, prof);
+    net::TcpStack* raw = stack.get();
+    nic->SetReceiveHandler([raw](hw::Packet p) { raw->Input(p); });
+    return stack;
+  };
+  auto server = mk(&snic, 2, server_prof);
+  auto client = mk(&cnic, 1, client_prof);
+
+  size_t got = 0;
+  EXPECT_EQ(server->Listen(80,
+                           [](net::TcpConn* c) {
+                             c->set_on_data(
+                                 [](net::TcpConn* conn, std::span<const uint8_t>) {
+                                   conn->Send(std::vector<uint8_t>(2000, 0x5a));
+                                 });
+                           }),
+            Status::kOk);
+  client->Connect(2, 80, [&](net::TcpConn* c) {
+    c->set_on_data([&](net::TcpConn*, std::span<const uint8_t> d) { got += d.size(); });
+    c->Send(std::vector<uint8_t>(64, 0x42));
+  });
+  engine.RunUntilIdle();
+  if (recorded != nullptr) {
+    *recorded = faults.wire_events();
+  }
+  return got < 2000;  // the fetch never completed: the failure being shrunk
+}
+
+// End-to-end: find a genuinely failing random schedule, record it, ddmin it,
+// and prove the printed seed line replays the failure byte-for-byte.
+TEST(Soak, ShrinkerMinimizesFailureToReplayableSeedLine) {
+  uint64_t failing_seed = 0;
+  std::vector<sim::WireEvent> recorded;
+  for (uint64_t seed = 1; seed <= 50 && failing_seed == 0; ++seed) {
+    sim::FaultPlan plan;
+    plan.seed = seed;
+    plan.net_drop_rate = 0.30;
+    if (FragileFetchFails(plan, &recorded)) {
+      failing_seed = seed;
+    }
+  }
+  ASSERT_NE(failing_seed, 0u) << "no failing seed in 1..50 at 30% drop";
+  ASSERT_FALSE(recorded.empty());
+
+  // Predicate: does a scripted candidate still reproduce the failure?
+  auto still_fails = [](const std::vector<sim::WireEvent>& candidate) {
+    sim::FaultPlan plan;
+    plan.wire_script = candidate;
+    return FragileFetchFails(plan);
+  };
+  ASSERT_TRUE(still_fails(recorded)) << "recorded schedule must replay the failure";
+
+  sim::Shrinker shrinker(still_fails);
+  const std::vector<sim::WireEvent> minimal = shrinker.Minimize(recorded);
+
+  // The acceptance bar: a small (<=10 events) reproducer...
+  EXPECT_LE(minimal.size(), 10u);
+  ASSERT_TRUE(still_fails(minimal));
+  // ...that is 1-minimal: removing any single event loses the failure.
+  for (size_t i = 0; i < minimal.size(); ++i) {
+    std::vector<sim::WireEvent> weaker = minimal;
+    weaker.erase(weaker.begin() + static_cast<long>(i));
+    EXPECT_FALSE(still_fails(weaker)) << "not 1-minimal at event " << i;
+  }
+
+  // The printed seed line replays byte-for-byte: format, parse, run twice,
+  // identical executed schedule both times.
+  const std::string line = sim::FormatWireSchedule(minimal);
+  std::printf("SOAK-REPRO seed=%llu schedule=\"%s\"\n",
+              static_cast<unsigned long long>(failing_seed), line.c_str());
+  std::vector<sim::WireEvent> parsed = sim::ParseWireSchedule(line);
+  ASSERT_TRUE(parsed == minimal);
+  std::vector<sim::WireEvent> executed1, executed2;
+  sim::FaultPlan replay;
+  replay.wire_script = parsed;
+  EXPECT_TRUE(FragileFetchFails(replay, &executed1));
+  EXPECT_TRUE(FragileFetchFails(replay, &executed2));
+  EXPECT_TRUE(executed1 == executed2);
+}
+
+// Deterministic shape check: a planted schedule — the four drops that kill the
+// handshake plus noise events on frames that never occur once the connection
+// aborts — must minimize to exactly the four necessary drops.
+TEST(Soak, ShrinkerPrunesPlantedScheduleToNecessaryDrops) {
+  std::vector<sim::WireEvent> planted = {
+      {1, 'd', 0}, {2, 'd', 0}, {3, 'd', 0}, {4, 'd', 0},
+      {6, 'd', 0}, {9, 'c', 40}, {11, 'u', 0}, {100, 'd', 0}};
+  auto still_fails = [](const std::vector<sim::WireEvent>& candidate) {
+    sim::FaultPlan plan;
+    plan.wire_script = candidate;
+    return FragileFetchFails(plan);
+  };
+  ASSERT_TRUE(still_fails(planted));
+
+  sim::Shrinker shrinker(still_fails);
+  const std::vector<sim::WireEvent> minimal = shrinker.Minimize(planted);
+  ASSERT_EQ(minimal.size(), 4u);
+  for (size_t i = 0; i < minimal.size(); ++i) {
+    EXPECT_EQ(minimal[i].kind, 'd');
+    EXPECT_EQ(minimal[i].frame_index, i + 1);
+  }
+  EXPECT_GT(shrinker.probes(), 0u);
+}
+
+}  // namespace
+}  // namespace exo

@@ -636,7 +636,7 @@ TEST_F(XokTest, IpcFloodBoundedByReceiverQuota) {
   kernel_.Run();
   EXPECT_EQ(accepted + rejected, 10);
   EXPECT_GE(rejected, 2);  // receiver stops draining after 4: the tail must bounce
-  EXPECT_EQ(machine_.counters().Get("xok.ipc_rejected"),
+  EXPECT_EQ(machine_.counters().Get("xok.rejected"),
             static_cast<uint64_t>(rejected));
   EXPECT_EQ(drained, 4);
 }
