@@ -71,6 +71,19 @@ inline void WriteTraceFile(const trace::Tracer& tracer, const TraceOptions& opts
   }
 }
 
+// Prints every nonzero fault/integrity counter (fault.*, disk.corrupted,
+// disk.repaired, scrub.*) one per line. A healthy unarmed run prints nothing,
+// so the figure stdout stays byte-identical unless faults actually fired.
+inline void PrintFaultCounters(sim::Counters& counters) {
+  for (const char* prefix : {"fault.", "disk.corrupted", "disk.repaired", "scrub."}) {
+    for (const auto& [name, value] : counters.Snapshot(prefix)) {
+      if (value != 0) {
+        std::printf("%s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+      }
+    }
+  }
+}
+
 inline hw::MachineConfig PaperMachine(uint32_t disk_mb = 256) {
   hw::MachineConfig cfg;
   cfg.mem_frames = 16384;  // 64 MB
@@ -167,6 +180,7 @@ inline WorkloadResult RunIoWorkload(os::Flavor flavor, os::SystemOptions opts = 
     result.total += s.seconds;
   }
   result.syscalls = sys.syscall_count();
+  PrintFaultCounters(machine.counters());
   if (trace_opts != nullptr) {
     WriteTraceFile(machine.tracer(), *trace_opts);
   }

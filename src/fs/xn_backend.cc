@@ -80,6 +80,12 @@ Status XnBackend::EnsureCached(hw::BlockId block, hw::BlockId parent) {
     if (tries > 0 && tries <= kIoRetries) {
       ChargeCpu(BackoffUs(tries - 1) * cost().cpu_mhz);
     }
+    // Read-repair: a block quarantined by an earlier integrity failure is retried
+    // once through XN's repair path (rewrite from a clean cached copy). If no such
+    // copy exists the corruption is surfaced, never read around.
+    if (xn_->IsQuarantined(block) && xn_->TryRepair(block) != Status::kOk) {
+      return Status::kCorrupted;
+    }
     const xn::RegistryEntry* e = xn_->registry().Lookup(block);
     if (e != nullptr && (e->state == xn::BufState::kResident ||
                          e->state == xn::BufState::kWriteTransit)) {

@@ -1,10 +1,31 @@
 #include "hw/disk.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 
 namespace exo::hw {
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  // Table-driven reflected CRC-32; the table is built once on first use.
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 Disk::Disk(sim::Engine* engine, PhysMem* mem, const DiskGeometry& geometry, uint32_t cpu_mhz)
     : engine_(engine),
@@ -12,6 +33,41 @@ Disk::Disk(sim::Engine* engine, PhysMem* mem, const DiskGeometry& geometry, uint
       geometry_(geometry),
       cpu_mhz_(cpu_mhz),
       store_(static_cast<size_t>(geometry.num_blocks) * kBlockSize, 0) {}
+
+void Disk::EnableIntegrity() {
+  integrity_ = true;
+  tags_.resize(geometry_.num_blocks);
+  // Whatever is on the media right now becomes the trusted baseline.
+  for (BlockId b = 0; b < geometry_.num_blocks; ++b) {
+    tags_[b] = BlockTag{Crc32(RawBlock(b)), b};
+  }
+}
+
+BlockIntegrity Disk::CheckBlock(BlockId b) const {
+  EXO_CHECK_LT(b, geometry_.num_blocks);
+  if (latent_bad_.count(b) != 0) {
+    return BlockIntegrity::kUnreadable;
+  }
+  if (!integrity_) {
+    return BlockIntegrity::kOk;
+  }
+  const BlockTag& tag = tags_[b];
+  if (tag.intended != b) {
+    return BlockIntegrity::kMisdirected;
+  }
+  if (tag.crc != Crc32(RawBlock(b))) {
+    return BlockIntegrity::kBadChecksum;
+  }
+  return BlockIntegrity::kOk;
+}
+
+void Disk::Restamp(BlockId b) {
+  EXO_CHECK_LT(b, geometry_.num_blocks);
+  latent_bad_.erase(b);  // a rewrite remaps the sector
+  if (integrity_) {
+    tags_[b] = BlockTag{Crc32(RawBlock(b)), b};
+  }
+}
 
 std::span<uint8_t> Disk::RawBlock(BlockId b) {
   EXO_CHECK_LT(b, geometry_.num_blocks);
@@ -284,20 +340,65 @@ void Disk::Complete(DiskRequest req) {
     return;
   }
 
+  // Fails the active request at block offset `at` with kIoError, leaving the
+  // head where the transfer died. Mirrors the transient-failure completion.
+  auto fail_request = [&](uint32_t at) {
+    ++stats_.io_errors;
+    head_cylinder_ = CylinderOf(req.start + at);
+    last_block_end_ = req.start + at;
+    active_ = false;
+    if (tracer_ != nullptr && tracer_->enabled(trace::Category::kDisk)) {
+      tracer_->End(trace::Category::kDisk, trace_track_, "service", engine_->now(),
+                   static_cast<uint64_t>(Status::kIoError));
+    }
+    if (req.done) {
+      req.done(Status::kIoError);
+    }
+    if (!powered_off_) {
+      StartNext();
+    }
+  };
+
   // DMA between the platter store and memory frames happens at completion time.
   // Writes become durable one block at a time; a power cut mid-request tears it.
+  // Each DMA'd block consults the media-fault model: writes may be lost (acked,
+  // never durable) or misdirected (land at the wrong LBA); reads may surface
+  // persistent bit rot or hit a latent sector error. Model-only transfers (no
+  // frame) touch no media and consult nothing.
+  uint32_t lost = 0;  // acked write blocks that never reached the platter
   for (uint32_t i = 0; i < req.nblocks; ++i) {
     if (req.frames.empty() || req.frames[i] == kInvalidFrame) {
       continue;
     }
     auto frame = mem_->Data(req.frames[i]);
-    auto block = RawBlock(req.start + i);
+    const BlockId blk = req.start + i;
     if (req.write) {
-      std::memcpy(block.data(), frame.data(), kBlockSize);
-      if (faults_ != nullptr && faults_->OnBlockWritten(req.start + i)) {
+      BlockId land = blk;
+      if (faults_ != nullptr) {
+        switch (faults_->NextWriteFate(blk, geometry_.num_blocks)) {
+          case sim::FaultInjector::WriteFate::kLost:
+            ++stats_.lost_blocks;
+            ++lost;
+            continue;  // acked but never durable: media, tag, cut count untouched
+          case sim::FaultInjector::WriteFate::kMisdirect:
+            land = static_cast<BlockId>(faults_->MisdirectTarget());
+            ++stats_.misdirected_blocks;
+            break;
+          case sim::FaultInjector::WriteFate::kDurable:
+            break;
+        }
+      }
+      std::memcpy(RawBlock(land).data(), frame.data(), kBlockSize);
+      latent_bad_.erase(land);  // rewriting remaps a latent-bad sector
+      if (integrity_) {
+        // The tag records where the controller *addressed* the data; a
+        // misdirected landing is detectable because intended != land.
+        tags_[land] = BlockTag{Crc32(RawBlock(land)), blk};
+      }
+      if (faults_ != nullptr && faults_->OnBlockWritten(land)) {
         // Power dies with this block on the platter and the rest of the request
         // torn away. No completion interrupt ever fires.
-        stats_.blocks_written += i + 1;
+        stats_.blocks_written += i + 1 - lost;
         stats_.torn_blocks += req.nblocks - (i + 1);
         if (dropped_counter_ != nullptr) {
           *dropped_counter_ += req.nblocks - (i + 1);
@@ -306,11 +407,36 @@ void Disk::Complete(DiskRequest req) {
         return;
       }
     } else {
-      std::memcpy(frame.data(), block.data(), kBlockSize);
+      if (latent_bad_.count(blk) != 0) {
+        // Persistent latent sector error: unreadable until rewritten, even
+        // after the injector that planted it has been detached.
+        ++stats_.latent_errors;
+        fail_request(i);
+        return;
+      }
+      if (faults_ != nullptr) {
+        switch (faults_->NextReadFate(blk, kBlockSize)) {
+          case sim::FaultInjector::ReadFate::kRot: {
+            // Silent bit rot surfacing at read time: the *media* byte flips,
+            // persistently, before the DMA copies it out.
+            RawBlock(blk)[faults_->RotOffset()] ^= 0x20;
+            ++stats_.rotted_blocks;
+            break;
+          }
+          case sim::FaultInjector::ReadFate::kLatent:
+            latent_bad_.insert(blk);
+            ++stats_.latent_errors;
+            fail_request(i);
+            return;
+          case sim::FaultInjector::ReadFate::kClean:
+            break;
+        }
+      }
+      std::memcpy(frame.data(), RawBlock(blk).data(), kBlockSize);
     }
   }
   if (req.write) {
-    stats_.blocks_written += req.nblocks;
+    stats_.blocks_written += req.nblocks - lost;
   } else {
     stats_.blocks_read += req.nblocks;
   }

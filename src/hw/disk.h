@@ -16,6 +16,7 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <set>
 #include <span>
 #include <utility>
 #include <vector>
@@ -32,6 +33,18 @@ namespace exo::hw {
 using BlockId = uint32_t;
 constexpr uint32_t kBlockSize = kPageSize;  // one disk block caches in one page (Fig. 1)
 constexpr BlockId kInvalidBlock = 0xffffffff;
+
+// CRC-32 (reflected, poly 0xEDB88320) over a byte span — the checksum the
+// integrity sidecar stamps per block and XN re-verifies on read.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+
+// Verdict of CheckBlock against the integrity sidecar (see EnableIntegrity).
+enum class BlockIntegrity {
+  kOk,
+  kUnreadable,   // latent sector error: reads fail until the block is rewritten
+  kBadChecksum,  // media bytes no longer match the stamped CRC (rot / lost write)
+  kMisdirected,  // tag says these bytes were destined for a different LBA
+};
 
 struct DiskGeometry {
   uint32_t num_blocks = 16384;       // 64 MB default; benches size this up
@@ -68,6 +81,10 @@ struct DiskStats {
   uint64_t io_errors = 0;          // injected request failures surfaced to callers
   uint64_t rejected_requests = 0;  // malformed submissions completed with an error
   uint64_t torn_blocks = 0;        // blocks of the in-flight write lost to power cuts
+  uint64_t lost_blocks = 0;        // acked writes that never reached the media
+  uint64_t misdirected_blocks = 0; // writes that landed at the wrong LBA
+  uint64_t rotted_blocks = 0;      // persistent bit flips surfaced by reads
+  uint64_t latent_errors = 0;      // reads failed by latent sector errors
   sim::Cycles busy_cycles = 0;
 };
 
@@ -97,6 +114,9 @@ class Disk {
     if (faults_ != nullptr && tracer_ != nullptr) {
       faults_->AttachTracer(tracer_, engine_);  // injected faults share our timeline
     }
+    if (faults_ != nullptr && counters_ != nullptr) {
+      faults_->AttachCounters(counters_);  // fault.* counters on the standard surface
+    }
   }
   sim::FaultInjector* fault_injector() const { return faults_; }
 
@@ -104,9 +124,34 @@ class Disk {
   // and `disk.dropped` (torn blocks: accepted writes lost to a power cut)
   // slots, per the counter convention in docs/OBSERVABILITY.md.
   void AttachCounters(sim::Counters* counters) {
+    counters_ = counters;
     rejected_counter_ = counters != nullptr ? counters->Handle("disk.rejected") : nullptr;
     dropped_counter_ = counters != nullptr ? counters->Handle("disk.dropped") : nullptr;
+    if (faults_ != nullptr && counters_ != nullptr) {
+      faults_->AttachCounters(counters_);  // wiring is order-independent
+    }
   }
+
+  // ---- Integrity sidecar ----
+  //
+  // A DIF-style per-block tag {CRC-32, intended LBA} maintained out of band:
+  // stamped atomically with every durable block write, never charged simulated
+  // time, and invisible unless armed — so the armed-but-quiet figure runs stay
+  // bit-identical. The tag is what silent media faults cannot forge: a rotted
+  // block mismatches its CRC, a misdirected landing carries the wrong intended
+  // LBA, and a lost write onto a never-stamped block leaves a stale tag.
+  // EnableIntegrity stamps the *current* media as the trusted baseline.
+  void EnableIntegrity();
+  bool integrity_enabled() const { return integrity_; }
+
+  // Verdict for one block against its tag and the latent-sector set. Host-side
+  // only: charges nothing, draws nothing.
+  BlockIntegrity CheckBlock(BlockId b) const;
+
+  // Re-stamps the tag from the block's current media bytes and clears any
+  // latent-sector mark: the kernel-internal RawBlock write path (superblock,
+  // catalogues, repair) calls this where DMA writes stamp implicitly.
+  void Restamp(BlockId b);
 
   // Attaches a tracer; the request lifecycle (submit, merge, dispatch,
   // seek/rotate/transfer, complete) lands in the `disk` category on `track`, and
@@ -138,6 +183,13 @@ class Disk {
   uint32_t queue_depth() const { return static_cast<uint32_t>(queue_.size()); }
 
  private:
+  // One integrity-sidecar entry; `intended` is the LBA the stamped write was
+  // addressed to, so misdirected landings are distinguishable from rot.
+  struct BlockTag {
+    uint32_t crc = 0;
+    BlockId intended = kInvalidBlock;
+  };
+
   // A queued request plus its admission order; seq breaks ties exactly the way
   // queue position did when the queue was a scanned deque (merges only ever grow
   // a request at its tail, so both start and seq are stable once queued).
@@ -187,8 +239,15 @@ class Disk {
   trace::Tracer* tracer_ = nullptr;
   uint32_t trace_track_ = 0;
   trace::LatencyHistogram* service_hist_ = nullptr;
+  sim::Counters* counters_ = nullptr;
   sim::Counters::Slot* rejected_counter_ = nullptr;
   sim::Counters::Slot* dropped_counter_ = nullptr;
+  // Media state that survives power cycles and injector detach: latent-bad
+  // sectors stay unreadable, tags stay stamped — they model the platter, not
+  // the injector's bookkeeping.
+  bool integrity_ = false;
+  std::vector<BlockTag> tags_;
+  std::set<BlockId> latent_bad_;
   bool powered_off_ = false;
   uint64_t power_epoch_ = 0;  // completions scheduled before a cut are invalidated
   bool active_ = false;

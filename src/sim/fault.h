@@ -4,7 +4,8 @@
 // after a crash at any instant without synchronous writes (Sec. 4.4), and its TCP
 // carries retransmission machinery (Sec. 7.3). Neither path is trustworthy unless it
 // can be *driven*: this module injects disk I/O errors, power cuts that tear
-// multi-block writes, and packet drop/corruption/duplication — all drawn from one
+// multi-block writes, silent media faults (latent sectors, bit rot, misdirected and
+// lost writes), and packet drop/corruption/duplication — all drawn from one
 // explicitly seeded Rng so a failing schedule is reproducible from its seed alone.
 //
 // Determinism contract:
@@ -24,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/counters.h"
 #include "sim/engine.h"
 #include "sim/rng.h"
 #include "trace/trace.h"
@@ -43,18 +45,60 @@ struct WireEvent {
   bool operator==(const WireEvent&) const = default;
 };
 
-// Compact one-line codec for wire schedules: "d@3 c@15:7 u@20" (kind@index,
-// corrupt events carry :offset). Round-trips through ParseWireSchedule; this is
-// the format soak reproducer seed lines embed.
+// One media fault, keyed by consultation index within its *direction* stream.
+// Write kinds index the Nth block-write consultation; read kinds index the Nth
+// block-read consultation (both 1-based, counted across every request the
+// injector sees). Like WireEvent, the schedule a run executed (disk_events())
+// replays verbatim through FaultPlan::disk_script.
+struct DiskEvent {
+  uint64_t index = 0;
+  char kind = 'w';   // 'w' lost write, 'm' misdirected write, 'l' latent sector, 'r' bit rot
+  uint64_t arg = 0;  // 'm': absolute target LBA; 'r': byte offset to flip; else unused
+
+  bool operator==(const DiskEvent&) const = default;
+};
+
+// A wire or disk fault in one combined stream, recorded chronologically. The
+// kind letters of the two layers are disjoint (d/c/u vs w/m/l/r), so a single
+// token grammar — and a single ddmin pass — covers both.
+struct FaultEvent {
+  char kind = 'd';
+  uint64_t index = 0;  // per-layer, per-direction consultation index
+  uint64_t arg = 0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+inline bool IsWireFaultKind(char k) { return k == 'd' || k == 'c' || k == 'u'; }
+inline bool IsDiskFaultKind(char k) { return k == 'w' || k == 'm' || k == 'l' || k == 'r'; }
+
+// Compact one-line codecs: "d@3 c@15:7 u@20" (wire), "w@9 m@5:917 l@2 r@7:128"
+// (disk), and the union grammar for combined schedules. kinds 'c'/'r'/'m' carry
+// a mandatory :arg; the others forbid one. Parsers are strict: any garbage
+// token, overflow, zero index, or duplicate index within a stream yields an
+// empty schedule, with a diagnostic in *error when supplied — never a silent
+// misparse.
 std::string FormatWireSchedule(const std::vector<WireEvent>& events);
-std::vector<WireEvent> ParseWireSchedule(const std::string& text);
+std::vector<WireEvent> ParseWireSchedule(const std::string& text,
+                                         std::string* error = nullptr);
+std::string FormatDiskSchedule(const std::vector<DiskEvent>& events);
+std::vector<DiskEvent> ParseDiskSchedule(const std::string& text,
+                                         std::string* error = nullptr);
+std::string FormatFaultSchedule(const std::vector<FaultEvent>& events);
+std::vector<FaultEvent> ParseFaultSchedule(const std::string& text,
+                                           std::string* error = nullptr);
+
+// Splits a combined schedule into its per-layer scripts (the inverse of the
+// merged fault_events() recording). Sound because indices are per-stream.
+void SplitFaultSchedule(const std::vector<FaultEvent>& events,
+                        std::vector<WireEvent>* wire, std::vector<DiskEvent>* disk);
 
 // Declarative description of the faults to inject. Rates are per-consultation
 // probabilities in [0, 1]; 0 disables the corresponding fault class.
 struct FaultPlan {
   uint64_t seed = 1;
 
-  // ---- Disk ----
+  // ---- Disk: fail-stop ----
   // Probability that a disk request fails wholesale with Status::kIoError (no DMA
   // is performed; the media is untouched). Transient: a retry redraws.
   double disk_error_rate = 0.0;
@@ -62,6 +106,24 @@ struct FaultPlan {
   // lost. A multi-block request in flight is torn: blocks before the cut are
   // durable, the rest never happen. 0 disables.
   uint64_t power_cut_after_blocks = 0;
+
+  // ---- Disk: silent media faults ----
+  // Per-block-write probability that the write is acked but never durable (media
+  // and checksum tag untouched — the classic lost write).
+  double disk_lost_rate = 0.0;
+  // Per-block-write probability that the block lands at a wrong LBA: the
+  // intended block keeps its old contents, the victim is overwritten.
+  double disk_misdirect_rate = 0.0;
+  // Per-block-read probability that one media byte flips *persistently* before
+  // the DMA (silent bit rot surfacing at read time).
+  double disk_rot_rate = 0.0;
+  // Per-block-read probability that the sector goes latent-bad: this and every
+  // later read of it fails with kIoError until the block is rewritten.
+  double disk_latent_rate = 0.0;
+  // Scripted media mode: when non-empty, media-fault fates come from this
+  // explicit schedule instead of the four rates above — no RNG is consulted for
+  // the media at all.
+  std::vector<DiskEvent> disk_script;
 
   // ---- Wire ----
   double net_drop_rate = 0.0;       // frame vanishes
@@ -84,6 +146,12 @@ struct FaultStats {
   uint64_t disk_io_errors = 0;
   uint64_t disk_blocks_written = 0;  // durable block writes counted toward the cut
   uint64_t power_cuts = 0;
+  uint64_t media_writes_seen = 0;    // block-write fate consultations
+  uint64_t disk_blocks_read = 0;     // block-read fate consultations
+  uint64_t disk_lost_writes = 0;
+  uint64_t disk_misdirects = 0;
+  uint64_t disk_rot = 0;
+  uint64_t disk_latent = 0;
   uint64_t frames_seen = 0;
   uint64_t net_drops = 0;
   uint64_t net_corruptions = 0;
@@ -95,6 +163,14 @@ class FaultInjector {
   explicit FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {
     for (const WireEvent& e : plan_.wire_script) {
       script_[e.frame_index] = e;
+    }
+    disk_scripted_ = !plan_.disk_script.empty();
+    for (const DiskEvent& e : plan_.disk_script) {
+      if (e.kind == 'w' || e.kind == 'm') {
+        write_script_[e.index] = e;
+      } else {
+        read_script_[e.index] = e;
+      }
     }
   }
 
@@ -112,6 +188,13 @@ class FaultInjector {
   // form: feed them back through FaultPlan::wire_script (whole or ddmin-pruned —
   // sim::Shrinker) to re-run or minimize the schedule.
   const std::vector<WireEvent>& wire_events() const { return wire_events_; }
+
+  // Same for media faults: replay through FaultPlan::disk_script.
+  const std::vector<DiskEvent>& disk_events() const { return disk_events_; }
+
+  // Both layers merged chronologically — the unit a combined soak reproducer
+  // minimizes. SplitFaultSchedule turns a (pruned) copy back into scripts.
+  const std::vector<FaultEvent>& fault_events() const { return fault_events_; }
 
   // Mirrors every injected fault into the tracer's `fault` category as an
   // instant event, stamped with the engine clock, so a failing crash-test
@@ -132,6 +215,12 @@ class FaultInjector {
   }
   trace::Tracer* tracer() const { return tracer_; }
 
+  // Mirrors fault counts into the standard counter surface as `fault.*` so
+  // activity is observable without reading the injector log (see
+  // docs/OBSERVABILITY.md). Same contract as AttachTracer: first attachment
+  // wins, nullptr detaches.
+  void AttachCounters(Counters* counters);
+
   // ---- Disk consultation ----
 
   // Drawn once per disk request as it begins service. True => the request fails
@@ -147,6 +236,24 @@ class FaultInjector {
     return plan_.power_cut_after_blocks != 0 &&
            stats_.disk_blocks_written < plan_.power_cut_after_blocks;
   }
+
+  // ---- Media consultation ----
+
+  enum class WriteFate { kDurable, kLost, kMisdirect };
+  enum class ReadFate { kClean, kRot, kLatent };
+
+  // Drawn once per DMA'd block write, before the transfer. kLost => the caller
+  // acks without touching the media; kMisdirect => the data lands at
+  // MisdirectTarget() instead of `block`. `num_blocks` bounds the target.
+  WriteFate NextWriteFate(uint64_t block, uint64_t num_blocks);
+  uint64_t MisdirectTarget() const { return misdirect_target_; }
+
+  // Drawn once per DMA'd block read, before the transfer. kRot => the caller
+  // flips the media byte at RotOffset() (persistently) and completes the read;
+  // kLatent => the sector is now unreadable until rewritten and the request
+  // fails. `block_bytes` bounds the rot offset.
+  ReadFate NextReadFate(uint64_t block, uint64_t block_bytes);
+  uint64_t RotOffset() const { return rot_offset_; }
 
   // ---- Wire consultation ----
 
@@ -169,17 +276,47 @@ class FaultInjector {
                        engine_ != nullptr ? engine_->now() : 0, arg);
     }
   }
+  void Count(Counters::Slot* slot) {
+    if (slot != nullptr) {
+      ++*slot;
+    }
+  }
+  void RecordWire(const WireEvent& e) {
+    wire_events_.push_back(e);
+    fault_events_.push_back(FaultEvent{e.kind, e.frame_index, e.corrupt_offset});
+  }
+  void RecordDisk(const DiskEvent& e) {
+    disk_events_.push_back(e);
+    fault_events_.push_back(FaultEvent{e.kind, e.index, e.arg});
+  }
 
   FaultPlan plan_;
   Rng rng_;
   FaultStats stats_;
   uint64_t corrupt_offset_ = 0;
+  uint64_t misdirect_target_ = 0;
+  uint64_t rot_offset_ = 0;
+  bool disk_scripted_ = false;
   std::vector<std::string> log_;
   std::vector<WireEvent> wire_events_;
-  std::map<uint64_t, WireEvent> script_;  // wire_script indexed by frame_index
+  std::vector<DiskEvent> disk_events_;
+  std::vector<FaultEvent> fault_events_;
+  std::map<uint64_t, WireEvent> script_;        // wire_script indexed by frame_index
+  std::map<uint64_t, DiskEvent> write_script_;  // disk_script, write-stream kinds
+  std::map<uint64_t, DiskEvent> read_script_;   // disk_script, read-stream kinds
   trace::Tracer* tracer_ = nullptr;
   const Engine* engine_ = nullptr;
   uint32_t trace_track_ = 0;
+  Counters::Slot* c_disk_io_errors_ = nullptr;
+  Counters::Slot* c_power_cuts_ = nullptr;
+  Counters::Slot* c_lost_writes_ = nullptr;
+  Counters::Slot* c_misdirects_ = nullptr;
+  Counters::Slot* c_rot_ = nullptr;
+  Counters::Slot* c_latent_ = nullptr;
+  Counters::Slot* c_net_drops_ = nullptr;
+  Counters::Slot* c_net_corruptions_ = nullptr;
+  Counters::Slot* c_net_duplicates_ = nullptr;
+  bool counters_attached_ = false;
 };
 
 }  // namespace exo::sim

@@ -34,6 +34,8 @@ const char* StatusName(Status s) {
       return "CRASHED";
     case Status::kQuotaExceeded:
       return "QUOTA_EXCEEDED";
+    case Status::kCorrupted:
+      return "CORRUPTED";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,7 @@ enum class Status : int {
   kIoError,
   kCrashed,            // simulated crash injected
   kQuotaExceeded,      // per-env resource quota would be exceeded
+  kCorrupted,          // integrity check failed: media holds detectably wrong bytes
 };
 
 // Human-readable name for diagnostics and test failure messages.

@@ -94,6 +94,11 @@ Xn::Xn(hw::Machine* machine, hw::Disk* disk) : machine_(machine), disk_(disk) {
   syscall_counter_ = machine_->counters().Handle("xok.syscalls");
   tracer_ = &machine_->tracer();
   trace_track_ = tracer_->NewTrack("xn");
+  corrupted_counter_ = machine_->counters().Handle("disk.corrupted");
+  repaired_counter_ = machine_->counters().Handle("disk.repaired");
+  scrub_scanned_counter_ = machine_->counters().Handle("scrub.blocks_scanned");
+  scrub_repaired_counter_ = machine_->counters().Handle("scrub.repaired");
+  scrub_quarantined_counter_ = machine_->counters().Handle("scrub.quarantined");
 }
 
 void Xn::ChargeOp(const char* name) {
@@ -177,6 +182,8 @@ void Xn::Format() {
   parent_of_.clear();
   on_disk_owns_.clear();
   will_free_.clear();
+  quarantined_.clear();
+  expected_crc_.clear();
 
   PersistCatalogues();
   WriteSuperblock(/*clean=*/true);
@@ -196,6 +203,7 @@ void Xn::WriteSuperblock(bool clean) {
   std::memset(block.data(), 0, block.size());
   EXO_CHECK_LE(sb.size(), block.size());
   std::memcpy(block.data(), sb.data(), sb.size());
+  RestampSystemBlock(0);  // kernel-internal raw write: stamp the sidecar by hand
 
   const uint32_t fm_start = 1 + kTemplBlocks + kRootBlocks;
   const uint32_t nblocks = disk_->geometry().num_blocks;
@@ -211,6 +219,7 @@ void Xn::WriteSuperblock(bool clean) {
         fm[j / 8] = static_cast<uint8_t>(fm[j / 8] | (1u << (j % 8)));
       }
     }
+    RestampSystemBlock(fm_start + i);
   }
 }
 
@@ -238,6 +247,7 @@ void Xn::PersistCatalogues() {
     if (off < tbuf.size()) {
       std::memcpy(block.data(), tbuf.data() + off, std::min<size_t>(hw::kBlockSize, tbuf.size() - off));
     }
+    RestampSystemBlock(1 + i);
   }
 
   std::vector<uint8_t> rbuf;
@@ -263,6 +273,7 @@ void Xn::PersistCatalogues() {
     if (off < rbuf.size()) {
       std::memcpy(block.data(), rbuf.data() + off, std::min<size_t>(hw::kBlockSize, rbuf.size() - off));
     }
+    RestampSystemBlock(1 + kTemplBlocks + i);
   }
 }
 
@@ -313,6 +324,14 @@ void Xn::LoadCatalogues() {
 }
 
 Status Xn::Attach() {
+  // Armed: the superblock and catalogues are parsed straight off the media with
+  // no registry read path in front of them, so verify their tags by hand before
+  // trusting a single field. A corrupt system area is unrecoverable here —
+  // surface it rather than parse garbage.
+  if (integrity_armed() && disk_->CheckBlock(0) != hw::BlockIntegrity::kOk) {
+    Quarantine(0, "superblock");
+    return Status::kCorrupted;
+  }
   auto sb = disk_->RawBlock(0);
   Cursor c{std::span<const uint8_t>(sb)};
   if (c.GetU32() != kMagic) {
@@ -324,6 +343,14 @@ Status Xn::Attach() {
   if (nblocks != disk_->geometry().num_blocks) {
     return Status::kBadMetadata;
   }
+  if (integrity_armed()) {
+    for (uint32_t b = 1; b < 1 + kTemplBlocks + kRootBlocks; ++b) {
+      if (disk_->CheckBlock(b) != hw::BlockIntegrity::kOk) {
+        Quarantine(b, "catalogue");
+        return Status::kCorrupted;
+      }
+    }
+  }
 
   LoadCatalogues();
   uninit_.clear();
@@ -331,11 +358,24 @@ Status Xn::Attach() {
   on_disk_owns_.clear();
   will_free_.clear();
 
-  if (clean) {
+  // The persisted free map is only trusted on a clean detach AND intact media;
+  // a corrupt free-map block demotes the attach to a recovery traversal, which
+  // rebuilds the map without reading it.
+  const uint32_t fm_start = 1 + kTemplBlocks + kRootBlocks;
+  bool fm_ok = true;
+  if (integrity_armed() && clean) {
+    for (uint32_t b = fm_start; b < first_data_block_; ++b) {
+      if (disk_->CheckBlock(b) != hw::BlockIntegrity::kOk) {
+        fm_ok = false;
+        break;
+      }
+    }
+  }
+
+  if (clean && fm_ok) {
     // Trust the persisted free map.
     free_map_.assign(nblocks, 0);
     free_count_ = 0;
-    const uint32_t fm_start = 1 + kTemplBlocks + kRootBlocks;
     for (uint32_t b = 0; b < nblocks; ++b) {
       auto fm = disk_->RawBlock(fm_start + b / (hw::kBlockSize * 8));
       uint32_t j = b % (hw::kBlockSize * 8);
@@ -346,6 +386,11 @@ Status Xn::Attach() {
     }
     recovered_ = false;
   } else {
+    // Bounded fsck pass first: every tag-invalid block lands in quarantine, so
+    // the traversal below skips it instead of parsing corrupt pointers.
+    if (integrity_armed()) {
+      VerifyDiskIntegrity();
+    }
     RecoverFreeMap();
     recovered_ = true;
   }
@@ -371,6 +416,10 @@ void Xn::Crash() {
   will_free_.clear();
   free_map_.clear();
   free_count_ = 0;
+  // Volatile integrity state dies with the kernel; recovery re-derives
+  // quarantine from the persistent sidecar (VerifyDiskIntegrity in Attach).
+  quarantined_.clear();
+  expected_crc_.clear();
   attached_ = false;
 }
 
@@ -408,6 +457,16 @@ void Xn::TraverseForRecovery(hw::BlockId block, TemplateId tmpl,
   free_map_[block] = 0;
   const Template* t = FindTemplate(tmpl);
   if (t == nullptr || !t->is_metadata) {
+    return;
+  }
+  // Never parse a detectably corrupt block: its pointers are garbage. The block
+  // itself stays allocated (it is referenced) and quarantined; its unreached
+  // children simply stay free. VerifyDiskIntegrity pre-populated quarantine,
+  // but re-check the tag in case this path runs without the full scan.
+  if (integrity_armed() &&
+      (quarantined_.count(block) != 0 ||
+       disk_->CheckBlock(block) != hw::BlockIntegrity::kOk)) {
+    Quarantine(block, "recovery");
     return;
   }
   // Recovery reads disk images directly; charge a media read per metadata block.
@@ -551,6 +610,10 @@ Status Xn::LoadRoot(const std::string& name, hw::FrameId frame, const Caps& cred
     return Status::kOk;
   }
 
+  if (quarantined_.count(r.block) != 0) {
+    return Status::kCorrupted;  // known-bad media: repair or rewrite it first
+  }
+
   machine_->mem().Ref(frame);
   e.state = BufState::kInTransit;
   registry_.Install(e);
@@ -562,6 +625,9 @@ Status Xn::LoadRoot(const std::string& name, hw::FrameId frame, const Caps& cred
                  .frames = {frame},
                  .done = [this, block, tmpl, done = std::move(done)](Status s) {
                    if (RegistryEntry* e = registry_.LookupMutable(block)) {
+                     if (s == Status::kOk) {
+                       s = CheckReadIntegrity(block);  // corrupt media reads like a failed read
+                     }
                      if (s != Status::kOk) {
                        // The frame holds garbage, not the root: drop the mapping so a
                        // retry re-issues the read instead of trusting it.
@@ -623,9 +689,14 @@ Status Xn::ReadAndInsert(hw::BlockId parent, std::span<const hw::BlockId> blocks
                 creds)) {
       return Status::kPermissionDenied;
     }
-    if (const RegistryEntry* e = registry_.Lookup(b);
-        e != nullptr && e->state == BufState::kInTransit) {
+    const RegistryEntry* e = registry_.Lookup(b);
+    if (e != nullptr && e->state == BufState::kInTransit) {
       return Status::kBusy;
+    }
+    // A quarantined block with no cached copy cannot be read — the media is
+    // known bad. (With a cached copy it is served from cache below.)
+    if (e == nullptr && quarantined_.count(b) != 0) {
+      return Status::kCorrupted;
     }
   }
 
@@ -685,12 +756,19 @@ Status Xn::ReadAndInsert(hw::BlockId parent, std::span<const hw::BlockId> blocks
          .done = [this, run_blocks, remaining, first_err, done](Status s) {
            for (hw::BlockId b : run_blocks) {
              if (RegistryEntry* e = registry_.LookupMutable(b)) {
-               if (s != Status::kOk) {
+               Status bs = s;
+               if (bs == Status::kOk) {
+                 bs = CheckReadIntegrity(b);  // per-block: one rotted block poisons only itself
+               }
+               if (bs != Status::kOk) {
                  // Failed read: unwind the in-transit mapping entirely so the libFS
                  // can retry the same blocks.
                  ReleaseFrame(e->frame);
                  registry_.Remove(b);
                  parent_of_.erase(b);
+                 if (bs != s) {
+                   *first_err = bs;  // corruption verdict outranks the transport status
+                 }
                  continue;
                }
                e->state = BufState::kResident;
@@ -770,6 +848,9 @@ Status Xn::RawRead(hw::BlockId block, hw::FrameId frame, std::function<void(Stat
     }
     return Status::kOk;
   }
+  if (quarantined_.count(block) != 0) {
+    return Status::kCorrupted;  // known-bad media: repair or rewrite it first
+  }
   RegistryEntry e;
   e.block = block;
   e.parent = hw::kInvalidBlock;
@@ -785,6 +866,9 @@ Status Xn::RawRead(hw::BlockId block, hw::FrameId frame, std::function<void(Stat
                  .frames = {frame},
                  .done = [this, block, done = std::move(done)](Status s) {
                    if (RegistryEntry* e = registry_.LookupMutable(block)) {
+                     if (s == Status::kOk) {
+                       s = CheckReadIntegrity(block);
+                     }
                      if (s != Status::kOk) {
                        ReleaseFrame(e->frame);
                        registry_.Remove(block);
@@ -1205,6 +1289,13 @@ void Xn::OnWriteComplete(hw::BlockId b, Status s) {
   }
   e->dirty = false;
   uninit_.erase(b);
+  if (integrity_armed()) {
+    // Record what the media must now hold: the only handle on a lost write
+    // whose stale tag is otherwise self-consistent. An acked rewrite also
+    // lifts any standing quarantine.
+    expected_crc_[b] = hw::Crc32(FrameBytes(e->frame));
+    quarantined_.erase(b);
+  }
 
   const Template* t = FindTemplate(e->tmpl);
   if (t == nullptr || !t->is_metadata) {
@@ -1253,6 +1344,9 @@ void Xn::MarkAllocated(hw::BlockId b, bool allocated) {
     EXO_CHECK(!free_map_[b]);
     free_map_[b] = 1;
     ++free_count_;
+    // A freed block's contents are dead: nothing to expect, nothing to protect.
+    expected_crc_.erase(b);
+    quarantined_.erase(b);
   }
 }
 
@@ -1281,6 +1375,167 @@ Result<hw::BlockId> Xn::FindFreeRun(hw::BlockId hint, uint32_t count) const {
     start = first_data_block_;  // wrap once
   }
   return Status::kOutOfResources;
+}
+
+// ---- End-to-end integrity ----
+
+void Xn::RestampSystemBlock(hw::BlockId b) {
+  disk_->Restamp(b);
+  quarantined_.erase(b);
+  expected_crc_.erase(b);  // system blocks are verified by tag alone
+}
+
+void Xn::Quarantine(hw::BlockId b, const char* why) {
+  if (!quarantined_.insert(b).second) {
+    return;  // already known bad: count the detection once
+  }
+  ++stats_.corrupt_detections;
+  ++*corrupted_counter_;
+  if (tracer_->enabled(trace::Category::kXn)) {
+    tracer_->Instant(trace::Category::kXn, trace_track_, why, machine_->engine().now(), b);
+  }
+}
+
+Status Xn::CheckReadIntegrity(hw::BlockId b) {
+  if (!integrity_armed()) {
+    return Status::kOk;
+  }
+  bool bad = disk_->CheckBlock(b) != hw::BlockIntegrity::kOk;
+  if (!bad) {
+    // The tag is self-consistent; cross-check against the last acked write.
+    // This is what catches an in-session lost write: the media still carries
+    // an older, correctly-stamped generation.
+    auto it = expected_crc_.find(b);
+    bad = it != expected_crc_.end() && it->second != hw::Crc32(disk_->RawBlock(b));
+  }
+  if (!bad) {
+    return Status::kOk;
+  }
+  Quarantine(b, "read_corrupt");
+  return Status::kCorrupted;
+}
+
+Status Xn::TryRepair(hw::BlockId b) {
+  if (!integrity_armed() || b >= disk_->geometry().num_blocks) {
+    return Status::kInvalidArgument;
+  }
+  // Only a clean resident copy is trustworthy: it was itself verified when it
+  // was read (or is the image of an acked write), and writing a *dirty* frame
+  // through RawBlock would bypass the taint/ordering rules entirely.
+  const RegistryEntry* e = registry_.Lookup(b);
+  if (e == nullptr || e->state != BufState::kResident || e->dirty) {
+    return Status::kCorrupted;
+  }
+  auto bytes = FrameBytes(e->frame);
+  std::memcpy(disk_->RawBlock(b).data(), bytes.data(), hw::kBlockSize);
+  disk_->Restamp(b);
+  expected_crc_[b] = hw::Crc32(bytes);
+  quarantined_.erase(b);
+  ++stats_.repairs;
+  ++*repaired_counter_;
+  if (tracer_->enabled(trace::Category::kXn)) {
+    tracer_->Instant(trace::Category::kXn, trace_track_, "repair", machine_->engine().now(), b);
+  }
+  return Status::kOk;
+}
+
+uint32_t Xn::ScrubStep(uint32_t budget) {
+  if (!integrity_armed() || free_map_.empty()) {
+    return 0;
+  }
+  const uint32_t n = NumBlocks();
+  uint32_t scanned = 0;
+  for (uint32_t step = 0; step < n && scanned < budget; ++step) {
+    const hw::BlockId b = scrub_cursor_;
+    scrub_cursor_ = (scrub_cursor_ + 1) % n;
+    if (free_map_[b]) {
+      continue;  // scrub covers allocated blocks only
+    }
+    // Skip blocks whose media image is legitimately behind the cache: an
+    // uninitialized or dirty block has never had (or no longer has) an
+    // authoritative on-disk generation, and in-transit blocks are mid-DMA.
+    if (uninit_.count(b) != 0 || will_free_.count(b) != 0) {
+      continue;
+    }
+    if (const RegistryEntry* e = registry_.Lookup(b);
+        e != nullptr && (e->dirty || e->state != BufState::kResident)) {
+      continue;
+    }
+    ++scanned;
+    ++*scrub_scanned_counter_;
+    if (quarantined_.count(b) != 0) {
+      continue;  // already detected; waiting on repair or rewrite
+    }
+    bool bad = disk_->CheckBlock(b) != hw::BlockIntegrity::kOk;
+    if (!bad) {
+      auto it = expected_crc_.find(b);
+      bad = it != expected_crc_.end() && it->second != hw::Crc32(disk_->RawBlock(b));
+    }
+    if (!bad) {
+      continue;
+    }
+    Quarantine(b, "scrub_corrupt");
+    if (TryRepair(b) == Status::kOk) {
+      ++*scrub_repaired_counter_;
+    } else {
+      ++*scrub_quarantined_counter_;
+    }
+  }
+  return scanned;
+}
+
+void Xn::StartScrubber(sim::Cycles interval, uint32_t budget, uint32_t steps) {
+  if (steps == 0) {
+    return;
+  }
+  if (!scrub_token_) {
+    scrub_token_ = std::make_shared<int>(0);
+  }
+  // The token weak_ptr keeps a scheduled step from touching a destroyed Xn.
+  std::weak_ptr<int> alive = scrub_token_;
+  machine_->engine().ScheduleAfter(interval, [this, alive, interval, budget, steps] {
+    if (alive.expired()) {
+      return;
+    }
+    if (disk_->idle()) {
+      ScrubStep(budget);  // idle priority: a busy disk defers the whole step
+    }
+    StartScrubber(interval, budget, steps - 1);
+  });
+}
+
+Xn::IntegrityReport Xn::VerifyDiskIntegrity(uint64_t max_blocks) {
+  IntegrityReport rep;
+  if (!integrity_armed()) {
+    return rep;
+  }
+  const bool tracing = tracer_->enabled(trace::Category::kXn);
+  if (tracing) {
+    tracer_->Begin(trace::Category::kXn, trace_track_, "integrity_scan",
+                   machine_->engine().now());
+  }
+  const uint64_t n =
+      std::min<uint64_t>(disk_->geometry().num_blocks, max_blocks);
+  for (hw::BlockId b = 0; b < n; ++b) {
+    ++rep.scanned;
+    const hw::BlockIntegrity v = disk_->CheckBlock(b);
+    if (v == hw::BlockIntegrity::kOk) {
+      continue;
+    }
+    if (v == hw::BlockIntegrity::kUnreadable) {
+      ++rep.unreadable;
+    }
+    Quarantine(b, "fsck_corrupt");
+    ++rep.quarantined;
+  }
+  // Bounded time: a tag compare per block, charged like a cheap sequential scan.
+  machine_->Charge(machine_->cost().FromMicros(2) * rep.scanned);
+  machine_->counters().Add("xn.integrity_blocks_scanned", rep.scanned);
+  if (tracing) {
+    tracer_->End(trace::Category::kXn, trace_track_, "integrity_scan",
+                 machine_->engine().now(), rep.quarantined);
+  }
+  return rep;
 }
 
 }  // namespace exo::xn

@@ -29,6 +29,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <span>
 #include <string>
@@ -53,6 +54,8 @@ struct XnStats {
   uint64_t ops = 0;
   uint64_t taint_rejections = 0;
   uint64_t will_free_deferrals = 0;
+  uint64_t corrupt_detections = 0;  // reads/scans that caught bad media
+  uint64_t repairs = 0;             // quarantined blocks rewritten from a clean copy
 };
 
 class Xn {
@@ -161,6 +164,41 @@ class Xn {
   const XnStats& stats() const { return stats_; }
   hw::Machine& machine() { return *machine_; }
 
+  // ---- End-to-end integrity (armed iff the disk's sidecar is enabled) ----
+  //
+  // Detection happens on the read path and in scans — never write-verify, so
+  // injected faults stay live until something *looks*. A block that fails its
+  // check is quarantined: reads of it return kCorrupted until it is repaired
+  // from a clean in-core copy or rewritten. See docs/ROBUSTNESS.md.
+
+  // Bounded fsck-style scan of the first `max_blocks` blocks against the
+  // integrity sidecar; quarantines every failure. Recovery runs this over the
+  // whole disk before trusting traversal, so TraverseForRecovery never parses
+  // (follows pointers out of) a detectably corrupt block.
+  struct IntegrityReport {
+    uint64_t scanned = 0;
+    uint64_t quarantined = 0;
+    uint64_t unreadable = 0;  // subset of quarantined: latent sector errors
+  };
+  IntegrityReport VerifyDiskIntegrity(uint64_t max_blocks = UINT64_MAX);
+
+  bool IsQuarantined(hw::BlockId b) const { return quarantined_.count(b) != 0; }
+  size_t QuarantineCount() const { return quarantined_.size(); }
+
+  // Read-repair: if a clean (non-dirty) resident registry copy of `b` exists,
+  // rewrites the media from it, restamps, and lifts the quarantine. Returns
+  // kCorrupted when no trustworthy copy is available (the block stays
+  // quarantined; the owning libFS must rewrite or discard it).
+  Status TryRepair(hw::BlockId b);
+
+  // Background scrubber: checks up to `budget` allocated blocks per step
+  // (cursor walk, wraps around), repairing or quarantining what it finds.
+  // Returns blocks scanned. Host-side oracle: charges no simulated time.
+  uint32_t ScrubStep(uint32_t budget);
+  // Schedules `steps` scrub steps, one every `interval` cycles, each skipped
+  // while the disk is busy (idle priority). Bounded so RunUntilIdle terminates.
+  void StartScrubber(sim::Cycles interval, uint32_t budget, uint32_t steps);
+
   // Frame-release hook. XN holds its registry frames by raw refcount; when the
   // exokernel proper is present, it wires this to XokKernel::FrameUnref so guard
   // and ledger bookkeeping retire with the last reference. Unwired (standalone
@@ -198,6 +236,16 @@ class Xn {
   void OnWriteComplete(hw::BlockId b, Status s);
   void MarkAllocated(hw::BlockId b, bool allocated);
 
+  bool integrity_armed() const { return disk_->integrity_enabled(); }
+  // Media-tag verdict for a freshly read (or scanned) block, folding in the
+  // volatile write expectation that catches in-session lost writes the
+  // self-consistent tag cannot. Quarantines and returns kCorrupted on failure.
+  Status CheckReadIntegrity(hw::BlockId b);
+  void Quarantine(hw::BlockId b, const char* why);
+  // Restamps a system block the kernel just rewrote via RawBlock (superblock,
+  // free map, catalogues) and clears any stale integrity verdict on it.
+  void RestampSystemBlock(hw::BlockId b);
+
   void WriteSuperblock(bool clean);
   void PersistCatalogues();
   void LoadCatalogues();
@@ -223,6 +271,16 @@ class Xn {
   std::map<hw::BlockId, OwnsSet> on_disk_owns_;        // metadata -> owns set on disk
   std::map<hw::BlockId, uint32_t> will_free_;          // block -> on-disk pointer count
 
+  // Integrity state. quarantined_ and expected_crc_ are volatile (a crash
+  // forgets them; recovery re-derives quarantine from the persistent sidecar).
+  // expected_crc_ records the CRC of the last *acked* write per block, which is
+  // the only way to catch an in-session lost write whose stale tag is
+  // self-consistent.
+  std::set<hw::BlockId> quarantined_;
+  std::map<hw::BlockId, uint32_t> expected_crc_;
+  hw::BlockId scrub_cursor_ = 0;
+  std::shared_ptr<int> scrub_token_;  // liveness guard for scheduled scrub steps
+
   bool attached_ = false;
   bool recovered_ = false;
   uint64_t lru_clock_ = 0;
@@ -230,6 +288,11 @@ class Xn {
   uint64_t* syscall_counter_ = nullptr;
   trace::Tracer* tracer_ = nullptr;  // the machine's tracer (never null)
   uint32_t trace_track_ = 0;
+  sim::Counters::Slot* corrupted_counter_ = nullptr;
+  sim::Counters::Slot* repaired_counter_ = nullptr;
+  sim::Counters::Slot* scrub_scanned_counter_ = nullptr;
+  sim::Counters::Slot* scrub_repaired_counter_ = nullptr;
+  sim::Counters::Slot* scrub_quarantined_counter_ = nullptr;
 };
 
 }  // namespace exo::xn

@@ -308,6 +308,196 @@ TEST_F(DiskTest, PowerCutTearsMultiBlockWrite) {
   EXPECT_TRUE(ok);
 }
 
+// ---- Integrity sidecar and silent media faults ----
+
+TEST(Crc32Test, StableAndSensitive) {
+  std::vector<uint8_t> bytes(4096, 0x5a);
+  const uint32_t a = Crc32(bytes);
+  EXPECT_EQ(Crc32(bytes), a);  // deterministic
+  bytes[100] ^= 0x01;
+  EXPECT_NE(Crc32(bytes), a);  // one-bit sensitivity
+  EXPECT_NE(Crc32({}), a);
+}
+
+TEST_F(DiskTest, IntegrityTagCatchesScribbleAndRestampClears) {
+  FrameId f = *mem_.Alloc();
+  std::memset(mem_.Data(f).data(), 0x33, kPageSize);
+  disk_.Submit({.write = true, .start = 40, .nblocks = 1, .frames = {f}, .done = {}});
+  engine_.RunUntilIdle();
+
+  disk_.EnableIntegrity();  // stamps the current media as the trusted baseline
+  EXPECT_TRUE(disk_.integrity_enabled());
+  EXPECT_EQ(disk_.CheckBlock(40), BlockIntegrity::kOk);
+
+  // Out-of-band scribble (modeling corruption): the tag disagrees.
+  disk_.RawBlock(40)[17] ^= 0xff;
+  EXPECT_EQ(disk_.CheckBlock(40), BlockIntegrity::kBadChecksum);
+
+  // A kernel-internal RawBlock writer re-stamps; a DMA write stamps implicitly.
+  disk_.Restamp(40);
+  EXPECT_EQ(disk_.CheckBlock(40), BlockIntegrity::kOk);
+  disk_.RawBlock(41)[0] = 1;
+  EXPECT_EQ(disk_.CheckBlock(41), BlockIntegrity::kBadChecksum);
+  disk_.Submit({.write = true, .start = 41, .nblocks = 1, .frames = {f}, .done = {}});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(disk_.CheckBlock(41), BlockIntegrity::kOk);
+}
+
+TEST_F(DiskTest, ScriptedLostWriteAcksButNeverLands) {
+  disk_.EnableIntegrity();
+  sim::FaultPlan plan;
+  plan.disk_script = {{1, 'w', 0}};
+  sim::FaultInjector faults(plan);
+  disk_.SetFaultInjector(&faults);
+
+  FrameId f = *mem_.Alloc();
+  std::memset(mem_.Data(f).data(), 0x5a, kPageSize);
+  Status got = Status::kIoError;
+  disk_.Submit({.write = true, .start = 50, .nblocks = 1, .frames = {f},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+
+  EXPECT_EQ(got, Status::kOk);            // the ack is the lie
+  EXPECT_EQ(disk_.RawBlock(50)[0], 0x00); // the media never changed
+  EXPECT_EQ(disk_.stats().lost_blocks, 1u);
+  EXPECT_EQ(disk_.stats().blocks_written, 0u);  // not a durable write
+  EXPECT_EQ(faults.stats().disk_lost_writes, 1u);
+  // The residual window, stated precisely: old content + old tag is
+  // self-consistent, so the block-local check CANNOT catch a lost overwrite.
+  EXPECT_EQ(disk_.CheckBlock(50), BlockIntegrity::kOk);
+  disk_.SetFaultInjector(nullptr);
+}
+
+TEST_F(DiskTest, ScriptedMisdirectLandsAtVictimWithWrongIntendedTag) {
+  disk_.EnableIntegrity();
+  sim::FaultPlan plan;
+  plan.disk_script = {{1, 'm', 777}};
+  sim::FaultInjector faults(plan);
+  disk_.SetFaultInjector(&faults);
+  sim::Counters counters;
+  disk_.AttachCounters(&counters);  // also wires fault.* through the injector
+
+  FrameId f = *mem_.Alloc();
+  std::memset(mem_.Data(f).data(), 0x5a, kPageSize);
+  disk_.Submit({.write = true, .start = 60, .nblocks = 1, .frames = {f}, .done = {}});
+  engine_.RunUntilIdle();
+
+  EXPECT_EQ(disk_.RawBlock(60)[0], 0x00);   // intended block kept its old bytes
+  EXPECT_EQ(disk_.RawBlock(777)[0], 0x5a);  // the victim was overwritten
+  EXPECT_EQ(disk_.CheckBlock(60), BlockIntegrity::kOk);  // stale-but-consistent
+  // The victim's tag says "these bytes were meant for LBA 60": detectable.
+  EXPECT_EQ(disk_.CheckBlock(777), BlockIntegrity::kMisdirected);
+  EXPECT_EQ(disk_.stats().misdirected_blocks, 1u);
+  EXPECT_EQ(counters.Get("fault.disk_misdirects"), 1u);
+  disk_.SetFaultInjector(nullptr);
+}
+
+TEST_F(DiskTest, ScriptedRotFlipsMediaPersistently) {
+  FrameId f = *mem_.Alloc();
+  std::memset(mem_.Data(f).data(), 0x11, kPageSize);
+  disk_.Submit({.write = true, .start = 70, .nblocks = 1, .frames = {f}, .done = {}});
+  engine_.RunUntilIdle();
+  disk_.EnableIntegrity();
+
+  sim::FaultPlan plan;
+  plan.disk_script = {{1, 'r', 9}};
+  sim::FaultInjector faults(plan);
+  disk_.SetFaultInjector(&faults);
+
+  FrameId dst = *mem_.Alloc();
+  Status got = Status::kIoError;
+  disk_.Submit({.write = false, .start = 70, .nblocks = 1, .frames = {dst},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+
+  EXPECT_EQ(got, Status::kOk);  // rot reads "succeed" — that is what makes it silent
+  EXPECT_EQ(mem_.Data(dst)[9], 0x11 ^ 0x20);  // the flip reached the caller
+  EXPECT_EQ(disk_.RawBlock(70)[9], 0x11 ^ 0x20);  // and it is persistent media damage
+  EXPECT_EQ(disk_.CheckBlock(70), BlockIntegrity::kBadChecksum);  // but the tag knows
+  EXPECT_EQ(disk_.stats().rotted_blocks, 1u);
+
+  // Later reads (no more scripted events) serve the rotted bytes verbatim.
+  disk_.SetFaultInjector(nullptr);
+  disk_.Submit({.write = false, .start = 70, .nblocks = 1, .frames = {dst},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kOk);
+  EXPECT_EQ(mem_.Data(dst)[9], 0x11 ^ 0x20);
+}
+
+TEST_F(DiskTest, LatentSectorPersistsAcrossPowerCycleAndDetachUntilRewritten) {
+  disk_.EnableIntegrity();
+  sim::FaultPlan plan;
+  plan.disk_script = {{1, 'l', 0}};
+  sim::FaultInjector faults(plan);
+  disk_.SetFaultInjector(&faults);
+
+  FrameId f = *mem_.Alloc();
+  Status got = Status::kOk;
+  disk_.Submit({.write = false, .start = 80, .nblocks = 1, .frames = {f},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kIoError);
+  EXPECT_EQ(disk_.stats().latent_errors, 1u);
+  EXPECT_EQ(disk_.CheckBlock(80), BlockIntegrity::kUnreadable);
+
+  // The bad sector is media state: it survives a power cycle AND injector
+  // detach — it belongs to the platter, not to the injector's bookkeeping.
+  disk_.PowerCut();
+  disk_.PowerRestore();
+  disk_.SetFaultInjector(nullptr);
+  disk_.Submit({.write = false, .start = 80, .nblocks = 1, .frames = {f},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kIoError);
+  EXPECT_EQ(disk_.stats().latent_errors, 2u);
+
+  // Rewriting the sector remaps it: reads work again.
+  std::memset(mem_.Data(f).data(), 0x22, kPageSize);
+  disk_.Submit({.write = true, .start = 80, .nblocks = 1, .frames = {f}, .done = {}});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(disk_.CheckBlock(80), BlockIntegrity::kOk);
+  disk_.Submit({.write = false, .start = 80, .nblocks = 1, .frames = {f},
+                .done = [&](Status s) { got = s; }});
+  engine_.RunUntilIdle();
+  EXPECT_EQ(got, Status::kOk);
+  EXPECT_EQ(mem_.Data(f)[0], 0x22);
+}
+
+TEST_F(DiskTest, RateModeMediaFaultScheduleIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    sim::Engine engine;
+    PhysMem mem(64);
+    Disk disk(&engine, &mem, DiskGeometry{}, 200);
+    disk.EnableIntegrity();
+    sim::FaultPlan plan;
+    plan.seed = seed;
+    plan.disk_lost_rate = 0.2;
+    plan.disk_misdirect_rate = 0.1;
+    plan.disk_rot_rate = 0.2;
+    plan.disk_latent_rate = 0.1;
+    sim::FaultInjector faults(plan);
+    disk.SetFaultInjector(&faults);
+    FrameId f = *mem.Alloc();
+    for (uint32_t i = 0; i < 32; ++i) {
+      disk.Submit({.write = true, .start = 100 + i, .nblocks = 1, .frames = {f},
+                   .done = {}});
+      engine.RunUntilIdle();
+      disk.Submit({.write = false, .start = 100 + i, .nblocks = 1, .frames = {f},
+                   .done = [](Status) {}});
+      engine.RunUntilIdle();
+    }
+    disk.SetFaultInjector(nullptr);
+    return faults.log();
+  };
+  auto a = run(11);
+  auto b = run(11);
+  auto c = run(12);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
 TEST(NicTest, PacketDeliveredWithWireDelay) {
   sim::Engine engine;
   Nic a(0);

@@ -1,15 +1,19 @@
-// Unit tests for the simulation core: event engine, fibers, RNG, counters, cost model.
+// Unit tests for the simulation core: event engine, fibers, RNG, counters, cost
+// model, and the fault-schedule codec/injector surface.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/cost_model.h"
 #include "sim/counters.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/fiber.h"
 #include "sim/rng.h"
 #include "sim/status.h"
+#include "trace/trace.h"
 
 namespace exo::sim {
 namespace {
@@ -329,6 +333,171 @@ TEST(StatusTest, NamesAreDistinct) {
   EXPECT_STREQ(StatusName(Status::kOk), "OK");
   EXPECT_STREQ(StatusName(Status::kTainted), "TAINTED");
   EXPECT_STRNE(StatusName(Status::kBusy), StatusName(Status::kWouldBlock));
+}
+
+// ---- Fault-schedule codec hardening ----
+//
+// The parsers are the trust boundary for replayed reproducers (CI artifacts,
+// bug reports, hand-edited seed lines): any malformed token must yield an
+// empty schedule plus a diagnostic — never a silent best-effort misparse that
+// would replay the WRONG schedule and "not reproduce".
+
+TEST(FaultCodecTest, MalformedInputsRejectLoudly) {
+  const char* bad_wire[] = {
+      "x@1",           // unknown kind
+      "w@1",           // disk kind in the wire grammar
+      "d@0",           // indices are 1-based
+      "d@",            // missing index
+      "@3",            // missing kind
+      "d3",            // missing '@'
+      "c@5",           // 'c' requires :arg
+      "d@3:1",         // 'd' forbids :arg
+      "c@5:",          // empty arg
+      "c@5:9x",        // trailing garbage in arg
+      "d@18446744073709551616",  // 2^64: overflow
+      "d@3 d@3",       // duplicate consultation index
+      "d@3 c@3:7",     // duplicate index across kinds of the same stream
+      "d@1 oops",      // valid token then garbage
+  };
+  for (const char* text : bad_wire) {
+    std::string err;
+    EXPECT_TRUE(ParseWireSchedule(text, &err).empty()) << text;
+    EXPECT_NE(err.find("token"), std::string::npos) << text << " -> " << err;
+  }
+
+  const char* bad_disk[] = {
+      "d@1",      // wire kind in the disk grammar
+      "w@0",      // zero index
+      "m@4",      // 'm' requires :arg (the victim LBA)
+      "r@4",      // 'r' requires :arg (the byte offset)
+      "w@2:7",    // 'w' forbids :arg
+      "l@2:7",    // 'l' forbids :arg
+      "w@3 m@3:9",  // duplicate within the write stream
+      "l@2 r@2:1",  // duplicate within the read stream
+  };
+  for (const char* text : bad_disk) {
+    std::string err;
+    EXPECT_TRUE(ParseDiskSchedule(text, &err).empty()) << text;
+    EXPECT_NE(err.find("token"), std::string::npos) << text << " -> " << err;
+  }
+
+  // The combined grammar accepts both alphabets but keeps per-stream
+  // duplicate rejection: w@3/l@3 are different streams, w@3/m@3 are not.
+  std::string err;
+  EXPECT_EQ(ParseFaultSchedule("d@3 w@3 l@3", &err).size(), 3u) << err;
+  EXPECT_TRUE(ParseFaultSchedule("w@3 m@3:5", &err).empty());
+  EXPECT_NE(err.find("token"), std::string::npos);
+
+  // Whitespace-only input is a valid empty schedule, not an error: the
+  // diagnostic out-param is cleared, not populated.
+  err = "sentinel";
+  EXPECT_TRUE(ParseWireSchedule("   ", &err).empty());
+  EXPECT_EQ(err, "");
+}
+
+// Fuzz the round-trip: any valid schedule survives Format -> Parse unchanged.
+// Indices are strictly increasing per stream (that is what real recordings
+// look like and what the duplicate check demands).
+TEST(FaultCodecTest, FuzzedSchedulesRoundTrip) {
+  Rng rng(20260809);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<FaultEvent> events;
+    uint64_t wire_idx = 0;
+    uint64_t write_idx = 0;
+    uint64_t read_idx = 0;
+    const uint32_t n = rng.Below(12);
+    for (uint32_t i = 0; i < n; ++i) {
+      static constexpr char kKinds[] = {'d', 'c', 'u', 'w', 'm', 'l', 'r'};
+      const char kind = kKinds[rng.Below(7)];
+      uint64_t* stream = IsWireFaultKind(kind) ? &wire_idx
+                         : (kind == 'w' || kind == 'm') ? &write_idx
+                                                        : &read_idx;
+      *stream += 1 + rng.Below(1000);
+      const bool has_arg = kind == 'c' || kind == 'm' || kind == 'r';
+      events.push_back(FaultEvent{kind, *stream, has_arg ? rng.Below(1 << 20) : 0});
+    }
+    const std::string line = FormatFaultSchedule(events);
+    std::string err;
+    const auto parsed = ParseFaultSchedule(line, &err);
+    ASSERT_TRUE(parsed == events) << "iter " << iter << ": \"" << line << "\" -> " << err;
+
+    // The split-by-layer views round-trip through their own codecs too.
+    std::vector<WireEvent> wire;
+    std::vector<DiskEvent> disk;
+    SplitFaultSchedule(events, &wire, &disk);
+    EXPECT_TRUE(ParseWireSchedule(FormatWireSchedule(wire), &err) == wire);
+    EXPECT_TRUE(ParseDiskSchedule(FormatDiskSchedule(disk), &err) == disk);
+  }
+}
+
+// ---- Injector attachment and cut-point bookkeeping ----
+
+// First tracer attachment wins (a Disk and a Link sharing one injector both
+// try); nullptr detaches and a new tracer can then take over.
+TEST(FaultInjectorTest, AttachTracerFirstWinsAndReattaches) {
+  FaultPlan plan;
+  FaultInjector faults(plan);
+  Engine engine;
+  trace::Tracer t1;
+  trace::Tracer t2;
+
+  faults.AttachTracer(&t1, &engine);
+  faults.AttachTracer(&t2, &engine);  // second attach: ignored
+  EXPECT_EQ(faults.tracer(), &t1);
+
+  faults.AttachTracer(nullptr, nullptr);  // detach
+  EXPECT_EQ(faults.tracer(), nullptr);
+
+  faults.AttachTracer(&t2, &engine);  // re-attach after detach
+  EXPECT_EQ(faults.tracer(), &t2);
+}
+
+// Counters follow the same contract, and injected faults land in fault.*.
+TEST(FaultInjectorTest, AttachCountersFirstWinsAndCounts) {
+  FaultPlan plan;
+  plan.wire_script = {{1, 'd', 0}};
+  plan.disk_script = {{1, 'w', 0}, {1, 'l', 0}};
+  FaultInjector faults(plan);
+  Counters c1;
+  Counters c2;
+  faults.AttachCounters(&c1);
+  faults.AttachCounters(&c2);  // ignored: first attachment wins
+
+  EXPECT_EQ(faults.NextWireFate(100), FaultInjector::WireFate::kDrop);
+  EXPECT_EQ(faults.NextWriteFate(7, 64), FaultInjector::WriteFate::kLost);
+  EXPECT_EQ(faults.NextReadFate(7, 4096), FaultInjector::ReadFate::kLatent);
+
+  EXPECT_EQ(c1.Get("fault.net_drops"), 1u);
+  EXPECT_EQ(c1.Get("fault.disk_lost_writes"), 1u);
+  EXPECT_EQ(c1.Get("fault.disk_latent"), 1u);
+  EXPECT_EQ(c2.Get("fault.net_drops"), 0u);
+
+  faults.AttachCounters(nullptr);  // detach: later faults count nowhere
+  faults.AttachCounters(&c2);      // and a fresh surface can take over
+}
+
+// The cut-point predicate flips exactly at the k-th durable block write: the
+// k-th OnBlockWritten returns true (power is lost after it) and pending goes
+// false from that instant on.
+TEST(FaultInjectorTest, PowerCutFiresAtExactlyKthWrite) {
+  FaultPlan plan;
+  plan.power_cut_after_blocks = 3;
+  FaultInjector faults(plan);
+
+  EXPECT_TRUE(faults.power_cut_pending());
+  EXPECT_FALSE(faults.OnBlockWritten(10));  // write 1
+  EXPECT_TRUE(faults.power_cut_pending());
+  EXPECT_FALSE(faults.OnBlockWritten(11));  // write 2
+  EXPECT_TRUE(faults.power_cut_pending());
+  EXPECT_TRUE(faults.OnBlockWritten(12));   // write 3: the cut
+  EXPECT_FALSE(faults.power_cut_pending());
+  EXPECT_FALSE(faults.OnBlockWritten(13));  // never re-fires
+  EXPECT_EQ(faults.stats().power_cuts, 1u);
+
+  // k = 0 disables the mechanism entirely.
+  FaultInjector off(FaultPlan{});
+  EXPECT_FALSE(off.power_cut_pending());
+  EXPECT_FALSE(off.OnBlockWritten(1));
 }
 
 }  // namespace

@@ -12,12 +12,14 @@
 // (docs/OVERLOAD.md walks through replaying one).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/http.h"
+#include "hw/machine.h"
 #include "hw/nic.h"
 #include "net/packet.h"
 #include "sim/engine.h"
@@ -404,6 +406,97 @@ TEST(Soak, ShrinkerPrunesPlantedScheduleToNecessaryDrops) {
     EXPECT_EQ(minimal[i].frame_index, i + 1);
   }
   EXPECT_GT(shrinker.probes(), 0u);
+}
+
+// ---- Combined wire + disk schedules: one stream, one ddmin, one repro line ----
+
+// The combined codec covers both layers (kind letters are disjoint) and splits
+// back into the per-layer scripts losslessly.
+TEST(Soak, CombinedScheduleCodecRoundTrips) {
+  std::vector<sim::FaultEvent> events = {{'d', 3, 0},   {'w', 1, 0},  {'c', 15, 58},
+                                         {'r', 7, 128}, {'m', 5, 917}, {'l', 2, 0},
+                                         {'u', 20, 0}};
+  const std::string text = sim::FormatFaultSchedule(events);
+  EXPECT_EQ(text, "d@3 w@1 c@15:58 r@7:128 m@5:917 l@2 u@20");
+  EXPECT_TRUE(sim::ParseFaultSchedule(text) == events);
+  EXPECT_TRUE(sim::ParseFaultSchedule("").empty());
+
+  std::vector<sim::WireEvent> wire;
+  std::vector<sim::DiskEvent> disk;
+  sim::SplitFaultSchedule(events, &wire, &disk);
+  ASSERT_EQ(wire.size(), 3u);
+  ASSERT_EQ(disk.size(), 4u);
+  EXPECT_EQ(sim::FormatWireSchedule(wire), "d@3 c@15:58 u@20");
+  EXPECT_EQ(sim::FormatDiskSchedule(disk), "w@1 r@7:128 m@5:917 l@2");
+}
+
+// Disk leg of a combined failure: DMA-write one block, read it back. A lost
+// (or misdirected-away) first write leaves the stale bytes — that mismatch, or
+// a loudly failed I/O, is the failure being shrunk.
+bool FragileWriteFails(const sim::FaultPlan& plan) {
+  sim::Engine engine;
+  hw::Machine machine(&engine,
+                      hw::MachineConfig{.mem_frames = 16,
+                                        .disks = {hw::DiskGeometry{.num_blocks = 64}}});
+  sim::FaultInjector faults(plan);
+  machine.disk().SetFaultInjector(&faults);
+  auto f = machine.mem().Alloc();
+  EXPECT_TRUE(f.ok());
+  auto buf = machine.mem().Data(*f);
+  std::fill(buf.begin(), buf.end(), uint8_t{0xab});
+  bool wrote = false;
+  bool read = false;
+  machine.disk().Submit({.write = true,
+                         .start = 5,
+                         .nblocks = 1,
+                         .frames = {*f},
+                         .done = [&](Status s) { wrote = s == Status::kOk; }});
+  engine.RunUntilIdle();
+  std::fill(buf.begin(), buf.end(), uint8_t{0});
+  machine.disk().Submit({.write = false,
+                         .start = 5,
+                         .nblocks = 1,
+                         .frames = {*f},
+                         .done = [&](Status s) { read = s == Status::kOk; }});
+  engine.RunUntilIdle();
+  machine.disk().SetFaultInjector(nullptr);
+  if (!wrote || !read) {
+    return true;  // the I/O failed loudly
+  }
+  return !std::all_of(buf.begin(), buf.end(), [](uint8_t b) { return b == 0xab; });
+}
+
+// A failure that needs BOTH layers reproduces through one ddmin pass over the
+// merged stream: the four handshake-killing drops and the one lost write
+// survive; noise on both layers (events whose consultation index is never
+// reached, plus redundant wire faults) is pruned. The printed line is a single
+// combined SOAK-REPRO reproducer.
+TEST(Soak, CombinedWireDiskScheduleMinimizesToOneReproLine) {
+  std::vector<sim::FaultEvent> planted = {
+      {'d', 1, 0}, {'w', 1, 0}, {'d', 2, 0}, {'m', 9, 3},  // write 9 never happens
+      {'d', 3, 0}, {'l', 7, 0},                            // read 7 never happens
+      {'d', 4, 0}, {'d', 6, 0}, {'c', 9, 40}, {'u', 11, 0}};
+  auto still_fails = [](const std::vector<sim::FaultEvent>& candidate) {
+    std::vector<sim::WireEvent> wire;
+    std::vector<sim::DiskEvent> disk;
+    sim::SplitFaultSchedule(candidate, &wire, &disk);
+    sim::FaultPlan wire_plan;
+    wire_plan.wire_script = wire;
+    sim::FaultPlan disk_plan;
+    disk_plan.disk_script = disk;
+    return FragileFetchFails(wire_plan) && FragileWriteFails(disk_plan);
+  };
+  ASSERT_TRUE(still_fails(planted));
+
+  sim::BasicShrinker<sim::FaultEvent> shrinker(still_fails);
+  const std::vector<sim::FaultEvent> minimal = shrinker.Minimize(planted);
+  const std::string line = sim::FormatFaultSchedule(minimal);
+  ASSERT_EQ(minimal.size(), 5u) << line;
+  EXPECT_EQ(line, "d@1 w@1 d@2 d@3 d@4");
+  EXPECT_TRUE(sim::ParseFaultSchedule(line) == minimal);
+  EXPECT_TRUE(still_fails(minimal));
+  EXPECT_GT(shrinker.probes(), 0u);
+  std::printf("SOAK-REPRO schedule=\"%s\"\n", line.c_str());
 }
 
 }  // namespace

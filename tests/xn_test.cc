@@ -11,6 +11,7 @@
 
 #include "hw/machine.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "udf/assembler.h"
 #include "xn/registry.h"
 #include "xn/types.h"
@@ -581,6 +582,163 @@ TEST_F(XnTest, CrashWithDirtyMetadataMatchesScratchTraversal) {
     EXPECT_FALSE(reborn.IsAllocated(b));
   }
   EXPECT_TRUE(reborn.IsAllocated(data[1]));
+}
+
+// ---- End-to-end integrity: scrub, read-repair, quarantine, recovery fsck ----
+//
+// Arming the integrity sidecar mid-session stamps the current media as the
+// trusted baseline; every DMA write after that re-stamps. These tests corrupt
+// the media directly through RawBlock (never Restamp) to model silent faults.
+
+TEST_F(XnTest, ScrubRepairsRotFromCleanResidentCopy) {
+  machine_.disk().EnableIntegrity();
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 2);
+  for (size_t i = 0; i < kids.size(); ++i) {
+    FrameId f = NewFrame();
+    std::memset(machine_.mem().Data(f).data(), 0x41 + static_cast<int>(i), 4096);
+    ASSERT_EQ(xn_.InsertMapping(kids[i], root, f, /*dirty=*/true, good_creds_), Status::kOk);
+  }
+  ASSERT_EQ(FlushAll({kids[0], kids[1]}), Status::kOk);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+
+  // Rot kids[0] on the platter; its clean resident cache copy stays authoritative.
+  machine_.disk().RawBlock(kids[0])[7] ^= 0x40;
+  ASSERT_EQ(machine_.disk().CheckBlock(kids[0]), hw::BlockIntegrity::kBadChecksum);
+
+  EXPECT_GT(xn_.ScrubStep(xn_.NumBlocks()), 0u);
+  EXPECT_EQ(xn_.stats().repairs, 1u);
+  EXPECT_FALSE(xn_.IsQuarantined(kids[0]));
+  EXPECT_EQ(machine_.disk().CheckBlock(kids[0]), hw::BlockIntegrity::kOk);
+  EXPECT_EQ(machine_.disk().RawBlock(kids[0])[7], 0x41);
+  EXPECT_GE(machine_.counters().Get("scrub.blocks_scanned"), 3u);
+  EXPECT_EQ(machine_.counters().Get("scrub.repaired"), 1u);
+  EXPECT_EQ(machine_.counters().Get("disk.repaired"), 1u);
+
+  // Same fault again, this time found by the scheduled idle scrubber.
+  machine_.disk().RawBlock(kids[1])[9] ^= 0x01;
+  xn_.StartScrubber(/*interval=*/1000, /*budget=*/xn_.NumBlocks(), /*steps=*/4);
+  engine_.RunUntilIdle();
+  EXPECT_EQ(xn_.stats().repairs, 2u);
+  EXPECT_EQ(machine_.disk().CheckBlock(kids[1]), hw::BlockIntegrity::kOk);
+  EXPECT_EQ(machine_.disk().RawBlock(kids[1])[9], 0x42);
+}
+
+TEST_F(XnTest, ScrubQuarantinesWithoutCleanCopyUntilRewritten) {
+  machine_.disk().EnableIntegrity();
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 1);
+  FrameId f = NewFrame();
+  std::memset(machine_.mem().Data(f).data(), 0x77, 4096);
+  ASSERT_EQ(xn_.InsertMapping(kids[0], root, f, /*dirty=*/true, good_creds_), Status::kOk);
+  ASSERT_EQ(FlushAll({kids[0]}), Status::kOk);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+  ASSERT_EQ(xn_.RemoveMapping(kids[0]), Status::kOk);  // no trustworthy copy remains
+
+  machine_.disk().RawBlock(kids[0])[100] ^= 0xff;
+  (void)xn_.ScrubStep(xn_.NumBlocks());
+  EXPECT_TRUE(xn_.IsQuarantined(kids[0]));
+  EXPECT_EQ(machine_.counters().Get("scrub.quarantined"), 1u);
+  EXPECT_EQ(xn_.TryRepair(kids[0]), Status::kCorrupted);
+
+  // The read path refuses known-bad media at submit: repair or rewrite first.
+  std::vector<FrameId> rframes = {NewFrame()};
+  EXPECT_EQ(xn_.ReadAndInsert(root, kids, rframes, good_creds_, {}), Status::kCorrupted);
+  EXPECT_GE(xn_.stats().corrupt_detections, 1u);
+
+  // An acked rewrite of fresh content lifts the quarantine.
+  if (xn_.registry().Lookup(kids[0]) != nullptr) {
+    ASSERT_EQ(xn_.RemoveMapping(kids[0]), Status::kOk);
+  }
+  FrameId nf = NewFrame();
+  std::memset(machine_.mem().Data(nf).data(), 0x78, 4096);
+  ASSERT_EQ(xn_.InsertMapping(kids[0], root, nf, /*dirty=*/true, good_creds_), Status::kOk);
+  ASSERT_EQ(FlushAll({kids[0]}), Status::kOk);
+  EXPECT_FALSE(xn_.IsQuarantined(kids[0]));
+  EXPECT_EQ(machine_.disk().CheckBlock(kids[0]), hw::BlockIntegrity::kOk);
+}
+
+TEST_F(XnTest, LostWriteCaughtOnReReadByExpectedCrc) {
+  machine_.disk().EnableIntegrity();
+  BlockId root = MakeRoot("fs", leaf_tmpl_);
+  auto kids = AllocChildren(root, 0, 1);
+  FrameId f = NewFrame();
+  std::memset(machine_.mem().Data(f).data(), 0x11, 4096);
+  ASSERT_EQ(xn_.InsertMapping(kids[0], root, f, /*dirty=*/true, good_creds_), Status::kOk);
+  ASSERT_EQ(FlushAll({kids[0]}), Status::kOk);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+  ASSERT_EQ(xn_.RemoveMapping(kids[0]), Status::kOk);
+
+  // Rewrite the block, but the media silently drops the first write after the
+  // injector arms: the ack (and expected_crc_) say 0x22, the platter says 0x11
+  // under a perfectly self-consistent stale tag.
+  sim::FaultPlan plan;
+  plan.disk_script = sim::ParseDiskSchedule("w@1");
+  sim::FaultInjector faults(plan);
+  machine_.disk().SetFaultInjector(&faults);
+  FrameId nf = NewFrame();
+  std::memset(machine_.mem().Data(nf).data(), 0x22, 4096);
+  ASSERT_EQ(xn_.InsertMapping(kids[0], root, nf, /*dirty=*/true, good_creds_), Status::kOk);
+  ASSERT_EQ(FlushAll({kids[0]}), Status::kOk);  // acked kOk, never landed
+  machine_.disk().SetFaultInjector(nullptr);
+  ASSERT_EQ(faults.stats().disk_lost_writes, 1u);
+  ASSERT_EQ(machine_.disk().RawBlock(kids[0])[5], 0x11);
+  ASSERT_EQ(machine_.disk().CheckBlock(kids[0]), hw::BlockIntegrity::kOk);  // the residual window
+
+  // The tag alone cannot see it; the in-session expected-CRC cross-check can.
+  ASSERT_EQ(xn_.RemoveMapping(kids[0]), Status::kOk);
+  Status read = Status::kOk;
+  std::vector<FrameId> rframes = {NewFrame()};
+  ASSERT_EQ(xn_.ReadAndInsert(root, kids, rframes, good_creds_,
+                              [&](Status s) { read = s; }),
+            Status::kOk);
+  engine_.RunUntilIdle();
+  EXPECT_EQ(read, Status::kCorrupted);
+  EXPECT_TRUE(xn_.IsQuarantined(kids[0]));
+  EXPECT_GE(xn_.stats().corrupt_detections, 1u);
+}
+
+TEST_F(XnTest, RecoveryFsckQuarantinesCorruptMetadataAndCollectsItsSubtree) {
+  machine_.disk().EnableIntegrity();
+  BlockId root = MakeRoot("fs", inner_tmpl_);
+  auto leaves = AllocChildren(root, 0, 2, leaf_tmpl_);
+  for (BlockId l : leaves) {
+    FrameId f = NewFrame();
+    std::memset(machine_.mem().Data(f).data(), 0, 4096);
+    ASSERT_EQ(xn_.InsertMapping(l, root, f, true, good_creds_), Status::kOk);
+  }
+  auto d0 = AllocChildren(leaves[0], 0, 1);
+  auto d1 = AllocChildren(leaves[1], 0, 1);
+  for (BlockId d : {d0[0], d1[0]}) {
+    FrameId f = NewFrame();
+    std::memset(machine_.mem().Data(f).data(), 0xe1, 4096);
+    ASSERT_EQ(xn_.InsertMapping(d, d == d0[0] ? leaves[0] : leaves[1], f, true, good_creds_),
+              Status::kOk);
+  }
+  ASSERT_EQ(FlushAll({d0[0], d1[0]}), Status::kOk);
+  ASSERT_EQ(FlushAll({leaves[0], leaves[1]}), Status::kOk);
+  ASSERT_EQ(FlushAll({root}), Status::kOk);
+
+  xn_.Crash();
+  // Rot leaves[1] while the machine is down: its child pointers are now garbage.
+  machine_.disk().RawBlock(leaves[1])[2] ^= 0x04;
+
+  Xn reborn(&machine_, &machine_.disk());
+  const uint64_t fsck_before = machine_.counters().Get("xn.integrity_blocks_scanned");
+  ASSERT_EQ(reborn.Attach(), Status::kOk);
+  EXPECT_TRUE(reborn.recovered_after_crash());
+  // The pre-traversal fsck covered the whole disk and flagged the rotted block.
+  EXPECT_GE(machine_.counters().Get("xn.integrity_blocks_scanned") - fsck_before,
+            static_cast<uint64_t>(reborn.NumBlocks()));
+  EXPECT_TRUE(reborn.IsQuarantined(leaves[1]));
+
+  // The quarantined block stays allocated (its parent references it) but was
+  // never parsed: its subtree is collected, the clean sibling's is intact.
+  EXPECT_TRUE(reborn.IsAllocated(root));
+  EXPECT_TRUE(reborn.IsAllocated(leaves[0]));
+  EXPECT_TRUE(reborn.IsAllocated(leaves[1]));
+  EXPECT_TRUE(reborn.IsAllocated(d0[0]));
+  EXPECT_FALSE(reborn.IsAllocated(d1[0]));
 }
 
 TEST_F(XnTest, CleanDetachSkipsRecovery) {
