@@ -1,0 +1,385 @@
+// Noisy-neighbor isolation: per-tenant goodput and tail latency with stride
+// scheduling + pressure revocation on, vs the paper-faithful round-robin.
+//
+// Method. One XokKernel hosts two tenants: three latency-sensitive "victim"
+// envs (open-loop request every 0.5 ms: CPU burn + region write + NIC
+// transmit) and one "flooder" tenant of eight workers draining a seeded
+// multi-resource op script (CPU burn, frame hoarding, NIC spray, disk DMA)
+// and then spinning CPU-bound to the deadline. The victim tenant holds 1200
+// tickets, the flooder 96, and the pressure monitor revokes frames from
+// whoever is most over its proportional share. The same scenario runs twice —
+// stride scheduling on, then the round-robin compatibility mode — and the
+// table reports each tenant's goodput, p50/p99, and CPU share. CPU shares
+// come from the per-tenant trace tracks: every env's `run` spans are summed
+// from the trace ring, the same attribution a Perfetto view of the run shows.
+//
+// Stdout is the human-readable table (deterministic, golden-diffable). A JSON
+// dump goes to BENCH_noisy_neighbor.json (--out FILE overrides). With
+// `--check bench/noisy_neighbor_baseline.json` the binary exits nonzero
+// unless, under stride, victim goodput and p99 hold their committed bounds
+// while round-robin still demonstrates the starvation this PR exists to fix.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "hw/machine.h"
+#include "hw/nic.h"
+#include "sim/check.h"
+#include "sim/engine.h"
+#include "sim/fuzz.h"
+#include "trace/trace.h"
+#include "xok/capability.h"
+#include "xok/kernel.h"
+
+namespace {
+
+using namespace exo;
+
+constexpr uint32_t kMhz = 200;
+constexpr sim::Cycles kQuantum = 50'000;  // 0.25 ms
+constexpr uint64_t kEpochs = 8;
+constexpr sim::Cycles kEpoch = 500'000;
+constexpr int kVictims = 3;
+constexpr int kFloodWorkers = 8;
+constexpr uint32_t kVictimTickets = 400;  // tenant total 1200
+constexpr uint32_t kFloodTickets = 12;    // tenant total 96
+constexpr sim::Cycles kVictimInterval = 100'000;
+constexpr sim::Cycles kVictimService = 20'000;
+constexpr sim::Cycles kLatencySlo = 400'000;  // 2 ms: the goodput cutoff
+constexpr uint32_t kNoDma = UINT32_MAX;
+
+struct TenantStats {
+  double goodput_frac = 0;  // victim requests answered within the SLO
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double victim_cpu_frac = 0;  // run-span cycles on victim tracks / total
+  double flood_cpu_frac = 0;
+  uint64_t pressure_revokes = 0;
+  uint64_t completed = 0;
+};
+
+// One full scenario run. The flood script is regenerated from the same seed
+// each lane, so stride and round-robin face an identical offered load.
+TenantStats RunLane(bool stride) {
+  sim::Engine engine;
+  hw::MachineConfig mc;
+  mc.mem_frames = 256;
+  mc.cost.quantum = kQuantum;
+  hw::Machine machine(&engine, mc);
+  machine.tracer().Enable(trace::Bit(trace::Category::kSched));
+  hw::Nic peer(99);
+  hw::Link link(&engine, 100.0, 10.0, kMhz);
+  link.Connect(&peer, &machine.nic(0));
+  xok::XokKernel kernel(&machine);
+  if (!stride) {
+    kernel.SetStrideScheduling(false);
+  }
+  xok::MemoryPressurePolicy pp;
+  pp.low_frames = 64;
+  pp.high_frames = 96;
+  pp.grace = 6 * kQuantum;
+  pp.min_interval = 2 * kQuantum;
+  kernel.SetMemoryPressurePolicy(pp);
+
+  const sim::Cycles deadline = kEpochs * kEpoch;
+
+  struct FloodOp {
+    char kind;
+    uint32_t arg;
+  };
+  std::vector<FloodOp> ops;
+  {
+    sim::Fuzzer fz(1);
+    for (size_t i = 0; i < 24 * kEpochs; ++i) {
+      const uint32_t k = fz.Pick(100);
+      if (k < 30) {
+        ops.push_back({'c', 5'000 + fz.Pick(20'000)});
+      } else if (k < 60) {
+        ops.push_back({'f', 4 + fz.Pick(12)});
+      } else if (k < 72) {
+        ops.push_back({'r', 1 + fz.Pick(6)});
+      } else if (k < 88) {
+        ops.push_back({'n', 1 + fz.Pick(4)});
+      } else {
+        ops.push_back({'d', fz.Pick(64)});
+      }
+    }
+  }
+
+  std::vector<std::vector<sim::Cycles>> lat(kVictims);
+  std::vector<std::vector<hw::FrameId>> held(kFloodWorkers);
+  std::vector<hw::FrameId> dma(kFloodWorkers, kNoDma);
+  size_t next_op = 0;
+  uint64_t disk_done = 0;
+  std::vector<uint32_t> victim_tracks, flood_tracks;
+
+  const uint64_t reqs = deadline / kVictimInterval;  // per victim
+  for (int i = 0; i < kVictims; ++i) {
+    xok::EnvId id = kernel.CreateEnv(
+        xok::kInvalidEnv, {xok::Capability::Root()}, [&kernel, &lat, i, reqs] {
+          auto rgn = kernel.SysRegionCreate(4096, {xok::kCapUsers, 7}, 0);
+          EXO_CHECK(rgn.ok());
+          uint8_t buf[64] = {0x42};
+          for (uint64_t k = 0; k < reqs; ++k) {
+            const sim::Cycles arrival =
+                k * kVictimInterval + static_cast<sim::Cycles>(i) * 33'333;
+            if (kernel.Now() < arrival) {
+              xok::WakeupPredicate p;
+              p.deadline = arrival;
+              p.host_cost = 40;
+              p.host = [&kernel, arrival] { return kernel.Now() >= arrival; };
+              kernel.SysSleep(std::move(p));
+            }
+            kernel.ChargeCpu(kVictimService);
+            (void)kernel.SysRegionWrite(*rgn, static_cast<uint32_t>((k * 64) % 4000),
+                                        std::span<const uint8_t>(buf, 64), 0);
+            (void)kernel.SysNicTransmit(0, hw::Packet{std::vector<uint8_t>(256, 0x55)});
+            lat[i].push_back(kernel.Now() - arrival);
+          }
+        });
+    xok::ResourceQuota q;
+    q.cpu_tickets = kVictimTickets;
+    EXO_CHECK_EQ(kernel.SysSetQuota(id, q, xok::kCredAny), Status::kOk);
+    victim_tracks.push_back(kernel.env(id).trace_track);
+  }
+
+  for (int w = 0; w < kFloodWorkers; ++w) {
+    const xok::CapName guard{xok::kCapUsers, static_cast<uint16_t>(50 + w)};
+    xok::EnvId id = kernel.CreateEnv(
+        xok::kInvalidEnv, {xok::Capability{guard, /*write=*/true}},
+        [&kernel, &machine, &ops, &held, &dma, &next_op, &disk_done, w, guard,
+         deadline] {
+          auto f = kernel.SysFrameAlloc(0, guard);
+          if (f.ok()) {
+            dma[w] = *f;
+          }
+          while (next_op < ops.size() && kernel.Now() < deadline) {
+            const FloodOp op = ops[next_op++];
+            switch (op.kind) {
+              case 'c':
+                kernel.ChargeCpu(op.arg);
+                break;
+              case 'f':
+                for (uint32_t i = 0; i < op.arg; ++i) {
+                  auto h = kernel.SysFrameAlloc(0, guard);
+                  if (!h.ok()) {
+                    break;
+                  }
+                  held[w].push_back(*h);
+                }
+                break;
+              case 'r':
+                for (uint32_t i = 0; i < op.arg && !held[w].empty(); ++i) {
+                  (void)kernel.SysFrameFree(held[w].back(), 0);
+                  held[w].pop_back();
+                }
+                break;
+              case 'n':
+                for (uint32_t i = 0; i < op.arg; ++i) {
+                  (void)kernel.SysNicTransmit(
+                      0, hw::Packet{std::vector<uint8_t>(1200, 0xee)});
+                }
+                break;
+              default:  // 'd'
+                if (dma[w] != kNoDma) {
+                  machine.disk().Submit({.write = true,
+                                         .start = op.arg % 64,
+                                         .nblocks = 1,
+                                         .frames = {dma[w]},
+                                         .done = [&disk_done](Status) { ++disk_done; }});
+                }
+                break;
+            }
+          }
+          while (kernel.Now() < deadline) {
+            kernel.ChargeCpu(kQuantum);
+          }
+          while (!held[w].empty()) {
+            (void)kernel.SysFrameFree(held[w].back(), 0);
+            held[w].pop_back();
+          }
+          if (dma[w] != kNoDma) {
+            (void)kernel.SysFrameFree(dma[w], 0);
+            dma[w] = kNoDma;
+          }
+        });
+    xok::ResourceQuota q;
+    q.cpu_tickets = kFloodTickets;
+    EXO_CHECK_EQ(kernel.SysSetQuota(id, q, xok::kCredAny), Status::kOk);
+    flood_tracks.push_back(kernel.env(id).trace_track);
+    kernel.env(id).on_revoke = [&kernel, &held, id, w](const xok::RevocationRequest& req) {
+      while (kernel.env(id).usage.frames > req.allowed && !held[w].empty()) {
+        if (kernel.SysFrameFree(held[w].back(), 0) != Status::kOk) {
+          break;
+        }
+        held[w].pop_back();
+      }
+    };
+  }
+
+  kernel.Run();
+  engine.RunUntilIdle();
+
+  TenantStats s;
+  s.pressure_revokes = machine.counters().Get("xok.pressure_revokes");
+
+  std::vector<sim::Cycles> all;
+  for (int i = 0; i < kVictims; ++i) {
+    all.insert(all.end(), lat[i].begin(), lat[i].end());
+  }
+  s.completed = all.size();
+  EXO_CHECK_EQ(all.size(), reqs * kVictims);  // no request may be lost outright
+  std::sort(all.begin(), all.end());
+  uint64_t good = 0;
+  for (sim::Cycles l : all) {
+    good += l <= kLatencySlo ? 1 : 0;
+  }
+  s.goodput_frac = static_cast<double>(good) / static_cast<double>(all.size());
+  const double cycles_per_ms = static_cast<double>(kMhz) * 1000.0;
+  s.p50_ms = static_cast<double>(all[all.size() / 2]) / cycles_per_ms;
+  s.p99_ms = static_cast<double>(all[(all.size() * 99 + 99) / 100 - 1]) / cycles_per_ms;
+
+  // Per-tenant CPU attribution from the trace: sum each track's `run` spans.
+  std::vector<sim::Cycles> track_cpu(machine.tracer().track_names().size(), 0);
+  std::vector<sim::Cycles> open(track_cpu.size(), 0);
+  for (const trace::Record& rec : machine.tracer().Records()) {
+    if (rec.category != trace::Category::kSched ||
+        std::strcmp(rec.name, "run") != 0 || rec.track >= track_cpu.size()) {
+      continue;
+    }
+    if (rec.kind == trace::Kind::kBegin) {
+      open[rec.track] = rec.time;
+    } else if (rec.kind == trace::Kind::kEnd) {
+      track_cpu[rec.track] += rec.time - open[rec.track];
+    }
+  }
+  EXO_CHECK_EQ(machine.tracer().dropped(), 0u);  // ring must cover the whole run
+  sim::Cycles victim_cpu = 0, flood_cpu = 0;
+  for (uint32_t t : victim_tracks) {
+    victim_cpu += track_cpu[t];
+  }
+  for (uint32_t t : flood_tracks) {
+    flood_cpu += track_cpu[t];
+  }
+  s.victim_cpu_frac = static_cast<double>(victim_cpu) / static_cast<double>(deadline);
+  s.flood_cpu_frac = static_cast<double>(flood_cpu) / static_cast<double>(deadline);
+  return s;
+}
+
+// Pulls `"key": <number>` out of a flat JSON file without a JSON dependency.
+bool JsonNumber(const std::string& text, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\"";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  const size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string::npos) {
+    return false;
+  }
+  *out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_noisy_neighbor.json";
+  std::string check_path;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check_path = argv[i + 1];
+    }
+  }
+
+  bench::PrintHeader("noisy neighbor: per-tenant goodput/latency, stride vs round-robin");
+  std::printf("victims %d x %u tickets, flooder %d x %u tickets, %llu epochs of %.1f ms\n\n",
+              kVictims, kVictimTickets, kFloodWorkers, kFloodTickets,
+              static_cast<unsigned long long>(kEpochs),
+              static_cast<double>(kEpoch) / (kMhz * 1000.0));
+
+  const TenantStats st = RunLane(/*stride=*/true);
+  const TenantStats rr = RunLane(/*stride=*/false);
+
+  std::printf("%-12s %-9s %-8s %-8s %-11s %-10s %-8s\n", "scheduler", "goodput",
+              "p50ms", "p99ms", "victim-cpu", "flood-cpu", "revokes");
+  auto row = [](const char* name, const TenantStats& s) {
+    std::printf("%-12s %-9.3f %-8.2f %-8.2f %-11.2f %-10.2f %-8llu\n", name,
+                s.goodput_frac, s.p50_ms, s.p99_ms, s.victim_cpu_frac, s.flood_cpu_frac,
+                static_cast<unsigned long long>(s.pressure_revokes));
+  };
+  row("stride", st);
+  row("round-robin", rr);
+  std::printf("\nvictim p99: %.2f ms under stride vs %.2f ms under round-robin (%.0fx)\n",
+              st.p99_ms, rr.p99_ms, rr.p99_ms / st.p99_ms);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"noisy_neighbor\",\n");
+  std::fprintf(f,
+               "  \"stride\": {\"goodput_frac\": %.4f, \"p50_ms\": %.3f, \"p99_ms\": "
+               "%.3f, \"victim_cpu_frac\": %.3f, \"flood_cpu_frac\": %.3f, "
+               "\"pressure_revokes\": %llu},\n",
+               st.goodput_frac, st.p50_ms, st.p99_ms, st.victim_cpu_frac,
+               st.flood_cpu_frac, static_cast<unsigned long long>(st.pressure_revokes));
+  std::fprintf(f,
+               "  \"round_robin\": {\"goodput_frac\": %.4f, \"p50_ms\": %.3f, "
+               "\"p99_ms\": %.3f, \"victim_cpu_frac\": %.3f, \"flood_cpu_frac\": %.3f, "
+               "\"pressure_revokes\": %llu}\n",
+               rr.goodput_frac, rr.p50_ms, rr.p99_ms, rr.victim_cpu_frac,
+               rr.flood_cpu_frac, static_cast<unsigned long long>(rr.pressure_revokes));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+  if (!check_path.empty()) {
+    FILE* b = std::fopen(check_path.c_str(), "r");
+    if (b == nullptr) {
+      std::fprintf(stderr, "cannot read baseline %s\n", check_path.c_str());
+      return 1;
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), b)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(b);
+    double min_goodput = 0, max_p99 = 0, min_rr_p99 = 0;
+    if (!JsonNumber(text, "min_stride_goodput_frac", &min_goodput) ||
+        !JsonNumber(text, "max_stride_p99_ms", &max_p99) ||
+        !JsonNumber(text, "min_round_robin_p99_ms", &min_rr_p99)) {
+      std::fprintf(stderr, "baseline %s missing required keys\n", check_path.c_str());
+      return 1;
+    }
+    if (st.goodput_frac < min_goodput) {
+      std::fprintf(stderr, "FAIL: stride goodput %.3f below baseline floor %.3f\n",
+                   st.goodput_frac, min_goodput);
+      return 1;
+    }
+    if (st.p99_ms > max_p99) {
+      std::fprintf(stderr, "FAIL: stride victim p99 %.2f ms above baseline cap %.2f ms\n",
+                   st.p99_ms, max_p99);
+      return 1;
+    }
+    if (rr.p99_ms < min_rr_p99) {
+      std::fprintf(stderr,
+                   "FAIL: round-robin victim p99 %.2f ms below %.2f ms: the control "
+                   "lane stopped demonstrating the starvation stride exists to fix\n",
+                   rr.p99_ms, min_rr_p99);
+      return 1;
+    }
+    std::fprintf(stderr, "baseline check passed (%.3f >= %.3f, %.2f <= %.2f, %.2f >= %.2f)\n",
+                 st.goodput_frac, min_goodput, st.p99_ms, max_p99, rr.p99_ms, min_rr_p99);
+  }
+  return 0;
+}

@@ -57,8 +57,12 @@ struct CostModel {
   Cycles downloaded_insn = 5;
   Cycles udf_setup = 150;          // per UDF invocation: argument marshalling
 
-  // Scheduler quantum (round-robin slice), ~10 ms at 200 MHz.
+  // Scheduler quantum (one slice), ~10 ms at 200 MHz.
   Cycles quantum = 2'000'000;
+  // Per-pick bookkeeping of the stride scheduler (pass update + ordered-queue
+  // reinsert). Round-robin mode charges nothing extra, which is part of how
+  // EXO_SCHED_STRIDE=0 stays bit-identical to the legacy scheduler.
+  Cycles stride_pick = 60;
 
   // Interrupt servicing overhead (disk or NIC completion).
   Cycles interrupt_overhead = 500;

@@ -99,6 +99,12 @@ struct ResourceQuota {
   uint32_t filters = UINT32_MAX;     // packet filters installed
   uint32_t ring_slots = UINT32_MAX;  // sum of filter ring capacities
   uint32_t ipc_depth = 1024;         // pending messages in ipc_queue
+  // Proportional-share CPU weight for the stride scheduler. Tickets are part of
+  // the quota ledger, so SysSetQuota adjusts them live under the same
+  // capability check as every other ceiling. Zero is legal and means "best
+  // effort": the scheduler applies a one-ticket floor so the env still makes
+  // progress instead of starving outright.
+  uint32_t cpu_tickets = 100;
   // When locked, the env itself may not raise its own quota (a hostile libOS
   // cannot simply undo the limits placed on it).
   bool locked = false;
@@ -125,6 +131,10 @@ struct RevocationRequest {
   RevokeResource resource = RevokeResource::kFrames;
   uint32_t allowed = 0;       // usage the env must get down to
   sim::Cycles deadline = 0;   // absolute cycle count
+  // Set when the kernel's memory-pressure monitor issued this request (rather
+  // than a supervisor env): a deadline abort then counts toward
+  // "xok.pressure_aborts" so soaks can tell policy kills from hostile ones.
+  bool from_pressure = false;
 };
 
 struct Env {
@@ -144,6 +154,14 @@ struct Env {
 
   // Scheduling.
   sim::Cycles slice_used = 0;
+  // Stride-scheduler state: the env's pass value advances by
+  // stride * (cpu consumed / quantum) each time it is descheduled, and the
+  // scheduler always runs the lowest-pass schedulable env. `sched_seq` is a
+  // kernel-assigned tie-break refreshed at every deschedule, so equal-pass
+  // envs rotate instead of the lowest id winning every tie (with equal
+  // tickets this degenerates to round-robin order).
+  uint64_t pass = 0;
+  uint64_t sched_seq = 0;
   uint32_t critical_depth = 0;        // robust critical sections: software interrupts off
   bool end_of_slice_pending = false;  // slice expired inside a critical section
   EnvId yield_to = kInvalidEnv;       // directed yield hint

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "udf/verifier.h"
@@ -31,6 +32,14 @@ XokKernel::XokKernel(hw::Machine* machine) : machine_(machine) {
   ring_drop_counter_ = machine_->counters().Handle("xok.ring_drops");
   ipc_rejected_counter_ = machine_->counters().Handle("xok.rejected");
   orphan_reap_counter_ = machine_->counters().Handle("xok.orphans_reaped");
+  stride_pick_counter_ = machine_->counters().Handle("sched.stride_picks");
+  wake_jump_counter_ = machine_->counters().Handle("sched.wake_pass_jumps");
+  pressure_revoke_counter_ = machine_->counters().Handle("xok.pressure_revokes");
+  pressure_abort_counter_ = machine_->counters().Handle("xok.pressure_aborts");
+  // Compatibility switch: EXO_SCHED_STRIDE=0 recovers the legacy round-robin
+  // rotation bit-exactly (same idiom as EXO_DISK_INTEGRITY in hw/machine.h).
+  const char* stride = std::getenv("EXO_SCHED_STRIDE");
+  stride_on_ = !(stride != nullptr && stride[0] == '0' && stride[1] == '\0');
   tracer_ = &machine_->tracer();
   trace_track_ = tracer_->NewTrack("kernel");
   syscall_hist_ = tracer_->Histogram("syscall.latency_cycles");
@@ -121,8 +130,15 @@ EnvId XokKernel::CreateEnv(EnvId parent, std::vector<Capability> caps,
     // Body returned without SysExit; treat as exit(0) from host context after the
     // fiber completes (see Run()).
   });
+  // A newborn joins one stride above the virtual clock, as if it had just
+  // been issued its first quantum: it competes fairly from now on but cannot
+  // claim credit for time before it existed, and a burst of newborns does not
+  // pile up at the clock ahead of envs already mid-stride.
+  raw->pass = global_pass_ + StrideOf(*raw);
+  raw->sched_seq = ++sched_seq_counter_;
   envs_[id] = std::move(e);
   run_queue_.push_back(id);
+  StrideInsert(*raw);
   ++alive_count_;
   return id;
 }
@@ -176,8 +192,11 @@ Status XokKernel::ReapEnv(EnvId id) {
   filters_.erase(std::remove_if(filters_.begin(), filters_.end(),
                                 [id](const PacketFilter& f) { return f.owner == id; }),
                  filters_.end());
-  if (e.pending_revoke.has_value()) {
-    --pending_revocations_;
+  DropPendingRevoke(e);
+  if (stride_on_) {
+    // Round-robin prunes dead ids lazily during rotation; the stride pick
+    // never walks the deque, so reap is the only place they can leave it.
+    run_queue_.erase(std::remove(run_queue_.begin(), run_queue_.end(), id), run_queue_.end());
   }
   envs_.erase(it);
   return Status::kOk;
@@ -188,6 +207,7 @@ void XokKernel::FinishExit(Env* e, int code) {
   if (e->state == EnvState::kBlocked) {
     UnregisterWatches(e);  // a blocked env can die via AbortEnv
   }
+  StrideErase(*e);
   e->alive = false;
   e->state = EnvState::kZombie;
   e->exit_code = code;
@@ -195,10 +215,7 @@ void XokKernel::FinishExit(Env* e, int code) {
   --alive_count_;
   NotifyWatch(WatchKind::kEnvState, e->id);  // wait-style predicates on this env
   // A zombie cannot comply with a revocation; the abort/reap path reclaims.
-  if (e->pending_revoke.has_value()) {
-    e->pending_revoke.reset();
-    --pending_revocations_;
-  }
+  DropPendingRevoke(*e);
   // Orphan handling: children of a dead parent will never be SysWait()ed on, so
   // their zombie state would leak. Reparent them to "no one" and auto-reap any
   // that are already (or later become) zombies. Top-level envs (created with no
@@ -276,6 +293,7 @@ Env* XokKernel::PickNext() {
     if (ready) {
       UnregisterWatches(e);
       e->state = EnvState::kRunnable;
+      StrideWake(e);
       if (tracer_->enabled(trace::Category::kSched)) {
         // The whole blocked period, emitted retrospectively at wake so no span
         // stays open while the fiber is suspended.
@@ -302,19 +320,98 @@ Env* XokKernel::PickNext() {
     }
   }
 
-  for (size_t n = run_queue_.size(); n > 0; --n) {
-    EnvId id = run_queue_.front();
-    run_queue_.pop_front();
-    auto it = envs_.find(id);
-    if (it == envs_.end() || it->second->state == EnvState::kZombie) {
-      continue;  // reaped or dead: drop from the queue
+  if (!stride_on_) {
+    // Legacy round-robin rotation, preserved verbatim for EXO_SCHED_STRIDE=0:
+    // the fig2–5 goldens depend on this exact pop/push order.
+    for (size_t n = run_queue_.size(); n > 0; --n) {
+      EnvId id = run_queue_.front();
+      run_queue_.pop_front();
+      auto it = envs_.find(id);
+      if (it == envs_.end() || it->second->state == EnvState::kZombie) {
+        continue;  // reaped or dead: drop from the queue
+      }
+      run_queue_.push_back(id);
+      if (Env* e = consider(it->second.get())) {
+        return e;
+      }
     }
-    run_queue_.push_back(id);
-    if (Env* e = consider(it->second.get())) {
+    return nullptr;
+  }
+
+  // Stride pick: walk alive envs in (pass, sched_seq) order and run the first
+  // schedulable one — blocked envs keep their place and are predicate-checked
+  // as encountered, exactly like the rotation above but in pass order. The
+  // walk re-seeks by key each step because a charged predicate evaluation can
+  // fire device events whose handlers mutate the set.
+  auto it = stride_order_.begin();
+  while (it != stride_order_.end()) {
+    const auto key = *it;
+    if (Env* e = consider(&env(std::get<2>(key)))) {
       return e;
     }
+    it = stride_order_.upper_bound(key);
   }
   return nullptr;
+}
+
+void XokKernel::StrideInsert(const Env& e) {
+  if (stride_on_) {
+    stride_order_.insert({e.pass, e.sched_seq, e.id});
+  }
+}
+
+void XokKernel::StrideErase(const Env& e) {
+  if (stride_on_) {
+    stride_order_.erase({e.pass, e.sched_seq, e.id});
+  }
+}
+
+void XokKernel::StrideCharge(Env* e, sim::Cycles used) {
+  StrideErase(*e);
+  // Pass advances with CPU actually consumed, not per slice granted: an env
+  // that yields early pays for what it used, one that defers its slice end
+  // inside a critical section pays for every deferred quantum.
+  const uint64_t inc = StrideOf(*e) * used / machine_->cost().quantum;
+  e->pass += inc == 0 ? 1 : inc;
+  e->sched_seq = ++sched_seq_counter_;
+  StrideInsert(*e);
+}
+
+void XokKernel::StrideWake(Env* e) {
+  if (!stride_on_) {
+    return;
+  }
+  // Bounded lag: an env that consumes less than its ticket share legitimately
+  // trails the virtual clock, and that credit is what lets it preempt
+  // CPU-bound envs the moment it wakes — so a waker keeps its own pass.
+  // But the credit is capped at kMaxSchedLag of virtual time: a hostile env
+  // that sleeps for ages and then goes CPU-bound can burst only
+  // kMaxSchedLag / stride quanta (about one slice at minimum share) before
+  // the scheduler treats it like any other contender, instead of cashing the
+  // whole idle period in as starvation of everyone else.
+  const uint64_t floor =
+      global_pass_ > kMaxSchedLag ? global_pass_ - kMaxSchedLag : 0;
+  if (e->pass >= floor) {
+    return;
+  }
+  StrideErase(*e);
+  e->pass = floor;
+  e->sched_seq = ++sched_seq_counter_;
+  StrideInsert(*e);
+  ++*wake_jump_counter_;
+}
+
+void XokKernel::SetStrideScheduling(bool on) {
+  EXO_CHECK(current_ == nullptr);  // host-only: the pick walk must not be live
+  stride_on_ = on;
+  stride_order_.clear();
+  if (stride_on_) {
+    for (const auto& [id, e] : envs_) {
+      if (e->alive) {
+        stride_order_.insert({e->pass, e->sched_seq, id});
+      }
+    }
+  }
 }
 
 void XokKernel::Run() {
@@ -330,6 +427,7 @@ void XokKernel::Run() {
         break;
       }
     }
+    MaybeRelievePressure();
     Env* next = PickNext();
     if (next == nullptr) {
       if (machine_->engine().HasPendingEvents()) {
@@ -349,10 +447,10 @@ void XokKernel::Run() {
             e->predicate.deadline > machine_->engine().now()) {
           step = std::min(step, e->predicate.deadline - machine_->engine().now());
         }
-        if (e->pending_revoke.has_value() &&
-            e->pending_revoke->deadline > machine_->engine().now()) {
-          step = std::min(step, e->pending_revoke->deadline - machine_->engine().now());
-        }
+      }
+      if (!revoke_deadlines_.empty() &&
+          revoke_deadlines_.begin()->first > machine_->engine().now()) {
+        step = std::min(step, revoke_deadlines_.begin()->first - machine_->engine().now());
       }
       if (machine_->engine().now() - idle_since >= deadlock_bound_) {
         // Never-true predicates (or a lost wakeup) would idle forever. Report a
@@ -391,6 +489,17 @@ void XokKernel::Run() {
     }
     last_scheduled_ = next->id;
     next->slice_used = 0;
+    if (stride_on_) {
+      ++*stride_pick_counter_;
+      machine_->Charge(machine_->cost().stride_pick);
+      // Advance the virtual clock to the service point. The picked env is the
+      // lowest-pass schedulable env, so this is the stride analogue of CFS
+      // min_vruntime: monotone, and never ahead of what is actually served.
+      if (next->pass > global_pass_) {
+        global_pass_ = next->pass;
+      }
+    }
+    const sim::Cycles run_from = machine_->engine().now();
 
     if (next->on_slice_begin) {
       machine_->Charge(machine_->cost().upcall);
@@ -413,6 +522,9 @@ void XokKernel::Run() {
     if (next->fiber->done() && next->alive) {
       FinishExit(next, 0);
     }
+    if (stride_on_ && next->alive) {
+      StrideCharge(next, machine_->engine().now() - run_from);
+    }
   }
   DrainPendingReaps();
 }
@@ -429,21 +541,92 @@ void XokKernel::DrainPendingReaps() {
 }
 
 void XokKernel::EnforceRevocations() {
-  std::vector<EnvId> overdue;
-  for (const auto& [id, e] : envs_) {
-    if (!e->pending_revoke.has_value() || machine_->engine().now() < e->pending_revoke->deadline) {
+  // The deadline index makes the healthy path O(1): peek at the earliest
+  // outstanding deadline instead of scanning every env per scheduler pass.
+  while (!revoke_deadlines_.empty() &&
+         revoke_deadlines_.begin()->first <= machine_->engine().now()) {
+    const EnvId id = revoke_deadlines_.begin()->second;
+    Env& e = env(id);
+    if (RevocableUsage(e, e.pending_revoke->resource) <= e.pending_revoke->allowed) {
+      DropPendingRevoke(e);  // complied on the last cycle
       continue;
     }
-    if (RevocableUsage(*e, e->pending_revoke->resource) <= e->pending_revoke->allowed) {
-      e->pending_revoke.reset();  // complied on the last cycle
-      --pending_revocations_;
-    } else {
-      overdue.push_back(id);
+    const bool from_pressure = e.pending_revoke->from_pressure;
+    if (from_pressure) {
+      ++*pressure_abort_counter_;
+      if (tracer_->enabled(trace::Category::kSched)) {
+        tracer_->Instant(trace::Category::kSched, trace_track_, "pressure_abort",
+                         machine_->engine().now(), id);
+      }
+    }
+    AbortEnv(id, from_pressure ? "revocation deadline passed (memory pressure)"
+                               : "revocation deadline passed");
+  }
+}
+
+void XokKernel::MaybeRelievePressure() {
+  if (pressure_policy_.low_frames == 0) {
+    return;  // disarmed (the default): one predicted branch per scheduler pass
+  }
+  const uint32_t free = FreeFrameCount();
+  if (!pressure_active_) {
+    if (free >= pressure_policy_.low_frames) {
+      return;
+    }
+    pressure_active_ = true;
+  } else if (free >= pressure_policy_.high_frames) {
+    pressure_active_ = false;  // hysteresis: recovered past the high mark
+    return;
+  }
+  const sim::Cycles now = machine_->engine().now();
+  if (last_pressure_revoke_ != 0 &&
+      now - last_pressure_revoke_ < pressure_policy_.min_interval) {
+    return;
+  }
+  // Proportional-share victim selection: the env furthest over its
+  // tickets-proportional slice of physical memory. Envs already under a
+  // revocation request are skipped (one outstanding request per env).
+  uint64_t total_tickets = 0;
+  for (const auto& [id, e] : envs_) {
+    if (e->alive) {
+      total_tickets += EffectiveTickets(*e);
     }
   }
-  for (EnvId id : overdue) {
-    AbortEnv(id, "revocation deadline passed");
+  if (total_tickets == 0) {
+    return;
   }
+  const uint64_t nframes = machine_->mem().num_frames();
+  Env* victim = nullptr;
+  uint64_t victim_share = 0;
+  int64_t worst = 0;
+  for (const auto& [id, e] : envs_) {
+    if (!e->alive || e->pending_revoke.has_value()) {
+      continue;
+    }
+    const uint64_t share = nframes * EffectiveTickets(*e) / total_tickets;
+    const int64_t over = static_cast<int64_t>(e->usage.frames) - static_cast<int64_t>(share);
+    if (over > worst) {
+      worst = over;
+      victim = e.get();
+      victim_share = share;
+    }
+  }
+  if (victim == nullptr) {
+    return;  // nobody over share: the pressure is host/registry frames
+  }
+  // Ask for enough to clear the high mark, but never push an env below its
+  // fair share — pressure enforces proportionality, it does not confiscate.
+  const uint32_t need =
+      pressure_policy_.high_frames > free ? pressure_policy_.high_frames - free : 1;
+  uint32_t allowed = victim->usage.frames > need ? victim->usage.frames - need : 0;
+  allowed = std::max(allowed, static_cast<uint32_t>(victim_share));
+  last_pressure_revoke_ = now;
+  ++*pressure_revoke_counter_;
+  if (tracer_->enabled(trace::Category::kSched)) {
+    tracer_->Instant(trace::Category::kSched, trace_track_, "pressure_revoke", now, victim->id);
+  }
+  (void)RevokeImpl(victim->id, RevokeResource::kFrames, allowed, pressure_policy_.grace,
+                   kCredAny, /*from_pressure=*/true);
 }
 
 void XokKernel::ChargeCpu(sim::Cycles cycles) {
@@ -1185,10 +1368,18 @@ uint32_t XokKernel::RevocableUsage(const Env& e, RevokeResource r) const {
 void XokKernel::ClearRevokeIfCompliant(Env& e) {
   if (e.pending_revoke.has_value() &&
       RevocableUsage(e, e.pending_revoke->resource) <= e.pending_revoke->allowed) {
-    e.pending_revoke.reset();
-    --pending_revocations_;
+    DropPendingRevoke(e);
     machine_->counters().Add("xok.revocations_complied");
   }
+}
+
+void XokKernel::DropPendingRevoke(Env& e) {
+  if (!e.pending_revoke.has_value()) {
+    return;
+  }
+  revoke_deadlines_.erase({e.pending_revoke->deadline, e.id});
+  e.pending_revoke.reset();
+  --pending_revocations_;
 }
 
 Status XokKernel::SysSetQuota(EnvId target, const ResourceQuota& q, CredIndex cred) {
@@ -1207,12 +1398,39 @@ Status XokKernel::SysSetQuota(EnvId target, const ResourceQuota& q, CredIndex cr
       return scope.Close(Status::kPermissionDenied);
     }
   }
+  if (tracer_->enabled(trace::Category::kSched) && t.quota.cpu_tickets != q.cpu_tickets) {
+    tracer_->Instant(trace::Category::kSched, trace_track_, "set_tickets",
+                     machine_->engine().now(),
+                     (static_cast<uint64_t>(target) << 32) | q.cpu_tickets);
+  }
+  // A ticket change rescales the env's position in virtual time: the consumed
+  // portion of its current stride (pass - global) is converted to the new
+  // stride so history neither mints credit nor inflicts debt — an env
+  // re-weighted from 100 tickets to 12 owes as much of its *new*, longer
+  // stride as it had consumed of the old one. A blocked env keeps its stale
+  // pass; the wake path clamps it against the lag cap anyway.
+  const uint64_t oldeff = EffectiveTickets(t);
+  const uint64_t neweff = q.cpu_tickets == 0 ? 1 : q.cpu_tickets;
+  if (neweff != oldeff && t.state == EnvState::kRunnable) {
+    const uint64_t old_stride = std::max<uint64_t>(1, kStrideScale / oldeff);
+    const uint64_t new_stride = std::max<uint64_t>(1, kStrideScale / neweff);
+    const uint64_t done = t.pass > global_pass_ ? t.pass - global_pass_ : 0;
+    StrideErase(t);
+    t.pass = global_pass_ + done * new_stride / old_stride;
+    t.sched_seq = ++sched_seq_counter_;
+    StrideInsert(t);
+  }
   t.quota = q;
   return Status::kOk;
 }
 
 Status XokKernel::SysRevoke(EnvId target, RevokeResource resource, uint32_t allowed,
                             sim::Cycles grace, CredIndex cred) {
+  return RevokeImpl(target, resource, allowed, grace, cred, /*from_pressure=*/false);
+}
+
+Status XokKernel::RevokeImpl(EnvId target, RevokeResource resource, uint32_t allowed,
+                             sim::Cycles grace, CredIndex cred, bool from_pressure) {
   SyscallScope scope(this, "revoke");
   if (!EnvExists(target) || !env(target).alive) {
     return scope.Close(Status::kNotFound);
@@ -1230,8 +1448,10 @@ Status XokKernel::SysRevoke(EnvId target, RevokeResource resource, uint32_t allo
   if (t.pending_revoke.has_value()) {
     return scope.Close(Status::kBusy);  // one outstanding request at a time
   }
-  t.pending_revoke = RevocationRequest{resource, allowed, machine_->engine().now() + grace};
+  t.pending_revoke =
+      RevocationRequest{resource, allowed, machine_->engine().now() + grace, from_pressure};
   ++pending_revocations_;
+  revoke_deadlines_.insert({t.pending_revoke->deadline, t.id});
   machine_->counters().Add("xok.revocations_requested");
   if (t.on_revoke) {
     // Deliver the upcall in the target's context so releases debit its ledger.
@@ -1291,10 +1511,7 @@ void XokKernel::AbortEnv(EnvId id, const char* reason) {
                  filters_.end());
   e.ipc_queue.clear();
   e.usage = ResourceUsage{};
-  if (e.pending_revoke.has_value()) {
-    e.pending_revoke.reset();
-    --pending_revocations_;
-  }
+  DropPendingRevoke(e);
   e.abort_reason = reason;
   machine_->counters().Add("xok.env_aborts");
   const bool self = (current_ == &e);
@@ -1457,14 +1674,41 @@ std::string XokKernel::CheckInvariants() const {
     }
   }
 
-  // (6) Revocation bookkeeping.
+  // (6) Revocation bookkeeping: the stored count, the per-env optionals, and
+  // the deadline index must all agree (the index is what lets the scheduler's
+  // healthy path skip the full scan, so a stale entry would silently disable
+  // or misfire deadline enforcement).
   uint32_t pending = 0;
   for (const auto& [id, e] : envs_) {
-    pending += e->pending_revoke.has_value() ? 1 : 0;
+    if (e->pending_revoke.has_value()) {
+      ++pending;
+      if (revoke_deadlines_.count({e->pending_revoke->deadline, id}) == 0) {
+        fail("env " + std::to_string(id) + ": pending revocation missing from deadline index");
+      }
+    }
   }
   if (pending != pending_revocations_) {
     fail("pending_revocations " + std::to_string(pending_revocations_) + " != recount " +
          std::to_string(pending));
+  }
+  if (revoke_deadlines_.size() != pending) {
+    fail("revocation deadline index holds " + std::to_string(revoke_deadlines_.size()) +
+         " entries != " + std::to_string(pending) + " pending requests");
+  }
+
+  // (7) Stride-order consistency: one entry per alive env, keyed exactly by
+  // its stored (pass, seq) — an env with a stale key would schedule at the
+  // wrong priority or never again.
+  if (stride_on_) {
+    if (stride_order_.size() != alive_count_) {
+      fail("stride order holds " + std::to_string(stride_order_.size()) + " entries != " +
+           std::to_string(alive_count_) + " alive envs");
+    }
+    for (const auto& [id, e] : envs_) {
+      if (e->alive && stride_order_.count({e->pass, e->sched_seq, id}) == 0) {
+        fail("alive env " + std::to_string(id) + " missing from stride order");
+      }
+    }
   }
   return out;
 }

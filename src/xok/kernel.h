@@ -1,7 +1,9 @@
 // XokKernel: the exokernel proper (Sec. 3, Sec. 5.1).
 //
-// Xok multiplexes the physical resources of one simulated machine: CPU time (round-
-// robin slices with begin/end-of-slice upcalls and directed yield), physical memory
+// Xok multiplexes the physical resources of one simulated machine: CPU time
+// (proportional-share stride scheduling over per-env quota tickets, with
+// begin/end-of-slice upcalls and directed yield; EXO_SCHED_STRIDE=0 recovers
+// the paper-faithful round-robin quantum list bit-exactly), physical memory
 // (explicit frame allocation guarded by capabilities; page tables updated only through
 // system calls), the network (dynamic packet filters demultiplex frames into per-
 // filter packet rings), plus the protected-sharing primitives of Sec. 3.3: software
@@ -26,8 +28,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -50,6 +54,35 @@ constexpr size_t kMaxFilterProgramInsns = 1024; // packet-filter program length
 // consecutive quanta, is presumed runaway and aborted.
 constexpr uint32_t kMaxCriticalDepth = 1024;
 constexpr uint32_t kMaxCriticalDeferrals = 64;
+
+// Stride-scheduler constants. stride = kStrideScale / tickets, so an env with
+// twice the tickets accrues pass half as fast and runs twice as often. Tickets
+// above kStrideScale would round the stride to zero (the env's pass would
+// never advance); the scheduler floors the stride at 1 instead.
+constexpr uint64_t kStrideScale = uint64_t{1} << 20;
+
+// How far below the virtual clock a waking env's pass may sit (its banked
+// credit from consuming less than its ticket share). Under the cap, sleepers
+// keep their credit and preempt CPU-bound envs the moment they wake; above
+// it the excess is forfeited, so a hostile env cannot convert a long idle
+// period into a starvation burst — at minimum share (stride == kStrideScale)
+// the burst is capped at kMaxSchedLag / kStrideScale of a slice, and
+// proportionally more quanta only for envs holding proportionally more
+// tickets.
+constexpr uint64_t kMaxSchedLag = kStrideScale / 4;
+
+// Watermark policy for pressure-driven frame revocation. Disabled until the
+// host arms it (low_frames == 0). While the free list sits below `low_frames`
+// the kernel asks the env most over its tickets-proportional frame share to
+// shed down to that share (SysRevoke → on_revoke → deadline → abort), one
+// request per `min_interval`, until the free list recovers past `high_frames`
+// (hysteresis: low != high keeps the monitor from flapping at the boundary).
+struct MemoryPressurePolicy {
+  uint32_t low_frames = 0;           // arm: revoke while free < low
+  uint32_t high_frames = 0;          // disarm: stop once free >= high
+  sim::Cycles grace = 400'000;       // revocation deadline (2 ms at 200 MHz)
+  sim::Cycles min_interval = 200'000;  // pacing between pressure revocations
+};
 
 struct PtOp {
   enum class Kind : uint8_t { kInsert, kProtect, kRemove } kind = Kind::kInsert;
@@ -142,6 +175,21 @@ class XokKernel {
   // Lowers the idle-time bound after which Run() declares deadlock (tests use a
   // small bound to exercise the diagnostic without minutes of idle scanning).
   void SetDeadlockBound(sim::Cycles cycles) { deadlock_bound_ = cycles; }
+
+  // ---- Proportional-share scheduling + memory pressure ----
+
+  // Whether the stride scheduler is active. Defaults to on; the
+  // EXO_SCHED_STRIDE=0 environment switch (read once at construction) or
+  // SetStrideScheduling(false) recovers the legacy round-robin rotation
+  // bit-exactly, which is what keeps the fig2–5 goldens byte-identical.
+  bool stride_scheduling() const { return stride_on_; }
+  // Host-only override (benches compare both modes in one process). Rebuilds
+  // the stride order from scratch, so it is legal at any host-context point.
+  void SetStrideScheduling(bool on);
+
+  // Arms (or, with low_frames == 0, disarms) the pressure monitor.
+  void SetMemoryPressurePolicy(const MemoryPressurePolicy& p) { pressure_policy_ = p; }
+  const MemoryPressurePolicy& memory_pressure_policy() const { return pressure_policy_; }
   // Non-empty once Run() has diagnosed a deadlock (all remaining envs were
   // aborted instead of spinning forever).
   const std::string& deadlock_report() const { return deadlock_report_; }
@@ -278,6 +326,32 @@ class XokKernel {
   void FinishExit(Env* e, int code);
   Env* PickNext();
   bool EvalPredicate(Env* e);
+  // Effective ticket count (the zero-ticket floor) and the resulting stride.
+  static uint64_t EffectiveTickets(const Env& e) {
+    return e.quota.cpu_tickets == 0 ? 1 : e.quota.cpu_tickets;
+  }
+  static uint64_t StrideOf(const Env& e) {
+    const uint64_t s = kStrideScale / EffectiveTickets(e);
+    return s == 0 ? 1 : s;
+  }
+  // Stride-order maintenance: the set mirrors (pass, sched_seq) of every alive
+  // env, so every pass/seq change must erase + reinsert through these.
+  void StrideInsert(const Env& e);
+  void StrideErase(const Env& e);
+  // Pass bookkeeping at the two scheduling edges: `used` CPU cycles consumed
+  // when an env is descheduled, and the bounded-lag clamp when a blocked env
+  // wakes (a waker keeps its banked credit, capped at kMaxSchedLag behind the
+  // virtual clock so a long sleep cannot be cashed in as a starvation burst).
+  void StrideCharge(Env* e, sim::Cycles used);
+  void StrideWake(Env* e);
+  // Issues one pressure revocation when the free list is below the low
+  // watermark (host context, called from the Run() loop; O(1) while disarmed
+  // or healthy).
+  void MaybeRelievePressure();
+  // SysRevoke body; the pressure monitor stamps its requests so deadline
+  // aborts can be attributed (the flag must be set before the upcall fires).
+  Status RevokeImpl(EnvId target, RevokeResource resource, uint32_t allowed,
+                    sim::Cycles grace, CredIndex cred, bool from_pressure);
   // Dirty-window predicate indexing: a blocked env with declared watches is
   // re-evaluated only after one of its watched objects is written (or past its
   // deadline). Registration happens in SysSleep; every write path to a watchable
@@ -302,6 +376,10 @@ class XokKernel {
   uint32_t RevocableUsage(const Env& e, RevokeResource r) const;
   // Clears a pending revocation the moment the env becomes compliant.
   void ClearRevokeIfCompliant(Env& e);
+  // The single teardown path for a pending revocation: drops it from the env,
+  // the deadline index, and the outstanding count together so the three can
+  // never disagree (CheckInvariants cross-checks all of them).
+  void DropPendingRevoke(Env& e);
   // Host-context scheduler duties: abort envs past their revocation deadline;
   // reap orphaned zombies queued by FinishExit.
   void EnforceRevocations();
@@ -314,6 +392,25 @@ class XokKernel {
   EnvId last_scheduled_ = kInvalidEnv;
   EnvId next_env_id_ = 1;
   uint32_t alive_count_ = 0;
+
+  // Stride scheduler: alive envs ordered by (pass, sched_seq, id). The
+  // scheduler picks the first schedulable entry; round-robin mode leaves the
+  // set maintained but unread so the two modes share every other code path.
+  bool stride_on_ = true;
+  std::set<std::tuple<uint64_t, uint64_t, EnvId>> stride_order_;
+  // Virtual clock: the pass of the most-entitled env actually served, i.e.
+  // max over picks of the picked env's pass. Tracking the service point (the
+  // way CFS tracks min_vruntime) rather than integrating a fair-share rate
+  // keeps the clock honest when envs use less than their entitlement — an
+  // integrated clock races ahead of every real pass and turns the wake-lag
+  // cap into a credit shredder.
+  uint64_t global_pass_ = 0;
+  uint64_t sched_seq_counter_ = 0;  // tie-break source, bumped per deschedule
+
+  // Memory-pressure monitor state (policy armed by the host).
+  MemoryPressurePolicy pressure_policy_;
+  bool pressure_active_ = false;          // hysteresis latch
+  sim::Cycles last_pressure_revoke_ = 0;  // pacing
 
   std::map<hw::FrameId, CapName> frame_guards_;
   // References held by the host/registry rather than any env (shared caches,
@@ -329,6 +426,11 @@ class XokKernel {
   // one executing when they die, so FinishExit cannot erase them inline).
   std::deque<EnvId> pending_reaps_;
   uint32_t pending_revocations_ = 0;
+  // Deadline index over envs with a pending revocation, so the scheduler's
+  // healthy path peeks at the earliest deadline in O(1) instead of scanning
+  // every env per pass. Kept consistent with the per-env pending_revoke
+  // optionals by DropPendingRevoke; CheckInvariants audits the pairing.
+  std::set<std::pair<sim::Cycles, EnvId>> revoke_deadlines_;
   sim::Cycles deadlock_bound_ = 24'000'000'000ULL;  // 120 s at 200 MHz
   std::string deadlock_report_;
 
@@ -350,6 +452,10 @@ class XokKernel {
   uint64_t* ring_drop_counter_ = nullptr;
   uint64_t* ipc_rejected_counter_ = nullptr;
   uint64_t* orphan_reap_counter_ = nullptr;
+  uint64_t* stride_pick_counter_ = nullptr;
+  uint64_t* wake_jump_counter_ = nullptr;
+  uint64_t* pressure_revoke_counter_ = nullptr;
+  uint64_t* pressure_abort_counter_ = nullptr;
 
   // The machine's tracer (never null) and the kernel's own track; per-env
   // tracks live in Env::trace_track.

@@ -37,6 +37,11 @@ struct FuzzOutcome {
   uint64_t syscalls = 0;
   uint32_t free_before = 0;  // free frames before any env was created
   uint32_t free_after = 0;   // free frames after abort+reap of every env
+  // Pressure-monitor decisions, cross-checked between same-seed replays: the
+  // watermark monitor and the abort ladder must be as deterministic as the
+  // syscall stream that triggered them.
+  uint64_t pressure_revokes = 0;
+  uint64_t pressure_aborts = 0;
 };
 
 // Per-env mutable state. Lives in the harness frame, NOT on fiber stacks:
@@ -54,6 +59,21 @@ CredIndex FuzzCred(sim::Fuzzer& fz) {
     return static_cast<CredIndex>(fz.Chaos32());  // out-of-range / negative garbage
   }
   return static_cast<CredIndex>(fz.Pick(5)) - 1;  // kCredAny..3
+}
+
+// The modest, locked ceilings every fuzz env runs under. Ticket mutations
+// reuse these limits so a successful SysSetQuota re-weights CPU without
+// disarming the kQuotaExceeded paths.
+ResourceQuota FuzzQuota() {
+  ResourceQuota q;
+  q.frames = 24;
+  q.regions = 8;
+  q.region_bytes = 1u << 16;
+  q.filters = 4;
+  q.ring_slots = 256;
+  q.ipc_depth = 8;
+  q.locked = true;
+  return q;
 }
 
 // One randomized operation against the kernel, in env context. Only POD locals
@@ -241,11 +261,14 @@ void DoOneOp(XokKernel& kernel, sim::Fuzzer& fz, uint32_t self_index,
                                  : env_ids[fz.Pick(static_cast<uint32_t>(env_ids.size()))];
     auto r = kernel.SysWait(child);
     fz.Log("wait " + std::string(StatusName(r.status())));
-  } else if (op < 97) {  // quota self-service must be denied (locked)
-    ResourceQuota q;  // unlimited
-    Status s = kernel.SysSetQuota(
-        fz.Percent(50) ? env_ids[self_index] : fz.SemiValid(env_ids), q, FuzzCred(fz));
-    fz.Log("setquota " + std::string(StatusName(s)));
+  } else if (op < 97) {  // ticket mutation: limited envs are denied (locked);
+    // env 0 holds the {kCapEnvs} supervisor capability and re-weights siblings
+    // live, so the stride rescale runs mid-schedule at hostile ratios.
+    ResourceQuota q = FuzzQuota();
+    q.cpu_tickets = fz.Percent(10) ? 0 : 1 + fz.Pick(1u << (1 + fz.Pick(13)));
+    EnvId target = fz.Percent(50) ? env_ids[self_index] : fz.SemiValid(env_ids);
+    Status s = kernel.SysSetQuota(target, q, FuzzCred(fz));
+    fz.Log("tickets " + std::to_string(q.cpu_tickets) + " " + StatusName(s));
   } else if (op < 99) {  // revocation: the upcall handler sheds down to `allowed`
     // Rarely, demand less than the env's pinned (unfreeable) holdings — an
     // unsatisfiable request that arms the abort protocol mid-fuzz.
@@ -299,6 +322,13 @@ FuzzOutcome RunFuzz(uint64_t seed, uint32_t num_envs, uint32_t steps) {
         Capability::For({kCapUsers, 7}),  // shared: siblings may free/map each other's
         Capability::For({kCapUsers, static_cast<uint16_t>(100 + i)}),
     };
+    if (i == 0) {
+      // Tenant supervisor: dominates every env guard, so its SysSetQuota /
+      // SysRevoke ops land instead of being credential-denied — the re-weight
+      // and revocation ladders get fuzzed from env context, not just from the
+      // pressure monitor.
+      caps.push_back(Capability::For({kCapEnvs}));
+    }
     EnvId id = kernel.CreateEnv(
         kInvalidEnv, caps,
         [&kernel, &fuzzers, &pools, &env_ids, &out, &good_prog, &bad_prog, &huge_prog, i,
@@ -356,16 +386,19 @@ FuzzOutcome RunFuzz(uint64_t seed, uint32_t num_envs, uint32_t steps) {
 
   // Modest quotas so kQuotaExceeded paths run; locked so the envs cannot lift them.
   for (EnvId id : env_ids) {
-    ResourceQuota q;
-    q.frames = 24;
-    q.regions = 8;
-    q.region_bytes = 1u << 16;
-    q.filters = 4;
-    q.ring_slots = 256;
-    q.ipc_depth = 8;
-    q.locked = true;
-    EXO_CHECK_EQ(kernel.SysSetQuota(id, q, kCredAny), Status::kOk);
+    EXO_CHECK_EQ(kernel.SysSetQuota(id, FuzzQuota(), kCredAny), Status::kOk);
   }
+
+  // Arm the pressure monitor with watermarks the fuzz workload actually
+  // crosses (six envs each entitled to 24 of 192 frames), so pressure
+  // revocations — and, when shedding cannot reach the allowance past pinned
+  // frames, pressure aborts — fire mid-fuzz against the mutated ticket mix.
+  MemoryPressurePolicy pp;
+  pp.low_frames = 110;
+  pp.high_frames = 130;
+  pp.grace = 100'000;
+  pp.min_interval = 150'000;
+  kernel.SetMemoryPressurePolicy(pp);
 
   kernel.Run();
 
@@ -379,6 +412,8 @@ FuzzOutcome RunFuzz(uint64_t seed, uint32_t num_envs, uint32_t steps) {
   out.free_after = kernel.FreeFrameCount();
   out.final_check = kernel.CheckInvariants();
   out.syscalls = machine.counters().Get("xok.syscalls");
+  out.pressure_revokes = machine.counters().Get("xok.pressure_revokes");
+  out.pressure_aborts = machine.counters().Get("xok.pressure_aborts");
   for (auto& fz : fuzzers) {
     out.log += fz.log();
   }
@@ -399,8 +434,12 @@ TEST(FuzzSyscall, TenThousandHostileSyscallsHoldInvariants) {
   EXPECT_EQ(out.final_check, "");
   EXPECT_EQ(out.free_after, out.free_before)
       << "frames leaked across abort+reap (seed 0x" << std::hex << seed << ")";
-  std::fprintf(stderr, "fuzz: %llu syscalls, log bytes=%zu, invariants clean\n",
-               static_cast<unsigned long long>(out.syscalls), out.log.size());
+  std::fprintf(stderr,
+               "fuzz: %llu syscalls, log bytes=%zu, pressure revokes=%llu aborts=%llu, "
+               "invariants clean\n",
+               static_cast<unsigned long long>(out.syscalls), out.log.size(),
+               static_cast<unsigned long long>(out.pressure_revokes),
+               static_cast<unsigned long long>(out.pressure_aborts));
 }
 
 TEST(FuzzSyscall, SameSeedReplaysByteForByte) {
@@ -410,6 +449,8 @@ TEST(FuzzSyscall, SameSeedReplaysByteForByte) {
   EXPECT_EQ(a.log, b.log);  // the docs/FAULTS.md contract: equal logs <=> same schedule
   EXPECT_EQ(a.syscalls, b.syscalls);
   EXPECT_EQ(a.free_after, b.free_after);
+  EXPECT_EQ(a.pressure_revokes, b.pressure_revokes);
+  EXPECT_EQ(a.pressure_aborts, b.pressure_aborts);
 }
 
 TEST(FuzzSyscall, DifferentSeedsDiverge) {

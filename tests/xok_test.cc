@@ -893,5 +893,246 @@ TEST_F(XokTest, DeadlockDiagnosedInsteadOfHanging) {
   EXPECT_EQ(kernel_.CheckInvariants(), "");
 }
 
+// ---- Stride scheduling (proportional-share CPU isolation) ----
+
+TEST_F(XokTest, StrideFairnessProportionalToTickets) {
+  // Three CPU-bound envs with 3:2:1 tickets; each counts the quanta it
+  // consumes until a common deadline. Stride guarantees the counts track the
+  // ticket ratio to within one quantum over the run.
+  const sim::Cycles q = machine_.cost().quantum;
+  const sim::Cycles deadline = 60 * q;
+  const uint32_t tickets[3] = {300, 200, 100};
+  int counts[3] = {0, 0, 0};
+  EnvId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    ids[i] = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&, i] {
+      while (kernel_.Now() < deadline) {
+        ++counts[i];
+        kernel_.ChargeCpu(q);
+      }
+    });
+    ResourceQuota quota;
+    quota.cpu_tickets = tickets[i];
+    ASSERT_EQ(kernel_.SysSetQuota(ids[i], quota, kCredAny), Status::kOk);
+  }
+  kernel_.Run();
+  const double total = counts[0] + counts[1] + counts[2];
+  ASSERT_GT(total, 30);
+  EXPECT_NEAR(counts[0], total * 3 / 6, 1.0) << counts[0] << ":" << counts[1] << ":" << counts[2];
+  EXPECT_NEAR(counts[1], total * 2 / 6, 1.0) << counts[0] << ":" << counts[1] << ":" << counts[2];
+  EXPECT_NEAR(counts[2], total * 1 / 6, 1.0) << counts[0] << ":" << counts[1] << ":" << counts[2];
+  EXPECT_GT(machine_.counters().Get("sched.stride_picks"), 0u);
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
+}
+
+TEST_F(XokTest, StrideScheduleIsDeterministic) {
+  // The same workload on two fresh machines produces the identical slice-by-
+  // slice schedule: stride has no randomness, and ties break on a counter.
+  auto run_once = [](std::vector<int>* order) {
+    sim::Engine engine;
+    hw::Machine machine(&engine, hw::MachineConfig{.mem_frames = 256});
+    XokKernel kernel(&machine);
+    const sim::Cycles q = machine.cost().quantum;
+    const sim::Cycles deadline = 40 * q;
+    const uint32_t tickets[3] = {500, 200, 100};
+    for (int i = 0; i < 3; ++i) {
+      EnvId id = kernel.CreateEnv(kInvalidEnv, {Capability::Root()}, [&kernel, order, i, q, deadline] {
+        while (kernel.Now() < deadline) {
+          order->push_back(i);
+          kernel.ChargeCpu(q);
+        }
+      });
+      ResourceQuota quota;
+      quota.cpu_tickets = tickets[i];
+      ASSERT_EQ(kernel.SysSetQuota(id, quota, kCredAny), Status::kOk);
+    }
+    kernel.Run();
+  };
+  std::vector<int> first, second;
+  run_once(&first);
+  run_once(&second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(XokTest, ZeroTicketEnvStillProgressesViaFloor) {
+  // Tickets of zero mean best-effort, not starvation: the one-ticket floor
+  // still schedules the env, just rarely.
+  const sim::Cycles q = machine_.cost().quantum;
+  const sim::Cycles deadline = 150 * q;
+  int hog_count = 0, idle_count = 0;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    while (kernel_.Now() < deadline) {
+      ++hog_count;
+      kernel_.ChargeCpu(q);
+    }
+  });
+  EnvId idle = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    while (kernel_.Now() < deadline) {
+      ++idle_count;
+      kernel_.ChargeCpu(q);
+    }
+  });
+  ResourceQuota zero;
+  zero.cpu_tickets = 0;
+  ASSERT_EQ(kernel_.SysSetQuota(idle, zero, kCredAny), Status::kOk);
+  kernel_.Run();
+  EXPECT_GE(idle_count, 1);                // progress despite zero tickets
+  EXPECT_GT(hog_count, idle_count * 20);   // but nowhere near a fair share
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
+}
+
+TEST_F(XokTest, SysSetQuotaAdjustsTicketsLive) {
+  // A supervisor env re-weights a sibling mid-run; the new ratio applies from
+  // the next deschedule without any scheduler reset.
+  const sim::Cycles q = machine_.cost().quantum;
+  const sim::Cycles deadline = 60 * q;
+  int counts[2] = {0, 0};
+  EnvId worker = kInvalidEnv;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    for (int i = 0; kernel_.Now() < deadline; ++i) {
+      if (i == 5) {
+        ResourceQuota boost;
+        boost.cpu_tickets = 900;
+        ASSERT_EQ(kernel_.SysSetQuota(worker, boost, 0), Status::kOk);
+      }
+      ++counts[0];
+      kernel_.ChargeCpu(q);
+    }
+  });
+  worker = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    while (kernel_.Now() < deadline) {
+      ++counts[1];
+      kernel_.ChargeCpu(q);
+    }
+  });
+  kernel_.Run();
+  // 9:1 tickets from slice ~10 onwards: the worker ends far ahead.
+  EXPECT_GT(counts[1], counts[0] * 3) << counts[0] << " vs " << counts[1];
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
+}
+
+TEST_F(XokTest, RoundRobinSwitchIgnoresTickets) {
+  // EXO_SCHED_STRIDE=0 recovers the legacy rotation: wildly uneven tickets
+  // still alternate strictly, and no stride bookkeeping runs.
+  ::setenv("EXO_SCHED_STRIDE", "0", 1);
+  {
+    sim::Engine engine;
+    hw::Machine machine(&engine, hw::MachineConfig{.mem_frames = 256});
+    XokKernel kernel(&machine);
+    EXPECT_FALSE(kernel.stride_scheduling());
+    const sim::Cycles q = machine.cost().quantum;
+    std::vector<int> order;
+    for (int i = 0; i < 2; ++i) {
+      EnvId id = kernel.CreateEnv(kInvalidEnv, {Capability::Root()}, [&kernel, &order, i, q] {
+        for (int s = 0; s < 3; ++s) {
+          order.push_back(i);
+          kernel.ChargeCpu(q);
+        }
+      });
+      ResourceQuota quota;
+      quota.cpu_tickets = i == 0 ? 10'000 : 1;
+      EXPECT_EQ(kernel.SysSetQuota(id, quota, kCredAny), Status::kOk);
+    }
+    kernel.Run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+    EXPECT_EQ(machine.counters().Get("sched.stride_picks"), 0u);
+    EXPECT_EQ(kernel.CheckInvariants(), "");
+  }
+  ::unsetenv("EXO_SCHED_STRIDE");
+}
+
+// ---- Pressure-driven revocation ----
+
+TEST_F(XokTest, PressureRevokesOverShareTenantThatSheds) {
+  // A frame hog pushes the free list below the low watermark; the monitor
+  // picks the env most over its tickets-proportional share, asks it to shed,
+  // and the hog's compliant handler frees frames until pressure clears.
+  MemoryPressurePolicy policy;
+  policy.low_frames = 120;
+  policy.high_frames = 160;
+  policy.grace = 10 * machine_.cost().quantum;  // roomy: we want the shed path
+  kernel_.SetMemoryPressurePolicy(policy);
+  const sim::Cycles q = machine_.cost().quantum;
+  std::vector<hw::FrameId> held;
+  uint32_t shed_allowed = UINT32_MAX;
+  EnvId hog = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    for (int i = 0; i < 150; ++i) {  // 256-frame machine: free dips to ~106
+      auto f = kernel_.SysFrameAlloc(0, CapName{kCapUsers, 1});
+      ASSERT_TRUE(f.ok());
+      held.push_back(*f);
+    }
+    for (int s = 0; s < 6; ++s) {
+      kernel_.ChargeCpu(q);  // give the monitor host passes to act
+    }
+    for (hw::FrameId f : held) {
+      EXPECT_EQ(kernel_.SysFrameFree(f, 0), Status::kOk);
+    }
+    held.clear();
+  });
+  kernel_.env(hog).on_revoke = [&](const RevocationRequest& req) {
+    shed_allowed = req.allowed;
+    EXPECT_TRUE(req.from_pressure);
+    while (kernel_.env(hog).usage.frames > req.allowed && !held.empty()) {
+      EXPECT_EQ(kernel_.SysFrameFree(held.back(), 0), Status::kOk);
+      held.pop_back();
+    }
+  };
+  int victim_slices = 0;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    for (int s = 0; s < 6; ++s) {
+      ++victim_slices;
+      kernel_.ChargeCpu(q);
+    }
+  });
+  kernel_.Run();
+  EXPECT_GE(machine_.counters().Get("xok.pressure_revokes"), 1u);
+  EXPECT_EQ(machine_.counters().Get("xok.pressure_aborts"), 0u);
+  EXPECT_EQ(machine_.counters().Get("xok.env_aborts"), 0u);
+  // The request never asked the hog to go below its fair share (128 frames
+  // split over two equal-ticket envs).
+  EXPECT_GE(shed_allowed, 128u);
+  EXPECT_LT(shed_allowed, 150u);
+  EXPECT_EQ(victim_slices, 6);
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
+}
+
+TEST_F(XokTest, PressureEscalatesToAbortWhenIgnored) {
+  // Same squeeze, but the hog has no revocation handler and keeps running:
+  // past the grace deadline the kernel repossesses by abort, and the abort is
+  // attributed to pressure in both the counter and the reason string.
+  MemoryPressurePolicy policy;
+  policy.low_frames = 120;
+  policy.high_frames = 160;
+  policy.grace = machine_.cost().quantum / 2;
+  kernel_.SetMemoryPressurePolicy(policy);
+  const sim::Cycles q = machine_.cost().quantum;
+  EnvId hog = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    for (int i = 0; i < 150; ++i) {
+      auto f = kernel_.SysFrameAlloc(0, CapName{kCapUsers, 1});
+      ASSERT_TRUE(f.ok());
+    }
+    for (;;) {
+      kernel_.ChargeCpu(q);  // ignores the revocation forever
+    }
+  });
+  bool victim_finished = false;
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    for (int s = 0; s < 8; ++s) {
+      kernel_.ChargeCpu(q);
+    }
+    victim_finished = true;
+  });
+  kernel_.Run();
+  EXPECT_GE(machine_.counters().Get("xok.pressure_revokes"), 1u);
+  EXPECT_EQ(machine_.counters().Get("xok.pressure_aborts"), 1u);
+  ASSERT_TRUE(kernel_.EnvExists(hog));
+  EXPECT_STREQ(kernel_.env(hog).abort_reason, "revocation deadline passed (memory pressure)");
+  EXPECT_TRUE(victim_finished);
+  // The abort returned the hoard: the free list recovered past the high mark.
+  EXPECT_GE(kernel_.FreeFrameCount(), policy.high_frames);
+  EXPECT_EQ(kernel_.CheckInvariants(), "");
+}
+
 }  // namespace
 }  // namespace exo::xok
