@@ -22,6 +22,9 @@ constexpr sim::Cycles kParseCost = 600;
 // Shedding a request must cost far less than serving one, or rejection itself
 // collapses under load: a canned 503 is a table-free header write.
 constexpr sim::Cycles kRejectCost = 500;
+// A response-cache hit skips the per-request OS path entirely: one hash probe
+// plus stapling the prepared header onto the pinned body.
+constexpr sim::Cycles kCacheHitCost = 300;
 
 net::TcpProfile ProfileFor(ServerStyle s) {
   switch (s) {
@@ -56,12 +59,16 @@ const char* ServerStyleName(ServerStyle s) {
 }
 
 HttpServer::HttpServer(sim::Engine* engine, const sim::CostModel* cost, ServerStyle style,
-                       net::IpAddr ip)
+                       net::IpAddr ip, const HttpServerOptions& options)
     : engine_(engine),
       cost_(cost),
       style_(style),
       cpu_(engine),
+      options_(options),
       checksums_(cost, [this](sim::Cycles c) { cpu_.Occupy(c); }) {
+  if (options_.response_cache_entries != 0) {
+    cache_ = std::make_unique<net::HttpResponseCache>(options_.response_cache_entries);
+  }
   net::TcpStack::Hooks hooks;
   hooks.engine = engine_;
   hooks.cost = cost_;
@@ -96,6 +103,11 @@ void HttpServer::AttachNic(hw::Nic* nic, net::IpAddr peer_ip) {
 }
 
 void HttpServer::AddDocument(const std::string& name, std::vector<uint8_t> content) {
+  if (options_.documents != nullptr) {
+    // Shared libFS store: bytes pinned there, checksums computed at write time.
+    options_.documents->Put(name, std::move(content));
+    return;
+  }
   docs_[name] = std::move(content);
   doc_ids_[name] = next_doc_id_++;
 }
@@ -171,13 +183,76 @@ sim::Cycles HttpServer::PerRequestOsCost(size_t doc_size) const {
 }
 
 void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
-  std::string& buf = partial_[conn];
-  buf.append(reinterpret_cast<const char*>(data.data()), data.size());
-  auto end = buf.find("\r\n\r\n");
-  if (end == std::string::npos) {
+  {
+    std::string& buf = partial_[conn];
+    buf.append(reinterpret_cast<const char*>(data.data()), data.size());
+    if (!options_.persistent) {
+      // Historical one-request-per-connection path: the whole buffer is the
+      // request once the blank line arrives.
+      if (buf.find("\r\n\r\n") == std::string::npos) {
+        return;
+      }
+      std::string request = std::move(buf);
+      buf.clear();
+      ServeOne(conn, request);
+      return;
+    }
+  }
+  // Persistent mode: the buffer may hold several pipelined requests; answer
+  // them in arrival order (responses serialize on the connection anyway).
+  for (;;) {
+    auto pit = partial_.find(conn);
+    if (pit == partial_.end()) {
+      return;  // connection torn down while serving the previous request
+    }
+    std::string& buf = pit->second;
+    const auto end = buf.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      return;
+    }
+    std::string request = buf.substr(0, end + 4);
+    buf.erase(0, end + 4);
+    ServeOne(conn, request);
+  }
+}
+
+void HttpServer::FinishResponse(net::TcpConn* conn, bool keep_alive) {
+  if (keep_alive) {
+    // Keep-alive: the connection outlives the response.
+    conn->set_on_send_complete([this](net::TcpConn* c) { DisarmDeadline(c); });
+  } else {
+    conn->set_on_send_complete([this](net::TcpConn* c) {
+      DisarmDeadline(c);
+      c->Close();
+    });
+  }
+  ArmDeadline(conn);
+}
+
+void HttpServer::SendPrepared(net::TcpConn* conn, const net::HttpResponseCache::Entry& e) {
+  const net::DocumentStore::Doc* doc = e.doc;
+  if (doc == nullptr || doc->bytes.empty()) {
+    conn->Send(e.header);
     return;
   }
+  if (options_.gather_tx && e.header.size() % 2 == 0 &&
+      e.header.size() + doc->bytes.size() <= net::kMss) {
+    // One wire segment: copied header + zero-copy body, checksum stapled from
+    // the stored sums — the CPU never touches the payload, and small responses
+    // cost one frame instead of two.
+    conn->SendGather(e.header, doc->bytes,
+                     net::ChecksumCombine(e.header_checksum, doc->checksums[0]));
+    ++gather_sends_;
+    return;
+  }
+  conn->Send(e.header);
+  conn->Send(doc->bytes, doc->checksums);
+}
 
+void HttpServer::ServeOne(net::TcpConn* conn, const std::string& buf) {
+  // Keep-alive needs both sides: the server armed for it AND a request that
+  // speaks HTTP/1.1. A 1.0 client learns end-of-body from the close.
+  const bool keep_alive = options_.persistent && buf.find("HTTP/1.1") != std::string::npos;
   if (policy_.enabled) {
     // Admission control on CPU backlog with hysteresis: the meter's busy_until
     // is exactly the queueing delay a request admitted *now* would see before
@@ -200,12 +275,17 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
       // Reject before parsing: the whole point is to spend ~nothing per
       // turned-away request so goodput plateaus instead of cratering.
       ++rejected_;
-      buf.clear();
       cpu_.Occupy(kRejectCost);
-      static const std::string k503 =
-          "HTTP/1.0 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\n\r\n";
-      conn->Send(std::vector<uint8_t>(k503.begin(), k503.end()));
-      conn->set_on_send_complete([this](net::TcpConn* c) { c->Close(); });
+      if (keep_alive) {
+        static const std::string k503p =
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\n\r\n";
+        conn->Send(std::vector<uint8_t>(k503p.begin(), k503p.end()));
+      } else {
+        static const std::string k503 =
+            "HTTP/1.0 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 0\r\n\r\n";
+        conn->Send(std::vector<uint8_t>(k503.begin(), k503.end()));
+        conn->set_on_send_complete([this](net::TcpConn* c) { c->Close(); });
+      }
       return;
     }
   }
@@ -217,22 +297,37 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
     auto sp = buf.find(' ', 5);
     name = buf.substr(5, sp == std::string::npos ? std::string::npos : sp - 5);
   }
-  buf.clear();
+  const char* version = options_.persistent ? "HTTP/1.1" : "HTTP/1.0";
 
-  auto it = docs_.find(name);
+  // Response-cache fast path: one probe replaces the whole per-request OS walk.
+  if (cache_ != nullptr && options_.documents != nullptr) {
+    if (const net::HttpResponseCache::Entry* e = cache_->Get(name); e != nullptr) {
+      cpu_.Occupy(kCacheHitCost);
+      ++requests_;
+      SendPrepared(conn, *e);
+      FinishResponse(conn, keep_alive);
+      return;
+    }
+  }
+
+  const std::vector<uint8_t>* body_ptr = nullptr;
+  const net::DocumentStore::Doc* doc = nullptr;
+  if (options_.documents != nullptr) {
+    doc = options_.documents->Find(name);
+    body_ptr = doc != nullptr ? &doc->bytes : nullptr;
+  } else {
+    auto it = docs_.find(name);
+    body_ptr = it != docs_.end() ? &it->second : nullptr;
+  }
   std::string header;
-  if (it == docs_.end()) {
-    header = "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+  if (body_ptr == nullptr) {
+    header = std::string(version) + " 404 Not Found\r\nContent-Length: 0\r\n\r\n";
     cpu_.Occupy(1'000);
     conn->Send(std::vector<uint8_t>(header.begin(), header.end()));
-    conn->set_on_send_complete([this](net::TcpConn* c) {
-      DisarmDeadline(c);
-      c->Close();
-    });
-    ArmDeadline(conn);
+    FinishResponse(conn, keep_alive);
     return;
   }
-  const std::vector<uint8_t>& body = it->second;
+  const std::vector<uint8_t>& body = *body_ptr;
   const bool tracing = tracer_ != nullptr && tracer_->enabled(trace::Category::kApp);
   // The copy portion of the OS path is file-cache work; the remainder is the
   // syscall path. Splitting the single Occupy keeps the total cycles identical
@@ -258,8 +353,29 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
   }
   ++requests_;
 
-  header = "HTTP/1.0 200 OK\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n";
-  if (style_ == ServerStyle::kCheetah) {
+  header = std::string(version) +
+           " 200 OK\r\nContent-Length: " + std::to_string(body.size());
+  if ((cache_ != nullptr || options_.gather_tx) && (header.size() + 4) % 2 != 0) {
+    header += ' ';  // even-length pad: lets the stored body checksum staple on
+  }
+  header += "\r\n\r\n";
+  if (style_ == ServerStyle::kCheetah && doc != nullptr) {
+    // Full Cheetah path off the shared store: prepared header + stored body
+    // checksums, optionally cached and/or gathered into one segment.
+    net::HttpResponseCache::Entry e;
+    e.header.assign(header.begin(), header.end());
+    if (cache_ != nullptr || options_.gather_tx) {
+      cpu_.Occupy(cost_->ChecksumCost(e.header.size()));
+      e.header_checksum = net::Checksum(e.header);
+    }
+    e.doc = doc;
+    e.doc_generation = doc->generation;
+    if (cache_ != nullptr) {
+      SendPrepared(conn, *cache_->Put(name, std::move(e)));
+    } else {
+      SendPrepared(conn, e);
+    }
+  } else if (style_ == ServerStyle::kCheetah) {
     // Header: small copied segment. Body: straight from the file cache, with the
     // file's stored checksums — the CPU never touches the payload (Sec. 7.3).
     conn->Send(std::vector<uint8_t>(header.begin(), header.end()));
@@ -272,11 +388,7 @@ void HttpServer::OnRequest(net::TcpConn* conn, std::span<const uint8_t> data) {
     response.insert(response.end(), body.begin(), body.end());
     conn->Send(response);
   }
-  conn->set_on_send_complete([this](net::TcpConn* c) {
-    DisarmDeadline(c);
-    c->Close();
-  });
-  ArmDeadline(conn);
+  FinishResponse(conn, keep_alive);
   if (tracing) {
     // The request's CPU window: parse through the last transmit Occupy. Windows
     // are serialized on the meter, so these spans never interleave.
@@ -391,21 +503,44 @@ void OpenLoopHttpClient::Tick() {
   if (engine_->now() >= deadline_) {
     return;
   }
-  IssueOne();
+  if (persistent_) {
+    IssuePersistent();
+  } else {
+    IssueOne();
+  }
   engine_->ScheduleAfter(interval_, [this] { Tick(); });
+}
+
+void OpenLoopHttpClient::EnablePersistent(size_t pool_size, size_t max_pipeline) {
+  persistent_ = true;
+  max_pipeline_ = max_pipeline;
+  pool_.assign(pool_size, PoolSlot{});
+}
+
+void OpenLoopHttpClient::ClosePool() {
+  for (PoolSlot& slot : pool_) {
+    if (slot.conn != nullptr) {
+      slot.conn->Close();
+    }
+  }
 }
 
 namespace {
 
-// Classifies a captured HTTP/1.0 response: status from the first line, body
-// completeness against Content-Length.
+// Classifies a captured HTTP response (1.0 or 1.1): status from the first
+// line, body completeness against Content-Length.
 enum class RespKind { kOk, kShed, kBad };
 
+bool StatusIs(const std::string& resp, const char* code) {
+  return (resp.rfind("HTTP/1.0 ", 0) == 0 || resp.rfind("HTTP/1.1 ", 0) == 0) &&
+         resp.compare(9, 3, code) == 0;
+}
+
 RespKind ClassifyResponse(const std::string& resp) {
-  if (resp.rfind("HTTP/1.0 503", 0) == 0) {
+  if (StatusIs(resp, "503")) {
     return RespKind::kShed;
   }
-  if (resp.rfind("HTTP/1.0 200", 0) != 0) {
+  if (!StatusIs(resp, "200")) {
     return RespKind::kBad;
   }
   const auto blank = resp.find("\r\n\r\n");
@@ -422,9 +557,126 @@ RespKind ClassifyResponse(const std::string& resp) {
 
 }  // namespace
 
+void OpenLoopHttpClient::IssuePersistent() {
+  ++issued_;
+  const size_t idx = pool_rr_++ % pool_.size();
+  PoolSlot& s = pool_[idx];
+  if (s.conn == nullptr) {
+    OpenPoolSlot(idx);
+  }
+  if (s.starts.size() + s.queued.size() >= max_pipeline_) {
+    // This connection's pipeline is full: client-side shed, the open-loop
+    // analogue of a connect timeout. The arrival process does not wait.
+    ++failed_;
+    return;
+  }
+  const std::string doc = doc_picker_ ? doc_picker_() : doc_;
+  std::string req = "GET /" + doc + " HTTP/1.1\r\n\r\n";
+  const sim::Cycles start = engine_->now();
+  s.starts.push_back(start);
+  if (!s.established) {
+    s.queued.push_back(std::move(req));  // flushed when the handshake completes
+  } else {
+    s.conn->Send(std::vector<uint8_t>(req.begin(), req.end()));
+  }
+  if (request_timeout_ != 0) {
+    net::TcpConn* c = s.conn;
+    engine_->ScheduleAfter(request_timeout_, [this, idx, c, start] {
+      PoolSlot& slot = pool_[idx];
+      // Still the same connection and the oldest outstanding request is at
+      // least as old as ours: the pipeline is stuck. Abort the connection;
+      // on_close fails everything outstanding and the slot reconnects lazily.
+      if (slot.conn == c && !slot.starts.empty() && slot.starts.front() <= start) {
+        stack_->Abort(c);
+      }
+    });
+  }
+}
+
+void OpenLoopHttpClient::OpenPoolSlot(size_t idx) {
+  PoolSlot& s = pool_[idx];
+  s.established = false;
+  s.rx.clear();
+  ++conns_opened_;
+  s.conn = stack_->Connect(server_ip_, 80, [this, idx](net::TcpConn* conn) {
+    PoolSlot& slot = pool_[idx];
+    if (slot.conn != conn) {
+      return;  // the slot moved on (abort + reconnect) before we established
+    }
+    slot.established = true;
+    for (std::string& req : slot.queued) {
+      conn->Send(std::vector<uint8_t>(req.begin(), req.end()));
+    }
+    slot.queued.clear();
+  });
+  s.conn->set_on_data([this, idx](net::TcpConn* conn, std::span<const uint8_t> d) {
+    bytes_ += d.size();
+    PoolSlot& slot = pool_[idx];
+    if (slot.conn != conn) {
+      return;
+    }
+    slot.rx.append(reinterpret_cast<const char*>(d.data()), d.size());
+    DrainPoolResponses(idx);
+  });
+  s.conn->set_on_close([this, idx](net::TcpConn* conn) {
+    PoolSlot& slot = pool_[idx];
+    if (slot.conn != conn) {
+      return;
+    }
+    // Everything still outstanding on this connection is lost.
+    failed_ += slot.starts.size();
+    slot.starts.clear();
+    slot.queued.clear();
+    slot.rx.clear();
+    slot.established = false;
+    slot.conn = nullptr;  // next issue through this slot reconnects
+    if (conn->state() == net::TcpConn::State::kCloseWait) {
+      conn->Close();  // server closed first: finish our side too
+    }
+  });
+}
+
+void OpenLoopHttpClient::DrainPoolResponses(size_t idx) {
+  PoolSlot& s = pool_[idx];
+  for (;;) {
+    const auto blank = s.rx.find("\r\n\r\n");
+    if (blank == std::string::npos) {
+      return;
+    }
+    size_t want = 0;
+    const auto cl = s.rx.find("Content-Length: ");
+    if (cl != std::string::npos && cl < blank) {
+      want = std::strtoull(s.rx.c_str() + cl + 16, nullptr, 10);
+    }
+    const size_t total = blank + 4 + want;
+    if (s.rx.size() < total) {
+      return;  // body still in flight
+    }
+    const bool ok = StatusIs(s.rx, "200");
+    const bool shed = StatusIs(s.rx, "503");
+    s.rx.erase(0, total);
+    if (s.starts.empty()) {
+      ++failed_;  // a response with no matching request: protocol desync
+      continue;
+    }
+    const sim::Cycles start = s.starts.front();
+    s.starts.pop_front();
+    if (ok) {
+      ++completed_;
+      latency_.Record(engine_->now() - start);
+    } else if (shed) {
+      ++rejected_;
+    } else {
+      ++failed_;
+    }
+  }
+}
+
 void OpenLoopHttpClient::IssueOne() {
   ++issued_;
-  std::string req = "GET /" + doc_ + " HTTP/1.0\r\n\r\n";
+  ++conns_opened_;  // one fresh connection per request in the historical mode
+  const std::string doc = doc_picker_ ? doc_picker_() : doc_;
+  std::string req = "GET /" + doc + " HTTP/1.0\r\n\r\n";
   const sim::Cycles start = engine_->now();
   net::TcpConn* c = stack_->Connect(
       server_ip_, 80, [req](net::TcpConn* conn) {

@@ -18,6 +18,8 @@
 #ifndef EXO_APPS_HTTP_H_
 #define EXO_APPS_HTTP_H_
 
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -34,10 +36,29 @@ enum class ServerStyle { kNcsaBsd, kHarvestBsd, kSocketBsd, kSocketXok, kCheetah
 
 const char* ServerStyleName(ServerStyle s);
 
+// Fleet-scale serving options. Default-constructed = the historical HTTP/1.0
+// close-per-request server, byte-identical to pre-options behavior; every field
+// is an independent opt-in so figs and benches arm exactly what they measure.
+struct HttpServerOptions {
+  // Keep connections open and answer pipelined requests in arrival order
+  // (responses carry HTTP/1.1). Off: one request per connection, server closes.
+  bool persistent = false;
+  // Shared libFS document store: bodies are served from its pinned bytes with
+  // its stored per-MSS checksums (computed at file-write time, not lazily per
+  // server). nullptr: per-server docs_ + lazy ChecksumCache as before.
+  net::DocumentStore* documents = nullptr;
+  // LRU response cache capacity (prepared header + checksum + body pointer),
+  // shared across requests. 0 = no cache.
+  size_t response_cache_entries = 0;
+  // Cheetah only: transmit header+body in one gather segment when they fit one
+  // MSS, with the combined checksum stapled from the stored body checksum.
+  bool gather_tx = false;
+};
+
 class HttpServer {
  public:
   HttpServer(sim::Engine* engine, const sim::CostModel* cost, ServerStyle style,
-             net::IpAddr ip);
+             net::IpAddr ip, const HttpServerOptions& options = {});
 
   // Attaches a NIC; frames to `peer_ip` leave through it (one client per link).
   void AttachNic(hw::Nic* nic, net::IpAddr peer_ip);
@@ -57,6 +78,11 @@ class HttpServer {
   // Admitted requests aborted because they blew the response deadline.
   uint64_t deadline_aborts() const { return deadline_aborts_; }
   bool shedding() const { return shedding_; }
+  // Response-cache counters (0s when no cache is configured).
+  uint64_t cache_hits() const { return cache_ != nullptr ? cache_->hits() : 0; }
+  uint64_t cache_misses() const { return cache_ != nullptr ? cache_->misses() : 0; }
+  uint64_t cache_evictions() const { return cache_ != nullptr ? cache_->evictions() : 0; }
+  uint64_t gather_sends() const { return gather_sends_; }
   sim::CpuMeter& cpu() { return cpu_; }
   net::TcpStack& stack() { return *stack_; }
 
@@ -72,9 +98,18 @@ class HttpServer {
   };
 
   void OnRequest(net::TcpConn* conn, std::span<const uint8_t> data);
+  void ServeOne(net::TcpConn* conn, const std::string& request);
   sim::Cycles PerRequestOsCost(size_t doc_size) const;
   void ArmDeadline(net::TcpConn* conn);
   void DisarmDeadline(net::TcpConn* conn);
+  // Close, or keep open when the server is persistent AND the request spoke
+  // HTTP/1.1 (a 1.0 client on an armed server still learns end-of-body from
+  // the close, so mixed tenants can share one server).
+  void FinishResponse(net::TcpConn* conn, bool keep_alive);
+  // Transmits a prepared (header, store-backed body) response: one gather
+  // segment with a stapled checksum when configured and it fits, else header
+  // and zero-copy body as separate sends.
+  void SendPrepared(net::TcpConn* conn, const net::HttpResponseCache::Entry& e);
 
   sim::Engine* engine_;
   const sim::CostModel* cost_;
@@ -84,6 +119,9 @@ class HttpServer {
   uint32_t trace_track_ = 0;
   std::unique_ptr<net::TcpStack> stack_;
   std::map<net::IpAddr, hw::Nic*> routes_;
+  HttpServerOptions options_;
+  std::unique_ptr<net::HttpResponseCache> cache_;
+  uint64_t gather_sends_ = 0;
   std::map<std::string, std::vector<uint8_t>> docs_;
   net::ChecksumCache checksums_;
   std::map<std::string, uint64_t> doc_ids_;
@@ -171,6 +209,9 @@ class OpenLoopHttpClient {
   uint64_t rejected() const { return rejected_; }
   uint64_t failed() const { return failed_; }
   uint64_t bytes_received() const { return bytes_; }
+  // Connections this client opened (handshakes): one per request in the
+  // historical mode, at most the pool size (plus reconnects) when persistent.
+  uint64_t conns_opened() const { return conns_opened_; }
   const trace::LatencyHistogram& latency() const { return latency_; }
   net::TcpStack& stack() { return *stack_; }
 
@@ -178,13 +219,38 @@ class OpenLoopHttpClient {
   // failed) a request still unresolved after this long. 0 (default) disables.
   void set_request_timeout(sim::Cycles cycles) { request_timeout_ = cycles; }
 
+  // Persistent-connection mode: requests ride a fixed pool of keep-alive
+  // connections (HTTP/1.1), pipelined up to `max_pipeline` deep per connection,
+  // instead of a fresh handshake per request. A request that finds its
+  // connection's pipeline full counts as failed (client-side shed — the
+  // open-loop equivalent of a connect timeout). Call before Start(); off by
+  // default, leaving the historical one-connection-per-request behavior.
+  void EnablePersistent(size_t pool_size, size_t max_pipeline = 8);
+  // Closes every pool connection (client-side FIN). Requests still in flight
+  // fail through the normal on_close accounting. For drain checks: a pool
+  // otherwise keeps its keep-alive connections established forever.
+  void ClosePool();
+  // Chooses the document for each request (Zipf sweeps); default: the
+  // constructor's single doc.
+  void set_doc_picker(std::function<std::string()> f) { doc_picker_ = std::move(f); }
+
  private:
   struct Pending {
     std::string data;    // response bytes captured so far
     uint64_t epoch = 0;  // guards timeout timers against PCB reuse
   };
+  struct PoolSlot {
+    net::TcpConn* conn = nullptr;
+    bool established = false;
+    std::string rx;                  // response bytes not yet parsed
+    std::deque<sim::Cycles> starts;  // issue time per outstanding request, in order
+    std::deque<std::string> queued;  // requests issued before the handshake finished
+  };
 
   void IssueOne();
+  void IssuePersistent();
+  void OpenPoolSlot(size_t slot);
+  void DrainPoolResponses(size_t slot);
   void Tick();
 
   sim::Engine* engine_;
@@ -195,6 +261,11 @@ class OpenLoopHttpClient {
   sim::Cycles deadline_ = 0;
   std::unique_ptr<net::TcpStack> stack_;
   std::map<net::TcpConn*, Pending> responses_;
+  bool persistent_ = false;
+  size_t max_pipeline_ = 8;
+  std::vector<PoolSlot> pool_;
+  size_t pool_rr_ = 0;
+  std::function<std::string()> doc_picker_;
   sim::Cycles request_timeout_ = 0;
   uint64_t timeout_epoch_ = 0;
   uint64_t issued_ = 0;
@@ -202,6 +273,7 @@ class OpenLoopHttpClient {
   uint64_t rejected_ = 0;
   uint64_t failed_ = 0;
   uint64_t bytes_ = 0;
+  uint64_t conns_opened_ = 0;
   trace::LatencyHistogram latency_;
 };
 

@@ -38,7 +38,22 @@ uint32_t Checksum(std::span<const uint8_t> data) {
   return static_cast<uint32_t>(sum);
 }
 
+uint32_t ChecksumCombine(uint32_t even_prefix_sum, uint32_t suffix_sum) {
+  uint64_t sum = static_cast<uint64_t>(even_prefix_sum) + suffix_sum;
+  while (sum >> 32) {
+    sum = (sum & 0xffffffff) + (sum >> 32);
+  }
+  return static_cast<uint32_t>(sum);
+}
+
 hw::Packet EncodeTcp(const TcpSegment& seg) { return EncodeTcp(seg, seg.payload); }
+
+hw::Packet EncodeTcp(const TcpSegment& seg, std::span<const uint8_t> head,
+                     std::span<const uint8_t> tail) {
+  hw::Packet p = EncodeTcp(seg, head);
+  p.bytes.insert(p.bytes.end(), tail.begin(), tail.end());
+  return p;
+}
 
 hw::Packet EncodeTcp(const TcpSegment& seg, std::span<const uint8_t> payload) {
   hw::Packet p;

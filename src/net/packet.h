@@ -60,12 +60,23 @@ struct UdpDatagram {
 // Internet-style ones-complement-ish sum, folded to 32 bits. Cheap to compute in the
 // host but *charged* per byte by the protocol code.
 uint32_t Checksum(std::span<const uint8_t> data);
+// Checksum of a concatenation from the parts' checksums: the word sum is
+// additive as long as the first part has even length (its last 16-bit word is
+// complete, so the second part's words stay aligned). This is what lets Cheetah
+// staple a freshly rendered response header onto a body whose checksum was
+// precomputed and stored with the file, without touching the body bytes.
+uint32_t ChecksumCombine(uint32_t even_prefix_sum, uint32_t suffix_sum);
 
 hw::Packet EncodeTcp(const TcpSegment& seg);
 // Zero-copy variant for the transmit path: encodes seg's headers but takes the
 // payload from `payload` (seg.payload is ignored), so callers holding the bytes
 // in a send buffer skip the intermediate segment copy.
 hw::Packet EncodeTcp(const TcpSegment& seg, std::span<const uint8_t> payload);
+// Gather variant: the payload is head‖tail in one frame (Cheetah's batched
+// header+body transmission — header from the response cache, body straight
+// from the file cache).
+hw::Packet EncodeTcp(const TcpSegment& seg, std::span<const uint8_t> head,
+                     std::span<const uint8_t> tail);
 std::optional<TcpSegment> DecodeTcp(const hw::Packet& p);
 hw::Packet EncodeUdp(const UdpDatagram& d);
 std::optional<UdpDatagram> DecodeUdp(const hw::Packet& p);

@@ -58,12 +58,26 @@ TcpConn* TcpStack::Connect(IpAddr dst_ip, Port dst_port,
   TcpConn* c = NewConn();
   c->peer_ip_ = dst_ip;
   c->peer_port_ = dst_port;
-  c->local_port_ = next_ephemeral_++;
+  // Ephemeral allocation must survive wraparound: at fleet scale (tens of
+  // thousands of connections per stack) the 16-bit counter laps itself, and
+  // handing out a port whose (ip, port, port) key is still live would replace
+  // the existing PCB in the table. Probe past live keys; the no-collision path
+  // hands out exactly the historical sequence.
+  Port port = next_ephemeral_;
+  for (uint32_t tries = 0; tries < 65536; ++tries) {
+    if (conns_.count(Key(dst_ip, dst_port, port)) == 0) {
+      break;
+    }
+    ++port;
+  }
+  next_ephemeral_ = static_cast<Port>(port + 1);
+  c->local_port_ = port;
   c->state_ = TcpConn::State::kSynSent;
   c->snd_next_ = kInitialSeq;
   c->snd_una_ = kInitialSeq;
   c->on_established_ = std::move(on_established);
   conns_[Key(dst_ip, dst_port, c->local_port_)] = std::move(tmp_);
+  peak_conns_ = std::max(peak_conns_, conns_.size());
   const sim::Cycles sent = Emit(c, kFlagSyn, c->snd_next_, {}, 0, false, false);
   TcpConn::PendingSegment syn;
   syn.syn = true;
@@ -77,15 +91,17 @@ TcpConn* TcpStack::Connect(IpAddr dst_ip, Port dst_port,
 
 sim::Cycles TcpStack::Emit(TcpConn* c, uint8_t flags, uint32_t seq,
                            std::span<const uint8_t> payload, uint32_t checksum,
-                           bool charge_checksum, bool charge_copy) {
+                           bool charge_checksum, bool charge_copy,
+                           std::span<const uint8_t> tail) {
+  const size_t payload_size = payload.size() + tail.size();
   sim::Cycles cost = profile_.tx_fixed;
-  if (!payload.empty()) {
+  if (payload_size != 0) {
     if (charge_copy) {
-      cost += static_cast<sim::Cycles>(static_cast<double>(hooks_.cost->CopyCost(payload.size())) *
+      cost += static_cast<sim::Cycles>(static_cast<double>(hooks_.cost->CopyCost(payload_size)) *
                                        profile_.tx_copies);
     }
     if (charge_checksum) {
-      cost += hooks_.cost->ChecksumCost(payload.size());
+      cost += hooks_.cost->ChecksumCost(payload_size);
     }
   }
   sim::Cycles when = Occupy(cost);
@@ -105,7 +121,7 @@ sim::Cycles TcpStack::Emit(TcpConn* c, uint8_t flags, uint32_t seq,
     seg.flags |= kFlagAck;
     seg.ack = c->rcv_next_;
   }
-  if ((seg.flags & kFlagAck) != 0 && !payload.empty() && c->ack_pending_) {
+  if ((seg.flags & kFlagAck) != 0 && payload_size != 0 && c->ack_pending_) {
     c->ack_pending_ = false;
     if (c->ack_timer_ != 0) {
       hooks_.engine->Cancel(c->ack_timer_);
@@ -115,11 +131,11 @@ sim::Cycles TcpStack::Emit(TcpConn* c, uint8_t flags, uint32_t seq,
   }
 
   ++stats_.segments_out;
-  stats_.bytes_out += payload.size();
+  stats_.bytes_out += payload_size;
   if (tracer_ != nullptr && tracer_->enabled(trace::Category::kNet)) {
-    tracer_->Instant(trace::Category::kNet, trace_track_, "tcp.tx", when, payload.size());
+    tracer_->Instant(trace::Category::kNet, trace_track_, "tcp.tx", when, payload_size);
   }
-  hooks_.transmit(EncodeTcp(seg, payload), when);
+  hooks_.transmit(tail.empty() ? EncodeTcp(seg, payload) : EncodeTcp(seg, payload, tail), when);
   return when;
 }
 
@@ -158,7 +174,7 @@ void TcpStack::PumpSendQueue(TcpConn* c) {
   while (!c->send_queue_.empty()) {
     uint32_t in_flight = c->snd_next_ - c->snd_una_;
     const auto& head = c->send_queue_.front();
-    if (in_flight + head.bytes().size() > profile_.window_bytes) {
+    if (in_flight + head.size() > profile_.window_bytes) {
       break;
     }
     TcpConn::PendingSegment seg = std::move(c->send_queue_.front());
@@ -175,11 +191,13 @@ void TcpStack::PumpSendQueue(TcpConn* c) {
       }
     } else {
       const bool precomputed = seg.checksum != 0;
-      seg.sent_at = Emit(c, kFlagPsh, seg.seq, seg.bytes(),
-                         precomputed ? seg.checksum : Checksum(seg.bytes()),
+      // A gather segment (head+tail) always arrives with a combined precomputed
+      // checksum; plain segments may need one computed here.
+      seg.sent_at = Emit(c, kFlagPsh, seg.seq, seg.head(),
+                         precomputed ? seg.checksum : Checksum(seg.head()),
                          /*charge_checksum=*/profile_.checksum_tx && !precomputed,
-                         /*charge_copy=*/!profile_.zero_copy_tx);
-      c->snd_next_ += static_cast<uint32_t>(seg.bytes().size());
+                         /*charge_copy=*/!profile_.zero_copy_tx, seg.tail());
+      c->snd_next_ += static_cast<uint32_t>(seg.size());
     }
     c->unacked_.push_back(std::move(seg));
   }
@@ -206,6 +224,28 @@ void TcpConn::Send(std::span<const uint8_t> data, std::span<const uint32_t> chec
     }
     send_queue_.push_back(std::move(seg));
   }
+  stack_->PumpSendQueue(this);
+}
+
+void TcpConn::SendGather(std::span<const uint8_t> header, std::span<const uint8_t> body,
+                         uint32_t checksum) {
+  EXO_CHECK(stack_ != nullptr);
+  if (header.size() + body.size() > kMss || header.size() % 2 != 0) {
+    // Too big for one segment (or the combined checksum would be misaligned):
+    // degrade to the unbatched path.
+    Send(header);
+    Send(body);
+    return;
+  }
+  PendingSegment seg;
+  seg.owned.assign(header.begin(), header.end());
+  if (stack_->profile_.zero_copy_tx) {
+    seg.stable = body;  // file cache doubles as the retransmission pool
+  } else {
+    seg.owned.insert(seg.owned.end(), body.begin(), body.end());
+  }
+  seg.checksum = checksum;
+  send_queue_.push_back(std::move(seg));
   stack_->PumpSendQueue(this);
 }
 
@@ -285,9 +325,9 @@ void TcpStack::OnRto(TcpConn* c) {
     // Retransmission reads the (still pinned) data; zero-copy pays no copy here
     // either — the file cache is the retransmission pool.
     const bool precomputed = seg.checksum != 0;
-    when = Emit(c, kFlagPsh, seg.seq, seg.bytes(),
-                precomputed ? seg.checksum : Checksum(seg.bytes()),
-                profile_.checksum_tx && !precomputed, !profile_.zero_copy_tx);
+    when = Emit(c, kFlagPsh, seg.seq, seg.head(),
+                precomputed ? seg.checksum : Checksum(seg.head()),
+                profile_.checksum_tx && !precomputed, !profile_.zero_copy_tx, seg.tail());
   }
   if (tracer_ != nullptr && tracer_->enabled(trace::Category::kNet)) {
     tracer_->Instant(trace::Category::kNet, trace_track_, "tcp.retx", when, seg.seq);
@@ -296,25 +336,74 @@ void TcpStack::OnRto(TcpConn* c) {
 }
 
 void TcpStack::ArmFinWaitReaper(TcpConn* c) {
-  if (profile_.fin_wait_timeout_us == 0 || c->reap_timer_ != 0) {
+  if (profile_.fin_wait_timeout_us == 0 || c->reap_deadline_ != 0) {
     return;
   }
-  ConnKey key = Key(c->peer_ip_, c->peer_port_, c->local_port_);
-  c->reap_timer_ = hooks_.engine->ScheduleAfter(
-      profile_.fin_wait_timeout_us * hooks_.cost->cpu_mhz, [this, key] {
-        auto it = conns_.find(key);
-        if (it == conns_.end()) {
-          return;
-        }
-        TcpConn* conn = it->second.get();
-        conn->reap_timer_ = 0;
-        if (conn->state_ == TcpConn::State::kFinWait) {
-          // We closed, the peer never did (died, or its FIN path is aborted):
-          // reap the half-closed PCB instead of holding it forever.
-          ++stats_.fin_wait_reaped;
-          AbortConn(conn, /*send_rst=*/true, "tcp.finwait_reap");
-        }
-      });
+  AddReapDeadline(c, hooks_.engine->now() + profile_.fin_wait_timeout_us * hooks_.cost->cpu_mhz);
+}
+
+void TcpStack::ArmHalfOpenReaper(TcpConn* c) {
+  if (profile_.half_open_timeout_us == 0 || c->reap_deadline_ != 0) {
+    return;
+  }
+  AddReapDeadline(c, hooks_.engine->now() + profile_.half_open_timeout_us * hooks_.cost->cpu_mhz);
+}
+
+void TcpStack::AddReapDeadline(TcpConn* c, sim::Cycles deadline) {
+  c->reap_deadline_ = deadline;
+  reap_deadlines_.insert({deadline, Key(c->peer_ip_, c->peer_port_, c->local_port_)});
+  ArmReapTimer();
+}
+
+void TcpStack::CancelReapDeadline(TcpConn* c) {
+  if (c->reap_deadline_ == 0) {
+    return;
+  }
+  reap_deadlines_.erase({c->reap_deadline_, Key(c->peer_ip_, c->peer_port_, c->local_port_)});
+  c->reap_deadline_ = 0;
+  // The timer is left armed; firing with nothing due is a cheap no-op re-arm.
+}
+
+void TcpStack::ArmReapTimer() {
+  if (reap_deadlines_.empty()) {
+    return;
+  }
+  const sim::Cycles earliest = reap_deadlines_.begin()->first;
+  if (reap_timer_event_ != 0) {
+    if (reap_timer_deadline_ <= earliest) {
+      return;  // already watching something at least as early
+    }
+    hooks_.engine->Cancel(reap_timer_event_);
+  }
+  reap_timer_deadline_ = earliest;
+  reap_timer_event_ = hooks_.engine->ScheduleAfter(earliest - hooks_.engine->now(),
+                                                   [this] { OnReapTimer(); });
+}
+
+void TcpStack::OnReapTimer() {
+  reap_timer_event_ = 0;
+  reap_timer_deadline_ = 0;
+  const sim::Cycles now = hooks_.engine->now();
+  while (!reap_deadlines_.empty() && reap_deadlines_.begin()->first <= now) {
+    const ConnKey key = reap_deadlines_.begin()->second;
+    reap_deadlines_.erase(reap_deadlines_.begin());
+    auto it = conns_.find(key);
+    if (it == conns_.end()) {
+      continue;
+    }
+    TcpConn* conn = it->second.get();
+    conn->reap_deadline_ = 0;
+    if (conn->state_ == TcpConn::State::kFinWait) {
+      // We closed, the peer never did (died, or its FIN path is aborted):
+      // reap the half-closed PCB instead of holding it forever.
+      ++stats_.fin_wait_reaped;
+      AbortConn(conn, /*send_rst=*/true, "tcp.finwait_reap");
+    } else if (conn->state_ == TcpConn::State::kSynRcvd) {
+      ++stats_.half_open_reaped;
+      AbortConn(conn, /*send_rst=*/true, "tcp.halfopen_reap");
+    }
+  }
+  ArmReapTimer();
 }
 
 void TcpStack::DropHalfOpen(TcpConn* c) {
@@ -341,12 +430,13 @@ void TcpStack::AbortConn(TcpConn* c, bool send_rst, const char* trace_name) {
     tracer_->Instant(trace::Category::kNet, trace_track_, trace_name,
                      hooks_.engine->now(), c->snd_una_);
   }
-  for (auto* timer : {&c->ack_timer_, &c->rto_timer_, &c->reap_timer_}) {
+  for (auto* timer : {&c->ack_timer_, &c->rto_timer_}) {
     if (*timer != 0) {
       hooks_.engine->Cancel(*timer);
       *timer = 0;
     }
   }
+  CancelReapDeadline(c);
   c->unacked_.clear();
   c->send_queue_.clear();
   c->ack_pending_ = false;
@@ -433,6 +523,8 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     c->snd_next_ = kInitialSeq;
     c->snd_una_ = kInitialSeq;
     conns_[key] = std::move(tmp_);
+    peak_conns_ = std::max(peak_conns_, conns_.size());
+    ArmHalfOpenReaper(c);
     const sim::Cycles sent = Emit(c, kFlagSyn | kFlagAck, c->snd_next_, {}, 0, false, false);
     TcpConn::PendingSegment syn;
     syn.syn = true;
@@ -489,8 +581,7 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     while (!c->unacked_.empty()) {
       const auto& head = c->unacked_.front();
       uint32_t head_end =
-          head.seq +
-          ((head.fin || head.syn) ? 1 : static_cast<uint32_t>(head.bytes().size()));
+          head.seq + ((head.fin || head.syn) ? 1 : static_cast<uint32_t>(head.size()));
       if (SeqGe(seg.ack, head_end)) {
         if (head.sent_at != 0 && !head.retransmitted) {
           const sim::Cycles sample = hooks_.engine->now() - head.sent_at;
@@ -523,6 +614,7 @@ void TcpStack::ProcessSegment(TcpSegment seg) {
     if (c->state_ == TcpConn::State::kSynRcvd) {
       c->state_ = TcpConn::State::kEstablished;
       DropHalfOpen(c);
+      CancelReapDeadline(c);  // handshake done; the half-open deadline is moot
       auto lit = listeners_.find(c->local_port_);
       if (lit != listeners_.end()) {
         lit->second.on_accept(c);
@@ -586,9 +678,14 @@ void TcpStack::UpdateRtt(TcpConn* c, sim::Cycles sample) {
 }
 
 std::string TcpStack::DebugConnStates() const {
-  std::string out;
+  // conns_ is hashed; sort by key so leak-triage output is stable across runs.
+  std::map<ConnKey, const TcpConn*> ordered;
   for (const auto& [key, up] : conns_) {
-    const TcpConn& c = *up;
+    ordered[key] = up.get();
+  }
+  std::string out;
+  for (const auto& [key, cp] : ordered) {
+    const TcpConn& c = *cp;
     char line[128];
     std::snprintf(line, sizeof(line), "%u:%u state=%d unacked=%zu queued=%zu\n",
                   c.peer_ip_, c.peer_port_, static_cast<int>(c.state_),
@@ -615,14 +712,18 @@ std::string TcpStack::CheckInvariants() const {
       if (seg.seq != expect) {
         return "retransmission queue out of sequence";
       }
-      expect += (seg.syn || seg.fin) ? 1 : static_cast<uint32_t>(seg.bytes().size());
+      expect += (seg.syn || seg.fin) ? 1 : static_cast<uint32_t>(seg.size());
     }
     if (expect != c.snd_next_ && c.send_queue_.empty()) {
       return "unacked queue does not account for all sent sequence space";
     }
     if (c.state_ == TcpConn::State::kClosed &&
-        (c.rto_timer_ != 0 || c.ack_timer_ != 0 || c.reap_timer_ != 0)) {
+        (c.rto_timer_ != 0 || c.ack_timer_ != 0 || c.reap_deadline_ != 0)) {
       return "timer armed on a closed connection";
+    }
+    if (c.reap_deadline_ != 0 &&
+        reap_deadlines_.count({c.reap_deadline_, key}) == 0) {
+      return "reap deadline not present in the deadline index";
     }
     if (!c.unacked_.empty() && c.rto_timer_ == 0 &&
         c.state_ != TcpConn::State::kClosed) {
@@ -643,6 +744,15 @@ std::string TcpStack::CheckInvariants() const {
     if (lit != listeners_.end() && lit->second.backlog != 0 &&
         count > lit->second.backlog) {
       return "half-open population exceeds the listen backlog";
+    }
+  }
+  // Every index entry must name a live connection carrying that exact deadline
+  // (the per-conn check above covers the other direction); a stale entry would
+  // reap the wrong PCB or spin the timer forever.
+  for (const auto& [deadline, key] : reap_deadlines_) {
+    auto cit = conns_.find(key);
+    if (cit == conns_.end() || cit->second->reap_deadline_ != deadline) {
+      return "reap deadline index entry names no matching connection";
     }
   }
   return "";
@@ -673,12 +783,13 @@ void TcpStack::Release(TcpConn* conn) {
     return;
   }
   DropHalfOpen(conn);
-  for (auto* timer : {&conn->ack_timer_, &conn->rto_timer_, &conn->reap_timer_}) {
+  for (auto* timer : {&conn->ack_timer_, &conn->rto_timer_}) {
     if (*timer != 0) {
       hooks_.engine->Cancel(*timer);
       *timer = 0;
     }
   }
+  CancelReapDeadline(conn);
   if (profile_.pcb_reuse) {
     pcb_pool_.push_back(std::move(it->second));
   }

@@ -24,7 +24,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/packet.h"
@@ -77,6 +80,11 @@ struct TcpProfile {
   // force-closed after this long — the TIME_WAIT-style reaper that keeps
   // half-closed PCBs from leaking when the peer dies. 0 disables.
   sim::Cycles fin_wait_timeout_us = 1'000'000;
+  // A kSynRcvd connection whose handshake never completes is aborted after this
+  // long, independent of the retransmission budget (which can take seconds to
+  // exhaust under backoff). 0 disables — the default, preserving the historical
+  // RTO-only half-open reaping.
+  sim::Cycles half_open_timeout_us = 0;
 
   uint32_t window_bytes = 48 * 1024;
 };
@@ -121,6 +129,14 @@ class TcpConn {
   // cache, which doubles as the retransmission pool).
   void Send(std::span<const uint8_t> data,
             std::span<const uint32_t> precomputed_checksums = {});
+  // Batched header+body transmission in one segment (Cheetah's HTML-aware
+  // gather): `header` is copied into the segment, `body` rides zero-copy from
+  // the file cache, and `checksum` covers the concatenation (combine the
+  // rendered header's sum with the file's stored body sum via ChecksumCombine —
+  // valid because the header is padded to even length). Falls back to two plain
+  // Sends when header+body exceed one MSS.
+  void SendGather(std::span<const uint8_t> header, std::span<const uint8_t> body,
+                  uint32_t checksum);
   // Half-close after all queued data is acknowledged.
   void Close();
 
@@ -149,7 +165,10 @@ class TcpConn {
  private:
   friend class TcpStack;
   struct PendingSegment {
-    std::vector<uint8_t> owned;          // copy (normal path)
+    // Payload = owned ‖ stable. Plain sends fill exactly one of the two; a
+    // gather send owns the copied header in `owned` and references the
+    // file-cache body through `stable`.
+    std::vector<uint8_t> owned;          // copy (normal path / gather header)
     std::span<const uint8_t> stable;     // zero-copy path
     uint32_t checksum = 0;
     uint32_t seq = 0;
@@ -157,8 +176,12 @@ class TcpConn {
     bool syn = false;  // handshake segments occupy sequence space and retransmit too
     sim::Cycles sent_at = 0;    // first transmission time (RTT sampling)
     bool retransmitted = false;  // Karn's rule: no RTT sample from retransmits
-    std::span<const uint8_t> bytes() const {
+    size_t size() const { return owned.size() + stable.size(); }
+    std::span<const uint8_t> head() const {
       return owned.empty() ? stable : std::span<const uint8_t>(owned);
+    }
+    std::span<const uint8_t> tail() const {
+      return owned.empty() ? std::span<const uint8_t>() : stable;
     }
   };
 
@@ -185,7 +208,10 @@ class TcpConn {
   uint32_t backoff_ = 0;  // consecutive timeouts since the last forward progress
   sim::Engine::EventId ack_timer_ = 0;
   sim::Engine::EventId rto_timer_ = 0;
-  sim::Engine::EventId reap_timer_ = 0;  // kFinWait silent-peer reaper
+  // Nonzero while this connection sits in the stack's reap-deadline index
+  // (kFinWait silent-peer / kSynRcvd handshake timeout); the value is the
+  // absolute deadline, which is also the entry's key in the index.
+  sim::Cycles reap_deadline_ = 0;
 
   std::function<void(TcpConn*, std::span<const uint8_t>)> on_data_;
   std::function<void(TcpConn*)> on_close_;
@@ -237,6 +263,8 @@ class TcpStack {
 
   // ---- Introspection (soak invariants, tests) ----
   size_t conn_count() const { return conns_.size(); }
+  size_t peak_conn_count() const { return peak_conns_; }  // high-water of conn_count
+  size_t reap_index_size() const { return reap_deadlines_.size(); }
   uint32_t half_open_count(Port port) const {
     auto it = half_open_.find(port);
     return it == half_open_.end() ? 0 : it->second;
@@ -277,8 +305,10 @@ class TcpStack {
 
   TcpConn* NewConn();
   // Returns the simulated time the frame reaches the wire (CPU completion).
+  // `tail` extends the payload within the same frame (gather transmission).
   sim::Cycles Emit(TcpConn* c, uint8_t flags, uint32_t seq, std::span<const uint8_t> payload,
-                   uint32_t checksum, bool charge_checksum, bool charge_copy);
+                   uint32_t checksum, bool charge_checksum, bool charge_copy,
+                   std::span<const uint8_t> tail = {});
   void SendPureAck(TcpConn* c);
   void ScheduleDelayedAck(TcpConn* c);
   void PumpSendQueue(TcpConn* c);
@@ -288,6 +318,14 @@ class TcpStack {
   void ArmRto(TcpConn* c);
   void OnRto(TcpConn* c);
   void ArmFinWaitReaper(TcpConn* c);
+  void ArmHalfOpenReaper(TcpConn* c);
+  // Deadline-ordered reap index (mirrors the kernel's revocation deadline set):
+  // one engine timer armed for the earliest deadline replaces a timer per
+  // connection — O(log n) arm/cancel and no timer storm at fleet scale.
+  void AddReapDeadline(TcpConn* c, sim::Cycles deadline);
+  void CancelReapDeadline(TcpConn* c);
+  void ArmReapTimer();
+  void OnReapTimer();
   // Abnormal teardown: cancel timers, optionally emit an RST, fire on_close with
   // aborted() set, release the PCB. `trace_name` labels the `net` trace instant.
   void AbortConn(TcpConn* c, bool send_rst, const char* trace_name);
@@ -300,12 +338,21 @@ class TcpStack {
   Hooks hooks_;
   IpAddr ip_;
   TcpProfile profile_;
-  std::map<Port, Listener> listeners_;
-  std::map<Port, uint32_t> half_open_;  // per-listener kSynRcvd population
-  std::map<ConnKey, std::unique_ptr<TcpConn>> conns_;
+  // Hashed demux tables: segment dispatch and listen-side SYN dispatch are one
+  // hash probe each, independent of how many connections or listeners exist.
+  std::unordered_map<Port, Listener> listeners_;
+  std::unordered_map<Port, uint32_t> half_open_;  // per-listener kSynRcvd population
+  std::unordered_map<ConnKey, std::unique_ptr<TcpConn>> conns_;
   std::vector<std::unique_ptr<TcpConn>> pcb_pool_;
   std::unique_ptr<TcpConn> tmp_;  // freshly built PCB awaiting keying into conns_
   Port next_ephemeral_ = 20000;
+  size_t peak_conns_ = 0;
+  // Connections awaiting a reap deadline, ordered so the single timer always
+  // watches the earliest. Cancellation just erases the entry; a timer armed for
+  // a now-cancelled deadline fires, finds nothing due, and re-arms.
+  std::set<std::pair<sim::Cycles, ConnKey>> reap_deadlines_;
+  sim::Engine::EventId reap_timer_event_ = 0;
+  sim::Cycles reap_timer_deadline_ = 0;  // deadline the armed timer targets
   TcpStats stats_;
   sim::Rng jitter_rng_;  // drawn only when arming a backed-off retransmission
   trace::Tracer* tracer_ = nullptr;

@@ -13,7 +13,11 @@
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <list>
 #include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/tcp.h"
@@ -91,6 +95,157 @@ class ChecksumCache {
   std::map<uint64_t, std::vector<uint32_t>> cache_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+};
+
+// The libFS-side document registry: file bytes plus their per-MSS checksums,
+// computed once when the file is written and *stored with the file* — the full
+// Cheetah discipline (Sec. 7.3), one step past ChecksumCache's lazy per-server
+// memo. Every server instance sharing the store sees the same pinned bytes
+// (they double as the zero-copy retransmission pool) and the same checksums.
+// Mutations (Put over an existing name, Truncate) recompute the checksums and
+// bump the generation so response caches can detect staleness; callers must
+// quiesce in-flight zero-copy transmissions first, exactly as a real merged
+// file-cache/retransmission-pool requires.
+class DocumentStore {
+ public:
+  using ChargeFn = std::function<void(sim::Cycles)>;
+
+  struct Doc {
+    uint64_t id = 0;
+    uint64_t generation = 1;
+    std::vector<uint8_t> bytes;
+    std::vector<uint32_t> checksums;  // one per MSS segment of `bytes`
+  };
+
+  DocumentStore(const sim::CostModel* cost, ChargeFn charge = {})
+      : cost_(cost), charge_(std::move(charge)) {}
+
+  // Writes (or rewrites) a document. The checksum cost is charged here, at
+  // file-write time, never on the serving path.
+  const Doc* Put(const std::string& name, std::vector<uint8_t> bytes) {
+    Doc& d = docs_[name];
+    if (d.id == 0) {
+      d.id = next_id_++;
+    } else {
+      ++d.generation;  // rewrite: every cached reference to the old bytes is stale
+    }
+    d.bytes = std::move(bytes);
+    Resum(d);
+    return &d;
+  }
+
+  // Shrinks a document in place. Returns false if it does not exist or would
+  // grow. The tail segment's checksum changes, so all checksums are recomputed.
+  bool Truncate(const std::string& name, size_t new_size) {
+    auto it = docs_.find(name);
+    if (it == docs_.end() || new_size > it->second.bytes.size()) {
+      return false;
+    }
+    Doc& d = it->second;
+    ++d.generation;
+    d.bytes.resize(new_size);
+    Resum(d);
+    return true;
+  }
+
+  const Doc* Find(const std::string& name) const {
+    auto it = docs_.find(name);
+    return it != docs_.end() ? &it->second : nullptr;
+  }
+
+  size_t size() const { return docs_.size(); }
+
+ private:
+  void Resum(Doc& d) {
+    if (charge_) {
+      charge_(cost_->ChecksumCost(d.bytes.size()));
+    }
+    d.checksums.clear();
+    std::span<const uint8_t> data = d.bytes;
+    for (size_t off = 0; off < data.size(); off += kMss) {
+      size_t n = std::min<size_t>(kMss, data.size() - off);
+      d.checksums.push_back(Checksum(data.subspan(off, n)));
+    }
+  }
+
+  const sim::CostModel* cost_;
+  ChargeFn charge_;
+  std::map<std::string, Doc> docs_;
+  uint64_t next_id_ = 1;
+};
+
+// An LRU cache of fully prepared responses shared across requests (and across
+// server instances, if desired): the rendered, even-length-padded header, its
+// checksum, and a pointer to the document whose body completes the response.
+// Entries carry the document generation they were rendered against; a
+// generation mismatch at lookup is treated as a miss and the entry dropped, so
+// a Put/Truncate in the DocumentStore can never serve a stale header.
+class HttpResponseCache {
+ public:
+  struct Entry {
+    std::vector<uint8_t> header;  // padded to even length for ChecksumCombine
+    uint32_t header_checksum = 0;
+    const DocumentStore::Doc* doc = nullptr;
+    uint64_t doc_generation = 0;
+  };
+
+  explicit HttpResponseCache(size_t capacity) : capacity_(capacity) {}
+
+  const Entry* Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    const Entry& e = it->second->second;
+    if (e.doc != nullptr && e.doc_generation != e.doc->generation) {
+      // The document was rewritten since this response was rendered.
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++misses_;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front: most recent
+    ++hits_;
+    return &lru_.front().second;
+  }
+
+  const Entry* Put(const std::string& key, Entry e) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    lru_.emplace_front(key, std::move(e));
+    index_[key] = lru_.begin();
+    while (capacity_ != 0 && lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+    return &lru_.front().second;
+  }
+
+  void Invalidate(const std::string& key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+
+  size_t size() const { return lru_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<std::string, Entry>> lru_;
+  std::unordered_map<std::string, std::list<std::pair<std::string, Entry>>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 // Cost/option profiles for the four server stacks in Figure 3.

@@ -66,6 +66,24 @@ class LatencyHistogram {
     return max_;
   }
 
+  // Adds another histogram's samples into this one, bucket-wise (merging
+  // per-client distributions into a fleet-wide one loses no more precision
+  // than recording into a single histogram would have).
+  void Merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
   void Reset() { *this = LatencyHistogram{}; }
 
   // Bucket index for value v (monotone non-decreasing in v).

@@ -28,6 +28,8 @@ XokKernel::XokKernel(hw::Machine* machine) : machine_(machine) {
   predicate_eval_counter_ = machine_->counters().Handle("xok.predicate_evals");
   predicate_skip_counter_ = machine_->counters().Handle("xok.predicate_skips");
   demux_counter_ = machine_->counters().Handle("xok.packets_demuxed");
+  demux_hit_counter_ = machine_->counters().Handle("xok.demux_hits");
+  demux_miss_counter_ = machine_->counters().Handle("xok.demux_misses");
   unclaimed_counter_ = machine_->counters().Handle("xok.packets_unclaimed");
   ring_drop_counter_ = machine_->counters().Handle("xok.ring_drops");
   ipc_rejected_counter_ = machine_->counters().Handle("xok.rejected");
@@ -40,6 +42,9 @@ XokKernel::XokKernel(hw::Machine* machine) : machine_(machine) {
   // rotation bit-exactly (same idiom as EXO_DISK_INTEGRITY in hw/machine.h).
   const char* stride = std::getenv("EXO_SCHED_STRIDE");
   stride_on_ = !(stride != nullptr && stride[0] == '0' && stride[1] == '\0');
+  // EXO_DEMUX_CACHE=0 recovers the linear per-packet filter walk.
+  const char* demux = std::getenv("EXO_DEMUX_CACHE");
+  demux_cache_on_ = !(demux != nullptr && demux[0] == '0' && demux[1] == '\0');
   tracer_ = &machine_->tracer();
   trace_track_ = tracer_->NewTrack("kernel");
   syscall_hist_ = tracer_->Histogram("syscall.latency_cycles");
@@ -184,14 +189,14 @@ Status XokKernel::ReapEnv(EnvId id) {
       region.owner = kInvalidEnv;
     }
   }
-  for (const PacketFilter& f : filters_) {
-    if (f.owner == id) {
-      NotifyWatch(WatchKind::kFilterRing, f.id);
+  if (auto owned = filters_by_owner_.find(id); owned != filters_by_owner_.end()) {
+    for (FilterId fid : owned->second) {
+      NotifyWatch(WatchKind::kFilterRing, fid);
+      filters_.erase(fid);
     }
+    filters_by_owner_.erase(owned);
+    flow_cache_.clear();
   }
-  filters_.erase(std::remove_if(filters_.begin(), filters_.end(),
-                                [id](const PacketFilter& f) { return f.owner == id; }),
-                 filters_.end());
   DropPendingRevoke(e);
   if (stride_on_) {
     // Round-robin prunes dead ids lazily during rotation; the stride pick
@@ -1246,60 +1251,76 @@ Result<FilterId> XokKernel::SysFilterInstall(udf::Program program, CredIndex cre
     ++current_->usage.filters;
     current_->usage.ring_slots += f.ring_capacity;
   }
-  filters_.push_back(std::move(f));
-  return filters_.back().id;
+  f.flow_cacheable = FlowCacheable(f.program);
+  const FilterId fid = f.id;
+  filters_by_owner_[f.owner].insert(fid);
+  filters_.emplace(fid, std::move(f));
+  flow_cache_.clear();  // every filter-set mutation drops memoized verdicts
+  return fid;
 }
 
 Status XokKernel::SysFilterRemove(FilterId id, CredIndex cred) {
   SyscallScope scope(this, "filter_remove");
   (void)cred;
-  for (auto it = filters_.begin(); it != filters_.end(); ++it) {
-    if (it->id == id) {
-      if (current_ != nullptr && it->owner != current_->id) {
-        return scope.Close(Status::kPermissionDenied);
-      }
-      if (it->owner != kInvalidEnv && EnvExists(it->owner)) {
-        Env& owner = env(it->owner);
-        --owner.usage.filters;
-        owner.usage.ring_slots -= it->ring_capacity;
-        ClearRevokeIfCompliant(owner);
-      }
-      filters_.erase(it);
-      NotifyWatch(WatchKind::kFilterRing, id);
-      return Status::kOk;
+  auto it = filters_.find(id);
+  if (it == filters_.end()) {
+    return scope.Close(Status::kNotFound);
+  }
+  PacketFilter& f = it->second;
+  if (current_ != nullptr && f.owner != current_->id) {
+    return scope.Close(Status::kPermissionDenied);
+  }
+  if (f.owner != kInvalidEnv && EnvExists(f.owner)) {
+    Env& owner = env(f.owner);
+    --owner.usage.filters;
+    owner.usage.ring_slots -= f.ring_capacity;
+    ClearRevokeIfCompliant(owner);
+  }
+  EraseFilter(id);
+  NotifyWatch(WatchKind::kFilterRing, id);
+  return Status::kOk;
+}
+
+void XokKernel::EraseFilter(FilterId id) {
+  auto it = filters_.find(id);
+  if (it == filters_.end()) {
+    return;
+  }
+  if (auto owned = filters_by_owner_.find(it->second.owner);
+      owned != filters_by_owner_.end()) {
+    owned->second.erase(id);
+    if (owned->second.empty()) {
+      filters_by_owner_.erase(owned);
     }
   }
-  return scope.Close(Status::kNotFound);
+  filters_.erase(it);
+  flow_cache_.clear();  // stale entries would misdeliver
 }
 
 Result<hw::Packet> XokKernel::SysRingConsume(FilterId id, CredIndex cred) {
   // Packet rings live in application memory; consuming advances a head pointer the
   // application owns, so no kernel crossing is needed (Sec. 5.1).
   machine_->Charge(30);
-  for (auto& f : filters_) {
-    if (f.id == id) {
-      if (current_ != nullptr && f.owner != current_->id) {
-        return Status::kPermissionDenied;
-      }
-      if (f.ring.empty()) {
-        return Status::kWouldBlock;
-      }
-      hw::Packet p = std::move(f.ring.front());
-      f.ring.pop_front();
-      NotifyWatch(WatchKind::kFilterRing, id);
-      return p;
-    }
+  auto it = filters_.find(id);
+  if (it == filters_.end()) {
+    return Status::kNotFound;
   }
-  return Status::kNotFound;
+  PacketFilter& f = it->second;
+  if (current_ != nullptr && f.owner != current_->id) {
+    return Status::kPermissionDenied;
+  }
+  if (f.ring.empty()) {
+    return Status::kWouldBlock;
+  }
+  hw::Packet p = std::move(f.ring.front());
+  f.ring.pop_front();
+  NotifyWatch(WatchKind::kFilterRing, id);
+  return p;
 }
 
 const PacketFilter* XokKernel::Filter(FilterId id) const {
-  for (const auto& f : filters_) {
-    if (f.id == id) {
-      return &f;
-    }
-  }
-  return nullptr;
+  auto it = filters_.find(id);
+  return it != filters_.end() ? &it->second : nullptr;
 }
 
 Status XokKernel::SysNicTransmit(uint32_t nic, hw::Packet packet) {
@@ -1313,35 +1334,100 @@ Status XokKernel::SysNicTransmit(uint32_t nic, hw::Packet packet) {
   return Status::kOk;
 }
 
+bool XokKernel::FlowCacheable(const udf::Program& p) {
+  // Which registers does the program ever write? Registers start at 0, so a
+  // load whose index register is never written addresses exactly `imm`.
+  bool written[udf::kNumRegs] = {};
+  for (const udf::Insn& in : p) {
+    switch (in.op) {
+      case udf::Op::kBz:
+      case udf::Op::kBnz:
+      case udf::Op::kJmp:
+      case udf::Op::kEmit:
+      case udf::Op::kRet:
+        break;
+      default:
+        written[in.rd % udf::kNumRegs] = true;
+        break;
+    }
+  }
+  for (const udf::Insn& in : p) {
+    uint32_t width = 0;
+    switch (in.op) {
+      case udf::Op::kLd1: width = 1; break;
+      case udf::Op::kLd2: width = 2; break;
+      case udf::Op::kLd4: width = 4; break;
+      case udf::Op::kLd8: width = 8; break;
+      case udf::Op::kLen:
+      case udf::Op::kTime:
+        return false;  // verdict depends on more than the key prefix
+      default:
+        continue;
+    }
+    if (in.rt != udf::kBufMeta || written[in.rs % udf::kNumRegs] || in.imm < 0 ||
+        static_cast<uint32_t>(in.imm) + width > kFlowKeyBytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void XokKernel::DeliverToFilter(PacketFilter& f, hw::Packet p) {
+  const bool full = f.ring.size() >= f.ring_capacity;
+  if (full) {
+    ++f.dropped;
+    ++*ring_drop_counter_;
+  } else {
+    f.ring.push_back(std::move(p));
+    ++f.delivered;
+  }
+  NotifyWatch(WatchKind::kFilterRing, f.id);
+  ++*demux_counter_;
+  if (tracer_->enabled(trace::Category::kNet)) {
+    tracer_->Instant(trace::Category::kNet, trace_track_,
+                     full ? "ring_drop" : "demux", machine_->engine().now(), f.id);
+  }
+}
+
 void XokKernel::OnPacket(uint32_t nic, hw::Packet p) {
   // Interrupt context: account the demultiplexing work but do not advance the clock
   // re-entrantly (we are inside an event callback). The cost is charged as a lump on
   // the next clock advance via a zero-length event.
   sim::Cycles cost = machine_->cost().interrupt_overhead;
-  for (auto& f : filters_) {
+  const bool keyable = demux_cache_on_ && p.bytes.size() >= kFlowKeyBytes;
+  FlowKey key;
+  if (keyable) {
+    std::memcpy(&key.lo, p.bytes.data(), 8);
+    std::memcpy(&key.hi, p.bytes.data() + 8, 8);
+    if (auto it = flow_cache_.find(key); it != flow_cache_.end()) {
+      // One hash probe replaces the filter-program walk.
+      ++*demux_hit_counter_;
+      cost += kDemuxProbeCost;
+      DeliverToFilter(*it->second.filter, std::move(p));
+      interrupt_debt_ += cost;
+      return;
+    }
+    ++*demux_miss_counter_;
+  }
+  // An entry may be memoized only when the claiming filter and every filter
+  // dispatched before it are flow-cacheable — otherwise a later packet with
+  // the same 16-byte prefix could legitimately demultiplex differently.
+  bool prefix_cacheable = true;
+  for (auto& [fid, f] : filters_) {
     udf::RunInput in;
     in.buffers[udf::kBufMeta] = p.bytes;
     in.fuel = 4096;
     udf::RunOutput out = udf::Run(f.program, in);
     cost += out.insns * machine_->cost().downloaded_insn;
     if (out.ok && out.ret != 0) {
-      const bool full = f.ring.size() >= f.ring_capacity;
-      if (full) {
-        ++f.dropped;
-        ++*ring_drop_counter_;
-      } else {
-        f.ring.push_back(std::move(p));
-        ++f.delivered;
+      if (keyable && prefix_cacheable && f.flow_cacheable) {
+        flow_cache_.emplace(key, FlowEntry{fid, &f});
       }
-      NotifyWatch(WatchKind::kFilterRing, f.id);
-      ++*demux_counter_;
-      if (tracer_->enabled(trace::Category::kNet)) {
-        tracer_->Instant(trace::Category::kNet, trace_track_,
-                         full ? "ring_drop" : "demux", machine_->engine().now(), f.id);
-      }
+      DeliverToFilter(f, std::move(p));
       interrupt_debt_ += cost;
       return;
     }
+    prefix_cacheable = prefix_cacheable && f.flow_cacheable;
   }
   ++*unclaimed_counter_;
   if (tracer_->enabled(trace::Category::kNet)) {
@@ -1501,14 +1587,14 @@ void XokKernel::AbortEnv(EnvId id, const char* reason) {
       ++rit;
     }
   }
-  for (const PacketFilter& f : filters_) {
-    if (f.owner == id) {
-      NotifyWatch(WatchKind::kFilterRing, f.id);
+  if (auto owned = filters_by_owner_.find(id); owned != filters_by_owner_.end()) {
+    for (FilterId fid : owned->second) {
+      NotifyWatch(WatchKind::kFilterRing, fid);
+      filters_.erase(fid);
     }
+    filters_by_owner_.erase(owned);
+    flow_cache_.clear();
   }
-  filters_.erase(std::remove_if(filters_.begin(), filters_.end(),
-                                [id](const PacketFilter& f) { return f.owner == id; }),
-                 filters_.end());
   e.ipc_queue.clear();
   e.usage = ResourceUsage{};
   DropPendingRevoke(e);
@@ -1606,7 +1692,7 @@ std::string XokKernel::CheckInvariants() const {
     }
     uint32_t nfilters = 0;
     uint64_t ring_slots = 0;
-    for (const auto& f : filters_) {
+    for (const auto& [fid, f] : filters_) {
       if (f.owner == id) {
         ++nfilters;
         ring_slots += f.ring_capacity;
@@ -1707,6 +1793,67 @@ std::string XokKernel::CheckInvariants() const {
     for (const auto& [id, e] : envs_) {
       if (e->alive && stride_order_.count({e->pass, e->sched_seq, id}) == 0) {
         fail("alive env " + std::to_string(id) + " missing from stride order");
+      }
+    }
+  }
+
+  // (8) Demux consistency: the owner index is an exact partition of filters_,
+  // and every flow-cache entry still points at a live, cacheable filter whose
+  // claim the linear walk would reproduce — a violation here means a packet
+  // could be delivered to the wrong environment.
+  size_t indexed = 0;
+  for (const auto& [owner, fids] : filters_by_owner_) {
+    for (FilterId fid : fids) {
+      ++indexed;
+      auto fit = filters_.find(fid);
+      if (fit == filters_.end()) {
+        fail("owner index names missing filter " + std::to_string(fid));
+      } else if (fit->second.owner != owner) {
+        fail("filter " + std::to_string(fid) + " indexed under owner " + std::to_string(owner) +
+             " but owned by " + std::to_string(fit->second.owner));
+      }
+    }
+  }
+  if (indexed != filters_.size()) {
+    fail("filter owner index holds " + std::to_string(indexed) + " entries != " +
+         std::to_string(filters_.size()) + " filters");
+  }
+  for (const auto& [key, entry] : flow_cache_) {
+    auto fit = filters_.find(entry.id);
+    if (fit == filters_.end()) {
+      fail("flow cache entry names removed filter " + std::to_string(entry.id));
+      continue;
+    }
+    if (&fit->second != entry.filter) {
+      fail("flow cache entry for filter " + std::to_string(entry.id) + " holds a stale pointer");
+    }
+    // Replay the walk over just the key bytes: every earlier filter must
+    // reject and be cacheable, the target must accept and be cacheable.
+    std::vector<uint8_t> key_bytes(kFlowKeyBytes);
+    std::memcpy(key_bytes.data(), &key.lo, 8);
+    std::memcpy(key_bytes.data() + 8, &key.hi, 8);
+    for (const auto& [fid, f] : filters_) {
+      if (!f.flow_cacheable) {
+        fail("flow cache entry for filter " + std::to_string(entry.id) +
+             " coexists with non-cacheable filter " + std::to_string(fid) + " at or before it");
+        break;
+      }
+      udf::RunInput in;
+      in.buffers[udf::kBufMeta] = key_bytes;
+      in.fuel = 4096;
+      udf::RunOutput res = udf::Run(f.program, in);
+      const bool claims = res.ok && res.ret != 0;
+      if (fid == entry.id) {
+        if (!claims) {
+          fail("flow cache entry for filter " + std::to_string(fid) +
+               " memoizes a claim the program no longer makes");
+        }
+        break;
+      }
+      if (claims) {
+        fail("flow cache entry for filter " + std::to_string(entry.id) +
+             " shadowed by earlier filter " + std::to_string(fid));
+        break;
       }
     }
   }

@@ -32,6 +32,7 @@
 #include <span>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -107,6 +108,40 @@ struct PacketFilter {
   uint32_t ring_capacity = 64;
   uint64_t delivered = 0;
   uint64_t dropped = 0;
+  // True when the program provably reads only fixed offsets inside the
+  // flow-key prefix (first kFlowKeyBytes of the frame), making its verdict a
+  // pure function of the flow key — the property the demux flow cache relies
+  // on. Computed once at install time from the verified program.
+  bool flow_cacheable = false;
+};
+
+// Demultiplexing is per-packet work: at fleet scale the linear walk over every
+// installed filter program dominates delivery. The flow cache memoizes
+// "flow-key prefix -> claiming filter" (DPF-style; Engler & Kaashoek, SIGCOMM
+// '96): a steady-state packet costs one hash probe instead of up to F program
+// evaluations. An entry is installed only when the claiming filter AND every
+// filter dispatched before it are flow_cacheable, so the memoized verdict is
+// exactly what the walk would recompute. The cache is flushed on any filter
+// install/remove and on env teardown (stale entries would misdeliver).
+constexpr uint32_t kFlowKeyBytes = 16;  // proto + src/dst ip + pad + ports
+// Charged on a flow-cache hit in place of the filter-program evaluations: one
+// hash + one compare of the 16-byte key.
+constexpr sim::Cycles kDemuxProbeCost = 40;
+
+struct FlowKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const FlowKey&) const = default;
+};
+
+struct FlowKeyHash {
+  size_t operator()(const FlowKey& k) const {
+    uint64_t x = k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<size_t>(x);
+  }
 };
 
 class XokKernel {
@@ -275,6 +310,16 @@ class XokKernel {
   [[nodiscard]] Result<hw::Packet> SysRingConsume(FilterId id, CredIndex cred);
   const PacketFilter* Filter(FilterId id) const;  // exposed (predicate windows)
 
+  // Whether the demux flow cache is active. Defaults to on; EXO_DEMUX_CACHE=0
+  // (read once at construction) or SetDemuxCache(false) recovers the linear
+  // filter walk for every packet. Host-only toggle; flushes the cache.
+  bool demux_cache() const { return demux_cache_on_; }
+  void SetDemuxCache(bool on) {
+    demux_cache_on_ = on;
+    flow_cache_.clear();
+  }
+  size_t flow_cache_size() const { return flow_cache_.size(); }
+
   // Transmits a frame. Data is gathered by DMA; the CPU does not touch the bytes
   // (copies, if any, are charged by the protocol library that built the frame).
   [[nodiscard]] Status SysNicTransmit(uint32_t nic, hw::Packet packet);
@@ -361,6 +406,12 @@ class XokKernel {
   void NotifyWatch(WatchKind kind, uint32_t id);
   void DeliverEndOfSlice(Env* e);
   void OnPacket(uint32_t nic, hw::Packet p);
+  void DeliverToFilter(PacketFilter& f, hw::Packet p);
+  void EraseFilter(FilterId id);
+  // True when every load in `p` reads a fixed offset inside the flow-key
+  // prefix, so the program's verdict is a pure function of the first
+  // kFlowKeyBytes of the packet.
+  static bool FlowCacheable(const udf::Program& p);
   [[nodiscard]] Status PtApply(Env& target, const PtOp& op, CredIndex cred);
 
   // Drops one refcount; when the frame dies, retires its guard and any residual
@@ -419,8 +470,22 @@ class XokKernel {
   std::map<hw::FrameId, uint32_t> host_frame_refs_;
   std::map<RegionId, Region> regions_;
   RegionId next_region_id_ = 1;
-  std::vector<PacketFilter> filters_;
+  // Keyed by id (== install order) so dispatch iterates in install order while
+  // remove/lookup are O(log F) instead of the old vector scan; the per-owner
+  // index makes env teardown proportional to the env's own filters.
+  std::map<FilterId, PacketFilter> filters_;
+  std::map<EnvId, std::set<FilterId>> filters_by_owner_;
   FilterId next_filter_id_ = 1;
+
+  // Demux flow cache: flow-key prefix -> claiming filter. Pointers into
+  // filters_ are stable (std::map) and every mutation of filters_ flushes the
+  // cache, so an entry can never dangle.
+  struct FlowEntry {
+    FilterId id = 0;
+    PacketFilter* filter = nullptr;
+  };
+  bool demux_cache_on_ = true;
+  std::unordered_map<FlowKey, FlowEntry, FlowKeyHash> flow_cache_;
 
   // Orphaned zombies queued for host-context reaping (their fibers may be the
   // one executing when they die, so FinishExit cannot erase them inline).
@@ -448,6 +513,8 @@ class XokKernel {
   uint64_t* predicate_eval_counter_ = nullptr;
   uint64_t* predicate_skip_counter_ = nullptr;
   uint64_t* demux_counter_ = nullptr;
+  uint64_t* demux_hit_counter_ = nullptr;
+  uint64_t* demux_miss_counter_ = nullptr;
   uint64_t* unclaimed_counter_ = nullptr;
   uint64_t* ring_drop_counter_ = nullptr;
   uint64_t* ipc_rejected_counter_ = nullptr;

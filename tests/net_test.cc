@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "apps/http.h"
 #include "net/packet.h"
 #include "net/tcp.h"
 #include "net/udp.h"
@@ -519,6 +520,89 @@ std::vector<sim::Cycles> RetransmitSchedule(uint64_t jitter_seed,
   return times;
 }
 
+TEST(PacketTest, ChecksumCombineMatchesConcatenationForEvenPrefix) {
+  std::vector<uint8_t> header = {'H', 'T', 'T', 'P', '/', '1', '.', '1', ' ', '\n'};
+  ASSERT_EQ(header.size() % 2, 0u);
+  std::vector<uint8_t> body(3000);
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  std::vector<uint8_t> both = header;
+  both.insert(both.end(), body.begin(), body.end());
+  EXPECT_EQ(ChecksumCombine(Checksum(header), Checksum(body)), Checksum(both));
+  // An odd-length prefix shifts the 16-bit word framing of everything after
+  // it, so the identity does not hold — that is why prepared headers are
+  // padded to even length before their checksum is stored.
+  std::vector<uint8_t> odd = {1};
+  std::vector<uint8_t> odd_both = odd;
+  odd_both.insert(odd_both.end(), body.begin(), body.end());
+  EXPECT_NE(ChecksumCombine(Checksum(odd), Checksum(body)), Checksum(odd_both));
+}
+
+TEST(DocumentStoreTest, ChecksumsAtWriteTimeAndGenerationOnMutation) {
+  sim::CostModel cost = sim::CostModel::PentiumPro200();
+  sim::Cycles charged = 0;
+  DocumentStore store(&cost, [&](sim::Cycles c) { charged += c; });
+
+  const DocumentStore::Doc* d = store.Put("f", std::vector<uint8_t>(kMss + 100, 7));
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->generation, 1u);
+  EXPECT_GT(charged, 0u);  // checksum cost lands at write time, not serve time
+  ASSERT_EQ(d->checksums.size(), 2u);
+  std::span<const uint8_t> bytes = d->bytes;
+  EXPECT_EQ(d->checksums[0], Checksum(bytes.subspan(0, kMss)));
+  EXPECT_EQ(d->checksums[1], Checksum(bytes.subspan(kMss)));
+
+  // Rewrite: same Doc slot, bumped generation, fresh checksums.
+  const DocumentStore::Doc* d2 = store.Put("f", std::vector<uint8_t>(50, 9));
+  EXPECT_EQ(d2, d);
+  EXPECT_EQ(d2->generation, 2u);
+  ASSERT_EQ(d2->checksums.size(), 1u);
+  EXPECT_EQ(d2->checksums[0], Checksum(std::span<const uint8_t>(d2->bytes)));
+
+  EXPECT_TRUE(store.Truncate("f", 20));
+  EXPECT_EQ(d2->generation, 3u);
+  EXPECT_EQ(store.Find("f")->bytes.size(), 20u);
+  EXPECT_FALSE(store.Truncate("f", 100));      // would grow
+  EXPECT_FALSE(store.Truncate("missing", 0));  // no such file
+  EXPECT_EQ(d2->generation, 3u);
+}
+
+TEST(HttpResponseCacheTest, LruEvictsAndGenerationMismatchDropsEntry) {
+  sim::CostModel cost = sim::CostModel::PentiumPro200();
+  DocumentStore store(&cost);
+  const DocumentStore::Doc* da = store.Put("a", std::vector<uint8_t>(100, 1));
+  const DocumentStore::Doc* db = store.Put("b", std::vector<uint8_t>(100, 2));
+
+  HttpResponseCache cache(2);
+  auto entry = [](const DocumentStore::Doc* d) {
+    HttpResponseCache::Entry e;
+    e.header = {'O', 'K'};
+    e.header_checksum = Checksum(std::span<const uint8_t>(e.header));
+    e.doc = d;
+    e.doc_generation = d->generation;
+    return e;
+  };
+  cache.Put("a", entry(da));
+  cache.Put("b", entry(db));
+  EXPECT_NE(cache.Get("a"), nullptr);  // "a" is now most recent
+  cache.Put("c", entry(db));           // capacity 2: evicts "b", the LRU
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+
+  // Rewriting the document invalidates the prepared response: the entry's
+  // recorded generation no longer matches, so lookup misses and drops it.
+  store.Put("a", std::vector<uint8_t>(200, 3));
+  const uint64_t misses_before = cache.misses();
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  EXPECT_EQ(cache.size(), 1u);  // only "c" remains
+
+  cache.Invalidate("c");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(TcpRtoTest, BackoffIsDeterministicUnderSeededJitterAndDoubles) {
   TcpStats stats;
   const std::vector<sim::Cycles> a = RetransmitSchedule(0xfeed, &stats);
@@ -622,6 +706,47 @@ TEST_F(NetTest, HalfOpenConnsFromLostFinalAcksAreReaped) {
   EXPECT_EQ(server->stats().rto_aborts, 1u);
   EXPECT_EQ(server->half_open_count(80), 0u);
   EXPECT_EQ(server->conn_count(), 0u);
+}
+
+// End to end: a fully armed Cheetah server (persistent connections, shared
+// document store, response cache, gather transmit) against a pipelining client
+// whose stack *verifies checksums on receive* — so if the stapled
+// header+body checksum of a gather segment were wrong, the segment would be
+// dropped, the response would never complete, and completed < issued.
+TEST_F(NetTest, PersistentPipelinedGatherServesChecksumVerifiedResponses) {
+  DocumentStore store(&cost_);
+  apps::HttpServerOptions opts;
+  opts.persistent = true;
+  opts.documents = &store;
+  opts.response_cache_entries = 4;
+  opts.gather_tx = true;
+  apps::HttpServer server(&engine_, &cost_, apps::ServerStyle::kCheetah, /*ip=*/2,
+                          opts);
+  server.AddDocument("small", std::vector<uint8_t>(600, 0x5a));   // gathers: one MSS
+  server.AddDocument("large", std::vector<uint8_t>(3000, 0xa5));  // two-send path
+  ASSERT_EQ(server.Listen(80), Status::kOk);
+  server.AttachNic(&nic_b_, /*peer_ip=*/1);
+
+  apps::OpenLoopHttpClient client(&engine_, &cost_, &nic_a_, /*ip=*/1, 2, "small",
+                                  /*interval_cycles=*/50'000, XokSocketProfile());
+  client.EnablePersistent(/*pool_size=*/3, /*max_pipeline=*/8);
+  int flip = 0;
+  client.set_doc_picker([&flip] { return ++flip % 2 == 0 ? "large" : "small"; });
+  client.Start(/*deadline=*/40 * 50'000);
+  Run();
+
+  EXPECT_EQ(client.issued(), 40u);
+  EXPECT_EQ(client.completed(), 40u);
+  EXPECT_EQ(client.failed(), 0u);
+  EXPECT_EQ(client.rejected(), 0u);
+  EXPECT_EQ(client.conns_opened(), 3u);  // the pool, reused across all requests
+  EXPECT_GT(server.gather_sends(), 0u);
+  EXPECT_GT(server.cache_hits(), 0u);
+  // Bodies arrived complete and intact (ClassifyResponse checks length; the
+  // verifying stack checks every segment's checksum, gathered or not).
+  EXPECT_EQ(server.requests_served(), 40u);
+  std::string bad = server.stack().CheckInvariants();
+  EXPECT_TRUE(bad.empty()) << bad;
 }
 
 }  // namespace

@@ -49,19 +49,33 @@ struct SoakResult {
   uint64_t open_completed = 0;
   uint64_t open_rejected = 0;
   uint64_t open_failed = 0;
+  uint64_t pers_completed = 0;
+  uint64_t pers_failed = 0;
+  uint64_t pers_conns_opened = 0;
   sim::Cycles end_time = 0;
 };
 
-// Two tenants against one Cheetah server with the full robustness policy on:
-// an open-loop client (checksum-verifying profile, so corrupted responses are
-// detected and recovered) and a closed-loop client. One FaultInjector spans
-// both links, so a schedule is a single consultation-ordered stream.
+// Three tenants against one armed Cheetah server (persistent + document store
+// + response cache + gather transmit) with the full robustness policy on: an
+// open-loop HTTP/1.0 client (checksum-verifying profile, so corrupted
+// responses are detected and recovered), a closed-loop client, and a
+// persistent HTTP/1.1 client pipelining over a keep-alive pool — so wire
+// faults land on long-lived pipelined connections, not just per-request ones.
+// One FaultInjector spans all links, so a schedule is a single
+// consultation-ordered stream.
 SoakResult RunSoak(const sim::FaultPlan& plan, uint64_t epochs) {
   sim::Engine engine;
   sim::CostModel cost = sim::CostModel::PentiumPro200();
   sim::FaultInjector faults(plan);
 
-  apps::HttpServer server(&engine, &cost, apps::ServerStyle::kCheetah, /*ip=*/100);
+  net::DocumentStore store(&cost);  // setup-time writes: no CPU to charge
+  apps::HttpServerOptions options;
+  options.persistent = true;
+  options.documents = &store;
+  options.response_cache_entries = 8;
+  options.gather_tx = true;
+  apps::HttpServer server(&engine, &cost, apps::ServerStyle::kCheetah, /*ip=*/100,
+                          options);
   std::vector<uint8_t> doc(4096);
   for (size_t i = 0; i < doc.size(); ++i) {
     doc[i] = static_cast<uint8_t>(i * 31);
@@ -75,15 +89,19 @@ SoakResult RunSoak(const sim::FaultPlan& plan, uint64_t epochs) {
   policy.request_deadline_us = 100'000;  // 100 ms: generous, but bounded
   server.SetOverloadPolicy(policy);
 
-  hw::Nic snic0(0), cnic0(100), snic1(1), cnic1(101);
+  hw::Nic snic0(0), cnic0(100), snic1(1), cnic1(101), snic2(2), cnic2(102);
   hw::Link link0(&engine, 100.0, 40.0, 200);
   hw::Link link1(&engine, 100.0, 40.0, 200);
+  hw::Link link2(&engine, 100.0, 40.0, 200);
   link0.Connect(&snic0, &cnic0);
   link1.Connect(&snic1, &cnic1);
+  link2.Connect(&snic2, &cnic2);
   link0.SetFaultInjector(&faults);
   link1.SetFaultInjector(&faults);
+  link2.SetFaultInjector(&faults);
   server.AttachNic(&snic0, /*peer_ip=*/1);
   server.AttachNic(&snic1, /*peer_ip=*/2);
+  server.AttachNic(&snic2, /*peer_ip=*/3);
   EXPECT_EQ(server.Listen(80), Status::kOk);
 
   // Tenant 1: open-loop at ~2000 req/s, rx-verifying stack.
@@ -93,15 +111,24 @@ SoakResult RunSoak(const sim::FaultPlan& plan, uint64_t epochs) {
   // Tenant 2: closed-loop, 4 concurrent fetchers.
   apps::HttpClient closed_client(&engine, &cost, &cnic1, /*ip=*/2, 100, "doc",
                                  /*concurrency=*/4);
+  // Tenant 3: open-loop at ~2000 req/s over a persistent keep-alive pool,
+  // pipelining HTTP/1.1 requests — faults hit mid-pipeline, and recovery is
+  // the on_close fail-outstanding-and-reconnect path, not a fresh handshake.
+  apps::OpenLoopHttpClient pers_client(&engine, &cost, &cnic2, /*ip=*/3, 100, "doc",
+                                       /*interval_cycles=*/100'000,
+                                       net::XokSocketProfile());
+  pers_client.EnablePersistent(/*pool_size=*/4, /*max_pipeline=*/8);
   // Client-side request deadlines: without them a lost server-abort RST leaves
   // a client parked in kEstablished forever (no timer armed), which the drain
   // leak check would — correctly — flag.
   open_client.set_request_timeout(40'000'000);    // 200 ms
   closed_client.set_request_timeout(40'000'000);
+  pers_client.set_request_timeout(40'000'000);
 
   const sim::Cycles deadline = static_cast<sim::Cycles>(epochs) * kEpoch;
   open_client.Start(deadline);
   closed_client.Start(deadline);
+  pers_client.Start(deadline);
 
   SoakResult r;
   auto fail = [&](const std::string& what, uint64_t epoch) {
@@ -115,8 +142,8 @@ SoakResult RunSoak(const sim::FaultPlan& plan, uint64_t epochs) {
     engine.RunUntil(static_cast<sim::Cycles>(e) * kEpoch);
     // Stack invariants: monotonic ACKs, sequenced retransmission queues, timers
     // consistent with state, half-open accounting honest and within backlog.
-    for (net::TcpStack* check :
-         {&server.stack(), &open_client.stack(), &closed_client.stack()}) {
+    for (net::TcpStack* check : {&server.stack(), &open_client.stack(),
+                                 &closed_client.stack(), &pers_client.stack()}) {
       std::string bad = check->CheckInvariants();
       if (!bad.empty()) {
         fail(bad, e);
@@ -126,7 +153,8 @@ SoakResult RunSoak(const sim::FaultPlan& plan, uint64_t epochs) {
     // faults a deadlock or livelock would freeze this sum while arrivals
     // continue (even a shed request counts; silence does not).
     const uint64_t progress = closed_client.completed() + open_client.completed() +
-                              open_client.rejected() + server.requests_rejected();
+                              open_client.rejected() + pers_client.completed() +
+                              pers_client.rejected() + server.requests_rejected();
     if (progress <= last_progress) {
       fail("no request resolved over an epoch (deadlock/livelock)", e);
     }
@@ -137,15 +165,20 @@ SoakResult RunSoak(const sim::FaultPlan& plan, uint64_t epochs) {
   // retries, reapers bound half-open and half-closed states), then the world
   // must be empty — anything left is a leak.
   if (r.failure.empty()) {
+    // The keep-alive pool holds its connections open by design; close them so
+    // the leak check below means "nothing unaccounted", not "pool exists".
+    pers_client.ClosePool();
     engine.RunUntilIdle();
     if (server.stack().conn_count() != 0) {
       fail("server leaked connections after drain", epochs);
     }
     if (open_client.stack().conn_count() != 0 ||
-        closed_client.stack().conn_count() != 0) {
+        closed_client.stack().conn_count() != 0 ||
+        pers_client.stack().conn_count() != 0) {
       fail("client leaked connections after drain: [open] " +
                open_client.stack().DebugConnStates() + " [closed] " +
-               closed_client.stack().DebugConnStates(),
+               closed_client.stack().DebugConnStates() + " [persistent] " +
+               pers_client.stack().DebugConnStates(),
            epochs);
     }
     if (server.stack().half_open_count(80) != 0) {
@@ -155,12 +188,15 @@ SoakResult RunSoak(const sim::FaultPlan& plan, uint64_t epochs) {
     // by an injected wire fault, or dropped at a full rx ring; a duplicate adds
     // one extra delivery.
     const uint64_t tx = snic0.stats().tx_packets + snic1.stats().tx_packets +
-                        cnic0.stats().tx_packets + cnic1.stats().tx_packets;
+                        snic2.stats().tx_packets + cnic0.stats().tx_packets +
+                        cnic1.stats().tx_packets + cnic2.stats().tx_packets;
     const uint64_t rx = snic0.stats().rx_packets + snic1.stats().rx_packets +
-                        cnic0.stats().rx_packets + cnic1.stats().rx_packets;
+                        snic2.stats().rx_packets + cnic0.stats().rx_packets +
+                        cnic1.stats().rx_packets + cnic2.stats().rx_packets;
     const uint64_t overflows =
         snic0.stats().rx_overflows + snic1.stats().rx_overflows +
-        cnic0.stats().rx_overflows + cnic1.stats().rx_overflows;
+        snic2.stats().rx_overflows + cnic0.stats().rx_overflows +
+        cnic1.stats().rx_overflows + cnic2.stats().rx_overflows;
     if (tx + faults.stats().net_duplicates !=
         rx + overflows + faults.stats().net_drops) {
       fail("frames leaked on the wire (tx != rx + drops)", epochs);
@@ -173,6 +209,9 @@ SoakResult RunSoak(const sim::FaultPlan& plan, uint64_t epochs) {
   r.open_completed = open_client.completed();
   r.open_rejected = open_client.rejected();
   r.open_failed = open_client.failed();
+  r.pers_completed = pers_client.completed();
+  r.pers_failed = pers_client.failed();
+  r.pers_conns_opened = pers_client.conns_opened();
   r.end_time = engine.now();
   return r;
 }
@@ -229,6 +268,7 @@ TEST(Soak, MultiTenantRandomFaultSweep) {
     }
     // The sweep must actually exercise the machinery, not idle through it.
     EXPECT_GT(r.closed_completed + r.open_completed, 100u) << "seed " << seed;
+    EXPECT_GT(r.pers_completed, 50u) << "seed " << seed;
     EXPECT_GT(r.events.size(), 10u) << "seed " << seed;
   }
 }
@@ -259,6 +299,9 @@ TEST(Soak, RecordedScheduleReplaysByteExact) {
   EXPECT_EQ(replay1.open_completed, original.open_completed);
   EXPECT_EQ(replay1.open_rejected, original.open_rejected);
   EXPECT_EQ(replay1.open_failed, original.open_failed);
+  EXPECT_EQ(replay1.pers_completed, original.pers_completed);
+  EXPECT_EQ(replay1.pers_failed, original.pers_failed);
+  EXPECT_EQ(replay1.pers_conns_opened, original.pers_conns_opened);
   EXPECT_EQ(replay1.end_time, original.end_time);
   // ...and replay itself is bit-stable run to run.
   EXPECT_EQ(replay1.fault_log, replay2.fault_log);

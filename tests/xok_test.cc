@@ -510,6 +510,173 @@ TEST_F(XokTest, PacketFilterClaimsMatchingPackets) {
   EXPECT_EQ(machine_.counters().Get("xok.packets_unclaimed"), 1u);
 }
 
+// A filter that claims frames whose destination port (offset 11, 2 bytes)
+// matches — loads only immovable offsets within the 16-byte flow key, so the
+// demux flow cache may memoize its verdicts.
+udf::AssembleResult CacheablePortFilter(unsigned port) {
+  return udf::Assemble("ld2 r1, r0, 11, meta\nldi r2, " + std::to_string(port) +
+                       "\nceq r3, r1, r2\nret r3\n");
+}
+
+std::vector<uint8_t> FrameForPort(unsigned port) {
+  std::vector<uint8_t> frame(16, 0);
+  frame[11] = static_cast<uint8_t>(port & 0xff);
+  frame[12] = static_cast<uint8_t>(port >> 8);
+  return frame;
+}
+
+TEST_F(XokTest, DemuxFlowCacheHitsAfterFirstPacket) {
+  auto prog = CacheablePortFilter(80);
+  ASSERT_TRUE(prog.ok);
+  hw::Nic peer(99);
+  hw::Link link(&engine_, 100.0, 10.0, 200);
+  link.Connect(&peer, &machine_.nic(0));
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    auto fid = kernel_.SysFilterInstall(prog.program, 0);
+    ASSERT_TRUE(fid.ok());
+    peer.Transmit({.bytes = FrameForPort(80)});
+    peer.Transmit({.bytes = FrameForPort(80)});
+    WakeupPredicate p;
+    p.host = [&, fid] { return kernel_.Filter(*fid)->delivered >= 2; };
+    kernel_.SysSleep(std::move(p));
+    EXPECT_TRUE(kernel_.SysRingConsume(*fid, 0).ok());
+    EXPECT_TRUE(kernel_.SysRingConsume(*fid, 0).ok());
+  });
+  kernel_.Run();
+  EXPECT_EQ(machine_.counters().Get("xok.demux_misses"), 1u);
+  EXPECT_EQ(machine_.counters().Get("xok.demux_hits"), 1u);
+  EXPECT_EQ(kernel_.flow_cache_size(), 1u);
+}
+
+TEST_F(XokTest, DemuxFlowCacheInvalidatedOnInstallAndRemove) {
+  auto p80 = CacheablePortFilter(80);
+  auto p81 = CacheablePortFilter(81);
+  ASSERT_TRUE(p80.ok && p81.ok);
+  hw::Nic peer(99);
+  hw::Link link(&engine_, 100.0, 10.0, 200);
+  link.Connect(&peer, &machine_.nic(0));
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    auto fid = kernel_.SysFilterInstall(p80.program, 0);
+    ASSERT_TRUE(fid.ok());
+    peer.Transmit({.bytes = FrameForPort(80)});
+    WakeupPredicate p;
+    p.host = [&, fid] { return kernel_.Filter(*fid)->delivered >= 1; };
+    kernel_.SysSleep(std::move(p));
+    EXPECT_EQ(kernel_.flow_cache_size(), 1u);
+    // Any filter-set mutation drops every memoized verdict: a new filter could
+    // legitimately claim a flow an old entry would have short-circuited past.
+    auto fid2 = kernel_.SysFilterInstall(p81.program, 0);
+    ASSERT_TRUE(fid2.ok());
+    EXPECT_EQ(kernel_.flow_cache_size(), 0u);
+    // Re-learn the flow, then remove the claiming filter: cache drops again.
+    peer.Transmit({.bytes = FrameForPort(80)});
+    WakeupPredicate p2;
+    p2.host = [&, fid] { return kernel_.Filter(*fid)->delivered >= 2; };
+    kernel_.SysSleep(std::move(p2));
+    EXPECT_EQ(kernel_.flow_cache_size(), 1u);
+    EXPECT_EQ(kernel_.SysFilterRemove(*fid, 0), Status::kOk);
+    EXPECT_EQ(kernel_.flow_cache_size(), 0u);
+  });
+  kernel_.Run();
+  EXPECT_EQ(kernel_.flow_cache_size(), 0u);
+}
+
+TEST_F(XokTest, DemuxFlowCacheInvalidatedOnEnvTeardown) {
+  auto prog = CacheablePortFilter(80);
+  ASSERT_TRUE(prog.ok);
+  hw::Nic peer(99);
+  hw::Link link(&engine_, 100.0, 10.0, 200);
+  link.Connect(&peer, &machine_.nic(0));
+  EnvId id = kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    auto fid = kernel_.SysFilterInstall(prog.program, 0);
+    ASSERT_TRUE(fid.ok());
+    peer.Transmit({.bytes = FrameForPort(80)});
+    WakeupPredicate p;
+    p.host = [&, fid] { return kernel_.Filter(*fid)->delivered >= 1; };
+    kernel_.SysSleep(std::move(p));
+    EXPECT_EQ(kernel_.flow_cache_size(), 1u);
+    // Env exits here; ReapEnv tears down its filters and must drop the cache.
+  });
+  kernel_.Run();
+  EXPECT_EQ(kernel_.flow_cache_size(), 1u);  // zombie still owns its filter
+  EXPECT_EQ(kernel_.ReapEnv(id), Status::kOk);
+  EXPECT_EQ(kernel_.flow_cache_size(), 0u);
+  EXPECT_TRUE(kernel_.CheckInvariants().empty()) << kernel_.CheckInvariants();
+}
+
+TEST_F(XokTest, DemuxNonCacheableProgramIsNeverMemoized) {
+  // `len` consults frame length, which lives outside the 16-byte flow key —
+  // two frames with identical prefixes could demux differently, so the kernel
+  // must keep walking programs for this filter's flows.
+  auto prog = udf::Assemble("len r1, meta\nldi r2, 16\nceq r3, r1, r2\nret r3\n");
+  ASSERT_TRUE(prog.ok);
+  hw::Nic peer(99);
+  hw::Link link(&engine_, 100.0, 10.0, 200);
+  link.Connect(&peer, &machine_.nic(0));
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    auto fid = kernel_.SysFilterInstall(prog.program, 0);
+    ASSERT_TRUE(fid.ok());
+    peer.Transmit({.bytes = FrameForPort(80)});
+    peer.Transmit({.bytes = FrameForPort(80)});
+    WakeupPredicate p;
+    p.host = [&, fid] { return kernel_.Filter(*fid)->delivered >= 2; };
+    kernel_.SysSleep(std::move(p));
+  });
+  kernel_.Run();
+  EXPECT_EQ(kernel_.flow_cache_size(), 0u);
+  EXPECT_EQ(machine_.counters().Get("xok.demux_hits"), 0u);
+  EXPECT_EQ(machine_.counters().Get("xok.demux_misses"), 2u);
+}
+
+TEST_F(XokTest, DemuxNonCacheableEarlierFilterBlocksMemoization) {
+  // Filter 1 (dispatched first) keys on frame length — outside the flow key —
+  // and rejects; filter 2 is cacheable and claims. Memoizing flow->filter2
+  // would be unsound: a longer frame with the same 16-byte prefix belongs to
+  // filter 1, so the kernel must not cache past a non-cacheable program.
+  auto len_prog = udf::Assemble("len r1, meta\nldi r2, 999\nceq r3, r1, r2\nret r3\n");
+  auto port_prog = CacheablePortFilter(80);
+  ASSERT_TRUE(len_prog.ok && port_prog.ok);
+  hw::Nic peer(99);
+  hw::Link link(&engine_, 100.0, 10.0, 200);
+  link.Connect(&peer, &machine_.nic(0));
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    auto f1 = kernel_.SysFilterInstall(len_prog.program, 0);
+    auto f2 = kernel_.SysFilterInstall(port_prog.program, 0);
+    ASSERT_TRUE(f1.ok() && f2.ok());
+    peer.Transmit({.bytes = FrameForPort(80)});
+    peer.Transmit({.bytes = FrameForPort(80)});
+    WakeupPredicate p;
+    p.host = [&, f2] { return kernel_.Filter(*f2)->delivered >= 2; };
+    kernel_.SysSleep(std::move(p));
+  });
+  kernel_.Run();
+  EXPECT_EQ(kernel_.flow_cache_size(), 0u);
+  EXPECT_EQ(machine_.counters().Get("xok.demux_hits"), 0u);
+  EXPECT_EQ(machine_.counters().Get("xok.demux_misses"), 2u);
+}
+
+TEST_F(XokTest, DemuxCacheOffCountsNothingAndStillDelivers) {
+  auto prog = CacheablePortFilter(80);
+  ASSERT_TRUE(prog.ok);
+  kernel_.SetDemuxCache(false);
+  hw::Nic peer(99);
+  hw::Link link(&engine_, 100.0, 10.0, 200);
+  link.Connect(&peer, &machine_.nic(0));
+  kernel_.CreateEnv(kInvalidEnv, {Capability::Root()}, [&] {
+    auto fid = kernel_.SysFilterInstall(prog.program, 0);
+    ASSERT_TRUE(fid.ok());
+    peer.Transmit({.bytes = FrameForPort(80)});
+    peer.Transmit({.bytes = FrameForPort(80)});
+    WakeupPredicate p;
+    p.host = [&, fid] { return kernel_.Filter(*fid)->delivered >= 2; };
+    kernel_.SysSleep(std::move(p));
+  });
+  kernel_.Run();
+  EXPECT_EQ(kernel_.flow_cache_size(), 0u);
+  EXPECT_EQ(machine_.counters().Get("xok.demux_hits"), 0u);
+  EXPECT_EQ(machine_.counters().Get("xok.demux_misses"), 0u);
+}
+
 TEST_F(XokTest, FilterInstallRejectsNondeterministicProgram) {
   auto prog = udf::Assemble("time r1\nret r1\n");
   ASSERT_TRUE(prog.ok);
