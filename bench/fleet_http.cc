@@ -30,6 +30,7 @@
 
 #include "apps/http.h"
 #include "bench/common.h"
+#include "cluster/topology.h"
 #include "hw/nic.h"
 #include "sim/engine.h"
 #include "sim/rng.h"
@@ -212,6 +213,105 @@ struct FleetRunResult {
   uint64_t gather_sends = 0;
 };
 
+// Collects the per-run metrics shared by both wiring modes.
+FleetRunResult CollectFleetResult(
+    std::vector<std::unique_ptr<apps::OpenLoopHttpClient>>& clients,
+    apps::HttpServer& server) {
+  FleetRunResult r;
+  trace::LatencyHistogram merged;
+  uint64_t completed = 0, rejected = 0, failed = 0, conns = 0;
+  for (auto& c : clients) {
+    completed += c->completed();
+    rejected += c->rejected();
+    failed += c->failed();
+    conns += c->conns_opened();
+    merged.Merge(c->latency());
+  }
+  r.goodput = static_cast<double>(completed) / kSimSeconds;
+  r.shed = static_cast<double>(rejected) / kSimSeconds;
+  r.failed = static_cast<double>(failed) / kSimSeconds;
+  r.conns_per_s = static_cast<double>(conns) / kSimSeconds;
+  const double cycles_per_ms = static_cast<double>(kMhz) * 1000.0;
+  r.p50_ms = static_cast<double>(merged.Percentile(50)) / cycles_per_ms;
+  r.p99_ms = static_cast<double>(merged.Percentile(99)) / cycles_per_ms;
+  r.p999_ms = static_cast<double>(merged.Percentile(99.9)) / cycles_per_ms;
+  r.peak_conns = server.stack().peak_conn_count();
+  r.cache_hits = server.cache_hits();
+  r.cache_misses = server.cache_misses();
+  r.cache_evictions = server.cache_evictions();
+  r.gather_sends = server.gather_sends();
+  return r;
+}
+
+// Cluster mode (the default): the server is one machine, every open-loop
+// client generator runs on its own dedicated client machine with its own event
+// queue; the wires between them are the conservative-horizon fabric. Output is
+// bit-identical for any `threads`.
+FleetRunResult RunFleetCluster(double offered_per_sec, bool armed,
+                               uint32_t threads) {
+  cluster::TopologyConfig tc;
+  tc.servers = 1;
+  tc.clients = kClients;
+  tc.front_end_lb = false;  // per-client wires, as on the historical testbed
+  tc.threads = threads;
+  tc.client_mbit_per_s = 1000.0;
+  tc.client_latency_us = 40.0;
+  tc.machine.mem_frames = 256;
+  tc.machine.disks.clear();
+  cluster::Topology topo(tc);
+  sim::CostModel cost = sim::CostModel::PentiumPro200();
+
+  net::DocumentStore store(&cost);
+  apps::HttpServerOptions opts;
+  if (armed) {
+    opts.persistent = true;
+    opts.documents = &store;
+    opts.response_cache_entries = 32;
+    opts.gather_tx = true;
+  }
+  sim::Engine& server_engine = topo.engine_of(topo.server_id(0));
+  apps::HttpServer server(&server_engine, &cost, apps::ServerStyle::kCheetah,
+                          /*ip=*/cluster::Topology::kVip, opts);
+  server.SetOverloadPolicy(FleetPolicy(armed));
+  for (size_t i = 0; i < kNumDocs; ++i) {
+    server.AddDocument("d" + std::to_string(i),
+                       std::vector<uint8_t>(DocBytes(i), static_cast<uint8_t>(i)));
+  }
+  EXO_CHECK_EQ(server.Listen(80), Status::kOk);
+
+  std::vector<std::unique_ptr<apps::OpenLoopHttpClient>> clients;
+  std::vector<std::unique_ptr<ZipfPicker>> pickers;
+  const double per_client = offered_per_sec / kClients;
+  const sim::Cycles interval =
+      static_cast<sim::Cycles>(static_cast<double>(kCyclesPerSec) / per_client);
+  for (int i = 0; i < kClients; ++i) {
+    const uint32_t j = static_cast<uint32_t>(i);
+    const net::IpAddr client_ip = topo.client_ip(j);
+    server.AttachNic(&topo.server(0).nic(topo.server_nic_for_client(j)), client_ip);
+    auto client = std::make_unique<apps::OpenLoopHttpClient>(
+        &topo.engine_of(topo.client_id(j)), &cost, &topo.client(j).nic(0),
+        client_ip, cluster::Topology::kVip, "d0", interval);
+    client->set_request_timeout(kClientTimeout);
+    auto picker = std::make_unique<ZipfPicker>(kNumDocs);
+    client->set_doc_picker(
+        [p = picker.get()] { return "d" + std::to_string(p->Pick()); });
+    if (armed) {
+      client->EnablePersistent(kPoolPerClient, kMaxPipeline);
+    }
+    pickers.push_back(std::move(picker));
+    clients.push_back(std::move(client));
+  }
+
+  const sim::Cycles deadline = static_cast<sim::Cycles>(kSimSeconds * kCyclesPerSec);
+  for (auto& c : clients) {
+    c->Start(deadline);
+  }
+  topo.Run();
+  return CollectFleetResult(clients, server);
+}
+
+// Legacy single-machine mode (--single-engine): everything shares one engine,
+// byte-identical to the historical bench.
 FleetRunResult RunFleet(double offered_per_sec, bool armed) {
   sim::Engine engine;
   sim::CostModel cost = sim::CostModel::PentiumPro200();
@@ -269,31 +369,7 @@ FleetRunResult RunFleet(double offered_per_sec, bool armed) {
     c->Start(deadline);
   }
   engine.RunUntilIdle();
-
-  FleetRunResult r;
-  trace::LatencyHistogram merged;
-  uint64_t completed = 0, rejected = 0, failed = 0, conns = 0;
-  for (auto& c : clients) {
-    completed += c->completed();
-    rejected += c->rejected();
-    failed += c->failed();
-    conns += c->conns_opened();
-    merged.Merge(c->latency());
-  }
-  r.goodput = static_cast<double>(completed) / kSimSeconds;
-  r.shed = static_cast<double>(rejected) / kSimSeconds;
-  r.failed = static_cast<double>(failed) / kSimSeconds;
-  r.conns_per_s = static_cast<double>(conns) / kSimSeconds;
-  const double cycles_per_ms = static_cast<double>(kMhz) * 1000.0;
-  r.p50_ms = static_cast<double>(merged.Percentile(50)) / cycles_per_ms;
-  r.p99_ms = static_cast<double>(merged.Percentile(99)) / cycles_per_ms;
-  r.p999_ms = static_cast<double>(merged.Percentile(99.9)) / cycles_per_ms;
-  r.peak_conns = server.stack().peak_conn_count();
-  r.cache_hits = server.cache_hits();
-  r.cache_misses = server.cache_misses();
-  r.cache_evictions = server.cache_evictions();
-  r.gather_sends = server.gather_sends();
-  return r;
+  return CollectFleetResult(clients, server);
 }
 
 // Pulls `"key": <number>` out of a flat JSON file without a JSON dependency.
@@ -316,11 +392,17 @@ bool JsonNumber(const std::string& text, const char* key, double* out) {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_fleet_http.json";
   std::string check_path;
-  for (int i = 1; i < argc - 1; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0) {
-      out_path = argv[i + 1];
-    } else if (std::strcmp(argv[i], "--check") == 0) {
-      check_path = argv[i + 1];
+  bool single_engine = false;
+  uint32_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--single-engine") == 0) {
+      single_engine = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<uint32_t>(std::atoi(argv[++i]));
     }
   }
 
@@ -347,6 +429,13 @@ int main(int argc, char** argv) {
   // ---- Part 2: open-loop sweep, legacy vs fleet-armed Cheetah ----
   std::printf("\nhttp: %d clients, Zipf(1.1) over %zu docs, %.1fs simulated\n", kClients,
               kNumDocs, kSimSeconds);
+  if (single_engine) {
+    std::printf("mode: single-engine (all machines share one event queue)\n");
+  } else {
+    std::printf("mode: cluster (1 server + %d client machines; deterministic "
+                "for any thread count)\n",
+                kClients);
+  }
   std::printf("fleet lane: persistent+pipelined (%d x %zu conns), doc store, "
               "response cache, gather tx\n",
               kClients, kPoolPerClient);
@@ -360,8 +449,12 @@ int main(int argc, char** argv) {
   std::vector<FleetRunResult> legacy_v, fleet_v;
   size_t peak_conns = 0;
   for (double rate : rates) {
-    const FleetRunResult legacy = RunFleet(rate, /*armed=*/false);
-    const FleetRunResult fleet = RunFleet(rate, /*armed=*/true);
+    const FleetRunResult legacy = single_engine
+                                      ? RunFleet(rate, /*armed=*/false)
+                                      : RunFleetCluster(rate, /*armed=*/false, threads);
+    const FleetRunResult fleet = single_engine
+                                     ? RunFleet(rate, /*armed=*/true)
+                                     : RunFleetCluster(rate, /*armed=*/true, threads);
     std::printf(
         "%-9.0f | %-9.0f %-9.0f %-10.1f | %-9.0f %-7.0f %-7.0f %-9.0f %-7.1f %-7.1f "
         "%-8zu\n",
@@ -398,6 +491,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n  \"bench\": \"fleet_http\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", single_engine ? "single_engine" : "cluster");
+  std::fprintf(f, "  \"threads\": %u,\n", threads);
   std::fprintf(f, "  \"demux_speedup_at_%zu_filters\": %.2f,\n", big.filters,
                big.speedup);
   std::fprintf(f, "  \"peak_concurrent_conns\": %zu,\n", peak_conns);

@@ -23,8 +23,12 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "bench/global_common.h"
+#include "cluster/topology.h"
 #include "hw/disk.h"
+#include "net/packet.h"
 #include "sim/rng.h"
 #include "udf/insn.h"
 #include "xok/kernel.h"
@@ -241,6 +245,159 @@ WorkloadResult DiskDeepQueue(uint32_t bursts, uint32_t burst_size) {
   return r;
 }
 
+// ---- Workload 5: cluster_scale — the parallel conservative engine ----
+//
+// An 8-machine Topology (front-end balancer, 3 servers, 4 clients), one shard
+// per machine. Clients run a closed loop of raw request frames through the
+// balancer; each request triggers a PHOLD-style local event chain on its
+// server (kChainEvents events, 50 cycles apart) before the reply goes back.
+// The chains are the parallelizable CPU meat: at a 20 us rack lookahead every
+// server shard advances ~a chain per window independently.
+//
+// The workload runs once at threads=1 and once at threads=N and EXO_CHECKs the
+// merged per-machine counters are byte-identical — the determinism contract —
+// then reports wall-clock speedup. ops counts server chain events (the
+// dominant event population), so events_per_sec gates the serial lane exactly
+// like the other workloads.
+
+struct ClusterScaleRun {
+  double wall_s = 0;
+  double sim_s = 0;
+  uint64_t ops = 0;
+  uint64_t cross_messages = 0;
+  uint64_t rounds = 0;
+  std::string counters;  // merged dump: the equivalence witness
+};
+
+void ClusterChainStep(sim::Engine* eng, sim::Counters::Slot* work, uint32_t left,
+                      hw::Nic* nic, hw::Packet reply) {
+  ++*work;
+  if (left == 0) {
+    nic->Transmit(std::move(reply));
+    return;
+  }
+  eng->ScheduleAfter(50, [eng, work, left, nic, reply = std::move(reply)]() mutable {
+    ClusterChainStep(eng, work, left - 1, nic, std::move(reply));
+  });
+}
+
+ClusterScaleRun RunClusterScaleOnce(uint32_t threads, uint32_t chain_events,
+                                    sim::Cycles sim_cycles) {
+  constexpr uint32_t kOutstanding = 32;  // closed-loop requests per client
+  cluster::TopologyConfig tc;
+  tc.servers = 3;
+  tc.clients = 4;
+  tc.front_end_lb = true;
+  tc.threads = threads;
+  tc.seed = 7;
+  // Generous wire latencies widen the conservative window (the lookahead) so
+  // each shard advances a meaty batch of chain events per round — the window
+  // work must dwarf the barrier cost for parallelism to pay.
+  tc.rack_latency_us = 100.0;
+  tc.client_latency_us = 200.0;
+  tc.lb_forward_cost = 100;
+  tc.machine.mem_frames = 64;
+  tc.machine.disks.clear();
+  cluster::Topology topo(tc);
+
+  for (uint32_t k = 0; k < tc.servers; ++k) {
+    hw::Machine& srv = topo.server(k);
+    sim::Engine* eng = &topo.engine_of(topo.server_id(k));
+    auto* work = srv.counters().Handle("srv.chain_events");
+    auto* rx = srv.counters().Handle("srv.rx");
+    hw::Nic* nic = &srv.nic(0);
+    nic->SetReceiveHandler([eng, work, rx, nic, chain_events](hw::Packet p) {
+      ++*rx;
+      // Echo becomes the reply once the chain drains: swap src/dst in place.
+      for (int i = 0; i < 4; ++i) {
+        std::swap(p.bytes[net::kOffSrcIp + i], p.bytes[net::kOffDstIp + i]);
+      }
+      std::swap(p.bytes[net::kOffSrcPort], p.bytes[net::kOffDstPort]);
+      std::swap(p.bytes[net::kOffSrcPort + 1], p.bytes[net::kOffDstPort + 1]);
+      ClusterChainStep(eng, work, chain_events, nic, std::move(p));
+    });
+  }
+  for (uint32_t j = 0; j < tc.clients; ++j) {
+    hw::Machine& cli = topo.client(j);
+    auto* rx = cli.counters().Handle("cli.rx");
+    hw::Nic* nic = &cli.nic(0);
+    nic->SetReceiveHandler([rx, nic](hw::Packet p) {
+      ++*rx;
+      // Closed loop: the reply bounces straight back as the next request.
+      for (int i = 0; i < 4; ++i) {
+        std::swap(p.bytes[net::kOffSrcIp + i], p.bytes[net::kOffDstIp + i]);
+      }
+      std::swap(p.bytes[net::kOffSrcPort], p.bytes[net::kOffDstPort]);
+      std::swap(p.bytes[net::kOffSrcPort + 1], p.bytes[net::kOffDstPort + 1]);
+      nic->Transmit(std::move(p));
+    });
+    for (uint32_t o = 0; o < kOutstanding; ++o) {
+      hw::Packet req;
+      req.bytes.assign(64, 0);
+      req.bytes[net::kOffProto] = net::kProtoUdp;
+      const uint32_t src_ip = topo.client_ip(j);
+      for (int i = 0; i < 4; ++i) {
+        req.bytes[net::kOffSrcIp + i] = static_cast<uint8_t>(src_ip >> (8 * i));
+        req.bytes[net::kOffDstIp + i] =
+            static_cast<uint8_t>(cluster::Topology::kVip >> (8 * i));
+      }
+      const uint16_t port = static_cast<uint16_t>(3000 + j * 16 + o);
+      req.bytes[net::kOffSrcPort] = static_cast<uint8_t>(port);
+      req.bytes[net::kOffSrcPort + 1] = static_cast<uint8_t>(port >> 8);
+      req.bytes[net::kOffDstPort] = 80;
+      nic->Transmit(std::move(req));
+    }
+  }
+
+  const double t0 = WallNow();
+  topo.RunUntil(sim_cycles);
+  const double t1 = WallNow();
+
+  ClusterScaleRun r;
+  r.wall_s = t1 - t0;
+  r.sim_s = static_cast<double>(sim_cycles) / 200e6;
+  for (uint32_t k = 0; k < tc.servers; ++k) {
+    r.ops += topo.server(k).counters().Get("srv.chain_events");
+  }
+  r.cross_messages = topo.cluster().cross_messages();
+  r.rounds = topo.cluster().rounds();
+  r.counters = topo.MergedCountersDump();
+  return r;
+}
+
+struct ClusterScaleResult {
+  WorkloadResult serial;  // the threads=1 lane: gated like every workload
+  double speedup = 0;     // t1 wall / tN wall
+  uint32_t parallel_threads = 0;
+  uint64_t cross_messages = 0;
+  uint64_t rounds = 0;
+  bool equivalent = false;  // byte-identical merged counters across lanes
+};
+
+ClusterScaleResult ClusterScale(double scale) {
+  const auto chain = static_cast<uint32_t>(64 * scale);
+  const sim::Cycles sim_cycles = 20'000'000;  // 100 ms simulated
+  const uint32_t hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  const uint32_t par = std::min(4u, hw_threads);
+
+  ClusterScaleRun t1 = RunClusterScaleOnce(1, chain, sim_cycles);
+  ClusterScaleRun tn = RunClusterScaleOnce(par, chain, sim_cycles);
+  EXO_CHECK_EQ(t1.ops, tn.ops);
+  EXO_CHECK(t1.counters == tn.counters);  // determinism contract, enforced
+
+  ClusterScaleResult r;
+  r.serial.name = "cluster_scale";
+  r.serial.ops = t1.ops;
+  r.serial.wall_s = t1.wall_s;
+  r.serial.sim_s = t1.sim_s;
+  r.speedup = tn.wall_s > 0 ? t1.wall_s / tn.wall_s : 0;
+  r.parallel_threads = par;
+  r.cross_messages = t1.cross_messages;
+  r.rounds = t1.rounds;
+  r.equivalent = t1.counters == tn.counters;
+  return r;
+}
+
 // ---- Workload 4: scaled-down Figure 4 global load ----
 WorkloadResult GlobalFig4(int jobs, int conc) {
   using namespace exo::bench;
@@ -326,6 +483,15 @@ int main(int argc, char** argv) {
   PrintResult(results.back());
   results.push_back(GlobalFig4(std::max(4, static_cast<int>(16 * scale)), 4));
   PrintResult(results.back());
+  const ClusterScaleResult cs = ClusterScale(scale);
+  results.push_back(cs.serial);
+  PrintResult(results.back());
+  std::printf("%-18s %12s threads=%u speedup=%.2fx rounds=%llu cross_msgs=%llu "
+              "equivalent=%s hw_threads=%u\n",
+              "", "", cs.parallel_threads, cs.speedup,
+              static_cast<unsigned long long>(cs.rounds),
+              static_cast<unsigned long long>(cs.cross_messages),
+              cs.equivalent ? "yes" : "NO", std::thread::hardware_concurrency());
 
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -334,6 +500,12 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "{\n  \"bench\": \"simperf\",\n  \"scale\": %.3f,\n", scale);
   std::fprintf(f, "  \"indexed_predicates\": %s,\n", indexed ? "true" : "false");
+  std::fprintf(f, "  \"hw_threads\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"cluster\": {\"threads\": %u, \"speedup\": %.3f, "
+               "\"equivalent\": %s, \"rounds\": %llu, \"cross_messages\": %llu},\n",
+               cs.parallel_threads, cs.speedup, cs.equivalent ? "true" : "false",
+               static_cast<unsigned long long>(cs.rounds),
+               static_cast<unsigned long long>(cs.cross_messages));
   std::fprintf(f, "  \"workloads\": {\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const WorkloadResult& r = results[i];

@@ -1,0 +1,174 @@
+#include "cluster/topology.h"
+
+#include <utility>
+
+#include "net/packet.h"
+
+namespace exo::cluster {
+
+namespace {
+
+uint32_t LoadLe32(const hw::Packet& p, uint32_t off) {
+  return static_cast<uint32_t>(p.bytes[off]) |
+         (static_cast<uint32_t>(p.bytes[off + 1]) << 8) |
+         (static_cast<uint32_t>(p.bytes[off + 2]) << 16) |
+         (static_cast<uint32_t>(p.bytes[off + 3]) << 24);
+}
+
+uint16_t LoadLe16(const hw::Packet& p, uint32_t off) {
+  return static_cast<uint16_t>(static_cast<uint32_t>(p.bytes[off]) |
+                               (static_cast<uint32_t>(p.bytes[off + 1]) << 8));
+}
+
+// Frames shorter than the transport header can't be routed.
+constexpr size_t kMinRoutable = net::kOffDstPort + 2;
+
+}  // namespace
+
+Topology::Topology(const TopologyConfig& config)
+    : config_(config), cluster_(ClusterOptions{config.threads, config.seed}) {
+  EXO_CHECK(config_.servers > 0);
+  EXO_CHECK(config_.machines_per_shard > 0);
+
+  const uint32_t total =
+      (config_.front_end_lb ? 1 : 0) + config_.servers + config_.clients;
+  const uint32_t shards = (total + config_.machines_per_shard - 1) / config_.machines_per_shard;
+  for (uint32_t s = 0; s < shards; ++s) {
+    cluster_.AddShard("shard" + std::to_string(s));
+  }
+
+  for (uint32_t id = 0; id < total; ++id) {
+    hw::MachineConfig mc = config_.machine;
+    mc.seed = cluster_.DeriveSeed(id);
+    if (config_.front_end_lb) {
+      if (id == 0) {
+        mc.num_nics = config_.clients + config_.servers;  // one port per wire
+      } else {
+        mc.num_nics = 1;
+      }
+    } else {
+      if (id < config_.servers) {
+        // Server k faces every client with j % servers == k on its own NIC.
+        uint32_t fan_in = 0;
+        for (uint32_t j = id; j < config_.clients; j += config_.servers) {
+          ++fan_in;
+        }
+        mc.num_nics = fan_in > 0 ? fan_in : 1;
+      } else {
+        mc.num_nics = 1;
+      }
+    }
+    auto m = std::make_unique<hw::Machine>(&cluster_.engine(shard_of(id)), mc);
+    m->SetClusterIdentity(id);
+    machines_.push_back(std::move(m));
+  }
+
+  if (config_.front_end_lb) {
+    WireBalancer();
+  } else {
+    WireDirect();
+  }
+}
+
+void Topology::WireBalancer() {
+  hw::Machine& lb = balancer();
+  const uint32_t mhz = config_.machine.cost.cpu_mhz;
+  lb_cpu_ = std::make_unique<sim::CpuMeter>(&engine_of(0));
+  lb_forwarded_ = lb.counters().Handle("lb.forwarded");
+  lb_no_route_ = lb.counters().Handle("lb.no_route");
+
+  // Balancer NIC j < clients faces client j; NIC clients + k faces server k.
+  for (uint32_t j = 0; j < config_.clients; ++j) {
+    cluster_.Connect(shard_of(0), &lb.nic(j), shard_of(client_id(j)),
+                     &client(j).nic(0), config_.client_mbit_per_s,
+                     config_.client_latency_us, mhz);
+    lb.nic(j).SetReceiveHandler([this, j](hw::Packet p) {
+      ForwardFromClient(j, std::move(p));
+    });
+  }
+  for (uint32_t k = 0; k < config_.servers; ++k) {
+    cluster_.Connect(shard_of(0), &lb.nic(config_.clients + k),
+                     shard_of(server_id(k)), &server(k).nic(0),
+                     config_.rack_mbit_per_s, config_.rack_latency_us, mhz);
+    lb.nic(config_.clients + k).SetReceiveHandler([this](hw::Packet p) {
+      ForwardFromServer(std::move(p));
+    });
+  }
+}
+
+void Topology::WireDirect() {
+  const uint32_t mhz = config_.machine.cost.cpu_mhz;
+  for (uint32_t j = 0; j < config_.clients; ++j) {
+    const uint32_t k = server_for_client(j);
+    cluster_.Connect(shard_of(server_id(k)), &server(k).nic(server_nic_for_client(j)),
+                     shard_of(client_id(j)), &client(j).nic(0),
+                     config_.client_mbit_per_s, config_.client_latency_us, mhz);
+  }
+}
+
+void Topology::ForwardFromClient(uint32_t client_nic, hw::Packet p) {
+  if (p.bytes.size() < kMinRoutable) {
+    ++*lb_no_route_;
+    return;
+  }
+  // Pin the flow (src ip, src port) to a backend round-robin on first sight,
+  // so every segment of a connection reaches the same server.
+  const uint64_t flow = (static_cast<uint64_t>(LoadLe32(p, net::kOffSrcIp)) << 16) |
+                        LoadLe16(p, net::kOffSrcPort);
+  auto [it, fresh] = lb_flows_.try_emplace(flow, lb_next_backend_);
+  if (fresh) {
+    lb_next_backend_ = (lb_next_backend_ + 1) % config_.servers;
+  }
+  const uint32_t backend = it->second;
+  (void)client_nic;
+  hw::Nic* out = &balancer().nic(config_.clients + backend);
+  const sim::Cycles done = lb_cpu_->Occupy(config_.lb_forward_cost);
+  ++*lb_forwarded_;
+  engine_of(0).ScheduleAt(done, [out, p = std::move(p)]() mutable {
+    out->Transmit(std::move(p));
+  });
+}
+
+void Topology::ForwardFromServer(hw::Packet p) {
+  if (p.bytes.size() < kMinRoutable) {
+    ++*lb_no_route_;
+    return;
+  }
+  // Replies carry the client's address as destination; client ips are 1-based
+  // NIC indices on the balancer.
+  const uint32_t dst_ip = LoadLe32(p, net::kOffDstIp);
+  if (dst_ip < 1 || dst_ip > config_.clients) {
+    ++*lb_no_route_;
+    return;
+  }
+  hw::Nic* out = &balancer().nic(dst_ip - 1);
+  const sim::Cycles done = lb_cpu_->Occupy(config_.lb_forward_cost);
+  ++*lb_forwarded_;
+  engine_of(0).ScheduleAt(done, [out, p = std::move(p)]() mutable {
+    out->Transmit(std::move(p));
+  });
+}
+
+std::string Topology::MergedCountersDump() const {
+  std::string out;
+  for (const auto& m : machines_) {
+    for (const auto& [name, value] : m->counters().Snapshot()) {
+      out += name;
+      out += ' ';
+      out += std::to_string(value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string Topology::MergedTraceDump(uint32_t cpu_mhz) const {
+  std::vector<const trace::Tracer*> tracers;
+  tracers.reserve(machines_.size());
+  for (const auto& m : machines_) {
+    tracers.push_back(&m->tracer());
+  }
+  return trace::MergedTextDump(tracers, cpu_mhz);
+}
+
+}  // namespace exo::cluster

@@ -1,0 +1,117 @@
+// Topology: a fleet of simulated machines on a routed inter-machine fabric.
+//
+// Instantiates the paper's testbed scaled out: racks of Cheetah-class servers
+// behind an optional front-end load balancer, plus a fleet of client machines,
+// every machine a full hw::Machine (CPU + memory + disks + NICs) with its own
+// derived seed and "m<id>."-prefixed counters and trace tracks. Machines are
+// grouped onto Cluster shards (machines_per_shard per event queue); wires
+// between machines on different shards become conservative-horizon ShardLinks,
+// wires within a shard stay plain hw::Links.
+//
+// Two wiring modes:
+//   - front_end_lb = true: every client links to the balancer, the balancer
+//     links to every server. The balancer forwards store-and-forward at packet
+//     granularity: flows (src ip, src port) are pinned to a backend round-robin
+//     on first sight, each forwarded frame charges lb_forward_cost on the
+//     balancer's CPU. Servers all answer the virtual ip kVip.
+//   - front_end_lb = false: client j links directly to server j % servers
+//     (the fleet_http shape: no middle hop, per-client wires).
+#ifndef EXO_CLUSTER_TOPOLOGY_H_
+#define EXO_CLUSTER_TOPOLOGY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "hw/machine.h"
+#include "sim/cpu_meter.h"
+
+namespace exo::cluster {
+
+struct TopologyConfig {
+  uint32_t servers = 3;
+  uint32_t clients = 4;
+  bool front_end_lb = true;
+  // Machines per Cluster shard (per event queue / OS-thread unit). 1 gives
+  // maximum parallelism; clients + servers + 1 collapses to one shard and the
+  // exact single-engine semantics.
+  uint32_t machines_per_shard = 1;
+  uint32_t threads = 1;
+  uint64_t seed = 1;
+  // Balancer <-> server wires (intra-rack) and client <-> fleet wires.
+  double rack_mbit_per_s = 1000.0;
+  double rack_latency_us = 20.0;
+  double client_mbit_per_s = 1000.0;
+  double client_latency_us = 40.0;
+  // Balancer CPU cycles per forwarded frame (store-and-forward cost).
+  sim::Cycles lb_forward_cost = 600;
+  // Template for every machine; seed is overridden per machine with
+  // DeriveSeed(seed, machine_id) and num_nics with the wiring's fan-out.
+  hw::MachineConfig machine;
+};
+
+class Topology {
+ public:
+  // Servers answer this virtual IP in both wiring modes.
+  static constexpr uint32_t kVip = 100;
+
+  explicit Topology(const TopologyConfig& config);
+
+  Cluster& cluster() { return cluster_; }
+  const TopologyConfig& config() const { return config_; }
+
+  // Machine ids are cluster-wide: [balancer,] servers, then clients.
+  size_t num_machines() const { return machines_.size(); }
+  hw::Machine& machine(uint32_t id) { return *machines_[id]; }
+  uint32_t shard_of(uint32_t id) const { return id / config_.machines_per_shard; }
+  sim::Engine& engine_of(uint32_t id) { return cluster_.engine(shard_of(id)); }
+
+  bool has_balancer() const { return config_.front_end_lb; }
+  hw::Machine& balancer() { return *machines_[0]; }
+  uint32_t server_id(uint32_t k) const { return (has_balancer() ? 1 : 0) + k; }
+  uint32_t client_id(uint32_t j) const { return server_id(config_.servers) + j; }
+  hw::Machine& server(uint32_t k) { return *machines_[server_id(k)]; }
+  hw::Machine& client(uint32_t j) { return *machines_[client_id(j)]; }
+  uint32_t client_ip(uint32_t j) const { return j + 1; }
+
+  // Direct mode: which server machine and which of its NICs face client j.
+  uint32_t server_for_client(uint32_t j) const { return j % config_.servers; }
+  uint32_t server_nic_for_client(uint32_t j) const { return j / config_.servers; }
+
+  void Run() { cluster_.Run(); }
+  void RunUntil(sim::Cycles t) { cluster_.RunUntil(t); }
+
+  uint64_t lb_forwarded() const { return lb_forwarded_ == nullptr ? 0 : *lb_forwarded_; }
+  uint64_t lb_no_route() const { return lb_no_route_ == nullptr ? 0 : *lb_no_route_; }
+  size_t lb_flows() const { return lb_flows_.size(); }
+
+  // Deterministic fleet-wide observability: per-machine counter snapshots
+  // ("m0.nic.dropped 12\n" ...) concatenated in machine order, and the
+  // machines' trace rings merged in (time, machine, seq) order. The cluster
+  // determinism tests diff both byte-for-byte across thread counts.
+  std::string MergedCountersDump() const;
+  std::string MergedTraceDump(uint32_t cpu_mhz = 200) const;
+
+ private:
+  void WireBalancer();
+  void WireDirect();
+  void ForwardFromClient(uint32_t client_nic, hw::Packet p);
+  void ForwardFromServer(hw::Packet p);
+
+  TopologyConfig config_;
+  Cluster cluster_;
+  std::vector<std::unique_ptr<hw::Machine>> machines_;
+  // Balancer state; lives on the balancer's shard, touched only by it.
+  std::unique_ptr<sim::CpuMeter> lb_cpu_;
+  std::map<uint64_t, uint32_t> lb_flows_;  // (src ip, src port) -> backend index
+  uint32_t lb_next_backend_ = 0;
+  sim::Counters::Slot* lb_forwarded_ = nullptr;
+  sim::Counters::Slot* lb_no_route_ = nullptr;
+};
+
+}  // namespace exo::cluster
+
+#endif  // EXO_CLUSTER_TOPOLOGY_H_

@@ -5,8 +5,10 @@
 #ifndef EXO_HW_MACHINE_H_
 #define EXO_HW_MACHINE_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/disk.h"
@@ -84,6 +86,20 @@ class Machine {
   // along the way.
   void Charge(sim::Cycles cycles) { engine_->Advance(cycles); }
 
+  // Stamps this machine with its cluster-wide id: counter names and trace
+  // track/histogram names gain an "m<id>." prefix so merged fleet output
+  // attributes unambiguously (docs/CLUSTER.md). Cached counter handles and
+  // track ids stay valid — slots and tracks are renamed in place. Standalone
+  // machines never call this, keeping single-machine output byte-identical.
+  void SetClusterIdentity(uint32_t id) {
+    cluster_id_ = id;
+    const std::string prefix = "m" + std::to_string(id) + ".";
+    counters_.SetPrefix(prefix);
+    tracer_.SetNamePrefix(prefix);
+  }
+  static constexpr uint32_t kNoClusterId = UINT32_MAX;
+  uint32_t cluster_id() const { return cluster_id_; }
+
  private:
   sim::Engine* engine_;
   sim::CostModel cost_;
@@ -93,6 +109,7 @@ class Machine {
   sim::Counters counters_;
   trace::Tracer tracer_;
   sim::Rng rng_;
+  uint32_t cluster_id_ = kNoClusterId;
 };
 
 }  // namespace exo::hw

@@ -16,7 +16,7 @@ bool Nic::Transmit(Packet p) {
     }
     if (tracer_ != nullptr && tracer_->enabled(trace::Category::kNet)) {
       tracer_->Instant(trace::Category::kNet, trace_track_, "nic.tx_reject",
-                       link_->engine()->now(), p.bytes.size());
+                       link_->engine_for(this)->now(), p.bytes.size());
     }
     return false;
   }
@@ -25,7 +25,7 @@ bool Nic::Transmit(Packet p) {
   if (tx_slots_ != 0) {
     ++tx_in_ring_;
     const sim::Cycles done = link_->Send(this, std::move(p));
-    link_->engine()->ScheduleAt(done, [this] {
+    link_->engine_for(this)->ScheduleAt(done, [this] {
       if (tx_in_ring_ > 0) {
         --tx_in_ring_;
       }
@@ -47,7 +47,7 @@ void Nic::Deliver(Packet p) {
     }
     if (tracer_ != nullptr && tracer_->enabled(trace::Category::kFault)) {
       tracer_->Instant(trace::Category::kFault, trace_track_, "nic.rx_overflow",
-                       link_->engine()->now(), p.bytes.size());
+                       link_->engine_for(this)->now(), p.bytes.size());
     }
     return;
   }

@@ -19,6 +19,10 @@
 #include "sim/fault.h"
 #include "trace/trace.h"
 
+namespace exo::cluster {
+class Cluster;
+}  // namespace exo::cluster
+
 namespace exo::hw {
 
 struct Packet {
@@ -103,6 +107,9 @@ class Nic {
 
  private:
   friend class Link;
+  // The cluster fabric delivers cross-shard arrivals at the receiving shard's
+  // horizon, outside any Link::Send call.
+  friend class cluster::Cluster;
   void Deliver(Packet p);
 
   uint32_t id_;
@@ -122,12 +129,18 @@ class Nic {
 // Full-duplex point-to-point wire. Each direction is an independent serialization
 // queue: a frame occupies the wire for (bytes + overhead) * 8 / bandwidth and arrives
 // at the far side after an additional propagation latency.
+//
+// Send and engine_for are virtual so the cluster fabric (cluster::ShardLink)
+// can reuse the NIC interface while serializing each direction on its own
+// shard's clock and delivering arrivals through the conservative-horizon
+// mailbox instead of this engine's queue.
 class Link {
  public:
   Link(sim::Engine* engine, double mbit_per_s, double latency_us, uint32_t cpu_mhz)
       : engine_(engine),
         cycles_per_byte_(static_cast<double>(cpu_mhz) * 8.0 / mbit_per_s),
         latency_cycles_(static_cast<sim::Cycles>(latency_us * cpu_mhz)) {}
+  virtual ~Link() = default;
 
   void Connect(Nic* a, Nic* b) {
     a_ = a;
@@ -138,7 +151,12 @@ class Link {
 
   // Serializes a frame onto the wire; returns the serialization-complete time
   // (when a tx-ring slot, if configured, is handed back to the host).
-  sim::Cycles Send(Nic* from, Packet p);
+  virtual sim::Cycles Send(Nic* from, Packet p);
+
+  // The engine carrying `side`'s events (ring bookkeeping, tracer stamps).
+  // One engine serves both sides of a plain link; a cross-shard link returns
+  // the shard engine that owns that side.
+  virtual sim::Engine* engine_for(const Nic* side) const { return engine_; }
 
   // Attaches (or detaches, with nullptr) a fault injector consulted once per frame
   // for drop/corrupt/duplicate; unarmed links skip it behind one pointer test.
@@ -167,7 +185,7 @@ class Link {
 
   double utilization_tx_a() const { return 0; }  // reserved for future instrumentation
 
- private:
+ protected:
   struct Direction {
     sim::Cycles busy_until = 0;
     uint32_t track = 0;

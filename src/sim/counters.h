@@ -20,18 +20,39 @@ class Counters {
 
   // Returns a stable pointer to the named counter, creating it at zero.
   Slot* Handle(const std::string& name) {
-    auto it = slots_.find(name);
+    const std::string key = prefix_.empty() ? name : prefix_ + name;
+    auto it = slots_.find(key);
     if (it == slots_.end()) {
-      it = slots_.emplace(name, std::make_unique<Slot>(0)).first;
+      it = slots_.emplace(key, std::make_unique<Slot>(0)).first;
     }
     return it->second.get();
   }
 
   void Add(const std::string& name, uint64_t delta = 1) { *Handle(name) += delta; }
   uint64_t Get(const std::string& name) const {
-    auto it = slots_.find(name);
+    auto it = slots_.find(prefix_.empty() ? name : prefix_ + name);
     return it == slots_.end() ? 0 : *it->second;
   }
+
+  // Prefixes every counter name with `prefix` ("m3." in a cluster), so merged
+  // multi-machine snapshots attribute unambiguously. Existing slots are
+  // re-keyed in place: cached Handle() pointers stay valid because slot
+  // storage is heap-allocated and survives the re-key. Apply at most once,
+  // before any same-named counters from two machines are merged; the default
+  // (empty) leaves single-machine names byte-identical to the historical ones.
+  void SetPrefix(const std::string& prefix) {
+    if (prefix == prefix_) {
+      return;
+    }
+    std::map<std::string, std::unique_ptr<Slot>> renamed;
+    for (auto& [name, slot] : slots_) {
+      const std::string base = name.substr(prefix_.size());
+      renamed.emplace(prefix + base, std::move(slot));
+    }
+    slots_ = std::move(renamed);
+    prefix_ = prefix;
+  }
+  const std::string& prefix() const { return prefix_; }
 
   void Reset() {
     for (auto& [name, slot] : slots_) {
@@ -63,6 +84,7 @@ class Counters {
 
  private:
   std::map<std::string, std::unique_ptr<Slot>> slots_;
+  std::string prefix_;
 };
 
 }  // namespace exo::sim

@@ -143,6 +143,63 @@ std::string TextDump(const Tracer& tracer, uint32_t cpu_mhz) {
   return out;
 }
 
+std::string MergedTextDump(const std::vector<const Tracer*>& tracers,
+                           uint32_t cpu_mhz) {
+  struct Tagged {
+    Record rec;
+    size_t tracer = 0;
+  };
+  std::vector<Tagged> all;
+  uint64_t emitted = 0;
+  uint64_t dropped = 0;
+  for (size_t i = 0; i < tracers.size(); ++i) {
+    emitted += tracers[i]->emitted();
+    dropped += tracers[i]->dropped();
+    for (const Record& r : tracers[i]->Records()) {
+      all.push_back(Tagged{r, i});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.rec.time != b.rec.time) {
+      return a.rec.time < b.rec.time;
+    }
+    if (a.tracer != b.tracer) {
+      return a.tracer < b.tracer;
+    }
+    return a.rec.seq < b.rec.seq;
+  });
+
+  std::string out;
+  AppendF(out, "# exo::trace merged dump: %zu tracers, %" PRIu64 " records (%" PRIu64
+               " dropped), cpu_mhz=%u\n",
+          tracers.size(), emitted, dropped, cpu_mhz);
+  for (const Tagged& t : all) {
+    const auto& tracks = tracers[t.tracer]->track_names();
+    const Record& r = t.rec;
+    const char* track = r.track < tracks.size() ? tracks[r.track].c_str() : "?";
+    AppendF(out, "[%" PRIu64 "] %s %s %s %s arg=%" PRIu64 "\n", r.time, track,
+            CategoryName(r.category), KindLetter(r.kind),
+            r.name != nullptr ? r.name : "?", r.arg);
+  }
+  bool any_hist = false;
+  for (const Tracer* t : tracers) {
+    any_hist |= !t->histograms().empty();
+  }
+  if (any_hist) {
+    out += "# histograms\n";
+    for (const Tracer* t : tracers) {
+      for (const auto& [name, h] : t->histograms()) {
+        AppendF(out,
+                "%s count=%" PRIu64 " min=%" PRIu64 " mean=%.1f p50=%" PRIu64
+                " p90=%" PRIu64 " p99=%" PRIu64 " max=%" PRIu64 "\n",
+                name.c_str(), h->count(), h->min(), h->mean(), h->Percentile(50),
+                h->Percentile(90), h->Percentile(99), h->max());
+      }
+    }
+  }
+  return out;
+}
+
 std::string HistogramSummary(const Tracer& tracer) {
   std::string out;
   for (const auto& [name, h] : tracer.histograms()) {

@@ -102,10 +102,33 @@ class Tracer {
 
   // Registers an attribution track (cold path: construction/boot only).
   uint32_t NewTrack(std::string name) {
-    track_names_.push_back(std::move(name));
+    track_names_.push_back(name_prefix_.empty() ? std::move(name)
+                                                : name_prefix_ + name);
     return static_cast<uint32_t>(track_names_.size() - 1);
   }
   const std::vector<std::string>& track_names() const { return track_names_; }
+
+  // Prefixes every track and histogram name with `prefix` ("m3." in a
+  // cluster), so merged multi-machine exports attribute unambiguously.
+  // Existing tracks and histograms are renamed in place (record track ids and
+  // cached histogram pointers stay valid); future NewTrack()/Histogram() names
+  // gain the prefix automatically. Apply at most once, before merging; the
+  // default (empty) leaves single-machine names byte-identical.
+  void SetNamePrefix(const std::string& prefix) {
+    if (prefix == name_prefix_) {
+      return;
+    }
+    for (std::string& name : track_names_) {
+      name = prefix + name.substr(name_prefix_.size());
+    }
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> renamed;
+    for (auto& [name, h] : histograms_) {
+      renamed.emplace(prefix + name.substr(name_prefix_.size()), std::move(h));
+    }
+    histograms_ = std::move(renamed);
+    name_prefix_ = prefix;
+  }
+  const std::string& name_prefix() const { return name_prefix_; }
 
   // Emission. Callers must check enabled(category) first — these write
   // unconditionally (apart from an empty-ring guard).
@@ -125,9 +148,10 @@ class Tracer {
   // Named latency histogram, created at zero on first use. The pointer is
   // stable: hot paths cache it exactly like a Counters slot handle.
   LatencyHistogram* Histogram(const std::string& name) {
-    auto it = histograms_.find(name);
+    const std::string key = name_prefix_.empty() ? name : name_prefix_ + name;
+    auto it = histograms_.find(key);
     if (it == histograms_.end()) {
-      it = histograms_.emplace(name, std::make_unique<LatencyHistogram>()).first;
+      it = histograms_.emplace(key, std::make_unique<LatencyHistogram>()).first;
     }
     return it->second.get();
   }
@@ -170,6 +194,7 @@ class Tracer {
   std::vector<Record> ring_;
   std::vector<std::string> track_names_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::string name_prefix_;
 };
 
 // ---- Exporters ----
@@ -177,6 +202,14 @@ class Tracer {
 // Compact deterministic text dump (tests diff this byte-for-byte): one line per
 // record in (time, seq) order, then a histogram summary block.
 std::string TextDump(const Tracer& tracer, uint32_t cpu_mhz = 200);
+
+// Deterministic merge of several machines' tracers into one text dump: records
+// interleave in (time, tracer index, seq) order, histogram blocks concatenate
+// in tracer order. Give each tracer a distinct SetNamePrefix ("m0.", "m1.",
+// ...) so merged track and histogram names stay unambiguous. The cluster
+// determinism tests diff this byte-for-byte across thread counts.
+std::string MergedTextDump(const std::vector<const Tracer*>& tracers,
+                           uint32_t cpu_mhz = 200);
 
 // Chrome trace_event JSON loadable by ui.perfetto.dev / chrome://tracing.
 // One thread per track; span begins/ends are rebalanced per track (orphan ends

@@ -1,0 +1,350 @@
+// Cluster subsystem: conservative-horizon parallel engine, cross-shard links,
+// topology wiring, and the determinism contract (same seed => bit-identical
+// output at any thread count).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/topology.h"
+#include "hw/machine.h"
+#include "hw/nic.h"
+#include "net/packet.h"
+#include "sim/engine.h"
+
+namespace exo {
+namespace {
+
+hw::Packet RoutableFrame(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+                         uint16_t dst_port, size_t size = 64) {
+  hw::Packet p;
+  p.bytes.assign(size, 0);
+  p.bytes[net::kOffProto] = net::kProtoUdp;
+  for (int i = 0; i < 4; ++i) {
+    p.bytes[net::kOffSrcIp + i] = static_cast<uint8_t>(src_ip >> (8 * i));
+    p.bytes[net::kOffDstIp + i] = static_cast<uint8_t>(dst_ip >> (8 * i));
+  }
+  p.bytes[net::kOffSrcPort] = static_cast<uint8_t>(src_port);
+  p.bytes[net::kOffSrcPort + 1] = static_cast<uint8_t>(src_port >> 8);
+  p.bytes[net::kOffDstPort] = static_cast<uint8_t>(dst_port);
+  p.bytes[net::kOffDstPort + 1] = static_cast<uint8_t>(dst_port >> 8);
+  return p;
+}
+
+// A ping-pong across a cross-shard link must observe the exact timestamps the
+// plain single-engine wire produces: the fabric changes who runs the events,
+// never when they happen.
+TEST(ClusterTest, CrossShardWireMatchesSingleEngineTimestamps) {
+  constexpr int kRounds = 8;
+  constexpr double kMbps = 100.0;
+  constexpr double kLatencyUs = 50.0;
+
+  // Reference: one engine, plain link.
+  std::vector<sim::Cycles> want;
+  {
+    sim::Engine engine;
+    hw::Nic a(0), b(1);
+    hw::Link link(&engine, kMbps, kLatencyUs, 200);
+    link.Connect(&a, &b);
+    int hops = 0;
+    b.SetReceiveHandler([&](hw::Packet p) {
+      want.push_back(engine.now());
+      if (++hops < kRounds) {
+        b.Transmit(std::move(p));
+      }
+    });
+    a.SetReceiveHandler([&](hw::Packet p) {
+      want.push_back(engine.now());
+      a.Transmit(std::move(p));
+    });
+    a.Transmit(hw::Packet{std::vector<uint8_t>(200, 1)});
+    engine.RunUntilIdle();
+  }
+  // b records kRounds arrivals, a records the kRounds - 1 returns.
+  ASSERT_EQ(want.size(), static_cast<size_t>(2 * kRounds - 1));
+
+  std::vector<sim::Cycles> got;
+  {
+    cluster::Cluster cl;
+    const uint32_t sa = cl.AddShard("a");
+    const uint32_t sb = cl.AddShard("b");
+    hw::Nic a(0), b(1);
+    cl.Connect(sa, &a, sb, &b, kMbps, kLatencyUs, 200);
+    int hops = 0;
+    b.SetReceiveHandler([&](hw::Packet p) {
+      got.push_back(cl.engine(sb).now());
+      if (++hops < kRounds) {
+        b.Transmit(std::move(p));
+      }
+    });
+    a.SetReceiveHandler([&](hw::Packet p) {
+      got.push_back(cl.engine(sa).now());
+      a.Transmit(std::move(p));
+    });
+    a.Transmit(hw::Packet{std::vector<uint8_t>(200, 1)});
+    cl.Run();
+    EXPECT_GT(cl.rounds(), 0u);
+    EXPECT_EQ(cl.cross_messages(), static_cast<uint64_t>(2 * kRounds - 1));
+  }
+  EXPECT_EQ(got, want);
+}
+
+// A zero-latency wire would give the conservative protocol no window at all;
+// the fabric clamps it to one cycle of lookahead.
+TEST(ClusterTest, ZeroLatencyCrossShardLinkClampsToOneCycle) {
+  cluster::Cluster cl;
+  const uint32_t sa = cl.AddShard("a");
+  const uint32_t sb = cl.AddShard("b");
+  hw::Nic a(0), b(1);
+  cl.Connect(sa, &a, sb, &b, 1000.0, /*latency_us=*/0.0, 200);
+  EXPECT_EQ(cl.lookahead(), 1u);
+
+  int delivered = 0;
+  b.SetReceiveHandler([&](hw::Packet) { ++delivered; });
+  a.Transmit(hw::Packet{std::vector<uint8_t>(64, 0)});
+  cl.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+// Same-cycle arrivals from different source shards must insert in
+// (src shard, send seq) order no matter which worker thread drained first.
+TEST(ClusterTest, SameTimestampCrossShardArrivalsTieBreakBySourceShard) {
+  for (uint32_t threads : {1u, 3u}) {
+    cluster::Cluster cl(cluster::ClusterOptions{threads, 1});
+    const uint32_t sa = cl.AddShard("a");
+    const uint32_t sb = cl.AddShard("b");
+    const uint32_t sd = cl.AddShard("dst");
+    hw::Nic a(0), b(1), da(2), db(3);
+    cl.Connect(sa, &a, sd, &da, 100.0, 25.0, 200);
+    cl.Connect(sb, &b, sd, &db, 100.0, 25.0, 200);
+
+    std::vector<uint8_t> order;
+    auto record = [&order](hw::Packet p) { order.push_back(p.bytes[63]); };
+    da.SetReceiveHandler(record);
+    db.SetReceiveHandler(record);
+
+    // Identical frames sent at local time 0 on identical wires: identical
+    // arrival cycles. Transmit in *reverse* shard order to prove the sort, not
+    // the call order, decides.
+    hw::Packet from_b{std::vector<uint8_t>(64, 0)};
+    from_b.bytes[63] = 2;
+    b.Transmit(std::move(from_b));
+    hw::Packet from_a{std::vector<uint8_t>(64, 0)};
+    from_a.bytes[63] = 1;
+    a.Transmit(std::move(from_a));
+    cl.Run();
+
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1) << "threads=" << threads;
+    EXPECT_EQ(order[1], 2) << "threads=" << threads;
+  }
+}
+
+TEST(ClusterTest, RunUntilAlignsEveryShardClock) {
+  cluster::Cluster cl;
+  const uint32_t sa = cl.AddShard("a");
+  const uint32_t sb = cl.AddShard("b");
+  const uint32_t sc = cl.AddShard("idle");
+  hw::Nic a(0), b(1);
+  cl.Connect(sa, &a, sb, &b, 1000.0, 10.0, 200);
+  b.SetReceiveHandler([&](hw::Packet p) { b.Transmit(std::move(p)); });
+  a.SetReceiveHandler([&](hw::Packet p) { a.Transmit(std::move(p)); });
+  a.Transmit(hw::Packet{std::vector<uint8_t>(64, 0)});
+
+  cl.RunUntil(50'000);
+  EXPECT_EQ(cl.engine(sa).now(), 50'000u);
+  EXPECT_EQ(cl.engine(sb).now(), 50'000u);
+  EXPECT_EQ(cl.engine(sc).now(), 50'000u);
+
+  // Resuming past the first deadline keeps the ping-pong alive.
+  const uint64_t msgs = cl.cross_messages();
+  cl.RunUntil(100'000);
+  EXPECT_GT(cl.cross_messages(), msgs);
+}
+
+TEST(ClusterTest, SeedDerivationIsStableAndDisjoint) {
+  EXPECT_EQ(cluster::DeriveSeed(1, 0), cluster::DeriveSeed(1, 0));
+  EXPECT_NE(cluster::DeriveSeed(1, 0), cluster::DeriveSeed(1, 1));
+  EXPECT_NE(cluster::DeriveSeed(1, 0), cluster::DeriveSeed(2, 0));
+  cluster::Cluster cl(cluster::ClusterOptions{1, 42});
+  EXPECT_EQ(cl.DeriveSeed(7), cluster::DeriveSeed(42, 7));
+}
+
+// Machines colocated on one shard keep plain links; only cross-shard wires
+// contribute lookahead.
+TEST(ClusterTest, SameShardConnectStaysPlainLink) {
+  cluster::Cluster cl;
+  const uint32_t s = cl.AddShard("s");
+  hw::Nic a(0), b(1);
+  hw::Link* link = cl.Connect(s, &a, s, &b, 1000.0, 0.0, 200);
+  EXPECT_EQ(link->engine_for(&a), &cl.engine(s));
+  EXPECT_EQ(cl.lookahead(), cluster::kNever);
+  int delivered = 0;
+  b.SetReceiveHandler([&](hw::Packet) { ++delivered; });
+  a.Transmit(hw::Packet{std::vector<uint8_t>(64, 0)});
+  cl.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+// Satellite: machine-id prefixes. A cluster machine re-keys its counters and
+// trace tracks in place; a standalone machine's names are untouched.
+TEST(ClusterTest, ClusterIdentityPrefixesCountersAndTracks) {
+  sim::Engine engine;
+  hw::Machine m(&engine);
+  EXPECT_EQ(m.cluster_id(), hw::Machine::kNoClusterId);
+  auto* slot = m.counters().Handle("nic.dropped");
+  m.counters().Add("nic.dropped", 3);
+
+  m.SetClusterIdentity(7);
+  EXPECT_EQ(m.cluster_id(), 7u);
+  // Cached handles survive the re-key; reads through either path agree.
+  *slot += 1;
+  EXPECT_EQ(m.counters().Get("nic.dropped"), 4u);  // Get applies the prefix
+  auto snap = m.counters().Snapshot();
+  ASSERT_FALSE(snap.empty());
+  for (const auto& [name, value] : snap) {
+    EXPECT_EQ(name.rfind("m7.", 0), 0u) << name;
+  }
+  EXPECT_EQ(m.tracer().track_names()[0], "m7.main");
+  const uint32_t t = m.tracer().NewTrack("disk9");
+  EXPECT_EQ(m.tracer().track_names()[t], "m7.disk9");
+
+  sim::Engine e2;
+  hw::Machine standalone(&e2);
+  standalone.counters().Add("nic.dropped");
+  bool found_unprefixed = false;
+  for (const auto& [name, value] : standalone.counters().Snapshot()) {
+    EXPECT_NE(name.rfind("m", 0), 0u) << name;
+    found_unprefixed |= name == "nic.dropped";
+  }
+  EXPECT_TRUE(found_unprefixed);
+  EXPECT_EQ(standalone.tracer().track_names()[0], "main");
+}
+
+// ---- Topology ----
+
+// Drives the balancer topology with raw routable frames: every client streams
+// requests at the VIP, servers echo them back. Returns the merged
+// counters+trace dump, which must be bit-identical across thread counts.
+std::string RunBalancerWorkload(uint32_t threads, uint64_t* forwarded,
+                                size_t* flows, uint64_t* echoed) {
+  cluster::TopologyConfig tc;
+  tc.servers = 2;
+  tc.clients = 3;
+  tc.front_end_lb = true;
+  tc.threads = threads;
+  tc.seed = 99;
+  tc.machine.mem_frames = 64;
+  tc.machine.disks.clear();
+  cluster::Topology topo(tc);
+
+  uint64_t echo_count = 0;
+  for (uint32_t k = 0; k < tc.servers; ++k) {
+    hw::Machine& srv = topo.server(k);
+    srv.tracer().Enable();
+    auto* rx = srv.counters().Handle("srv.rx");
+    hw::Nic* nic = &srv.nic(0);
+    nic->SetReceiveHandler([rx, nic, &echo_count](hw::Packet p) {
+      ++*rx;
+      ++echo_count;
+      // Echo: swap src and dst ip/port so the balancer routes the reply home.
+      for (int i = 0; i < 4; ++i) {
+        std::swap(p.bytes[net::kOffSrcIp + i], p.bytes[net::kOffDstIp + i]);
+      }
+      std::swap(p.bytes[net::kOffSrcPort], p.bytes[net::kOffDstPort]);
+      std::swap(p.bytes[net::kOffSrcPort + 1], p.bytes[net::kOffDstPort + 1]);
+      nic->Transmit(std::move(p));
+    });
+  }
+  for (uint32_t j = 0; j < tc.clients; ++j) {
+    hw::Machine& cli = topo.client(j);
+    cli.tracer().Enable();
+    auto* rx = cli.counters().Handle("cli.rx");
+    cli.nic(0).SetReceiveHandler([rx](hw::Packet) { ++*rx; });
+    sim::Engine& eng = topo.engine_of(topo.client_id(j));
+    for (int burst = 0; burst < 4; ++burst) {
+      eng.ScheduleAt(1'000 + 7'000 * burst + 311 * j, [&topo, j] {
+        topo.client(j).nic(0).Transmit(RoutableFrame(
+            topo.client_ip(j), cluster::Topology::kVip, 2'000 + j, 80));
+      });
+    }
+  }
+  topo.balancer().tracer().Enable();
+  topo.Run();
+
+  *forwarded = topo.lb_forwarded();
+  *flows = topo.lb_flows();
+  *echoed = echo_count;
+  return topo.MergedCountersDump() + topo.MergedTraceDump();
+}
+
+// The determinism contract, end to end: same seed, thread count 1 vs 3 vs 4,
+// byte-identical merged counters and trace dumps.
+TEST(ClusterTest, TopologyOutputBitIdenticalAcrossThreadCounts) {
+  uint64_t fwd1 = 0, fwd3 = 0, fwd4 = 0, echo1 = 0, echo3 = 0, echo4 = 0;
+  size_t flows1 = 0, flows3 = 0, flows4 = 0;
+  const std::string dump1 = RunBalancerWorkload(1, &fwd1, &flows1, &echo1);
+  const std::string dump3 = RunBalancerWorkload(3, &fwd3, &flows3, &echo3);
+  const std::string dump4 = RunBalancerWorkload(4, &fwd4, &flows4, &echo4);
+
+  EXPECT_EQ(echo1, 12u);  // 3 clients x 4 bursts, every frame reached a server
+  EXPECT_EQ(fwd1, 24u);   // each echoed frame crossed the balancer twice
+  EXPECT_EQ(flows1, 3u);  // one pinned flow per client
+  EXPECT_EQ(fwd1, fwd3);
+  EXPECT_EQ(fwd1, fwd4);
+  EXPECT_EQ(flows1, flows3);
+  EXPECT_EQ(flows1, flows4);
+  EXPECT_EQ(echo1, echo3);
+  EXPECT_EQ(echo1, echo4);
+  EXPECT_EQ(dump1, dump3);
+  EXPECT_EQ(dump1, dump4);
+  // The dump is machine-prefixed and non-trivial.
+  EXPECT_NE(dump1.find("m0.lb.forwarded 24"), std::string::npos);
+  EXPECT_NE(dump1.find("m1.srv.rx"), std::string::npos);
+}
+
+// Flow pinning: each client's flow lands on one backend, round-robin by first
+// sight; replies route back to the right client.
+TEST(ClusterTest, BalancerPinsFlowsRoundRobin) {
+  uint64_t fwd = 0, echoed = 0;
+  size_t flows = 0;
+  const std::string dump = RunBalancerWorkload(2, &fwd, &flows, &echoed);
+  EXPECT_EQ(flows, 3u);
+  // Clients fire in j order within each burst (311 * j stagger): backends get
+  // flows 0,1,0 -> server m1 sees 2 flows x 4 frames, m2 sees 1 x 4.
+  EXPECT_NE(dump.find("m1.srv.rx 8"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("m2.srv.rx 4"), std::string::npos) << dump;
+  // Every client got all 4 echoes back.
+  EXPECT_NE(dump.find("m3.cli.rx 4"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("m4.cli.rx 4"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("m5.cli.rx 4"), std::string::npos) << dump;
+}
+
+// Direct mode wires client j to server j % servers with no middle hop.
+TEST(ClusterTest, DirectTopologyWiresClientsToServers) {
+  cluster::TopologyConfig tc;
+  tc.servers = 2;
+  tc.clients = 4;
+  tc.front_end_lb = false;
+  tc.machine.mem_frames = 64;
+  tc.machine.disks.clear();
+  cluster::Topology topo(tc);
+
+  ASSERT_EQ(topo.num_machines(), 6u);
+  EXPECT_EQ(topo.server(0).num_nics(), 2u);  // clients 0 and 2
+  EXPECT_EQ(topo.server(1).num_nics(), 2u);  // clients 1 and 3
+  EXPECT_EQ(topo.server_for_client(3), 1u);
+  EXPECT_EQ(topo.server_nic_for_client(3), 1u);
+
+  int rx = 0;
+  topo.server(1).nic(1).SetReceiveHandler([&](hw::Packet) { ++rx; });
+  topo.client(3).nic(0).Transmit(RoutableFrame(topo.client_ip(3),
+                                               cluster::Topology::kVip, 99, 80));
+  topo.Run();
+  EXPECT_EQ(rx, 1);
+}
+
+}  // namespace
+}  // namespace exo
