@@ -155,6 +155,17 @@ void HttpServer::ArmDeadline(net::TcpConn* conn) {
       });
 }
 
+void HttpServer::Shutdown() {
+  for (auto& [conn, entry] : deadlines_) {
+    if (entry.timer != 0) {
+      engine_->Cancel(entry.timer);
+    }
+  }
+  deadlines_.clear();
+  partial_.clear();
+  stack_->Shutdown();
+}
+
 void HttpServer::DisarmDeadline(net::TcpConn* conn) {
   auto it = deadlines_.find(conn);
   if (it == deadlines_.end()) {
@@ -449,10 +460,24 @@ void HttpClient::StartOne() {
     inflight_.erase(conn);
     if (conn->aborted()) {
       // Reset mid-request (server deadline abort or retry exhaustion): not a
-      // completed fetch. Keep the closed loop offering load.
-      StartOne();
+      // completed fetch. Keep the closed loop offering load — immediately by
+      // default, after a capped exponential backoff when armed (failover:
+      // don't hammer a dead server at RTT rate).
+      if (retry_base_ == 0) {
+        StartOne();
+        return;
+      }
+      const uint64_t shift = consec_aborts_ < 16 ? consec_aborts_ : 16;
+      sim::Cycles delay = retry_base_ << shift;
+      if (retry_cap_ != 0 && delay > retry_cap_) {
+        delay = retry_cap_;
+      }
+      delay += retry_rng_.Below(retry_base_ / 2 + 1);
+      ++consec_aborts_;
+      engine_->ScheduleAfter(delay, [this] { StartOne(); });
       return;
     }
+    consec_aborts_ = 0;
     // The server closes after the response: we have the whole document.
     if (latency_hist_ != nullptr && tracer_->enabled(trace::Category::kApp)) {
       latency_hist_->Record(engine_->now() - start);
@@ -562,6 +587,12 @@ void OpenLoopHttpClient::IssuePersistent() {
   const size_t idx = pool_rr_++ % pool_.size();
   PoolSlot& s = pool_[idx];
   if (s.conn == nullptr) {
+    if (engine_->now() < s.retry_at) {
+      // Slot is backing off a dead connection: the arrival neither waits nor
+      // redials — open-loop client-side failure.
+      ++failed_;
+      return;
+    }
     OpenPoolSlot(idx);
   }
   if (s.starts.size() + s.queued.size() >= max_pipeline_) {
@@ -630,6 +661,19 @@ void OpenLoopHttpClient::OpenPoolSlot(size_t idx) {
     slot.rx.clear();
     slot.established = false;
     slot.conn = nullptr;  // next issue through this slot reconnects
+    if (conn->aborted() && reconnect_base_ != 0) {
+      // Died hard (RST, retry exhaustion): back the slot off before redialing,
+      // doubling per consecutive failure up to the cap, with seeded jitter so
+      // a fleet of slots doesn't redial in lockstep.
+      const uint32_t shift = slot.consec_fails < 16 ? slot.consec_fails : 16;
+      sim::Cycles delay = reconnect_base_ << shift;
+      if (reconnect_cap_ != 0 && delay > reconnect_cap_) {
+        delay = reconnect_cap_;
+      }
+      delay += reconnect_rng_.Below(reconnect_base_ / 2 + 1);
+      slot.retry_at = engine_->now() + delay;
+      ++slot.consec_fails;
+    }
     if (conn->state() == net::TcpConn::State::kCloseWait) {
       conn->Close();  // server closed first: finish our side too
     }
@@ -664,6 +708,8 @@ void OpenLoopHttpClient::DrainPoolResponses(size_t idx) {
     if (ok) {
       ++completed_;
       latency_.Record(engine_->now() - start);
+      s.consec_fails = 0;  // the connection is healthy: forget the backoff streak
+      s.retry_at = 0;
     } else if (shed) {
       ++rejected_;
     } else {

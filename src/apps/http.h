@@ -28,6 +28,7 @@
 #include "net/tcp.h"
 #include "net/xio.h"
 #include "sim/cpu_meter.h"
+#include "sim/rng.h"
 #include "trace/histogram.h"
 
 namespace exo::apps {
@@ -90,6 +91,13 @@ class HttpServer {
   // sub-spans, the CPU meter gets its own busy track, and the TCP stack emits
   // segment instants. Call before serving traffic.
   void SetTracer(trace::Tracer* tracer);
+
+  // Machine-death teardown: cancels every deadline timer, drops partially
+  // parsed requests, and shuts the TCP stack down (no FINs, no callbacks —
+  // see TcpStack::Shutdown). The object stays valid as a zombie so engine
+  // events already scheduled against it no-op; a rebooted machine builds a
+  // fresh HttpServer instead of reviving this one.
+  void Shutdown();
 
  private:
   struct DeadlineEntry {
@@ -159,6 +167,17 @@ class HttpClient {
   // identical.
   void set_request_timeout(sim::Cycles cycles) { request_timeout_ = cycles; }
 
+  // Connection-death retry backoff: after an aborted fetch the loop slot waits
+  // min(cap, base << consecutive_aborts) plus seeded jitter before reissuing,
+  // instead of hammering a dead server at RTT rate; any successful fetch
+  // resets the streak. 0 base (default) keeps the historical immediate-retry
+  // behavior, event-for-event.
+  void set_retry_backoff(sim::Cycles base, sim::Cycles cap, uint64_t seed) {
+    retry_base_ = base;
+    retry_cap_ = cap;
+    retry_rng_ = sim::Rng(seed);
+  }
+
   // Attaches a tracer under track `name`; completed requests feed the
   // "http.request_latency_cycles" histogram (connect to close).
   void SetTracer(trace::Tracer* tracer, const std::string& name);
@@ -179,6 +198,10 @@ class HttpClient {
   trace::LatencyHistogram* latency_hist_ = nullptr;
   sim::Cycles request_timeout_ = 0;
   uint64_t timeout_epoch_ = 0;
+  sim::Cycles retry_base_ = 0;
+  sim::Cycles retry_cap_ = 0;
+  uint64_t consec_aborts_ = 0;
+  sim::Rng retry_rng_{1};
   // Outstanding requests by PCB pointer; the epoch disambiguates a reused PCB
   // from the request whose timeout was armed (stale timers stand down).
   std::map<net::TcpConn*, uint64_t> inflight_;
@@ -234,6 +257,18 @@ class OpenLoopHttpClient {
   // constructor's single doc.
   void set_doc_picker(std::function<std::string()> f) { doc_picker_ = std::move(f); }
 
+  // Reconnect backoff for persistent pools: after a pool connection dies
+  // aborted, the slot refuses to redial for min(cap, base << consecutive
+  // failures) plus seeded jitter; arrivals landing on a backing-off slot
+  // count as failed immediately (the open loop never waits). A successfully
+  // completed response resets the slot's streak. 0 base (default) keeps the
+  // historical redial-on-next-arrival behavior.
+  void set_reconnect_backoff(sim::Cycles base, sim::Cycles cap, uint64_t seed) {
+    reconnect_base_ = base;
+    reconnect_cap_ = cap;
+    reconnect_rng_ = sim::Rng(seed);
+  }
+
  private:
   struct Pending {
     std::string data;    // response bytes captured so far
@@ -245,6 +280,8 @@ class OpenLoopHttpClient {
     std::string rx;                  // response bytes not yet parsed
     std::deque<sim::Cycles> starts;  // issue time per outstanding request, in order
     std::deque<std::string> queued;  // requests issued before the handshake finished
+    sim::Cycles retry_at = 0;        // no redial before this time (backoff)
+    uint32_t consec_fails = 0;       // aborted closes since the last success
   };
 
   void IssueOne();
@@ -268,6 +305,9 @@ class OpenLoopHttpClient {
   std::function<std::string()> doc_picker_;
   sim::Cycles request_timeout_ = 0;
   uint64_t timeout_epoch_ = 0;
+  sim::Cycles reconnect_base_ = 0;
+  sim::Cycles reconnect_cap_ = 0;
+  sim::Rng reconnect_rng_{1};
   uint64_t issued_ = 0;
   uint64_t completed_ = 0;
   uint64_t rejected_ = 0;

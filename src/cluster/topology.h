@@ -20,16 +20,35 @@
 #define EXO_CLUSTER_TOPOLOGY_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "hw/machine.h"
 #include "sim/cpu_meter.h"
+#include "sim/fault.h"
+#include "sim/rng.h"
 
 namespace exo::cluster {
+
+// Active health checking for the balancer (docs/CLUSTER.md "Machine failure
+// and failover"): the balancer probes each backend's NIC firmware on a
+// seeded-jitter interval, ejects a backend after `fall` consecutive missed
+// replies (evicting its pinned flows), and readmits it after `rise`
+// consecutive successes. Disabled by default — an unarmed topology schedules
+// no probe events and stays byte-identical to the pre-failover behavior.
+struct HealthCheckConfig {
+  bool enabled = false;
+  double interval_us = 2000.0;  // mean per-backend probe interval
+  double timeout_us = 1000.0;   // reply deadline per probe
+  uint32_t fall = 3;            // consecutive misses before ejection
+  uint32_t rise = 2;            // consecutive successes before readmission
+  double jitter_frac = 0.25;    // probes land in interval * (1 +/- jitter_frac)
+};
 
 struct TopologyConfig {
   uint32_t servers = 3;
@@ -48,6 +67,12 @@ struct TopologyConfig {
   double client_latency_us = 40.0;
   // Balancer CPU cycles per forwarded frame (store-and-forward cost).
   sim::Cycles lb_forward_cost = 600;
+  // Active backend health checks (armed with ArmHealthChecks; off by default).
+  HealthCheckConfig health;
+  // How long a flow pin lingers after a client FIN before eviction. The close
+  // handshake (server FIN/ACK, final client ACK) must still route to the
+  // pinned backend; evicting on the FIN itself would misroute it.
+  double lb_pin_linger_us = 500.0;
   // Template for every machine; seed is overridden per machine with
   // DeriveSeed(seed, machine_id) and num_nics with the wiring's fan-out.
   hw::MachineConfig machine;
@@ -87,6 +112,55 @@ class Topology {
   uint64_t lb_forwarded() const { return lb_forwarded_ == nullptr ? 0 : *lb_forwarded_; }
   uint64_t lb_no_route() const { return lb_no_route_ == nullptr ? 0 : *lb_no_route_; }
   size_t lb_flows() const { return lb_flows_.size(); }
+  uint64_t lb_ejected() const { return lb_ejected_ == nullptr ? 0 : *lb_ejected_; }
+  uint64_t lb_readmitted() const { return lb_readmitted_ == nullptr ? 0 : *lb_readmitted_; }
+  uint64_t lb_pins_evicted() const { return lb_pins_evicted_ == nullptr ? 0 : *lb_pins_evicted_; }
+  uint64_t lb_failover_reroutes() const {
+    return lb_failover_reroutes_ == nullptr ? 0 : *lb_failover_reroutes_;
+  }
+
+  // --- Machine failure and failover (docs/CLUSTER.md, docs/ROBUSTNESS.md) ---
+
+  // Arms the balancer's active health checks against every backend until the
+  // given simulated time (probes are pre-scheduled events; an open-ended
+  // self-rescheduling loop would keep Run() from ever terminating). Probes are
+  // hw::kProbeProto frames answered by the backend NIC firmware
+  // (EnableProbeResponder is armed here on every server NIC facing the
+  // balancer), deliberately below the TCP stack: a killed machine is silent
+  // exactly like dead hardware. Requires front_end_lb.
+  void ArmHealthChecks(sim::Cycles until);
+
+  // Schedules the machine kill/reboot events (sim::ParseMachineSchedule
+  // grammar: "k@<t>:<m>,b@<t>:<m>") on each victim's shard engine. Kills run
+  // hw::Machine::Kill (NICs down, disks power-cut, kill listeners) and reboots
+  // hw::Machine::Reboot; both are recorded through a per-victim
+  // sim::FaultInjector (fault.machine_kills / fault.machine_reboots counters
+  // and machine_kill/machine_reboot trace instants on the victim's timeline).
+  // All state touched is machine-local, so schedules replay bit-identically at
+  // any thread count. Call before Run; may be called multiple times.
+  void ApplyMachineSchedule(const std::vector<sim::MachineEvent>& schedule);
+
+  // Optional fleet-level lifecycle hooks, called (with the machine id, on the
+  // victim's shard thread, after the hardware transition and the machine's own
+  // listeners) for every scheduled kill/reboot. Benches and tests use these to
+  // shut down / rebuild the victim's software stack.
+  void SetMachineLifecycleHooks(std::function<void(uint32_t)> on_kill,
+                                std::function<void(uint32_t)> on_reboot) {
+    on_kill_ = std::move(on_kill);
+    on_reboot_ = std::move(on_reboot);
+  }
+
+  // Health-check observability for benches: current ejection state and the
+  // last ejection/readmission timestamps per backend (0 = never).
+  bool backend_ejected(uint32_t k) const {
+    return k < lb_health_.size() && lb_health_[k].ejected;
+  }
+  sim::Cycles backend_last_eject(uint32_t k) const {
+    return k < lb_health_.size() ? lb_health_[k].last_eject_time : 0;
+  }
+  sim::Cycles backend_last_readmit(uint32_t k) const {
+    return k < lb_health_.size() ? lb_health_[k].last_readmit_time : 0;
+  }
 
   // Deterministic fleet-wide observability: per-machine counter snapshots
   // ("m0.nic.dropped 12\n" ...) concatenated in machine order, and the
@@ -96,20 +170,76 @@ class Topology {
   std::string MergedTraceDump(uint32_t cpu_mhz = 200) const;
 
  private:
+  // A flow's pin to a backend, plus its close-tracking state: a client FIN
+  // marks the pin closing and schedules an epoch-guarded linger eviction;
+  // later non-FIN traffic on the flow (retransmits, a reused source port)
+  // bumps the epoch and revives the pin, cancelling the pending eviction.
+  struct FlowPin {
+    uint32_t backend = 0;
+    uint64_t close_epoch = 0;
+    bool closing = false;
+  };
+
+  // Per-backend health-check state; balancer-shard-local like lb_flows_.
+  struct BackendHealth {
+    bool ejected = false;
+    uint32_t strikes = 0;    // consecutive missed probes
+    uint32_t successes = 0;  // consecutive replies while ejected
+    uint64_t probes_sent = 0;
+    uint64_t last_reply_seq = 0;
+    sim::Cycles last_eject_time = 0;
+    sim::Cycles last_readmit_time = 0;
+    sim::Rng rng{1};  // seeded-jitter probe spacing
+  };
+
   void WireBalancer();
   void WireDirect();
   void ForwardFromClient(uint32_t client_nic, hw::Packet p);
+  void OnServerFrame(uint32_t backend, hw::Packet p);
   void ForwardFromServer(hw::Packet p);
+  // Flow key: (src ip, src port). TCP frames carry their real source port in
+  // the TCP header (net::kIpHeaderBytes); everything else keys on the generic
+  // net::kOffSrcPort bytes, preserving the historical non-TCP pinning.
+  uint64_t FlowKey(const hw::Packet& p) const;
+  // Round-robin over non-ejected backends; returns kNoBackend if all ejected.
+  static constexpr uint32_t kNoBackend = 0xffffffff;
+  uint32_t PickBackend();
+  void EvictPin(uint64_t flow, bool reroute_expected);
+  void ScheduleProbe(uint32_t backend);
+  void SendProbe(uint32_t backend);
+  void OnProbeMiss(uint32_t backend);
+  void Eject(uint32_t backend);
+  void Readmit(uint32_t backend);
+  sim::FaultInjector* MachineFaultInjector(uint32_t id);
 
   TopologyConfig config_;
   Cluster cluster_;
   std::vector<std::unique_ptr<hw::Machine>> machines_;
   // Balancer state; lives on the balancer's shard, touched only by it.
   std::unique_ptr<sim::CpuMeter> lb_cpu_;
-  std::map<uint64_t, uint32_t> lb_flows_;  // (src ip, src port) -> backend index
+  std::map<uint64_t, FlowPin> lb_flows_;  // (src ip, src port) -> pin
   uint32_t lb_next_backend_ = 0;
   sim::Counters::Slot* lb_forwarded_ = nullptr;
   sim::Counters::Slot* lb_no_route_ = nullptr;
+  sim::Counters::Slot* lb_ejected_ = nullptr;
+  sim::Counters::Slot* lb_readmitted_ = nullptr;
+  sim::Counters::Slot* lb_pins_evicted_ = nullptr;
+  sim::Counters::Slot* lb_failover_reroutes_ = nullptr;
+  // Health checks (empty until ArmHealthChecks).
+  std::vector<BackendHealth> lb_health_;
+  sim::Cycles health_until_ = 0;
+  sim::Cycles health_interval_ = 0;
+  sim::Cycles health_timeout_ = 0;
+  uint32_t lb_trace_track_ = 0;
+  bool lb_trace_track_made_ = false;
+  // Flows evicted by an ejection; counted into lb.failover_reroutes when the
+  // flow re-pins to a surviving backend.
+  std::set<uint64_t> pending_reroute_;
+  // Machine-fault recording: one injector per victim machine, touched only by
+  // that machine's shard thread.
+  std::map<uint32_t, std::unique_ptr<sim::FaultInjector>> machine_faults_;
+  std::function<void(uint32_t)> on_kill_;
+  std::function<void(uint32_t)> on_reboot_;
 };
 
 }  // namespace exo::cluster

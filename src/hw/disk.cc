@@ -334,7 +334,7 @@ void Disk::Complete(DiskRequest req) {
     if (req.done) {
       req.done(Status::kIoError);
     }
-    if (!powered_off_) {
+    if (!powered_off_ && !active_) {
       StartNext();
     }
     return;
@@ -354,7 +354,7 @@ void Disk::Complete(DiskRequest req) {
     if (req.done) {
       req.done(Status::kIoError);
     }
-    if (!powered_off_) {
+    if (!powered_off_ && !active_) {
       StartNext();
     }
   };
@@ -453,7 +453,12 @@ void Disk::Complete(DiskRequest req) {
   if (req.done) {
     req.done(Status::kOk);
   }
-  StartNext();
+  // The completion callback may have chained a new request (or cut power): an
+  // idle-disk Submit from inside `done` dispatches directly, so only start the
+  // queue if the controller is still idle and alive.
+  if (!powered_off_ && !active_) {
+    StartNext();
+  }
 }
 
 void Disk::ClearQueue() {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -100,6 +101,62 @@ class Machine {
   static constexpr uint32_t kNoClusterId = UINT32_MAX;
   uint32_t cluster_id() const { return cluster_id_; }
 
+  // ---- Crash/reboot lifecycle ----
+  //
+  // Kill models a hard power loss: every NIC goes down (DMA rings cleared,
+  // arrivals drop, transmits refuse), every disk takes a power cut (in-flight
+  // requests torn exactly like the PR-6 crash model), and the kill listeners
+  // run so software layers (TCP stack, HTTP server, kernel envs) can drop
+  // volatile state. The Machine object itself stays alive as a zombie — any
+  // already-scheduled engine events against it must find coherent (empty)
+  // state, not freed memory.
+  //
+  // Reboot restores power: disks come back with their surviving media image
+  // (the reboot listeners are where fsck/XN recovery runs), NICs come up, and
+  // higher layers rebuild themselves from the listeners. Kill on a dead
+  // machine and reboot on a live one are no-ops, so schedules shrunk by ddmin
+  // (which may orphan a reboot) still replay cleanly.
+  bool alive() const { return alive_; }
+  void Kill() {
+    if (!alive_) {
+      return;
+    }
+    alive_ = false;
+    for (auto& n : nics_) {
+      n->SetUp(false);
+    }
+    for (auto& d : disks_) {
+      d->PowerCut();
+    }
+    for (auto& fn : kill_listeners_) {
+      fn();
+    }
+  }
+  void Reboot() {
+    if (alive_) {
+      return;
+    }
+    alive_ = true;
+    for (auto& d : disks_) {
+      d->PowerRestore();
+    }
+    for (auto& n : nics_) {
+      n->SetUp(true);
+    }
+    for (auto& fn : reboot_listeners_) {
+      fn();
+    }
+  }
+  // Listeners run in registration order, kill first-registered-first (kernel
+  // below stack below server is the natural order) — keep registration
+  // deterministic.
+  void AddKillListener(std::function<void()> fn) {
+    kill_listeners_.push_back(std::move(fn));
+  }
+  void AddRebootListener(std::function<void()> fn) {
+    reboot_listeners_.push_back(std::move(fn));
+  }
+
  private:
   sim::Engine* engine_;
   sim::CostModel cost_;
@@ -110,6 +167,9 @@ class Machine {
   trace::Tracer tracer_;
   sim::Rng rng_;
   uint32_t cluster_id_ = kNoClusterId;
+  bool alive_ = true;
+  std::vector<std::function<void()>> kill_listeners_;
+  std::vector<std::function<void()>> reboot_listeners_;
 };
 
 }  // namespace exo::hw

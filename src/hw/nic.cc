@@ -1,12 +1,20 @@
 #include "hw/nic.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace exo::hw {
 
 bool Nic::Transmit(Packet p) {
   EXO_CHECK(link_ != nullptr);
   EXO_CHECK_LE(p.bytes.size(), kMaxFrameBytes);
+  if (!up_) {
+    ++stats_.tx_rejected;
+    if (rejected_counter_ != nullptr) {
+      ++*rejected_counter_;
+    }
+    return false;
+  }
   if (tx_slots_ != 0 && tx_in_ring_ >= tx_slots_) {
     // Ring full: refuse at the door. The frame was never accepted, so this is
     // backpressure (`nic.rejected`), not loss.
@@ -37,6 +45,27 @@ bool Nic::Transmit(Packet p) {
 }
 
 void Nic::Deliver(Packet p) {
+  if (!up_) {
+    // The host is dead: frames already on the wire arrive at silicon nobody
+    // powers. The sender paid for the wire, so this is loss, not backpressure.
+    ++stats_.dropped;
+    if (dropped_counter_ != nullptr) {
+      ++*dropped_counter_;
+    }
+    return;
+  }
+  if (probe_responder_ && !p.bytes.empty() && p.bytes[0] == kProbeProto &&
+      p.bytes.size() >= kProbeFrameBytes) {
+    // Firmware echo: account the rx, swap prober/destination ips, and send the
+    // same frame back. Runs before the host handler — liveness needs no stack.
+    ++stats_.rx_packets;
+    stats_.rx_bytes += p.bytes.size();
+    for (size_t i = 1; i <= 4; ++i) {
+      std::swap(p.bytes[i], p.bytes[i + 4]);
+    }
+    Transmit(std::move(p));
+    return;
+  }
   if (rx_slots_ != 0 && rx_in_ring_ >= rx_slots_) {
     // Every rx descriptor is held by the host: the frame has nowhere to land.
     // Unlike a tx refusal the sender already paid for the wire, so this is loss.

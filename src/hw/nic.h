@@ -34,6 +34,15 @@ constexpr uint32_t kMaxFrameBytes = 1514;
 constexpr uint32_t kMinFrameBytes = 64;
 constexpr uint32_t kFrameWireOverhead = 24;  // preamble + FCS + inter-frame gap
 
+// Health-probe frame: byte 0 carries this protocol tag (disjoint from the
+// TCP/UDP tags in net/packet.h), bytes 1..4 the prober's ip, bytes 5..8 the
+// destination ip, bytes 9..16 a little-endian probe sequence. A NIC with the
+// probe responder armed echoes the frame with the ips swapped — firmware-level
+// liveness, deliberately below the TCP stack so a wedged or killed host stays
+// silent exactly like dead hardware.
+constexpr uint8_t kProbeProto = 0xEE;
+constexpr uint32_t kProbeFrameBytes = 17;
+
 struct NicStats {
   uint64_t tx_packets = 0;
   uint64_t rx_packets = 0;
@@ -105,6 +114,24 @@ class Nic {
   const NicStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NicStats{}; }
 
+  // Power state. Downing the NIC (machine kill) clears both DMA rings: the
+  // frames they held are gone with the machine's memory. While down, Transmit
+  // refuses (`nic.rejected`) and arrivals drop on the floor (`nic.dropped`) —
+  // the wire itself keeps working, the host on this end does not.
+  void SetUp(bool up) {
+    up_ = up;
+    if (!up_) {
+      tx_in_ring_ = 0;
+      rx_in_ring_ = 0;
+    }
+  }
+  bool up() const { return up_; }
+
+  // Arms the probe responder: kProbeProto frames are echoed (ips swapped)
+  // straight from Deliver, before the host receive handler. Dead NICs stay
+  // silent, which is what makes the echo a liveness signal.
+  void EnableProbeResponder() { probe_responder_ = true; }
+
  private:
   friend class Link;
   // The cluster fabric delivers cross-shard arrivals at the receiving shard's
@@ -120,6 +147,8 @@ class Nic {
   uint32_t rx_slots_ = 0;
   uint32_t tx_in_ring_ = 0;
   uint32_t rx_in_ring_ = 0;
+  bool up_ = true;
+  bool probe_responder_ = false;
   sim::Counters::Slot* rejected_counter_ = nullptr;
   sim::Counters::Slot* dropped_counter_ = nullptr;
   trace::Tracer* tracer_ = nullptr;

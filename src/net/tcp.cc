@@ -450,6 +450,38 @@ void TcpStack::Abort(TcpConn* conn) {
   AbortConn(conn, /*send_rst=*/true, "tcp.app_abort");
 }
 
+void TcpStack::Shutdown() {
+  for (auto& [key, conn] : conns_) {
+    TcpConn* c = conn.get();
+    for (auto* timer : {&c->ack_timer_, &c->rto_timer_}) {
+      if (*timer != 0) {
+        hooks_.engine->Cancel(*timer);
+        *timer = 0;
+      }
+    }
+    c->reap_deadline_ = 0;
+    c->unacked_.clear();
+    c->send_queue_.clear();
+    c->ack_pending_ = false;
+    // Closed + delivered without running callbacks: nobody hears from a
+    // machine that lost power.
+    c->aborted_ = true;
+    c->close_delivered_ = true;
+    c->state_ = TcpConn::State::kClosed;
+  }
+  conns_.clear();
+  pcb_pool_.clear();
+  tmp_.reset();
+  listeners_.clear();
+  half_open_.clear();
+  reap_deadlines_.clear();
+  if (reap_timer_event_ != 0) {
+    hooks_.engine->Cancel(reap_timer_event_);
+    reap_timer_event_ = 0;
+  }
+  reap_timer_deadline_ = 0;
+}
+
 sim::Cycles TcpStack::Input(const hw::Packet& p) {
   auto seg = DecodeTcp(p);
   if (!seg.has_value()) {

@@ -257,6 +257,16 @@ class TcpStack {
   // Releases a fully closed connection (returns its PCB to the pool).
   void Release(TcpConn* conn);
 
+  // Machine-death teardown: every PCB, listener, and timer vanishes at once,
+  // the way volatile memory does. No RSTs go out and no on_close callbacks
+  // fire — the host is dead, not closing — so peers discover the loss only by
+  // timeout, exactly as on real hardware. The stack object stays valid as an
+  // empty zombie: engine events already scheduled against it (delayed acks,
+  // RTOs, reap sweeps) look up their connection by key, find nothing, and
+  // no-op. Used by the cluster machine-kill path; a reboot builds a fresh
+  // stack rather than reviving this one.
+  void Shutdown();
+
   const TcpStats& stats() const { return stats_; }
   IpAddr ip() const { return ip_; }
   const TcpProfile& profile() const { return profile_; }

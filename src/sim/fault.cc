@@ -113,12 +113,16 @@ bool TokenizeSchedule(const std::string& text, const std::string& allowed,
 
 // Rejects two events aimed at the same consultation index of the same stream:
 // `stream_of` maps a kind letter to an arbitrary stream id; duplicates within
-// one stream are ambiguous (the script map would silently last-win).
+// one stream are ambiguous (the script map would silently last-win). Machine
+// kinds key on (index, arg) instead of index alone: their index is a *time*,
+// and two machines may legitimately die on the same cycle — only two events
+// for the same machine at the same cycle are ambiguous.
 bool CheckDuplicates(const std::vector<SchedToken>& tokens, int (*stream_of)(char),
                      std::string* error) {
-  std::map<std::pair<int, uint64_t>, size_t> seen;
+  std::map<std::tuple<int, uint64_t, uint64_t>, size_t> seen;
   for (size_t i = 0; i < tokens.size(); ++i) {
-    const auto key = std::make_pair(stream_of(tokens[i].kind), tokens[i].index);
+    const uint64_t sub = IsMachineFaultKind(tokens[i].kind) ? tokens[i].arg : 0;
+    const auto key = std::make_tuple(stream_of(tokens[i].kind), tokens[i].index, sub);
     auto [it, inserted] = seen.emplace(key, i);
     if (!inserted) {
       SetError(error, i + 1,
@@ -132,7 +136,15 @@ bool CheckDuplicates(const std::vector<SchedToken>& tokens, int (*stream_of)(cha
 
 int WireStream(char) { return 0; }
 int DiskStream(char k) { return (k == 'w' || k == 'm') ? 1 : 2; }
-int CombinedStream(char k) { return IsWireFaultKind(k) ? 0 : DiskStream(k); }
+// 'k' and 'b' share one stream so kill+reboot of one machine on one cycle —
+// whose order would be ambiguous — is rejected as a duplicate.
+int MachineStream(char) { return 3; }
+int CombinedStream(char k) {
+  if (IsWireFaultKind(k)) {
+    return 0;
+  }
+  return IsMachineFaultKind(k) ? MachineStream(k) : DiskStream(k);
+}
 
 void AppendToken(std::string* out, char kind, uint64_t index, bool has_arg,
                  uint64_t arg) {
@@ -151,14 +163,17 @@ void AppendToken(std::string* out, char kind, uint64_t index, bool has_arg,
   *out += buf;
 }
 
-bool KindCarriesArg(char k) { return k == 'c' || k == 'r' || k == 'm'; }
+bool KindCarriesArg(char k) {
+  return k == 'c' || k == 'r' || k == 'm' || IsMachineFaultKind(k);
+}
 }  // namespace
 
 void FaultInjector::AttachCounters(Counters* counters) {
   if (counters == nullptr) {
     counters_attached_ = false;
     c_disk_io_errors_ = c_power_cuts_ = c_lost_writes_ = c_misdirects_ = c_rot_ =
-        c_latent_ = c_net_drops_ = c_net_corruptions_ = c_net_duplicates_ = nullptr;
+        c_latent_ = c_net_drops_ = c_net_corruptions_ = c_net_duplicates_ =
+            c_machine_kills_ = c_machine_reboots_ = nullptr;
     return;
   }
   if (counters_attached_) {
@@ -174,6 +189,24 @@ void FaultInjector::AttachCounters(Counters* counters) {
   c_net_drops_ = counters->Handle("fault.net_drops");
   c_net_corruptions_ = counters->Handle("fault.net_corruptions");
   c_net_duplicates_ = counters->Handle("fault.net_duplicates");
+  c_machine_kills_ = counters->Handle("fault.machine_kills");
+  c_machine_reboots_ = counters->Handle("fault.machine_reboots");
+}
+
+void FaultInjector::RecordMachine(const MachineEvent& e) {
+  machine_events_.push_back(e);
+  fault_events_.push_back(FaultEvent{e.kind, e.time, e.machine});
+  if (e.kind == 'k') {
+    ++stats_.machine_kills;
+    Count(c_machine_kills_);
+    Log(Format("machine-kill t=%llu m=%llu", e.time, e.machine));
+    TraceFault("machine_kill", e.machine);
+  } else {
+    ++stats_.machine_reboots;
+    Count(c_machine_reboots_);
+    Log(Format("machine-reboot t=%llu m=%llu", e.time, e.machine));
+    TraceFault("machine_reboot", e.machine);
+  }
 }
 
 bool FaultInjector::NextDiskRequestFails(uint64_t start_block, uint32_t nblocks) {
@@ -439,6 +472,32 @@ std::vector<DiskEvent> ParseDiskSchedule(const std::string& text, std::string* e
   return out;
 }
 
+std::string FormatMachineSchedule(const std::vector<MachineEvent>& events) {
+  std::string out;
+  for (const MachineEvent& e : events) {
+    AppendToken(&out, e.kind, e.time, true, e.machine);
+  }
+  return out;
+}
+
+std::vector<MachineEvent> ParseMachineSchedule(const std::string& text,
+                                               std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  std::vector<SchedToken> tokens;
+  if (!TokenizeSchedule(text, "kb", "11", &tokens, error) ||
+      !CheckDuplicates(tokens, MachineStream, error)) {
+    return {};
+  }
+  std::vector<MachineEvent> out;
+  out.reserve(tokens.size());
+  for (const SchedToken& t : tokens) {
+    out.push_back(MachineEvent{t.index, t.kind, t.arg});
+  }
+  return out;
+}
+
 std::string FormatFaultSchedule(const std::vector<FaultEvent>& events) {
   std::string out;
   for (const FaultEvent& e : events) {
@@ -452,7 +511,7 @@ std::vector<FaultEvent> ParseFaultSchedule(const std::string& text, std::string*
     error->clear();
   }
   std::vector<SchedToken> tokens;
-  if (!TokenizeSchedule(text, "dcuwmlr", "0100101", &tokens, error) ||
+  if (!TokenizeSchedule(text, "dcuwmlrkb", "010010111", &tokens, error) ||
       !CheckDuplicates(tokens, CombinedStream, error)) {
     return {};
   }
@@ -466,10 +525,20 @@ std::vector<FaultEvent> ParseFaultSchedule(const std::string& text, std::string*
 
 void SplitFaultSchedule(const std::vector<FaultEvent>& events,
                         std::vector<WireEvent>* wire, std::vector<DiskEvent>* disk) {
+  SplitFaultSchedule(events, wire, disk, nullptr);
+}
+
+void SplitFaultSchedule(const std::vector<FaultEvent>& events,
+                        std::vector<WireEvent>* wire, std::vector<DiskEvent>* disk,
+                        std::vector<MachineEvent>* machine) {
   for (const FaultEvent& e : events) {
     if (IsWireFaultKind(e.kind)) {
       if (wire != nullptr) {
         wire->push_back(WireEvent{e.index, e.kind, e.arg});
+      }
+    } else if (IsMachineFaultKind(e.kind)) {
+      if (machine != nullptr) {
+        machine->push_back(MachineEvent{e.index, e.kind, e.arg});
       }
     } else if (disk != nullptr) {
       disk->push_back(DiskEvent{e.index, e.kind, e.arg});

@@ -58,12 +58,26 @@ struct DiskEvent {
   bool operator==(const DiskEvent&) const = default;
 };
 
-// A wire or disk fault in one combined stream, recorded chronologically. The
-// kind letters of the two layers are disjoint (d/c/u vs w/m/l/r), so a single
-// token grammar — and a single ddmin pass — covers both.
+// One whole-machine fault, keyed by *absolute simulated time* (cycles) rather
+// than a consultation index: machine death is an external event, not a fate
+// drawn on a device's consultation stream. The schedule is applied up front
+// (cluster::Topology::ApplyMachineSchedule), so it is ddmin-shrinkable exactly
+// like the wire/disk scripts — every subset replays deterministically.
+struct MachineEvent {
+  uint64_t time = 0;     // engine cycles on the victim machine's shard clock
+  char kind = 'k';       // 'k' kill, 'b' reboot
+  uint64_t machine = 0;  // cluster-wide machine id
+
+  bool operator==(const MachineEvent&) const = default;
+};
+
+// A wire, disk, or machine fault in one combined stream, recorded
+// chronologically. The kind letters of the layers are disjoint (d/c/u vs
+// w/m/l/r vs k/b), so a single token grammar — and a single ddmin pass —
+// covers all of them.
 struct FaultEvent {
   char kind = 'd';
-  uint64_t index = 0;  // per-layer, per-direction consultation index
+  uint64_t index = 0;  // per-layer, per-direction consultation index (or time)
   uint64_t arg = 0;
 
   bool operator==(const FaultEvent&) const = default;
@@ -71,6 +85,7 @@ struct FaultEvent {
 
 inline bool IsWireFaultKind(char k) { return k == 'd' || k == 'c' || k == 'u'; }
 inline bool IsDiskFaultKind(char k) { return k == 'w' || k == 'm' || k == 'l' || k == 'r'; }
+inline bool IsMachineFaultKind(char k) { return k == 'k' || k == 'b'; }
 
 // Compact one-line codecs: "d@3 c@15:7 u@20" (wire), "w@9 m@5:917 l@2 r@7:128"
 // (disk), and the union grammar for combined schedules. kinds 'c'/'r'/'m' carry
@@ -88,10 +103,22 @@ std::string FormatFaultSchedule(const std::vector<FaultEvent>& events);
 std::vector<FaultEvent> ParseFaultSchedule(const std::string& text,
                                            std::string* error = nullptr);
 
+// Machine schedule codec: "k@5000:1 b@90000:1" kills machine 1 at cycle 5000
+// and reboots it at cycle 90000. Both kinds carry a mandatory :machine arg.
+// Two events for the *same machine* at the same cycle are rejected (ambiguous
+// order); events for different machines may share a cycle.
+std::string FormatMachineSchedule(const std::vector<MachineEvent>& events);
+std::vector<MachineEvent> ParseMachineSchedule(const std::string& text,
+                                               std::string* error = nullptr);
+
 // Splits a combined schedule into its per-layer scripts (the inverse of the
-// merged fault_events() recording). Sound because indices are per-stream.
+// merged fault_events() recording). Sound because indices are per-stream. The
+// two-argument form ignores machine events; pass `machine` to collect them.
 void SplitFaultSchedule(const std::vector<FaultEvent>& events,
                         std::vector<WireEvent>* wire, std::vector<DiskEvent>* disk);
+void SplitFaultSchedule(const std::vector<FaultEvent>& events,
+                        std::vector<WireEvent>* wire, std::vector<DiskEvent>* disk,
+                        std::vector<MachineEvent>* machine);
 
 // Declarative description of the faults to inject. Rates are per-consultation
 // probabilities in [0, 1]; 0 disables the corresponding fault class.
@@ -139,6 +166,14 @@ struct FaultPlan {
   // all. Used to replay (and delta-minimize) a schedule recorded by a previous
   // rate-mode run.
   std::vector<WireEvent> wire_script;
+
+  // ---- Machine ----
+  // Whole-machine kill/reboot schedule. The injector itself never consults
+  // this (machine death is not a per-device fate): the cluster layer reads it
+  // at setup (cluster::Topology::ApplyMachineSchedule) and calls back into
+  // RecordMachine when each event fires, so kills land in the same log /
+  // trace / counter surface as every other fault.
+  std::vector<MachineEvent> machine_script;
 };
 
 struct FaultStats {
@@ -156,6 +191,8 @@ struct FaultStats {
   uint64_t net_drops = 0;
   uint64_t net_corruptions = 0;
   uint64_t net_duplicates = 0;
+  uint64_t machine_kills = 0;
+  uint64_t machine_reboots = 0;
 };
 
 class FaultInjector {
@@ -192,9 +229,17 @@ class FaultInjector {
   // Same for media faults: replay through FaultPlan::disk_script.
   const std::vector<DiskEvent>& disk_events() const { return disk_events_; }
 
-  // Both layers merged chronologically — the unit a combined soak reproducer
+  // Machine kill/reboot events actually executed, in firing order: replay
+  // through FaultPlan::machine_script.
+  const std::vector<MachineEvent>& machine_events() const { return machine_events_; }
+
+  // All layers merged chronologically — the unit a combined soak reproducer
   // minimizes. SplitFaultSchedule turns a (pruned) copy back into scripts.
   const std::vector<FaultEvent>& fault_events() const { return fault_events_; }
+
+  // Called by the cluster layer when a scheduled machine event fires, so
+  // whole-machine faults join the injector's log / trace / counter surface.
+  void RecordMachine(const MachineEvent& e);
 
   // Mirrors every injected fault into the tracer's `fault` category as an
   // instant event, stamped with the engine clock, so a failing crash-test
@@ -300,6 +345,7 @@ class FaultInjector {
   std::vector<std::string> log_;
   std::vector<WireEvent> wire_events_;
   std::vector<DiskEvent> disk_events_;
+  std::vector<MachineEvent> machine_events_;
   std::vector<FaultEvent> fault_events_;
   std::map<uint64_t, WireEvent> script_;        // wire_script indexed by frame_index
   std::map<uint64_t, DiskEvent> write_script_;  // disk_script, write-stream kinds
@@ -316,6 +362,8 @@ class FaultInjector {
   Counters::Slot* c_net_drops_ = nullptr;
   Counters::Slot* c_net_corruptions_ = nullptr;
   Counters::Slot* c_net_duplicates_ = nullptr;
+  Counters::Slot* c_machine_kills_ = nullptr;
+  Counters::Slot* c_machine_reboots_ = nullptr;
   bool counters_attached_ = false;
 };
 

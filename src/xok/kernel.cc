@@ -1612,6 +1612,25 @@ void XokKernel::AbortEnv(EnvId id, const char* reason) {
   }
 }
 
+void XokKernel::KillAllEnvs(const char* reason) {
+  EXO_CHECK(current_ == nullptr);  // host context only: no fiber survives this
+  std::vector<EnvId> ids;
+  ids.reserve(envs_.size());
+  for (const auto& [id, e] : envs_) {
+    ids.push_back(id);
+  }
+  for (EnvId id : ids) {
+    auto it = envs_.find(id);
+    if (it == envs_.end()) {
+      continue;  // reaped as a side effect of an earlier abort (parent wait)
+    }
+    if (it->second->state != EnvState::kZombie) {
+      AbortEnv(id, reason);
+    }
+    (void)ReapEnv(id);
+  }
+}
+
 // ---- Invariant audit ----
 
 std::string XokKernel::CheckInvariants() const {

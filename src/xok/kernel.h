@@ -175,6 +175,12 @@ class XokKernel {
   // env aborts itself (the calling fiber suspends forever).
   void AbortEnv(EnvId id, const char* reason);
 
+  // Machine death: aborts and reaps every environment, in id order, from host
+  // context (the machine-kill listener — never from an env's own fiber). After
+  // this the kernel holds no envs; whatever survives the crash lives on the
+  // disks, which is exactly the surface the reboot-time fsck recovers.
+  void KillAllEnvs(const char* reason);
+
   // ---- Resource quotas + revocation (Sec. 3: visible revocation; Sec. 3.5) ----
 
   // Replaces `target`'s quota. Callable from the host, or by an env holding the

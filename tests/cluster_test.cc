@@ -2,17 +2,27 @@
 // topology wiring, and the determinism contract (same seed => bit-identical
 // output at any thread count).
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.h"
 #include "cluster/topology.h"
+#include "hw/disk.h"
 #include "hw/machine.h"
 #include "hw/nic.h"
 #include "net/packet.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
+#include "trace/trace.h"
+#include "udf/assembler.h"
+#include "xn/types.h"
+#include "xn/xn.h"
 
 namespace exo {
 namespace {
@@ -30,6 +40,20 @@ hw::Packet RoutableFrame(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
   p.bytes[net::kOffSrcPort + 1] = static_cast<uint8_t>(src_port >> 8);
   p.bytes[net::kOffDstPort] = static_cast<uint8_t>(dst_port);
   p.bytes[net::kOffDstPort + 1] = static_cast<uint8_t>(dst_port >> 8);
+  return p;
+}
+
+// A minimal TCP frame as net::EncodeTcp lays one out: generic routing header,
+// real source port at the TCP header base, flags byte at header offset 12.
+hw::Packet TcpFrame(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+                    uint8_t flags) {
+  hw::Packet p = RoutableFrame(src_ip, dst_ip, src_port, 80,
+                               net::kIpHeaderBytes + net::kTcpHeaderBytes);
+  p.bytes[net::kOffProto] = net::kProtoTcp;
+  p.bytes[net::kIpHeaderBytes] = static_cast<uint8_t>(src_port);
+  p.bytes[net::kIpHeaderBytes + 1] = static_cast<uint8_t>(src_port >> 8);
+  p.bytes[net::kIpHeaderBytes + 2] = 80;
+  p.bytes[net::kIpHeaderBytes + 12] = flags;
   return p;
 }
 
@@ -344,6 +368,408 @@ TEST(ClusterTest, DirectTopologyWiresClientsToServers) {
                                                cluster::Topology::kVip, 99, 80));
   topo.Run();
   EXPECT_EQ(rx, 1);
+}
+
+// ---- Cross-shard wire faults (satellite: ShardLink fault/trace parity) ----
+
+// A scripted injector armed on one direction of a cross-shard link hits the
+// exact frames it names — drop, corrupt, duplicate — with `wire`/`wire_dup`
+// spans and `arrive` instants on the sender's tracer, while the reverse
+// direction stays untouched.
+TEST(ClusterTest, CrossShardLinkInjectsScriptedWireFaults) {
+  cluster::Cluster cl;
+  const uint32_t sa = cl.AddShard("a");
+  const uint32_t sb = cl.AddShard("b");
+  hw::Nic a(0), b(1);
+  auto* link = static_cast<cluster::ShardLink*>(
+      cl.Connect(sa, &a, sb, &b, 100.0, 25.0, 200));
+
+  sim::FaultPlan plan;
+  plan.wire_script = sim::ParseWireSchedule("d@1 c@2:3 u@3");
+  ASSERT_EQ(plan.wire_script.size(), 3u);
+  sim::FaultInjector faults(plan);
+  trace::Tracer tracer;
+  tracer.Enable();
+  link->AttachTracerFor(&a, &tracer, "ab");
+  link->SetFaultInjectorFor(&a, &faults);
+
+  std::vector<uint8_t> markers;   // frame id (byte 63) per arrival at b
+  std::vector<uint8_t> byte3s;    // the corruption target byte per arrival
+  int a_rx = 0;
+  b.SetReceiveHandler([&](hw::Packet p) {
+    markers.push_back(p.bytes[63]);
+    byte3s.push_back(p.bytes[3]);
+    if (markers.size() == 4) {
+      b.Transmit(hw::Packet{std::vector<uint8_t>(64, 9)});  // reverse direction
+    }
+  });
+  a.SetReceiveHandler([&](hw::Packet) { ++a_rx; });
+  for (uint8_t i = 1; i <= 4; ++i) {
+    hw::Packet p{std::vector<uint8_t>(64, 0)};
+    p.bytes[63] = i;
+    a.Transmit(std::move(p));
+  }
+  cl.Run();
+
+  // Frame 1 dropped; frame 2 corrupted at byte 3; frame 3 doubled; frame 4
+  // clean. The duplicate trails its original by one serialization slot.
+  ASSERT_EQ(markers, (std::vector<uint8_t>{2, 3, 3, 4}));
+  EXPECT_EQ(byte3s, (std::vector<uint8_t>{0xff, 0, 0, 0}));
+  EXPECT_EQ(a_rx, 1);
+  EXPECT_EQ(faults.stats().frames_seen, 4u);  // reverse direction unarmed
+  EXPECT_EQ(faults.stats().net_drops, 1u);
+  EXPECT_EQ(faults.stats().net_corruptions, 1u);
+  EXPECT_EQ(faults.stats().net_duplicates, 1u);
+  // The executed schedule replays verbatim.
+  EXPECT_EQ(sim::FormatWireSchedule(faults.wire_events()), "d@1 c@2:3 u@3");
+
+  int wire_begins = 0, dup_begins = 0, arrives = 0;
+  for (const trace::Record& r : tracer.Records()) {
+    if (r.kind == trace::Kind::kBegin && std::strcmp(r.name, "wire") == 0) {
+      ++wire_begins;
+    } else if (r.kind == trace::Kind::kBegin &&
+               std::strcmp(r.name, "wire_dup") == 0) {
+      ++dup_begins;
+    } else if (r.kind == trace::Kind::kInstant &&
+               std::strcmp(r.name, "arrive") == 0) {
+      ++arrives;
+    }
+  }
+  EXPECT_EQ(wire_begins, 4);  // every frame serializes, even the dropped one
+  EXPECT_EQ(dup_begins, 1);
+  EXPECT_EQ(arrives, 3);      // the dropped frame never arrives
+}
+
+// ---- Balancer pin lifecycle (satellite: no stale pins) ----
+
+// Client closes tear their pins down: RST immediately, FIN after a linger that
+// lets the close handshake drain — and traffic on a reused source port inside
+// the linger revives the pin instead of racing the eviction.
+TEST(ClusterTest, BalancerEvictsPinsOnConnectionClose) {
+  cluster::TopologyConfig tc;
+  tc.servers = 2;
+  tc.clients = 2;
+  tc.front_end_lb = true;
+  tc.seed = 7;
+  tc.machine.mem_frames = 64;
+  tc.machine.disks.clear();
+  cluster::Topology topo(tc);
+
+  auto send = [&](uint32_t j, sim::Cycles at, uint8_t flags) {
+    topo.engine_of(topo.client_id(j)).ScheduleAt(at, [&topo, j, flags] {
+      topo.client(j).nic(0).Transmit(
+          TcpFrame(topo.client_ip(j), cluster::Topology::kVip, 7'777, flags));
+    });
+  };
+  // Client 0: data, FIN, then a reused-port SYN inside the linger (revives the
+  // pin), and finally an RST long after.
+  send(0, 1'000, net::kFlagPsh);
+  send(0, 50'000, net::kFlagFin);
+  send(0, 80'000, net::kFlagSyn);
+  send(0, 400'000, net::kFlagRst);
+  // Client 1: data, then FIN — the linger eviction fires unopposed.
+  send(1, 2'000, net::kFlagPsh);
+  send(1, 60'000, net::kFlagFin);
+
+  // Inside the linger window (500 us = 100k cycles at 200 MHz) both pins live.
+  topo.RunUntil(120'000);
+  EXPECT_EQ(topo.lb_flows(), 2u);
+  EXPECT_EQ(topo.lb_pins_evicted(), 0u);
+
+  // Past both linger deadlines: client 1's pin evicted, client 0's revived.
+  topo.RunUntil(300'000);
+  EXPECT_EQ(topo.lb_flows(), 1u);
+  EXPECT_EQ(topo.lb_pins_evicted(), 1u);
+
+  topo.Run();
+  EXPECT_EQ(topo.lb_flows(), 0u);  // the RST tore the survivor down
+  EXPECT_EQ(topo.lb_pins_evicted(), 2u);
+  EXPECT_EQ(topo.lb_forwarded(), 6u);  // every frame still reached a backend
+  EXPECT_EQ(topo.lb_failover_reroutes(), 0u);
+}
+
+// ---- Machine kill/reboot + health-check failover (tentpole) ----
+
+// Kills one of two backends mid-workload with health checks armed, reboots it
+// later, and requires the whole story — ejection, pin eviction, failover
+// re-pinning, readmission — to be byte-identical at 1, 3, and 4 threads.
+std::string RunFailoverWorkload(uint32_t threads, uint64_t* echoed) {
+  cluster::TopologyConfig tc;
+  tc.servers = 2;
+  tc.clients = 3;
+  tc.front_end_lb = true;
+  tc.threads = threads;
+  tc.seed = 99;
+  tc.machine.mem_frames = 64;
+  tc.machine.disks.clear();
+  tc.health.enabled = true;
+  tc.health.interval_us = 500.0;  // 100k cycles at 200 MHz
+  tc.health.timeout_us = 200.0;
+  tc.health.fall = 2;
+  tc.health.rise = 2;
+  cluster::Topology topo(tc);
+
+  // One echo counter per server: each is touched only by its own shard thread.
+  uint64_t echo_counts[2] = {0, 0};
+  for (uint32_t k = 0; k < tc.servers; ++k) {
+    hw::Machine& srv = topo.server(k);
+    srv.tracer().Enable();
+    auto* rx = srv.counters().Handle("srv.rx");
+    hw::Nic* nic = &srv.nic(0);
+    uint64_t* echoes = &echo_counts[k];
+    nic->SetReceiveHandler([rx, nic, echoes](hw::Packet p) {
+      ++*rx;
+      ++*echoes;
+      for (int i = 0; i < 4; ++i) {
+        std::swap(p.bytes[net::kOffSrcIp + i], p.bytes[net::kOffDstIp + i]);
+      }
+      std::swap(p.bytes[net::kOffSrcPort], p.bytes[net::kOffDstPort]);
+      std::swap(p.bytes[net::kOffSrcPort + 1], p.bytes[net::kOffDstPort + 1]);
+      nic->Transmit(std::move(p));
+    });
+  }
+  for (uint32_t j = 0; j < tc.clients; ++j) {
+    hw::Machine& cli = topo.client(j);
+    cli.tracer().Enable();
+    auto* rx = cli.counters().Handle("cli.rx");
+    cli.nic(0).SetReceiveHandler([rx](hw::Packet) { ++*rx; });
+    sim::Engine& eng = topo.engine_of(topo.client_id(j));
+    for (int burst = 0; burst < 16; ++burst) {
+      eng.ScheduleAt(1'000 + 150'000 * burst + 311 * j, [&topo, j] {
+        topo.client(j).nic(0).Transmit(RoutableFrame(
+            topo.client_ip(j), cluster::Topology::kVip, 2'000 + j, 80));
+      });
+    }
+  }
+  topo.balancer().tracer().Enable();
+  topo.ArmHealthChecks(2'500'000);
+
+  // Server 0 is machine 1: killed a third of the way in, rebooted at 1.5M.
+  std::string err;
+  const auto schedule = sim::ParseMachineSchedule("k@600000:1 b@1500000:1", &err);
+  EXO_CHECK(err.empty());
+  topo.ApplyMachineSchedule(schedule);
+  topo.Run();
+
+  EXPECT_EQ(topo.lb_ejected(), 1u) << "threads=" << threads;
+  EXPECT_EQ(topo.lb_readmitted(), 1u) << "threads=" << threads;
+  // Clients 0 and 2 were pinned to the dead backend; their flows were cut
+  // loose on ejection and re-pinned to the survivor.
+  EXPECT_EQ(topo.lb_pins_evicted(), 2u) << "threads=" << threads;
+  EXPECT_EQ(topo.lb_failover_reroutes(), 2u) << "threads=" << threads;
+  EXPECT_FALSE(topo.backend_ejected(0));
+  EXPECT_GT(topo.backend_last_eject(0), 600'000u);
+  EXPECT_LT(topo.backend_last_eject(0), 1'500'000u);
+  EXPECT_GT(topo.backend_last_readmit(0), 1'500'000u);
+
+  *echoed = echo_counts[0] + echo_counts[1];
+  return topo.MergedCountersDump() + topo.MergedTraceDump();
+}
+
+TEST(ClusterTest, FailoverWithKillAndRebootIsBitIdenticalAcrossThreads) {
+  uint64_t echo1 = 0, echo3 = 0, echo4 = 0;
+  const std::string dump1 = RunFailoverWorkload(1, &echo1);
+  const std::string dump3 = RunFailoverWorkload(3, &echo3);
+  const std::string dump4 = RunFailoverWorkload(4, &echo4);
+
+  // Some frames blackholed between the kill and the ejection; everything after
+  // the failover re-pin was served.
+  EXPECT_GE(echo1, 40u);
+  EXPECT_LE(echo1, 46u);
+  EXPECT_EQ(echo1, echo3);
+  EXPECT_EQ(echo1, echo4);
+  EXPECT_EQ(dump1, dump3);
+  EXPECT_EQ(dump1, dump4);
+  // The machine faults and the failover counters are on the merged surface.
+  EXPECT_NE(dump1.find("m1.fault.machine_kills 1"), std::string::npos);
+  EXPECT_NE(dump1.find("m1.fault.machine_reboots 1"), std::string::npos);
+  EXPECT_NE(dump1.find("m0.lb.ejected 1"), std::string::npos);
+  EXPECT_NE(dump1.find("m0.lb.readmitted 1"), std::string::npos);
+  EXPECT_NE(dump1.find("lb_eject"), std::string::npos);
+  EXPECT_NE(dump1.find("lb_readmit"), std::string::npos);
+  EXPECT_NE(dump1.find("machine_kill"), std::string::npos);
+}
+
+// ---- Reboot recovery fsck (satellite: integrity across kill/reboot) ----
+
+// The miniature tnode format from xn_test: a u32 child count then u32 child
+// pointers, typed by an owns-udf.
+udf::Program DataTnodeOwns() {
+  char src[512];
+  std::snprintf(src, sizeof(src), R"(
+      ldi r1, 0
+      ld4 r2, r1, 0, meta
+      ldi r3, 4
+      ldi r4, 1
+      ldi r5, %u
+      bz r2, done
+    loop:
+      ld4 r6, r3, 0, meta
+      emit r6, r4, r5
+      addi r3, r3, 4
+      addi r2, r2, -1
+      bnz r2, loop
+    done:
+      ret r0
+  )", xn::kDataTemplate);
+  auto r = udf::Assemble(src);
+  EXO_CHECK(r.ok);
+  return r.program;
+}
+
+// A rebooted server machine re-runs the XN recovery fsck against the surviving
+// disk image: a block silently rotted by a pre-kill disk fault schedule is
+// quarantined (reads refuse it), while clean blocks serve their exact bytes.
+TEST(ClusterTest, RebootedServerFsckQuarantinesPreKillDiskCorruption) {
+  cluster::TopologyConfig tc;
+  tc.servers = 1;
+  tc.clients = 1;
+  tc.front_end_lb = false;
+  tc.machines_per_shard = 2;  // one shard: drive phases with RunUntilIdle
+  tc.machine.mem_frames = 512;
+  tc.machine.disks = {hw::DiskGeometry{.num_blocks = 2048}};
+  cluster::Topology topo(tc);
+
+  hw::Machine& srv = topo.server(0);
+  sim::Engine& eng = topo.engine_of(topo.server_id(0));
+  srv.disk().EnableIntegrity();
+
+  auto xn = std::make_unique<xn::Xn>(&srv, &srv.disk());
+  xn->Format();
+  ASSERT_EQ(xn->Attach(), Status::kOk);
+  xn::Template leaf;
+  leaf.name = "tnode-leaf";
+  leaf.is_metadata = true;
+  leaf.owns_udf = DataTnodeOwns();
+  auto size_uf = udf::Assemble("ldi r1, 4096\nret r1\n");
+  ASSERT_TRUE(size_uf.ok);
+  leaf.size_uf = size_uf.program;
+  auto tmpl = xn->InstallTemplate(leaf);
+  ASSERT_TRUE(tmpl.ok());
+
+  const xn::Caps creds;  // empty acl-uf: no extra access control
+  auto root_info = xn->RegisterRoot("fs", *tmpl, /*temporary=*/false);
+  ASSERT_TRUE(root_info.ok());
+  const hw::BlockId root = root_info->block;
+  auto root_frame = srv.mem().Alloc();
+  ASSERT_TRUE(root_frame.ok());
+  Status loaded = Status::kNotFound;
+  ASSERT_EQ(xn->LoadRoot("fs", *root_frame, creds, [&](Status s) { loaded = s; }),
+            Status::kOk);
+  eng.RunUntilIdle();
+  ASSERT_EQ(loaded, Status::kOk);
+
+  // Two data children under the root, distinct fills, flushed to the platter.
+  std::vector<hw::BlockId> kids;
+  {
+    xn::ByteMod count;
+    count.offset = 0;
+    count.bytes = {2, 0, 0, 0};
+    xn::Mods mods = {count};
+    std::vector<udf::Extent> extents;
+    hw::BlockId hint = xn->FirstDataBlock();
+    for (uint32_t i = 0; i < 2; ++i) {
+      auto blk = xn->FindFreeRun(hint, 1);
+      ASSERT_TRUE(blk.ok());
+      hint = *blk + 1;
+      xn::ByteMod ptr;
+      ptr.offset = 4 + i * 4;
+      ptr.bytes = {static_cast<uint8_t>(*blk), static_cast<uint8_t>(*blk >> 8),
+                   static_cast<uint8_t>(*blk >> 16), static_cast<uint8_t>(*blk >> 24)};
+      mods.push_back(ptr);
+      extents.push_back({*blk, 1, xn::kDataTemplate});
+      kids.push_back(*blk);
+    }
+    ASSERT_EQ(xn->Alloc(root, mods, extents, creds), Status::kOk);
+  }
+  for (size_t i = 0; i < kids.size(); ++i) {
+    auto f = srv.mem().Alloc();
+    ASSERT_TRUE(f.ok());
+    std::memset(srv.mem().Data(*f).data(), i == 0 ? 0x5a : 0x42, 4096);
+    ASSERT_EQ(xn->InsertMapping(kids[i], root, *f, /*dirty=*/true, creds),
+              Status::kOk);
+  }
+  Status flushed = Status::kNotFound;
+  ASSERT_EQ(xn->Write(std::vector<hw::BlockId>{kids[0], kids[1], root},
+                      [&](Status s) { flushed = s; }),
+            Status::kOk);
+  eng.RunUntilIdle();
+  ASSERT_EQ(flushed, Status::kOk);
+
+  // Pre-kill disk fault schedule: the next block read silently rots a media
+  // byte of the block it touches. A raw controller read of kids[0] (below
+  // XN's checking) plants the corruption without anything noticing.
+  sim::FaultPlan dplan;
+  dplan.disk_script = sim::ParseDiskSchedule("r@1:9");
+  ASSERT_EQ(dplan.disk_script.size(), 1u);
+  sim::FaultInjector disk_faults(dplan);
+  srv.disk().SetFaultInjector(&disk_faults);
+  auto scratch = srv.mem().Alloc();
+  ASSERT_TRUE(scratch.ok());
+  srv.disk().Submit(hw::DiskRequest{false, kids[0], 1, {*scratch}, nullptr});
+  eng.RunUntilIdle();
+  srv.disk().SetFaultInjector(nullptr);
+  ASSERT_EQ(disk_faults.stats().disk_rot, 1u);
+  ASSERT_EQ(srv.disk().CheckBlock(kids[0]), hw::BlockIntegrity::kBadChecksum);
+
+  // Kill tears the software stack down with the hardware; reboot attaches a
+  // fresh XN, whose recovery fsck must find the rot before trusting traversal,
+  // then serves the clean sibling and refuses the quarantined block.
+  std::unique_ptr<xn::Xn> reborn;
+  Status reattach = Status::kNotFound;
+  Status good_read = Status::kNotFound;
+  Status bad_read = Status::kOk;
+  hw::FrameId good_frame = hw::kInvalidFrame;
+  topo.SetMachineLifecycleHooks(
+      [&](uint32_t) { xn->Crash(); },
+      [&](uint32_t) {
+        reborn = std::make_unique<xn::Xn>(&srv, &srv.disk());
+        reattach = reborn->Attach();
+        if (reattach != Status::kOk) {
+          return;
+        }
+        auto rf = srv.mem().Alloc();
+        EXO_CHECK(rf.ok());
+        EXO_CHECK_EQ(reborn->LoadRoot("fs", *rf, creds,
+                                      [&](Status s) {
+          if (s != Status::kOk) {
+            return;
+          }
+          auto gf = srv.mem().Alloc();
+          EXO_CHECK(gf.ok());
+          good_frame = *gf;
+          std::vector<hw::BlockId> want = {kids[1]};
+          std::vector<hw::FrameId> frames = {good_frame};
+          EXO_CHECK_EQ(reborn->ReadAndInsert(root, want, frames, creds,
+                                             [&](Status rs) { good_read = rs; }),
+                       Status::kOk);
+          auto bf = srv.mem().Alloc();
+          EXO_CHECK(bf.ok());
+          std::vector<hw::BlockId> doomed = {kids[0]};
+          std::vector<hw::FrameId> bframes = {*bf};
+          bad_read = reborn->ReadAndInsert(root, doomed, bframes, creds,
+                                           [](Status) {});
+        }),
+                     Status::kOk);
+      });
+  const sim::Cycles t_kill = eng.now() + 50'000;
+  topo.ApplyMachineSchedule({{t_kill, 'k', topo.server_id(0)},
+                             {t_kill + 100'000, 'b', topo.server_id(0)}});
+  eng.RunUntilIdle();
+
+  ASSERT_NE(reborn, nullptr);
+  ASSERT_EQ(reattach, Status::kOk);
+  EXPECT_TRUE(reborn->recovered_after_crash());
+  EXPECT_TRUE(reborn->IsQuarantined(kids[0]));
+  EXPECT_FALSE(reborn->IsQuarantined(kids[1]));
+  EXPECT_EQ(bad_read, Status::kCorrupted);  // refused at submit: never served
+  ASSERT_EQ(good_read, Status::kOk);
+  auto bytes = srv.mem().Data(good_frame);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    ASSERT_EQ(bytes[i], 0x42) << "byte " << i;
+  }
+  EXPECT_EQ(srv.counters().Get("fault.machine_kills"), 1u);
+  EXPECT_EQ(srv.counters().Get("fault.machine_reboots"), 1u);
 }
 
 }  // namespace

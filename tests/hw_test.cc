@@ -632,6 +632,105 @@ TEST(NicTest, CorruptionSparesBytesBelowMinOffset) {
   EXPECT_EQ(faults.stats().net_drops, 1u);
 }
 
+// A downed NIC is silent hardware: transmits refuse, arrivals vanish, the DMA
+// rings are cleared; bringing it back up restores normal service.
+TEST(NicTest, DownNicRefusesTransmitAndDropsArrivals) {
+  sim::Engine engine;
+  Nic a(0);
+  Nic b(1);
+  Link link(&engine, 100.0, 0.0, 200);
+  link.Connect(&a, &b);
+  int received = 0;
+  b.SetReceiveHandler([&](Packet) { ++received; });
+
+  b.SetUp(false);
+  EXPECT_FALSE(b.up());
+  a.Transmit({.bytes = std::vector<uint8_t>(64, 1)});
+  engine.RunUntilIdle();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(b.stats().dropped, 1u);
+  EXPECT_FALSE(b.Transmit({.bytes = std::vector<uint8_t>(64, 2)}));
+  EXPECT_EQ(b.stats().tx_rejected, 1u);
+
+  b.SetUp(true);
+  a.Transmit({.bytes = std::vector<uint8_t>(64, 3)});
+  engine.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+}
+
+// The firmware probe responder echoes kProbeProto frames (addresses swapped)
+// without involving the rx handler; a downed NIC stays silent.
+TEST(NicTest, ProbeResponderEchoesBelowTheStack) {
+  sim::Engine engine;
+  Nic prober(0);
+  Nic target(1);
+  Link link(&engine, 100.0, 10.0, 200);
+  link.Connect(&prober, &target);
+  target.EnableProbeResponder();
+  int handler_saw = 0;
+  target.SetReceiveHandler([&](Packet) { ++handler_saw; });
+  std::vector<uint8_t> reply;
+  prober.SetReceiveHandler([&](Packet p) { reply = std::move(p.bytes); });
+
+  Packet probe;
+  probe.bytes.assign(kProbeFrameBytes, 0);
+  probe.bytes[0] = kProbeProto;
+  probe.bytes[1] = 7;   // prober address
+  probe.bytes[5] = 42;  // target address
+  probe.bytes[9] = 0xab;  // seq
+  prober.Transmit(std::move(probe));
+  engine.RunUntilIdle();
+
+  ASSERT_EQ(reply.size(), static_cast<size_t>(kProbeFrameBytes));
+  EXPECT_EQ(handler_saw, 0);  // firmware answered; the stack never saw it
+  EXPECT_EQ(reply[0], kProbeProto);
+  EXPECT_EQ(reply[1], 42);  // addresses swapped
+  EXPECT_EQ(reply[5], 7);
+  EXPECT_EQ(reply[9], 0xab);  // seq untouched
+
+  // Dead hardware is silent: no echo while the NIC is down.
+  reply.clear();
+  target.SetUp(false);
+  Packet probe2;
+  probe2.bytes.assign(kProbeFrameBytes, 0);
+  probe2.bytes[0] = kProbeProto;
+  prober.Transmit(std::move(probe2));
+  engine.RunUntilIdle();
+  EXPECT_TRUE(reply.empty());
+}
+
+// Kill/reboot lifecycle: kill downs every NIC and power-cuts every disk, then
+// runs the kill listeners; reboot restores power and runs the reboot
+// listeners. Both are idempotent so ddmin-orphaned reboots replay cleanly.
+TEST(MachineTest, KillAndRebootLifecycle) {
+  sim::Engine engine;
+  MachineConfig mc;
+  mc.mem_frames = 64;
+  Machine m(&engine, mc);
+  std::vector<std::string> log;
+  m.AddKillListener([&] { log.push_back("kill"); });
+  m.AddRebootListener([&] { log.push_back("reboot"); });
+
+  EXPECT_TRUE(m.alive());
+  m.Reboot();  // reboot while alive: no-op
+  EXPECT_TRUE(log.empty());
+
+  m.Kill();
+  EXPECT_FALSE(m.alive());
+  EXPECT_FALSE(m.nic(0).up());
+  EXPECT_TRUE(m.disk(0).powered_off());
+  m.Kill();  // idempotent: listeners fire once
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "kill");
+
+  m.Reboot();
+  EXPECT_TRUE(m.alive());
+  EXPECT_TRUE(m.nic(0).up());
+  EXPECT_FALSE(m.disk(0).powered_off());
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1], "reboot");
+}
+
 TEST(MachineTest, ChargeAdvancesSharedClock) {
   sim::Engine engine;
   Machine m(&engine, MachineConfig{.mem_frames = 32});

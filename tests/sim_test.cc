@@ -430,6 +430,66 @@ TEST(FaultCodecTest, FuzzedSchedulesRoundTrip) {
   }
 }
 
+// Machine kill/reboot schedule grammar: k@<cycle>:<machine> / b@<cycle>:<machine>,
+// keyed by absolute time rather than consultation index.
+TEST(FaultCodecTest, MachineScheduleRoundTripAndDuplicateRules) {
+  std::string err;
+  const auto sched = ParseMachineSchedule("k@1000:2 b@6000:2 k@6000:3", &err);
+  ASSERT_EQ(sched.size(), 3u) << err;
+  EXPECT_EQ(sched[0].kind, 'k');
+  EXPECT_EQ(sched[0].time, 1000u);
+  EXPECT_EQ(sched[0].machine, 2u);
+  EXPECT_EQ(sched[2].kind, 'k');
+  EXPECT_EQ(sched[2].machine, 3u);
+  EXPECT_TRUE(ParseMachineSchedule(FormatMachineSchedule(sched), &err) == sched);
+
+  // Same machine, same cycle: ambiguous order, rejected. Different machines
+  // may share a cycle (the arg disambiguates the shared stream).
+  EXPECT_TRUE(ParseMachineSchedule("k@5:1 b@5:1", &err).empty());
+  EXPECT_NE(err.find("token"), std::string::npos);
+  EXPECT_EQ(ParseMachineSchedule("k@5:1 k@5:2", &err).size(), 2u) << err;
+  // The :machine arg is mandatory for both kinds.
+  EXPECT_TRUE(ParseMachineSchedule("k@5", &err).empty());
+  EXPECT_TRUE(ParseMachineSchedule("b@5", &err).empty());
+
+  // The combined grammar accepts machine kinds; the 3-way split routes them
+  // to the machine vector and the legacy 2-way split ignores them.
+  const auto combined = ParseFaultSchedule("d@1 w@3 k@100:0 b@200:0", &err);
+  ASSERT_EQ(combined.size(), 4u) << err;
+  std::vector<WireEvent> wire;
+  std::vector<DiskEvent> disk;
+  std::vector<MachineEvent> machines;
+  SplitFaultSchedule(combined, &wire, &disk, &machines);
+  EXPECT_EQ(wire.size(), 1u);
+  EXPECT_EQ(disk.size(), 1u);
+  ASSERT_EQ(machines.size(), 2u);
+  EXPECT_EQ(machines[0].kind, 'k');
+  EXPECT_EQ(machines[1].time, 200u);
+  wire.clear();
+  disk.clear();
+  SplitFaultSchedule(combined, &wire, &disk);
+  EXPECT_EQ(wire.size(), 1u);
+  EXPECT_EQ(disk.size(), 1u);
+}
+
+// RecordMachine lands machine faults on the same stats/counter/replay surface
+// as every other injected fault.
+TEST(FaultInjectorTest, RecordMachineCountsAndReplays) {
+  FaultPlan plan;
+  FaultInjector faults(plan);
+  Counters counters;
+  faults.AttachCounters(&counters);
+  faults.RecordMachine(MachineEvent{1000, 'k', 2});
+  faults.RecordMachine(MachineEvent{2000, 'b', 2});
+  EXPECT_EQ(faults.stats().machine_kills, 1u);
+  EXPECT_EQ(faults.stats().machine_reboots, 1u);
+  EXPECT_EQ(counters.Get("fault.machine_kills"), 1u);
+  EXPECT_EQ(counters.Get("fault.machine_reboots"), 1u);
+  ASSERT_EQ(faults.machine_events().size(), 2u);
+  EXPECT_EQ(FormatMachineSchedule(faults.machine_events()), "k@1000:2 b@2000:2");
+  ASSERT_EQ(faults.log().size(), 2u);
+}
+
 // ---- Injector attachment and cut-point bookkeeping ----
 
 // First tracer attachment wins (a Disk and a Link sharing one injector both

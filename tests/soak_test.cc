@@ -5,6 +5,7 @@
 // Knobs (CI and local triage):
 //   SOAK_SEEDS=<lo>:<hi>   seed block for the randomized sweep (default 1:3)
 //   SOAK_EPOCHS=<n>        epochs per seed (default 5; one epoch = 10 ms sim)
+//   FLEET_SEEDS=<lo>:<hi>  seed block for the fleet kill/reboot sweep (default 1:3)
 //
 // On an invariant violation the test prints one line —
 //   SOAK-REPRO seed=<seed> schedule="d@12 c@31:58 ..."
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "apps/http.h"
+#include "cluster/topology.h"
 #include "hw/machine.h"
 #include "hw/nic.h"
 #include "net/packet.h"
@@ -1037,6 +1039,244 @@ TEST(NoisySoak, FloodScheduleCodecRoundTrips) {
   EXPECT_EQ(text, "c@20000 f@8 n@2 d@63 r@1");
   EXPECT_TRUE(ParseFloodSchedule(text) == ops);
   EXPECT_TRUE(ParseFloodSchedule("").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fleet soak: whole-machine kill/reboot chaos over a balanced cluster.
+//
+// A health-checked front-end balancer fronts two echo backends; machines die
+// and reboot on a scripted sim::MachineEvent schedule. The invariants are the
+// fleet-level ones from docs/CLUSTER.md: the merged counter+trace dump is a
+// pure function of (config, schedule) at ANY thread count, the balancer never
+// readmits more backends than it ejected, and traffic keeps flowing whenever
+// at least one backend is alive. A violating schedule is ddmin-minimized
+// (sim::BasicShrinker<sim::MachineEvent>) and printed as one replayable line:
+//   FLEET-REPRO seed=<seed> schedule="k@350000:1 b@900000:1 ..."
+// which feeds straight back through sim::ParseMachineSchedule +
+// cluster::Topology::ApplyMachineSchedule.
+
+constexpr uint32_t kFleetServers = 2;
+constexpr uint32_t kFleetClients = 2;
+constexpr sim::Cycles kFleetHorizon = 2'400'000;  // 12 ms at 200 MHz
+
+struct FleetResult {
+  std::string failure;  // first violated fleet invariant ("" = clean)
+  std::string dump;     // merged counters + merged trace, the determinism unit
+  uint64_t echoed = 0;
+  uint64_t no_route = 0;
+  uint64_t ejected = 0;
+  uint64_t readmitted = 0;
+};
+
+// A routable client->VIP UDP frame, as cluster::Topology's balancer keys it.
+hw::Packet FleetFrame(uint32_t src_ip, uint16_t src_port) {
+  hw::Packet p;
+  p.bytes.assign(64, 0);
+  p.bytes[net::kOffProto] = net::kProtoUdp;
+  for (int i = 0; i < 4; ++i) {
+    p.bytes[net::kOffSrcIp + i] = static_cast<uint8_t>(src_ip >> (8 * i));
+    p.bytes[net::kOffDstIp + i] =
+        static_cast<uint8_t>(cluster::Topology::kVip >> (8 * i));
+  }
+  p.bytes[net::kOffSrcPort] = static_cast<uint8_t>(src_port);
+  p.bytes[net::kOffSrcPort + 1] = static_cast<uint8_t>(src_port >> 8);
+  p.bytes[net::kOffDstPort] = 80;
+  return p;
+}
+
+FleetResult RunFleet(const std::vector<sim::MachineEvent>& schedule,
+                     uint32_t threads) {
+  cluster::TopologyConfig tc;
+  tc.servers = kFleetServers;
+  tc.clients = kFleetClients;
+  tc.front_end_lb = true;
+  tc.threads = threads;
+  tc.seed = 11;
+  tc.machine.mem_frames = 64;
+  tc.machine.disks.clear();
+  tc.health.enabled = true;
+  tc.health.interval_us = 300.0;  // 60k cycles at 200 MHz
+  tc.health.timeout_us = 100.0;
+  tc.health.fall = 2;
+  tc.health.rise = 2;
+  cluster::Topology topo(tc);
+
+  // One echo counter per server: each is touched only by its own shard thread.
+  uint64_t echo_counts[kFleetServers] = {};
+  for (uint32_t k = 0; k < tc.servers; ++k) {
+    hw::Machine& srv = topo.server(k);
+    srv.tracer().Enable();
+    auto* rx = srv.counters().Handle("srv.rx");
+    hw::Nic* nic = &srv.nic(0);
+    uint64_t* echoes = &echo_counts[k];
+    nic->SetReceiveHandler([rx, nic, echoes](hw::Packet p) {
+      ++*rx;
+      ++*echoes;
+      for (int i = 0; i < 4; ++i) {
+        std::swap(p.bytes[net::kOffSrcIp + i], p.bytes[net::kOffDstIp + i]);
+      }
+      std::swap(p.bytes[net::kOffSrcPort], p.bytes[net::kOffDstPort]);
+      std::swap(p.bytes[net::kOffSrcPort + 1], p.bytes[net::kOffDstPort + 1]);
+      nic->Transmit(std::move(p));
+    });
+  }
+  for (uint32_t j = 0; j < tc.clients; ++j) {
+    hw::Machine& cli = topo.client(j);
+    cli.tracer().Enable();
+    auto* rx = cli.counters().Handle("cli.rx");
+    cli.nic(0).SetReceiveHandler([rx](hw::Packet) { ++*rx; });
+    sim::Engine& eng = topo.engine_of(topo.client_id(j));
+    for (int burst = 0; burst < 18; ++burst) {
+      eng.ScheduleAt(1'000 + 120'000 * burst + 271 * j, [&topo, j] {
+        topo.client(j).nic(0).Transmit(
+            FleetFrame(topo.client_ip(j), static_cast<uint16_t>(2'000 + j)));
+      });
+    }
+  }
+  topo.balancer().tracer().Enable();
+  topo.ArmHealthChecks(kFleetHorizon);
+  topo.ApplyMachineSchedule(schedule);
+  topo.Run();
+
+  FleetResult r;
+  r.echoed = 0;
+  for (uint32_t k = 0; k < tc.servers; ++k) {
+    r.echoed += echo_counts[k];
+  }
+  r.no_route = topo.lb_no_route();
+  r.ejected = topo.lb_ejected();
+  r.readmitted = topo.lb_readmitted();
+  r.dump = topo.MergedCountersDump() + topo.MergedTraceDump();
+  if (r.readmitted > r.ejected) {
+    r.failure = "balancer readmitted more backends than it ejected";
+  } else if (r.echoed == 0) {
+    r.failure = "fleet made no progress (no request ever echoed)";
+  }
+  return r;
+}
+
+// A random but fully seed-determined kill/reboot schedule: 2..4 kill+reboot
+// pairs over the non-balancer machines (servers m1..m2, clients m3..m4), each
+// reboot 60k..660k cycles after its kill. Same-machine same-cycle collisions
+// are nudged forward so the formatted line always re-parses.
+std::vector<sim::MachineEvent> RandomFleetSchedule(uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<sim::MachineEvent> sched;
+  auto push_unique = [&sched](uint64_t t, char kind, uint64_t machine) {
+    for (size_t i = 0; i < sched.size(); ++i) {
+      if (sched[i].machine == machine && sched[i].time == t) {
+        ++t;
+        i = static_cast<size_t>(-1);  // rescan with the nudged time
+      }
+    }
+    sched.push_back({t, kind, machine});
+  };
+  const uint32_t pairs = 2 + static_cast<uint32_t>(rng.Below(3));
+  for (uint32_t i = 0; i < pairs; ++i) {
+    const uint64_t machine = 1 + rng.Below(kFleetServers + kFleetClients);
+    const uint64_t t_kill = 200'000 + rng.Below(1'400'000);
+    const uint64_t t_boot = t_kill + 60'000 + rng.Below(600'000);
+    push_unique(t_kill, 'k', machine);
+    push_unique(t_boot, 'b', machine);
+  }
+  std::sort(sched.begin(), sched.end(),
+            [](const sim::MachineEvent& a, const sim::MachineEvent& b) {
+              return a.time != b.time     ? a.time < b.time
+                     : a.machine != b.machine ? a.machine < b.machine
+                                              : a.kind < b.kind;
+            });
+  return sched;
+}
+
+// The CI fleet sweep: randomized kill/reboot schedules; every seed must (a)
+// satisfy the fleet invariants and (b) produce a byte-identical merged dump at
+// 1 and 4 threads. A failure ddmins over the machine schedule and prints a
+// FLEET-REPRO line.
+TEST(FleetSoak, RandomKillRebootSchedulesHoldInvariantsAcrossThreads) {
+  uint64_t lo = 1;
+  uint64_t hi = 3;
+  if (const char* block = std::getenv("FLEET_SEEDS")) {
+    char* colon = nullptr;
+    lo = std::strtoull(block, &colon, 0);
+    hi = (colon != nullptr && *colon == ':') ? std::strtoull(colon + 1, nullptr, 0)
+                                             : lo;
+  }
+  for (uint64_t seed = lo; seed <= hi; ++seed) {
+    const std::vector<sim::MachineEvent> schedule = RandomFleetSchedule(seed);
+    FleetResult one = RunFleet(schedule, 1);
+    FleetResult four = RunFleet(schedule, 4);
+    const bool bad = !one.failure.empty() || one.dump != four.dump;
+    if (bad) {
+      auto still_fails = [](const std::vector<sim::MachineEvent>& candidate) {
+        FleetResult a = RunFleet(candidate, 1);
+        FleetResult b = RunFleet(candidate, 4);
+        return !a.failure.empty() || a.dump != b.dump;
+      };
+      sim::BasicShrinker<sim::MachineEvent> shrinker(still_fails);
+      const std::vector<sim::MachineEvent> minimal = shrinker.Minimize(schedule);
+      std::printf("FLEET-REPRO seed=%llu schedule=\"%s\"\n",
+                  static_cast<unsigned long long>(seed),
+                  sim::FormatMachineSchedule(minimal).c_str());
+      ADD_FAILURE() << "seed " << seed << ": "
+                    << (one.failure.empty() ? "thread-count dump divergence"
+                                            : one.failure)
+                    << "\nminimized schedule (" << minimal.size()
+                    << " events): " << sim::FormatMachineSchedule(minimal);
+      continue;
+    }
+    // The sweep must exercise the machinery, not idle through it.
+    EXPECT_GT(one.echoed, 0u) << "seed " << seed;
+    EXPECT_NE(one.dump.find("fault.machine_kills"), std::string::npos)
+        << "seed " << seed;
+    EXPECT_GE(one.ejected, one.readmitted) << "seed " << seed;
+  }
+}
+
+// Planted violation: a noisy 8-event schedule whose kills of BOTH backends
+// blackhole client traffic (lb.no_route fires — the recovery SLO a real fleet
+// would page on). ddmin strips the client-machine noise and the too-late
+// reboots down to the two backend kills, the FLEET-REPRO line round-trips
+// through the codec, and the minimal schedule replays byte-for-byte at 1 and
+// 4 threads.
+TEST(FleetSoak, PlantedBlackholeShrinksToReplayableFleetRepro) {
+  std::string err;
+  const std::vector<sim::MachineEvent> planted = sim::ParseMachineSchedule(
+      "k@350000:1 k@400000:2 k@500000:3 b@600000:3 k@700000:4 b@800000:4 "
+      "b@1600000:1 b@1700000:2",
+      &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(planted.size(), 8u);
+
+  auto blackholes = [](const std::vector<sim::MachineEvent>& candidate) {
+    return RunFleet(candidate, 1).no_route > 0;
+  };
+  ASSERT_TRUE(blackholes(planted));
+
+  sim::BasicShrinker<sim::MachineEvent> shrinker(blackholes);
+  std::vector<sim::MachineEvent> minimal = shrinker.Minimize(planted);
+  EXPECT_LE(minimal.size(), 10u);
+  ASSERT_EQ(minimal.size(), 2u);
+  const std::string line = sim::FormatMachineSchedule(minimal);
+  EXPECT_EQ(line, "k@350000:1 k@400000:2");
+  // 1-minimal: drop either kill and the survivor absorbs the flows.
+  for (size_t i = 0; i < minimal.size(); ++i) {
+    std::vector<sim::MachineEvent> cand = minimal;
+    cand.erase(cand.begin() + static_cast<long>(i));
+    EXPECT_FALSE(blackholes(cand)) << "not 1-minimal at event " << i;
+  }
+
+  std::printf("FLEET-REPRO seed=planted schedule=\"%s\"\n", line.c_str());
+  const std::vector<sim::MachineEvent> replay = sim::ParseMachineSchedule(line, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(replay == minimal);
+  FleetResult first = RunFleet(replay, 1);
+  FleetResult again = RunFleet(replay, 1);
+  FleetResult wide = RunFleet(replay, 4);
+  EXPECT_GT(first.no_route, 0u);
+  EXPECT_EQ(first.ejected, 2u);
+  EXPECT_EQ(first.readmitted, 0u);
+  EXPECT_EQ(first.dump, again.dump);
+  EXPECT_EQ(first.dump, wide.dump);
 }
 
 }  // namespace
